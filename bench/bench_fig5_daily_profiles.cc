@@ -1,0 +1,75 @@
+// Reproduces Fig. 5 — daily travel patterns per GDay community: the share
+// of each community's trips on each day of the week, rendered as rows of
+// percentages plus an ASCII sparkline, with the commute/leisure
+// classification the paper draws from the figure.
+
+#include "analysis/community_stats.h"
+#include "bench_common.h"
+#include "core/civil_time.h"
+
+using namespace bikegraph;
+using namespace bikegraph::bench;
+
+namespace {
+
+const char* PatternName(analysis::DayPattern p) {
+  switch (p) {
+    case analysis::DayPattern::kWeekdayCommute:
+      return "weekday-commute";
+    case analysis::DayPattern::kWeekendLeisure:
+      return "weekend-leisure";
+    case analysis::DayPattern::kFlat:
+      return "flat";
+  }
+  return "?";
+}
+
+std::string Sparkline(const std::array<double, 7>& shares) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "#", "@"};
+  double max = 0.0;
+  for (double v : shares) max = std::max(max, v);
+  std::string out;
+  for (double v : shares) {
+    int level = max > 0 ? static_cast<int>(6.0 * v / max) : 0;
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 5: daily travel patterns per GDay community ===\n");
+  auto result = RunExperimentOrDie();
+  auto shares = analysis::CommunityDayShares(result.pipeline.final_network,
+                                             result.gday.louvain.partition);
+  if (!shares.ok()) {
+    std::fprintf(stderr, "%s\n", shares.status().ToString().c_str());
+    return 1;
+  }
+
+  viz::AsciiTable t({"Community", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat",
+                     "Sun", "Mon..Sun", "Pattern"});
+  size_t commute = 0, leisure = 0;
+  for (size_t c = 0; c < shares->size(); ++c) {
+    const auto& row = (*shares)[c];
+    auto pattern = analysis::ClassifyDayPattern(row);
+    if (pattern == analysis::DayPattern::kWeekdayCommute) ++commute;
+    if (pattern == analysis::DayPattern::kWeekendLeisure) ++leisure;
+    std::vector<std::string> cells = {std::to_string(c + 1)};
+    for (int d = 0; d < 7; ++d) cells.push_back(Pct(row[d]));
+    cells.push_back(Sparkline(row));
+    cells.push_back(PatternName(pattern));
+    t.AddRow(cells);
+  }
+  std::fputs(t.ToString().c_str(), stdout);
+
+  std::printf(
+      "\n%zu weekday-commute communities and %zu weekend-leisure communities "
+      "(paper Fig. 5: usage lowest at weekends in communities 2/4/6, peaking "
+      "Saturday in 1/3/7 — the same qualitative split).\n",
+      commute, leisure);
+  std::printf("Rebalancing hint (paper §V-C2): move bikes from commute "
+              "communities to leisure communities on Friday night.\n");
+  return 0;
+}

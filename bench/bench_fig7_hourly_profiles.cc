@@ -1,0 +1,71 @@
+// Reproduces Fig. 7 — hourly travel patterns per GHour community: the
+// share of each community's trips starting in each hour of the day, with
+// the commute / midday-leisure classification of the paper.
+
+#include "analysis/community_stats.h"
+#include "bench_common.h"
+
+using namespace bikegraph;
+using namespace bikegraph::bench;
+
+namespace {
+
+const char* PatternName(analysis::HourPattern p) {
+  switch (p) {
+    case analysis::HourPattern::kCommute:
+      return "commute (7-9am & 5pm)";
+    case analysis::HourPattern::kMiddayLeisure:
+      return "midday-leisure";
+    case analysis::HourPattern::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::string Sparkline(const std::array<double, 24>& shares) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "#", "@"};
+  double max = 0.0;
+  for (double v : shares) max = std::max(max, v);
+  std::string out;
+  for (double v : shares) {
+    int level = max > 0 ? static_cast<int>(6.0 * v / max) : 0;
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 7: hourly travel patterns per GHour community ===\n");
+  auto result = RunExperimentOrDie();
+  auto shares = analysis::CommunityHourShares(result.pipeline.final_network,
+                                              result.ghour.louvain.partition);
+  if (!shares.ok()) {
+    std::fprintf(stderr, "%s\n", shares.status().ToString().c_str());
+    return 1;
+  }
+
+  viz::AsciiTable t({"Community", "0h......6h......12h.....18h.....23h",
+                     "AM peak", "PM peak", "Midday", "Pattern"});
+  size_t commute = 0, midday = 0;
+  for (size_t c = 0; c < shares->size(); ++c) {
+    const auto& row = (*shares)[c];
+    auto pattern = analysis::ClassifyHourPattern(row);
+    if (pattern == analysis::HourPattern::kCommute) ++commute;
+    if (pattern == analysis::HourPattern::kMiddayLeisure) ++midday;
+    double am = row[7] + row[8] + row[9];
+    double pm = row[16] + row[17] + row[18];
+    double mid = row[11] + row[12] + row[13] + row[14];
+    t.AddRow({std::to_string(c + 1), Sparkline(row), Pct(am), Pct(pm),
+              Pct(mid), PatternName(pattern)});
+  }
+  std::fputs(t.ToString().c_str(), stdout);
+
+  std::printf(
+      "\n%zu commute communities (paper: e.g. 9 & 10, spikes 7-9 am and "
+      "~5 pm) and %zu midday communities (paper: 1 & 7, Phoenix Park / "
+      "Dun Laoghaire).\n",
+      commute, midday);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Performance benchmarks for the community-detection algorithms: Louvain
+// vs label propagation vs CNM fast-greedy vs Infomap-lite, on planted
+// clique-ring graphs of growing size.
+
+#include <benchmark/benchmark.h>
+
+#include "community/fast_greedy.h"
+#include "community/infomap.h"
+#include "community/label_propagation.h"
+#include "community/louvain.h"
+#include "community/modularity.h"
+#include "core/rng.h"
+
+namespace bikegraph::community {
+namespace {
+
+graphdb::WeightedGraph CliqueRing(int cliques, int size, uint64_t seed = 5) {
+  graphdb::WeightedGraphBuilder b(cliques * size);
+  Rng rng(seed);
+  for (int q = 0; q < cliques; ++q) {
+    for (int i = 0; i < size; ++i) {
+      for (int j = i + 1; j < size; ++j) {
+        (void)b.AddEdge(q * size + i, q * size + j,
+                        0.5 + rng.NextDouble());
+      }
+    }
+    (void)b.AddEdge(q * size, ((q + 1) % cliques) * size + 1, 0.5);
+  }
+  return b.Build();
+}
+
+void BM_Louvain(benchmark::State& state) {
+  auto g = CliqueRing(static_cast<int>(state.range(0)), 12);
+  for (auto _ : state) {
+    auto r = RunLouvain(g);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.node_count()));
+}
+BENCHMARK(BM_Louvain)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_LabelPropagation(benchmark::State& state) {
+  auto g = CliqueRing(static_cast<int>(state.range(0)), 12);
+  for (auto _ : state) {
+    auto r = RunLabelPropagation(g);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LabelPropagation)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_FastGreedy(benchmark::State& state) {
+  auto g = CliqueRing(static_cast<int>(state.range(0)), 12);
+  for (auto _ : state) {
+    auto r = RunFastGreedy(g);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FastGreedy)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_InfomapLite(benchmark::State& state) {
+  auto g = CliqueRing(static_cast<int>(state.range(0)), 12);
+  for (auto _ : state) {
+    auto r = RunInfomapLite(g);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_InfomapLite)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_Modularity(benchmark::State& state) {
+  auto g = CliqueRing(100, 12);
+  auto partition = RunLouvain(g).ValueOrDie().partition;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Modularity(g, partition));
+  }
+}
+BENCHMARK(BM_Modularity);
+
+}  // namespace
+}  // namespace bikegraph::community
+
+BENCHMARK_MAIN();

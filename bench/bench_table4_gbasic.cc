@@ -1,0 +1,48 @@
+// Reproduces Table IV (and the statistics behind Fig. 3) — Louvain
+// community detection on GBasic: per-community station split (old/new) and
+// trip flows (within/out/in), plus modularity and self-containment.
+
+#include "bench_common.h"
+
+using namespace bikegraph;
+using namespace bikegraph::bench;
+
+namespace {
+
+void PrintCommunityTable(const analysis::CommunityExperiment& exp,
+                         const char* name) {
+  viz::AsciiTable t({"ID", "Old", "New", "Total stations", "Within", "Out",
+                     "In", "Total trips"});
+  for (size_t c = 0; c < exp.stats.rows.size(); ++c) {
+    const auto& row = exp.stats.rows[c];
+    t.AddRow({std::to_string(c + 1), Fmt(row.old_stations),
+              Fmt(row.new_stations), Fmt(row.total_stations()),
+              Fmt(row.within), Fmt(row.out), Fmt(row.in),
+              Fmt(row.total_trips())});
+  }
+  std::printf("%s communities (ours):\n%s", name, t.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table IV / Fig. 3: GBasic community detection ===\n");
+  auto result = RunExperimentOrDie();
+  const auto& exp = result.gbasic;
+  const analysis::PaperExpectations paper;
+
+  viz::AsciiTable headline({"Measure", "Paper", "Ours"});
+  headline.AddRow({"communities", Fmt(paper.gbasic_communities),
+                   Fmt(exp.louvain.partition.CommunityCount())});
+  headline.AddRow({"modularity", Num(paper.gbasic_modularity),
+                   Num(exp.louvain.modularity)});
+  headline.AddRow({"self-contained trips", Pct(paper.gbasic_self_contained),
+                   Pct(exp.stats.SelfContainedFraction())});
+  std::fputs(headline.ToString().c_str(), stdout);
+  std::printf("\n");
+  PrintCommunityTable(exp, "GBasic");
+  std::printf(
+      "\nPaper context: London 75%% and Beijing 77%% of trips were "
+      "self-contained; the paper reports ~74%% for Moby.\n");
+  return 0;
+}

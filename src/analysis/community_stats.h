@@ -1,0 +1,69 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "community/partition.h"
+#include "expansion/final_network.h"
+
+namespace bikegraph::analysis {
+
+/// \brief Per-community rows in the shape of the paper's Tables IV-VI:
+/// station split (old = pre-existing / new = selected) and trip flows
+/// (within / out / in).
+struct CommunityTripStats {
+  struct Row {
+    size_t old_stations = 0;
+    size_t new_stations = 0;
+    int64_t within = 0;  ///< trips starting and ending in the community
+    int64_t out = 0;     ///< trips leaving to another community
+    int64_t in = 0;      ///< trips arriving from another community
+
+    size_t total_stations() const { return old_stations + new_stations; }
+    /// The paper's "Total" column: within + out + in.
+    int64_t total_trips() const { return within + out + in; }
+  };
+  std::vector<Row> rows;  ///< indexed by community label
+
+  /// Fraction of all trips that start and end in the same community (the
+  /// paper reports ~74% for GBasic, in line with London's 75% and
+  /// Beijing's 77%).
+  double SelfContainedFraction() const;
+  int64_t TotalTrips() const;  ///< Σ within + Σ out (= Σ within + Σ in)
+};
+
+/// \brief Computes Tables IV-VI style statistics for a partition of the
+/// final network's stations.
+Result<CommunityTripStats> ComputeCommunityTripStats(
+    const expansion::FinalNetwork& network,
+    const community::Partition& partition);
+
+/// \brief Share of each community's trips per day of week (rows sum to 1;
+/// paper Fig. 5). A trip is attributed to the community of its origin.
+Result<std::vector<std::array<double, 7>>> CommunityDayShares(
+    const expansion::FinalNetwork& network,
+    const community::Partition& partition);
+
+/// \brief Share of each community's trips per hour of day (rows sum to 1;
+/// paper Fig. 7).
+Result<std::vector<std::array<double, 24>>> CommunityHourShares(
+    const expansion::FinalNetwork& network,
+    const community::Partition& partition);
+
+/// \brief Classifies a day-share profile as weekday-commute-like (weekend
+/// trough), weekend-leisure-like (weekend peak) or flat — the qualitative
+/// split the paper draws from Fig. 5. The margin is the relative difference
+/// between the mean weekend and mean weekday share required to call a peak.
+enum class DayPattern { kWeekdayCommute, kWeekendLeisure, kFlat };
+DayPattern ClassifyDayPattern(const std::array<double, 7>& shares,
+                              double margin = 0.15);
+
+/// \brief Classifies an hour-share profile as commute-like (AM+PM rush
+/// peaks) or midday-leisure-like — the qualitative split of Fig. 7.
+enum class HourPattern { kCommute, kMiddayLeisure, kOther };
+HourPattern ClassifyHourPattern(const std::array<double, 24>& shares);
+
+}  // namespace bikegraph::analysis

@@ -1,0 +1,41 @@
+#include "analysis/experiment.h"
+
+namespace bikegraph::analysis {
+
+Result<CommunityExperiment> RunCommunityExperiment(
+    const expansion::FinalNetwork& network,
+    const TemporalGraphOptions& graph_options,
+    const community::LouvainOptions& louvain_options) {
+  CommunityExperiment exp;
+  exp.granularity = graph_options.granularity;
+  BIKEGRAPH_ASSIGN_OR_RETURN(exp.graph,
+                             BuildTemporalGraph(network.graph, graph_options));
+  BIKEGRAPH_ASSIGN_OR_RETURN(exp.louvain,
+                             community::RunLouvain(exp.graph, louvain_options));
+  BIKEGRAPH_ASSIGN_OR_RETURN(
+      exp.stats,
+      ComputeCommunityTripStats(network, exp.louvain.partition));
+  return exp;
+}
+
+Result<ExperimentResult> RunPaperExperiment(const ExperimentConfig& config) {
+  ExperimentResult result;
+  BIKEGRAPH_ASSIGN_OR_RETURN(data::Dataset raw,
+                             data::GenerateSyntheticMoby(config.synthetic));
+  BIKEGRAPH_ASSIGN_OR_RETURN(
+      result.pipeline,
+      expansion::RunExpansionPipeline(raw, config.pipeline));
+
+  const expansion::FinalNetwork& net = result.pipeline.final_network;
+  TemporalGraphOptions gbasic_options;  // kNull
+  BIKEGRAPH_ASSIGN_OR_RETURN(
+      result.gbasic,
+      RunCommunityExperiment(net, gbasic_options, config.louvain));
+  BIKEGRAPH_ASSIGN_OR_RETURN(
+      result.gday, RunCommunityExperiment(net, config.gday, config.louvain));
+  BIKEGRAPH_ASSIGN_OR_RETURN(
+      result.ghour, RunCommunityExperiment(net, config.ghour, config.louvain));
+  return result;
+}
+
+}  // namespace bikegraph::analysis

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file bikegraph.h
+/// \brief Umbrella header: the full public API of the BikeGraph library.
+///
+/// Downstream users can include this single header and link
+/// `bikegraph::bikegraph`. Individual module headers remain includable on
+/// their own for finer-grained dependencies.
+
+// Core substrate: error handling, RNG, time.
+#include "core/civil_time.h"
+#include "core/logging.h"
+#include "core/result.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "core/string_util.h"
+
+// Geospatial substrate.
+#include "geo/bbox.h"
+#include "geo/dublin.h"
+#include "geo/geojson.h"
+#include "geo/grid_index.h"
+#include "geo/haversine.h"
+#include "geo/latlon.h"
+#include "geo/polygon.h"
+
+// Data layer.
+#include "data/cleaning.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/records.h"
+#include "data/synthetic.h"
+
+// Graph store.
+#include "graphdb/property_graph.h"
+#include "graphdb/property_value.h"
+#include "graphdb/weighted_graph.h"
+
+// Clustering.
+#include "cluster/geo_cluster.h"
+#include "cluster/hac.h"
+
+// The paper's core contribution: expansion optimisation.
+#include "expansion/candidate.h"
+#include "expansion/final_network.h"
+#include "expansion/pipeline.h"
+#include "expansion/selection.h"
+
+// Community detection.
+#include "community/aggregate.h"
+#include "community/fast_greedy.h"
+#include "community/infomap.h"
+#include "community/label_propagation.h"
+#include "community/louvain.h"
+#include "community/modularity.h"
+#include "community/partition.h"
+
+// Network metrics.
+#include "metrics/centrality.h"
+#include "metrics/graph_stats.h"
+
+// Analysis & experiments.
+#include "analysis/community_stats.h"
+#include "analysis/experiment.h"
+#include "analysis/temporal_graph.h"
+
+// Visualisation.
+#include "viz/ascii_table.h"
+#include "viz/map_export.h"

@@ -1,0 +1,301 @@
+#include "cluster/hac.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "geo/grid_index.h"
+#include "geo/haversine.h"
+
+namespace bikegraph::cluster {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Union-find with path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int32_t>(i);
+  }
+  int32_t Find(int32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int32_t a, int32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int32_t> parent_;
+};
+
+}  // namespace
+
+std::vector<int32_t> Dendrogram::CutAt(double threshold) const {
+  const size_t n = point_count;
+  UnionFind uf(n + merges.size());
+  // `intact[c]` marks dendrogram clusters whose internal merges were all
+  // applied; a merge is applied only when both children are intact. This is
+  // robust even if the merge list is not distance-sorted.
+  std::vector<bool> intact(n + merges.size(), true);
+  for (size_t i = 0; i < merges.size(); ++i) {
+    const MergeStep& m = merges[i];
+    const size_t new_id = n + i;
+    if (m.distance <= threshold && intact[m.left] && intact[m.right]) {
+      uf.Union(m.left, static_cast<int32_t>(new_id));
+      uf.Union(m.right, static_cast<int32_t>(new_id));
+    } else {
+      intact[new_id] = false;
+    }
+  }
+  // Labels considering only point entries.
+  std::vector<int32_t> labels(n, -1);
+  std::unordered_map<int32_t, int32_t> remap;
+  for (size_t i = 0; i < n; ++i) {
+    int32_t root = uf.Find(static_cast<int32_t>(i));
+    auto [it, inserted] =
+        remap.emplace(root, static_cast<int32_t>(remap.size()));
+    labels[i] = it->second;
+    (void)inserted;
+  }
+  return labels;
+}
+
+Result<Dendrogram> DenseHac(const std::vector<double>& distances, size_t n,
+                            Linkage linkage) {
+  if (n == 0) return Status::InvalidArgument("empty input");
+  if (distances.size() != n * n) {
+    return Status::InvalidArgument("distance matrix size mismatch");
+  }
+  Dendrogram dendro;
+  dendro.point_count = n;
+  if (n == 1) return dendro;
+
+  // Working copy; slot i holds the current distance row of active cluster i.
+  std::vector<double> d(distances);
+  auto at = [&](size_t i, size_t j) -> double& { return d[i * n + j]; };
+
+  std::vector<bool> active(n, true);
+  std::vector<size_t> size(n, 1);
+  std::vector<int32_t> dendro_id(n);  // slot -> dendrogram cluster id
+  for (size_t i = 0; i < n; ++i) dendro_id[i] = static_cast<int32_t>(i);
+
+  // Nearest-neighbour candidate list per active slot.
+  std::vector<size_t> nn(n, SIZE_MAX);
+  std::vector<double> nn_dist(n, kInf);
+  auto recompute_nn = [&](size_t i) {
+    nn[i] = SIZE_MAX;
+    nn_dist[i] = kInf;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i || !active[j]) continue;
+      double dij = at(i, j);
+      if (dij < nn_dist[i] || (dij == nn_dist[i] && j < nn[i])) {
+        nn_dist[i] = dij;
+        nn[i] = j;
+      }
+    }
+  };
+  for (size_t i = 0; i < n; ++i) recompute_nn(i);
+
+  for (size_t merge_round = 0; merge_round + 1 < n; ++merge_round) {
+    // Global minimum over candidate list.
+    size_t best = SIZE_MAX;
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i] || nn[i] == SIZE_MAX) continue;
+      if (best == SIZE_MAX || nn_dist[i] < nn_dist[best] ||
+          (nn_dist[i] == nn_dist[best] && i < best)) {
+        best = i;
+      }
+    }
+    if (best == SIZE_MAX) break;  // disconnected (infinite distances)
+    size_t a = best;
+    size_t b = nn[best];
+    if (a > b) std::swap(a, b);
+    const double merge_dist = at(a, b);
+    if (!std::isfinite(merge_dist)) break;
+
+    dendro.merges.push_back(
+        MergeStep{dendro_id[a], dendro_id[b], merge_dist});
+    const int32_t new_id =
+        static_cast<int32_t>(n + dendro.merges.size() - 1);
+
+    // Lance–Williams update into slot a; deactivate slot b.
+    for (size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == a || k == b) continue;
+      double dak = at(a, k), dbk = at(b, k);
+      double dnew = kInf;
+      switch (linkage) {
+        case Linkage::kSingle:
+          dnew = std::min(dak, dbk);
+          break;
+        case Linkage::kComplete:
+          dnew = std::max(dak, dbk);
+          break;
+        case Linkage::kAverage:
+          dnew = (static_cast<double>(size[a]) * dak +
+                  static_cast<double>(size[b]) * dbk) /
+                 static_cast<double>(size[a] + size[b]);
+          break;
+      }
+      at(a, k) = dnew;
+      at(k, a) = dnew;
+    }
+    active[b] = false;
+    size[a] += size[b];
+    dendro_id[a] = new_id;
+
+    // Refresh candidate lists touching a or b.
+    recompute_nn(a);
+    for (size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == a) continue;
+      if (nn[k] == a || nn[k] == b) {
+        recompute_nn(k);
+      } else if (at(k, a) < nn_dist[k]) {
+        nn[k] = a;
+        nn_dist[k] = at(k, a);
+      }
+    }
+  }
+  return dendro;
+}
+
+Result<Dendrogram> DenseHacGeo(const std::vector<geo::LatLon>& points,
+                               Linkage linkage) {
+  const size_t n = points.size();
+  if (n == 0) return Status::InvalidArgument("empty input");
+  std::vector<double> d(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double dist = geo::HaversineMeters(points[i], points[j]);
+      d[i * n + j] = dist;
+      d[j * n + i] = dist;
+    }
+  }
+  return DenseHac(d, n, linkage);
+}
+
+Result<std::vector<int32_t>> ThresholdCompleteLinkage(
+    const std::vector<geo::LatLon>& points, double threshold_m) {
+  const size_t n = points.size();
+  if (threshold_m < 0.0) {
+    return Status::InvalidArgument("threshold must be >= 0");
+  }
+  if (n == 0) return std::vector<int32_t>{};
+
+  // Sparse candidate pairs from the grid: only pairs within threshold can
+  // ever merge under complete linkage.
+  geo::GridIndex grid(std::max(threshold_m, 1.0));
+  for (size_t i = 0; i < n; ++i) {
+    if (!points[i].IsValid()) {
+      return Status::InvalidArgument("invalid coordinate at index " +
+                                     std::to_string(i));
+    }
+    grid.Add(static_cast<int64_t>(i), points[i]);
+  }
+
+  // Cluster slots: 0..n-1 are points; merged clusters append new slots.
+  // A heap entry (a, b) is valid iff both slots are still active: the
+  // complete-linkage distance between two clusters never changes while both
+  // survive, so no version counters are needed.
+  std::vector<std::unordered_map<int32_t, double>> nbrs(n);
+  std::vector<bool> active(n, true);
+
+  struct HeapEntry {
+    double dist;
+    int32_t a, b;
+    bool operator>(const HeapEntry& o) const {
+      if (dist != o.dist) return dist > o.dist;
+      if (a != o.a) return a > o.a;
+      return b > o.b;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+
+  for (size_t i = 0; i < n; ++i) {
+    for (int64_t j : grid.WithinRadius(points[i], threshold_m)) {
+      if (j <= static_cast<int64_t>(i)) continue;
+      double dist = geo::HaversineMeters(points[i], points[j]);
+      if (dist > threshold_m) continue;
+      nbrs[i].emplace(static_cast<int32_t>(j), dist);
+      nbrs[j].emplace(static_cast<int32_t>(i), dist);
+      heap.push(
+          HeapEntry{dist, static_cast<int32_t>(i), static_cast<int32_t>(j)});
+    }
+  }
+
+  // Union-find over slots; point labels read off at the end.
+  std::vector<int32_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int32_t>(i);
+  std::function<int32_t(int32_t)> find = [&](int32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.a >= static_cast<int32_t>(active.size()) ||
+        top.b >= static_cast<int32_t>(active.size())) {
+      continue;
+    }
+    if (!active[top.a] || !active[top.b]) continue;
+
+    // Merge slots a and b into new slot c.
+    const int32_t a = top.a, b = top.b;
+    const int32_t c = static_cast<int32_t>(nbrs.size());
+    active[a] = active[b] = false;
+    parent.push_back(c);
+    active.push_back(true);
+    parent[find(a)] = c;
+    parent[find(b)] = c;
+
+    // Complete linkage: d(c,k) = max(d(a,k), d(b,k)); k must be a
+    // within-threshold neighbour of BOTH a and b, otherwise d(c,k) exceeds
+    // the threshold and the pair is dropped forever.
+    std::unordered_map<int32_t, double> merged;
+    const auto& small = nbrs[a].size() <= nbrs[b].size() ? nbrs[a] : nbrs[b];
+    const auto& large = nbrs[a].size() <= nbrs[b].size() ? nbrs[b] : nbrs[a];
+    for (const auto& [k, dk] : small) {
+      if (k == a || k == b) continue;
+      if (!active[k]) continue;
+      auto it = large.find(k);
+      if (it == large.end()) continue;
+      double dck = std::max(dk, it->second);
+      if (dck > threshold_m) continue;
+      merged.emplace(k, dck);
+    }
+    nbrs.push_back(std::move(merged));
+    // Update the surviving neighbours' maps and push fresh heap entries.
+    for (const auto& [k, dck] : nbrs[c]) {
+      nbrs[k].erase(a);
+      nbrs[k].erase(b);
+      nbrs[k].emplace(c, dck);
+      heap.push(HeapEntry{dck, std::min(c, k), std::max(c, k)});
+    }
+    nbrs[a].clear();
+    nbrs[b].clear();
+  }
+
+  // Dense labels for the points.
+  std::vector<int32_t> labels(n, -1);
+  std::unordered_map<int32_t, int32_t> remap;
+  for (size_t i = 0; i < n; ++i) {
+    int32_t root = find(static_cast<int32_t>(i));
+    auto [it, inserted] =
+        remap.emplace(root, static_cast<int32_t>(remap.size()));
+    labels[i] = it->second;
+    (void)inserted;
+  }
+  return labels;
+}
+
+}  // namespace bikegraph::cluster

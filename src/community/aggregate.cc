@@ -1,0 +1,32 @@
+#include "community/aggregate.h"
+
+namespace bikegraph::community {
+
+graphdb::WeightedGraph AggregateByPartition(
+    const graphdb::WeightedGraph& graph, const Partition& partition) {
+  const size_t k = partition.CommunityCount();
+  graphdb::WeightedGraphBuilder builder(k);
+  for (size_t u = 0; u < graph.node_count(); ++u) {
+    const int32_t cu = partition.assignment[u];
+    const double self = graph.self_weight(static_cast<int32_t>(u));
+    if (self > 0.0) {
+      (void)builder.AddEdge(cu, cu, self);
+    }
+    for (const auto& nb : graph.neighbors(static_cast<int32_t>(u))) {
+      if (nb.node < static_cast<int32_t>(u)) continue;  // each pair once
+      (void)builder.AddEdge(cu, partition.assignment[nb.node], nb.weight);
+    }
+  }
+  return builder.Build();
+}
+
+Partition ComposePartitions(const Partition& fine, const Partition& coarse) {
+  Partition out;
+  out.assignment.resize(fine.assignment.size());
+  for (size_t u = 0; u < fine.assignment.size(); ++u) {
+    out.assignment[u] = coarse.assignment[fine.assignment[u]];
+  }
+  return out;
+}
+
+}  // namespace bikegraph::community

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "community/partition.h"
+#include "graphdb/weighted_graph.h"
+
+namespace bikegraph::community {
+
+/// \brief Coarsens `graph` by `partition`: each community becomes a
+/// supernode; inter-community weights are summed onto single edges and
+/// intra-community weight (including member self-loops) becomes the
+/// supernode's self-loop. Total weight is preserved exactly.
+///
+/// Requires dense labels (call Partition::Renumber() first).
+graphdb::WeightedGraph AggregateByPartition(const graphdb::WeightedGraph& graph,
+                                            const Partition& partition);
+
+/// \brief Composes two levels of assignment: node -> fine community ->
+/// coarse community.
+Partition ComposePartitions(const Partition& fine, const Partition& coarse);
+
+}  // namespace bikegraph::community

@@ -1,0 +1,113 @@
+#include "community/fast_greedy.h"
+
+#include <queue>
+#include <unordered_map>
+
+#include "community/modularity.h"
+
+namespace bikegraph::community {
+
+Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph) {
+  FastGreedyResult result;
+  const size_t n = graph.node_count();
+  result.partition = Partition::Singletons(n);
+  if (n == 0) return result;
+  const double m = graph.total_weight();
+  if (m <= 0.0) {
+    result.modularity = 0.0;
+    return result;
+  }
+  const double two_m = 2.0 * m;
+
+  // Community slots: 0..n-1 singletons; merges append. e_ij = w_ij / 2m
+  // between distinct communities; a_i = strength_i / 2m.
+  std::vector<std::unordered_map<int32_t, double>> e(n);
+  std::vector<double> a(n);
+  std::vector<bool> active(n, true);
+  for (size_t u = 0; u < n; ++u) {
+    a[u] = graph.strength(static_cast<int32_t>(u)) / two_m;
+    for (const auto& nb : graph.neighbors(static_cast<int32_t>(u))) {
+      e[u][nb.node] = nb.weight / two_m;
+    }
+  }
+
+  struct Candidate {
+    double gain;
+    int32_t a, b;
+    bool operator<(const Candidate& o) const {
+      if (gain != o.gain) return gain < o.gain;  // max-heap by gain
+      if (a != o.a) return a > o.a;
+      return b > o.b;
+    }
+  };
+  std::priority_queue<Candidate> heap;
+  auto delta_q = [&](int32_t i, int32_t j, double eij) {
+    return 2.0 * (eij - a[i] * a[j]);
+  };
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& [v, euv] : e[u]) {
+      if (v <= static_cast<int32_t>(u)) continue;
+      heap.push(Candidate{delta_q(static_cast<int32_t>(u), v, euv),
+                          static_cast<int32_t>(u), v});
+    }
+  }
+
+  // Union-find over slots.
+  std::vector<int32_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int32_t>(i);
+  auto find = [&](int32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  while (!heap.empty()) {
+    Candidate top = heap.top();
+    heap.pop();
+    if (!active[top.a] || !active[top.b]) continue;
+    // Gains of surviving pairs never change (e_ij and a_i are only touched
+    // by merges that deactivate a slot), so an entry is fresh iff both
+    // slots are active.
+    if (top.gain <= 0.0) break;
+
+    const int32_t i = top.a, j = top.b;
+    const int32_t c = static_cast<int32_t>(e.size());
+    active[i] = active[j] = false;
+    active.push_back(true);
+    parent.push_back(c);
+    parent[find(i)] = c;
+    parent[find(j)] = c;
+    ++result.merges;
+
+    std::unordered_map<int32_t, double> merged;
+    for (const auto& src : {i, j}) {
+      for (const auto& [k, eik] : e[src]) {
+        if (k == i || k == j) continue;
+        if (!active[k]) continue;
+        merged[k] += eik;
+      }
+    }
+    a.push_back(a[i] + a[j]);
+    e.push_back(std::move(merged));
+    for (const auto& [k, eck] : e[c]) {
+      e[k].erase(i);
+      e[k].erase(j);
+      e[k][c] = eck;
+      heap.push(Candidate{delta_q(std::min(c, k), std::max(c, k), eck),
+                          std::min(c, k), std::max(c, k)});
+    }
+    e[i].clear();
+    e[j].clear();
+  }
+
+  // Labels for original nodes.
+  std::vector<int32_t>& labels = result.partition.assignment;
+  for (size_t u = 0; u < n; ++u) labels[u] = find(static_cast<int32_t>(u));
+  result.partition.Renumber();
+  result.modularity = Modularity(graph, result.partition);
+  return result;
+}
+
+}  // namespace bikegraph::community

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "core/result.h"
+#include "community/partition.h"
+#include "graphdb/weighted_graph.h"
+
+namespace bikegraph::community {
+
+/// \brief Result of a fast-greedy (CNM) run.
+struct FastGreedyResult {
+  Partition partition;
+  double modularity = 0.0;
+  size_t merges = 0;  ///< number of community merges performed
+};
+
+/// \brief Clauset–Newman–Moore greedy modularity agglomeration — the
+/// "fast greedy algorithm" used by Zhou's Chicago BSS study the paper
+/// builds on (§II).
+///
+/// Starts from singleton communities and repeatedly merges the pair of
+/// connected communities with the largest modularity gain
+/// ΔQ(i,j) = 2·(e_ij − a_i·a_j), stopping when no merge has positive gain.
+/// Weighted edges and self-loops are supported; complexity is
+/// O(E log E) via a lazy min-heap over candidate merges.
+Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph);
+
+}  // namespace bikegraph::community

@@ -1,0 +1,61 @@
+#include "community/label_propagation.h"
+
+#include <unordered_map>
+
+#include "core/rng.h"
+
+namespace bikegraph::community {
+
+Result<LabelPropagationResult> RunLabelPropagation(
+    const graphdb::WeightedGraph& graph,
+    const LabelPropagationOptions& options) {
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  LabelPropagationResult result;
+  const size_t n = graph.node_count();
+  result.partition = Partition::Singletons(n);
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  Rng rng(options.seed);
+  std::vector<int32_t>& labels = result.partition.assignment;
+  std::vector<int32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int32_t>(i);
+
+  std::unordered_map<int32_t, double> votes;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    rng.Shuffle(&order);
+    bool changed = false;
+    for (int32_t u : order) {
+      auto nbs = graph.neighbors(u);
+      if (nbs.empty()) continue;
+      votes.clear();
+      for (const auto& nb : nbs) votes[labels[nb.node]] += nb.weight;
+      int32_t best = labels[u];
+      double best_w = -1.0;
+      for (const auto& [label, w] : votes) {
+        if (w > best_w + 1e-12 ||
+            (w > best_w - 1e-12 && label < best)) {
+          best_w = w;
+          best = label;
+        }
+      }
+      if (best != labels[u]) {
+        labels[u] = best;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.partition.Renumber();
+  return result;
+}
+
+}  // namespace bikegraph::community

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/result.h"
+#include "community/partition.h"
+#include "graphdb/weighted_graph.h"
+
+namespace bikegraph::community {
+
+/// \brief Options for asynchronous Label Propagation (Raghavan et al. 2007),
+/// one of the comparison algorithms the paper recommends as future work.
+struct LabelPropagationOptions {
+  uint64_t seed = 1;
+  /// Maximum full passes over the node set.
+  int max_iterations = 100;
+};
+
+/// \brief Result of a label-propagation run.
+struct LabelPropagationResult {
+  Partition partition;
+  int iterations = 0;   ///< passes actually performed
+  bool converged = false;
+};
+
+/// \brief Asynchronous weighted label propagation: each node repeatedly
+/// adopts the label with the largest summed incident edge weight among its
+/// neighbours (ties broken by smaller label; visit order shuffled by seed).
+/// Terminates when a full pass changes no label.
+Result<LabelPropagationResult> RunLabelPropagation(
+    const graphdb::WeightedGraph& graph,
+    const LabelPropagationOptions& options = {});
+
+}  // namespace bikegraph::community

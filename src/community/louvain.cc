@@ -1,0 +1,137 @@
+#include "community/louvain.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/rng.h"
+#include "community/aggregate.h"
+#include "community/modularity.h"
+
+namespace bikegraph::community {
+
+namespace {
+
+using graphdb::WeightedGraph;
+using graphdb::WeightedGraphBuilder;
+
+/// One local-moving phase. Returns the (renumbered) partition and whether
+/// any node moved.
+struct LocalMoveOutcome {
+  Partition partition;
+  bool improved = false;
+};
+
+LocalMoveOutcome LocalMoving(const WeightedGraph& g,
+                             const LouvainOptions& options, Rng* rng) {
+  const size_t n = g.node_count();
+  const double m = g.total_weight();
+  LocalMoveOutcome out;
+  out.partition = Partition::Singletons(n);
+  if (n == 0 || m <= 0.0) return out;
+
+  std::vector<int32_t>& comm = out.partition.assignment;
+  // Σ_tot per community (summed strengths).
+  std::vector<double> sigma_tot(n);
+  for (size_t u = 0; u < n; ++u) {
+    sigma_tot[u] = g.strength(static_cast<int32_t>(u));
+  }
+
+  std::vector<int32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int32_t>(i);
+  rng->Shuffle(&order);
+
+  // Scratch: weight from the current node to each neighbouring community.
+  std::unordered_map<int32_t, double> w_to_comm;
+  const double two_m = 2.0 * m;
+
+  bool any_move_ever = false;
+  for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    bool moved_this_sweep = false;
+    for (int32_t u : order) {
+      const int32_t cu = comm[u];
+      const double k_u = g.strength(u);
+
+      w_to_comm.clear();
+      w_to_comm[cu];  // ensure current community is a candidate
+      for (const auto& nb : g.neighbors(u)) {
+        w_to_comm[comm[nb.node]] += nb.weight;
+      }
+
+      // Remove u from its community.
+      sigma_tot[cu] -= k_u;
+
+      // Gain of joining community c:
+      //   ΔQ ∝ w(u→c) − γ · k_u · Σ_tot(c) / 2m
+      // (constant terms w.r.t. the choice of c are dropped).
+      int32_t best_comm = cu;
+      double best_gain = w_to_comm[cu] -
+                         options.resolution * k_u * sigma_tot[cu] / two_m;
+      // Strictly-better gain wins; near-ties break to the smaller label for
+      // determinism across platforms.
+      for (const auto& [c, w_uc] : w_to_comm) {
+        if (c == cu) continue;
+        double gain =
+            w_uc - options.resolution * k_u * sigma_tot[c] / two_m;
+        const bool better = gain > best_gain + 1e-12;
+        const bool tie = std::abs(gain - best_gain) <= 1e-12 && c < best_comm;
+        if (better || tie) {
+          if (gain > best_gain) best_gain = gain;
+          best_comm = c;
+        }
+      }
+
+      sigma_tot[best_comm] += k_u;
+      if (best_comm != cu) {
+        comm[u] = best_comm;
+        moved_this_sweep = true;
+        any_move_ever = true;
+      }
+    }
+    if (!moved_this_sweep) break;
+  }
+  out.partition.Renumber();
+  out.improved = any_move_ever;
+  return out;
+}
+
+}  // namespace
+
+Result<LouvainResult> RunLouvain(const graphdb::WeightedGraph& graph,
+                                 const LouvainOptions& options) {
+  if (options.resolution <= 0.0) {
+    return Status::InvalidArgument("resolution must be positive");
+  }
+  LouvainResult result;
+  const size_t n = graph.node_count();
+  result.partition = Partition::Singletons(n);
+  if (n == 0) return result;
+
+  Rng rng(options.seed);
+  WeightedGraph level_graph = graph;  // copy; levels shrink quickly
+  Partition cumulative = Partition::Singletons(n);
+  double best_q = Modularity(graph, cumulative, options.resolution);
+
+  for (int level = 0; level < options.max_levels; ++level) {
+    LocalMoveOutcome outcome = LocalMoving(level_graph, options, &rng);
+    if (!outcome.improved) break;
+    Partition candidate = ComposePartitions(cumulative, outcome.partition);
+    candidate.Renumber();
+    const double q = Modularity(graph, candidate, options.resolution);
+    if (q <= best_q + options.min_gain) break;
+    best_q = q;
+    cumulative = candidate;
+    result.level_partitions.push_back(candidate);
+    ++result.levels;
+    if (outcome.partition.CommunityCount() == level_graph.node_count()) {
+      break;  // no aggregation possible
+    }
+    level_graph = AggregateByPartition(level_graph, outcome.partition);
+  }
+
+  result.partition = cumulative;
+  result.partition.Renumber();
+  result.modularity = Modularity(graph, result.partition, options.resolution);
+  return result;
+}
+
+}  // namespace bikegraph::community

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+#include "community/partition.h"
+#include "graphdb/weighted_graph.h"
+
+namespace bikegraph::community {
+
+/// \brief Options for the Louvain algorithm.
+struct LouvainOptions {
+  /// Seed for the node-visit shuffling in the local-moving phase. Louvain
+  /// output can depend on visit order; fixing the seed makes runs
+  /// reproducible (the paper's experiments rely on one such run).
+  uint64_t seed = 1;
+  /// Resolution γ of the modularity objective (1 = paper setting).
+  double resolution = 1.0;
+  /// Safety caps; defaults are far above practical convergence.
+  int max_levels = 64;
+  int max_sweeps_per_level = 128;
+  /// Minimum total modularity gain for a level to count as an improvement.
+  double min_gain = 1e-9;
+};
+
+/// \brief Result of a Louvain run.
+struct LouvainResult {
+  /// Final partition over the input graph's nodes (dense labels).
+  Partition partition;
+  /// Modularity of `partition` on the input graph.
+  double modularity = 0.0;
+  /// Number of aggregation levels performed (hierarchy depth).
+  int levels = 0;
+  /// Partition of the input nodes at each level, coarsest last
+  /// (`level_partitions.back()` equals `partition`).
+  std::vector<Partition> level_partitions;
+};
+
+/// \brief Multi-level Louvain community detection (Blondel et al. 2008) —
+/// the algorithm the paper runs via the Neo4j GDS library.
+///
+/// Phase 1 (local moving) repeatedly moves nodes to the neighbouring
+/// community with the largest positive modularity gain; phase 2 aggregates
+/// communities into supernodes (intra-community weight becomes a self-loop)
+/// and recurses. Weighted edges and self-loops are handled throughout.
+Result<LouvainResult> RunLouvain(const graphdb::WeightedGraph& graph,
+                                 const LouvainOptions& options = {});
+
+}  // namespace bikegraph::community

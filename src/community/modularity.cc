@@ -1,0 +1,36 @@
+#include "community/modularity.h"
+
+namespace bikegraph::community {
+
+double Modularity(const graphdb::WeightedGraph& graph,
+                  const Partition& partition, double resolution) {
+  const size_t n = graph.node_count();
+  if (n == 0 || partition.assignment.size() != n) return 0.0;
+  const double m = graph.total_weight();
+  if (m <= 0.0) return 0.0;
+
+  const size_t k = partition.CommunityCount();
+  std::vector<double> sigma_in(k, 0.0);   // 2 * internal weight
+  std::vector<double> sigma_tot(k, 0.0);  // summed strength
+
+  for (size_t u = 0; u < n; ++u) {
+    const int32_t cu = partition.assignment[u];
+    sigma_tot[cu] += graph.strength(static_cast<int32_t>(u));
+    sigma_in[cu] += 2.0 * graph.self_weight(static_cast<int32_t>(u));
+    for (const auto& nb : graph.neighbors(static_cast<int32_t>(u))) {
+      if (partition.assignment[nb.node] == cu) {
+        sigma_in[cu] += nb.weight;  // each internal edge visited from both ends
+      }
+    }
+  }
+
+  double q = 0.0;
+  const double two_m = 2.0 * m;
+  for (size_t c = 0; c < k; ++c) {
+    q += sigma_in[c] / two_m -
+         resolution * (sigma_tot[c] / two_m) * (sigma_tot[c] / two_m);
+  }
+  return q;
+}
+
+}  // namespace bikegraph::community

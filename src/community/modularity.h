@@ -1,0 +1,22 @@
+#pragma once
+
+#include "community/partition.h"
+#include "graphdb/weighted_graph.h"
+
+namespace bikegraph::community {
+
+/// \brief Newman weighted modularity of a partition (paper eq. 2):
+///
+///   Q = Σ_c [ Σ_in(c) / 2m − (Σ_tot(c) / 2m)² ]
+///
+/// where m is the graph's total edge weight, Σ_in(c) the total weight of
+/// intra-community edge endpoints (each internal edge counted twice, self
+/// loops twice) and Σ_tot(c) the summed strength of the community's nodes.
+/// Q ∈ [−1, 1]; positive values indicate community structure.
+///
+/// `resolution` is the standard γ multiplier on the null-model term
+/// (γ = 1 is the paper's setting).
+double Modularity(const graphdb::WeightedGraph& graph,
+                  const Partition& partition, double resolution = 1.0);
+
+}  // namespace bikegraph::community

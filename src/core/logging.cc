@@ -1,0 +1,39 @@
+#include "core/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace bikegraph {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel Logger::GetLevel() { return g_level.load(); }
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace bikegraph

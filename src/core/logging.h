@@ -1,0 +1,50 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bikegraph {
+
+/// \brief Severity levels for the library logger, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Minimal leveled logger used by the library.
+///
+/// The logger writes to stderr with a `[LEVEL] message` prefix. The global
+/// threshold defaults to `kWarning` so that library internals stay quiet in
+/// tests and benchmarks; examples raise it to `kInfo`.
+class Logger {
+ public:
+  /// Sets the global minimum level that will be emitted.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Emits `message` at `level` if it passes the threshold.
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Stream-style log statement collector; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define BIKEGRAPH_LOG(level) \
+  ::bikegraph::internal::LogMessage(::bikegraph::LogLevel::k##level)
+
+}  // namespace bikegraph

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace bikegraph {
+
+/// \brief Machine-readable error category carried by a Status.
+///
+/// The set mirrors the error taxonomy used throughout the library:
+/// `kInvalidArgument` for caller mistakes, `kNotFound` for missing
+/// keys/ids/files, `kOutOfRange` for index/coordinate violations,
+/// `kFailedPrecondition` for calls made in the wrong state, `kDataLoss` for
+/// malformed external input (e.g. a corrupt CSV row), and `kInternal` for
+/// invariant violations that indicate a library bug.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kDataLoss = 6,
+  kIOError = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail, without a payload.
+///
+/// Follows the Arrow/RocksDB idiom: functions that can fail return a
+/// `Status` (or `Result<T>`, see result.h) instead of throwing. A `Status`
+/// is cheap to copy in the OK case (no allocation) and carries a code plus a
+/// context message otherwise.
+///
+/// Typical use:
+/// \code
+///   Status s = dataset.Validate();
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller. Usable in any function
+/// returning `Status` or `Result<T>` (Result converts from Status).
+#define BIKEGRAPH_RETURN_NOT_OK(expr)              \
+  do {                                             \
+    ::bikegraph::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace bikegraph

@@ -1,0 +1,113 @@
+#include "data/cleaning.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "core/string_util.h"
+
+namespace bikegraph::data {
+
+std::string CleaningReport::ToString() const {
+  std::ostringstream os;
+  os << "Cleaning report\n";
+  os << "  before: " << before.station_count << " stations, "
+     << FormatWithCommas(static_cast<int64_t>(before.rental_count))
+     << " rentals, "
+     << FormatWithCommas(static_cast<int64_t>(before.location_count))
+     << " locations\n";
+  os << "  after:  " << after.station_count << " stations, "
+     << FormatWithCommas(static_cast<int64_t>(after.rental_count))
+     << " rentals, "
+     << FormatWithCommas(static_cast<int64_t>(after.location_count))
+     << " locations\n";
+  os << "  rule 1 (outside study area): " << locations_outside_area
+     << " locations\n";
+  os << "  rule 2 (not on land):        " << locations_in_water
+     << " locations\n";
+  os << "  rule 3 (missing coords):     " << locations_missing_coords
+     << " locations\n";
+  os << "  rules 1-3 rental cascade:    " << rentals_at_bad_locations
+     << " rentals\n";
+  os << "  rule 4 (missing FK):         " << rentals_missing_ids
+     << " rentals\n";
+  os << "  rule 5 (dangling FK):        " << rentals_dangling_ids
+     << " rentals\n";
+  os << "  rule 6 (unreferenced):       " << locations_unreferenced
+     << " locations\n";
+  os << "  stations removed:            " << stations_removed << "\n";
+  return os.str();
+}
+
+Result<CleaningResult> CleanDataset(const Dataset& input,
+                                    const geo::Region& land) {
+  CleaningResult result;
+  CleaningReport& report = result.report;
+  report.before = input.Summarize();
+
+  // Rules 1-3: classify every location.
+  std::unordered_set<int64_t> bad_locations;
+  size_t stations_before = 0;
+  for (const auto& loc : input.locations()) {
+    if (loc.is_station) ++stations_before;
+    if (!loc.has_coordinates()) {
+      ++report.locations_missing_coords;
+      bad_locations.insert(loc.id);
+    } else if (!land.boundary().Contains(loc.position)) {
+      ++report.locations_outside_area;
+      bad_locations.insert(loc.id);
+    } else if (!land.Contains(loc.position)) {
+      ++report.locations_in_water;
+      bad_locations.insert(loc.id);
+    }
+  }
+
+  // Rentals: cascade of rules 1-3, then rules 4-5.
+  std::vector<RentalRecord> kept_rentals;
+  kept_rentals.reserve(input.rentals().size());
+  for (const auto& r : input.rentals()) {
+    if (!r.has_location_ids()) {
+      ++report.rentals_missing_ids;  // rule 4
+      continue;
+    }
+    if (!input.HasLocation(r.rental_location_id) ||
+        !input.HasLocation(r.return_location_id)) {
+      ++report.rentals_dangling_ids;  // rule 5
+      continue;
+    }
+    if (bad_locations.count(r.rental_location_id) > 0 ||
+        bad_locations.count(r.return_location_id) > 0) {
+      ++report.rentals_at_bad_locations;  // rules 1-3 cascade
+      continue;
+    }
+    kept_rentals.push_back(r);
+  }
+
+  // Rule 6: locations must be referenced by at least one surviving rental.
+  std::unordered_set<int64_t> referenced;
+  referenced.reserve(kept_rentals.size() * 2);
+  for (const auto& r : kept_rentals) {
+    referenced.insert(r.rental_location_id);
+    referenced.insert(r.return_location_id);
+  }
+  std::vector<LocationRecord> kept_locations;
+  kept_locations.reserve(input.locations().size());
+  size_t stations_after = 0;
+  for (const auto& loc : input.locations()) {
+    if (bad_locations.count(loc.id) > 0) continue;
+    if (referenced.count(loc.id) == 0) {
+      ++report.locations_unreferenced;
+      continue;
+    }
+    if (loc.is_station) ++stations_after;
+    kept_locations.push_back(loc);
+  }
+  report.stations_removed = stations_before - stations_after;
+
+  result.dataset =
+      Dataset(std::move(kept_locations), std::move(kept_rentals));
+  report.after = result.dataset.Summarize();
+  BIKEGRAPH_RETURN_NOT_OK(result.dataset.Validate());
+  return result;
+}
+
+}  // namespace bikegraph::data

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+
+#include "core/result.h"
+#include "data/dataset.h"
+#include "geo/polygon.h"
+
+namespace bikegraph::data {
+
+/// \brief Per-rule drop counters produced by the cleaning pipeline.
+///
+/// The six rules are exactly the paper's Section III list:
+///  1. locations outside Dublin, and rentals that start or end at them;
+///  2. locations not on land, and associated rentals;
+///  3. locations missing latitude or longitude, and associated rentals;
+///  4. rentals missing a Rental Location ID or Return Location ID;
+///  5. rentals whose Rental/Return Location ID is not in the Location table;
+///  6. location rows never referenced by any (surviving) rental.
+struct CleaningReport {
+  DatasetSummary before;
+  DatasetSummary after;
+
+  size_t locations_outside_area = 0;   // rule 1
+  size_t locations_in_water = 0;       // rule 2
+  size_t locations_missing_coords = 0; // rule 3
+  size_t rentals_at_bad_locations = 0; // rules 1-3 cascade
+  size_t rentals_missing_ids = 0;      // rule 4
+  size_t rentals_dangling_ids = 0;     // rule 5
+  size_t locations_unreferenced = 0;   // rule 6
+  size_t stations_removed = 0;
+
+  size_t TotalRentalsDropped() const {
+    return rentals_at_bad_locations + rentals_missing_ids +
+           rentals_dangling_ids;
+  }
+  size_t TotalLocationsDropped() const {
+    return locations_outside_area + locations_in_water +
+           locations_missing_coords + locations_unreferenced;
+  }
+
+  /// Renders the report as a small human-readable table (Table I shape plus
+  /// the per-rule breakdown).
+  std::string ToString() const;
+};
+
+/// \brief Output bundle of the cleaning pipeline.
+struct CleaningResult {
+  Dataset dataset;  ///< the cleaned dataset (valid per Dataset::Validate)
+  CleaningReport report;
+};
+
+/// \brief Executes the paper's six-rule cleaning pipeline against `input`,
+/// using `land` as the study-area/land model (see geo::DublinLand()).
+///
+/// The pipeline is order-dependent in the same way as the paper: spatial
+/// rules first (1–3) with their rental cascades, then rental referential
+/// rules (4–5), then the unreferenced-location sweep (6). The input dataset
+/// is not modified.
+Result<CleaningResult> CleanDataset(const Dataset& input,
+                                    const geo::Region& land);
+
+}  // namespace bikegraph::data

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "core/status.h"
+
+namespace bikegraph::data {
+
+/// \brief A parsed CSV table: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// \brief RFC-4180-style CSV parsing (quoted fields, embedded commas,
+/// doubled quotes, CRLF tolerance).
+///
+/// The Moby data arrives as two SQL-exported tables (Rental, Location);
+/// this reader is the ingestion path for them and for any user-supplied
+/// dataset in the same schema.
+class CsvReader {
+ public:
+  /// Parses an in-memory CSV document. The first row is the header.
+  /// Rows whose field count differs from the header are a kDataLoss error.
+  static Result<CsvTable> ParseString(const std::string& text);
+
+  /// Reads and parses a CSV file.
+  static Result<CsvTable> ReadFile(const std::string& path);
+};
+
+/// \brief CSV writer with minimal quoting (fields containing a comma,
+/// quote, or newline are quoted).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends one row; must match the header width.
+  Status AddRow(std::vector<std::string> row);
+
+  /// Serialises header + rows.
+  std::string ToString() const;
+
+  /// Writes to a file.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bikegraph::data

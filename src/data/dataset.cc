@@ -1,0 +1,201 @@
+#include "data/dataset.h"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "core/string_util.h"
+#include "data/csv.h"
+
+namespace bikegraph::data {
+
+Dataset::Dataset(std::vector<LocationRecord> locations,
+                 std::vector<RentalRecord> rentals)
+    : locations_(std::move(locations)), rentals_(std::move(rentals)) {
+  RebuildIndex();
+}
+
+void Dataset::RebuildIndex() {
+  location_index_.clear();
+  location_index_.reserve(locations_.size());
+  for (size_t i = 0; i < locations_.size(); ++i) {
+    location_index_.emplace(locations_[i].id, i);
+  }
+}
+
+const LocationRecord* Dataset::FindLocation(int64_t id) const {
+  auto it = location_index_.find(id);
+  if (it == location_index_.end()) return nullptr;
+  return &locations_[it->second];
+}
+
+DatasetSummary Dataset::Summarize() const {
+  DatasetSummary s;
+  s.rental_count = rentals_.size();
+  s.location_count = locations_.size();
+  for (const auto& loc : locations_) {
+    if (loc.is_station) ++s.station_count;
+  }
+  return s;
+}
+
+Status Dataset::Validate() const {
+  std::set<int64_t> seen;
+  for (const auto& loc : locations_) {
+    if (loc.id == kInvalidId) {
+      return Status::DataLoss("location with invalid id");
+    }
+    if (!seen.insert(loc.id).second) {
+      return Status::DataLoss("duplicate location id " +
+                              std::to_string(loc.id));
+    }
+  }
+  for (const auto& r : rentals_) {
+    if (!r.has_location_ids()) {
+      return Status::DataLoss("rental " + std::to_string(r.id) +
+                              " missing a location id");
+    }
+    if (!HasLocation(r.rental_location_id)) {
+      return Status::DataLoss("rental " + std::to_string(r.id) +
+                              " references unknown rental location " +
+                              std::to_string(r.rental_location_id));
+    }
+    if (!HasLocation(r.return_location_id)) {
+      return Status::DataLoss("rental " + std::to_string(r.id) +
+                              " references unknown return location " +
+                              std::to_string(r.return_location_id));
+    }
+    if (r.end_time < r.start_time) {
+      return Status::DataLoss("rental " + std::to_string(r.id) +
+                              " ends before it starts");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Dataset::LocationsCsvString() const {
+  CsvWriter w({"id", "lat", "lon", "is_station", "name"});
+  for (const auto& loc : locations_) {
+    std::string lat = std::isnan(loc.position.lat)
+                          ? ""
+                          : FormatDouble(loc.position.lat, 6);
+    std::string lon = std::isnan(loc.position.lon)
+                          ? ""
+                          : FormatDouble(loc.position.lon, 6);
+    (void)w.AddRow({std::to_string(loc.id), lat, lon,
+                    loc.is_station ? "1" : "0", loc.name});
+  }
+  return w.ToString();
+}
+
+std::string Dataset::RentalsCsvString() const {
+  CsvWriter w({"id", "bike_id", "start_time", "end_time",
+               "rental_location_id", "return_location_id"});
+  for (const auto& r : rentals_) {
+    auto fk = [](int64_t id) {
+      return id == kInvalidId ? std::string() : std::to_string(id);
+    };
+    (void)w.AddRow({std::to_string(r.id), std::to_string(r.bike_id),
+                    r.start_time.ToString(), r.end_time.ToString(),
+                    fk(r.rental_location_id), fk(r.return_location_id)});
+  }
+  return w.ToString();
+}
+
+Status Dataset::WriteCsv(const std::string& locations_path,
+                         const std::string& rentals_path) const {
+  auto write = [](const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return Status::IOError("cannot open for write: " + path);
+    out << content;
+    if (!out) return Status::IOError("write failed: " + path);
+    return Status::OK();
+  };
+  BIKEGRAPH_RETURN_NOT_OK(write(locations_path, LocationsCsvString()));
+  return write(rentals_path, RentalsCsvString());
+}
+
+namespace {
+
+Result<std::vector<LocationRecord>> ParseLocations(const CsvTable& table) {
+  const int id_col = table.ColumnIndex("id");
+  const int lat_col = table.ColumnIndex("lat");
+  const int lon_col = table.ColumnIndex("lon");
+  const int station_col = table.ColumnIndex("is_station");
+  const int name_col = table.ColumnIndex("name");
+  if (id_col < 0 || lat_col < 0 || lon_col < 0 || station_col < 0 ||
+      name_col < 0) {
+    return Status::DataLoss("locations CSV missing a required column");
+  }
+  std::vector<LocationRecord> out;
+  out.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    LocationRecord loc;
+    BIKEGRAPH_ASSIGN_OR_RETURN(loc.id, ParseInt(row[id_col]));
+    if (!row[lat_col].empty() && !row[lon_col].empty()) {
+      BIKEGRAPH_ASSIGN_OR_RETURN(loc.position.lat, ParseDouble(row[lat_col]));
+      BIKEGRAPH_ASSIGN_OR_RETURN(loc.position.lon, ParseDouble(row[lon_col]));
+    }
+    loc.is_station = row[station_col] == "1";
+    loc.name = row[name_col];
+    out.push_back(std::move(loc));
+  }
+  return out;
+}
+
+Result<std::vector<RentalRecord>> ParseRentals(const CsvTable& table) {
+  const int id_col = table.ColumnIndex("id");
+  const int bike_col = table.ColumnIndex("bike_id");
+  const int start_col = table.ColumnIndex("start_time");
+  const int end_col = table.ColumnIndex("end_time");
+  const int rent_col = table.ColumnIndex("rental_location_id");
+  const int ret_col = table.ColumnIndex("return_location_id");
+  if (id_col < 0 || bike_col < 0 || start_col < 0 || end_col < 0 ||
+      rent_col < 0 || ret_col < 0) {
+    return Status::DataLoss("rentals CSV missing a required column");
+  }
+  std::vector<RentalRecord> out;
+  out.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    RentalRecord r;
+    BIKEGRAPH_ASSIGN_OR_RETURN(r.id, ParseInt(row[id_col]));
+    BIKEGRAPH_ASSIGN_OR_RETURN(r.bike_id, ParseInt(row[bike_col]));
+    BIKEGRAPH_ASSIGN_OR_RETURN(r.start_time, CivilTime::Parse(row[start_col]));
+    BIKEGRAPH_ASSIGN_OR_RETURN(r.end_time, CivilTime::Parse(row[end_col]));
+    if (!row[rent_col].empty()) {
+      BIKEGRAPH_ASSIGN_OR_RETURN(r.rental_location_id,
+                                 ParseInt(row[rent_col]));
+    }
+    if (!row[ret_col].empty()) {
+      BIKEGRAPH_ASSIGN_OR_RETURN(r.return_location_id, ParseInt(row[ret_col]));
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Dataset> Dataset::FromCsvStrings(const std::string& locations_csv,
+                                        const std::string& rentals_csv) {
+  BIKEGRAPH_ASSIGN_OR_RETURN(auto loc_table,
+                             CsvReader::ParseString(locations_csv));
+  BIKEGRAPH_ASSIGN_OR_RETURN(auto rent_table,
+                             CsvReader::ParseString(rentals_csv));
+  BIKEGRAPH_ASSIGN_OR_RETURN(auto locations, ParseLocations(loc_table));
+  BIKEGRAPH_ASSIGN_OR_RETURN(auto rentals, ParseRentals(rent_table));
+  return Dataset(std::move(locations), std::move(rentals));
+}
+
+Result<Dataset> Dataset::ReadCsv(const std::string& locations_path,
+                                 const std::string& rentals_path) {
+  BIKEGRAPH_ASSIGN_OR_RETURN(auto loc_table,
+                             CsvReader::ReadFile(locations_path));
+  BIKEGRAPH_ASSIGN_OR_RETURN(auto rent_table,
+                             CsvReader::ReadFile(rentals_path));
+  BIKEGRAPH_ASSIGN_OR_RETURN(auto locations, ParseLocations(loc_table));
+  BIKEGRAPH_ASSIGN_OR_RETURN(auto rentals, ParseRentals(rent_table));
+  return Dataset(std::move(locations), std::move(rentals));
+}
+
+}  // namespace bikegraph::data

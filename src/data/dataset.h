@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.h"
+#include "core/status.h"
+#include "data/records.h"
+
+namespace bikegraph::data {
+
+/// \brief Summary counts in the shape of the paper's Table I.
+struct DatasetSummary {
+  size_t station_count = 0;
+  size_t rental_count = 0;
+  size_t location_count = 0;
+};
+
+/// \brief The two-table Moby dataset: Rental and Location.
+///
+/// This is the root input of the whole pipeline. The container owns both
+/// tables, maintains a by-id index over locations, and offers CSV round-trip
+/// I/O in the export schema (`locations.csv`: id,lat,lon,is_station,name;
+/// `rentals.csv`: id,bike_id,start_time,end_time,rental_location_id,
+/// return_location_id — empty string encodes a missing value).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<LocationRecord> locations,
+          std::vector<RentalRecord> rentals);
+
+  const std::vector<LocationRecord>& locations() const { return locations_; }
+  const std::vector<RentalRecord>& rentals() const { return rentals_; }
+
+  /// Mutable access invalidates the id index; call RebuildIndex() after
+  /// bulk edits.
+  std::vector<LocationRecord>* mutable_locations() { return &locations_; }
+  std::vector<RentalRecord>* mutable_rentals() { return &rentals_; }
+  void RebuildIndex();
+
+  /// Looks up a location row by id; nullptr when absent.
+  const LocationRecord* FindLocation(int64_t id) const;
+
+  /// True iff the Location table contains `id`.
+  bool HasLocation(int64_t id) const { return FindLocation(id) != nullptr; }
+
+  /// Table-I style counts: #stations, #rentals, #locations.
+  DatasetSummary Summarize() const;
+
+  /// Structural validation: unique location ids, rentals referencing
+  /// existing locations, start <= end. Returns the first violation.
+  Status Validate() const;
+
+  /// CSV round trip in the export schema described above.
+  Status WriteCsv(const std::string& locations_path,
+                  const std::string& rentals_path) const;
+  static Result<Dataset> ReadCsv(const std::string& locations_path,
+                                 const std::string& rentals_path);
+
+  /// Serialise/parse without touching the filesystem (used in tests).
+  std::string LocationsCsvString() const;
+  std::string RentalsCsvString() const;
+  static Result<Dataset> FromCsvStrings(const std::string& locations_csv,
+                                        const std::string& rentals_csv);
+
+ private:
+  std::vector<LocationRecord> locations_;
+  std::vector<RentalRecord> rentals_;
+  std::unordered_map<int64_t, size_t> location_index_;
+};
+
+}  // namespace bikegraph::data

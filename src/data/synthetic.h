@@ -1,0 +1,122 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "geo/dublin.h"
+
+namespace bikegraph::data {
+
+/// \brief Configuration of the synthetic Moby Bikes dataset generator.
+///
+/// Defaults are calibrated so that the generated "original" dataset matches
+/// the paper's Table I scale (95 stations / 62,324 rentals / 14,239
+/// locations, Jan 2020 – Sep 2021) and so that the downstream pipeline
+/// (constrained HAC → Algorithm 1 → Louvain) reproduces the *shape* of the
+/// paper's results. All stochastic choices derive from `seed`.
+struct SyntheticConfig {
+  uint64_t seed = 20200103;
+
+  /// Number of valid fixed stations (the paper's cleaned count is 92).
+  int station_count = 92;
+  /// Invalid stations injected as dirty data (paper: 95 - 92 = 3); one gets
+  /// no coordinates, one lands in Dublin Bay, one outside the study area.
+  int bad_station_count = 3;
+
+  /// Rentals to generate *before* dirty-record injection.
+  size_t clean_rental_count = 61872;
+
+  /// Study window (inclusive start, exclusive end).
+  int start_year = 2020, start_month = 1, start_day = 3;
+  int end_year = 2021, end_month = 9, end_day = 20;
+
+  /// Fleet size; bike ids are 1..bike_count.
+  int bike_count = 95;
+
+  /// Probability that a trip endpoint is at a fixed station (Moby's
+  /// financial incentive to return bikes to charging stations).
+  double station_endpoint_prob = 0.70;
+
+  /// Gravity multiplier for trips that cross the River Liffey. Dublin's
+  /// river splits the city; the paper's GBasic communities fall almost
+  /// exactly along it (southside vs northside vs outer suburbs).
+  double river_crossing_factor = 0.45;
+
+  /// Probability that a station or dockless micro-centre inherits its
+  /// hotspot's behavioural kind (commute/leisure/mixed); otherwise it draws
+  /// a uniformly random kind. Values below 1 interleave temporal classes
+  /// within neighbourhoods, giving individual stations the idiosyncratic
+  /// hourly signatures that drive the paper's GHour fragmentation.
+  double kind_fidelity = 0.60;
+
+  /// Dockless endpoint model: a two-level Chinese-restaurant process.
+  /// Level 1 grows "micro-centres" (street corners, shop fronts — the
+  /// natural pick-up/drop-off niches that the HAC stage later rediscovers
+  /// as candidate clusters); level 2 grows "popular spots" a few metres
+  /// around a micro-centre. `micro_concentration` is the level-1 CRP alpha
+  /// summed over all hotspots (≈ number of distinct niches, i.e. the
+  /// eventual candidate-cluster count); `spot_alpha_per_micro` is the
+  /// level-2 alpha (distinct spots per niche). `gps_jitter_prob` is the
+  /// chance an endpoint logs a fresh location a few metres from its spot
+  /// instead of reusing the spot's canonical location (the paper observes
+  /// "a high number of distinct locations ... less than three meters
+  /// apart").
+  double micro_concentration = 290.0;
+  double spot_alpha_per_micro = 3.0;
+  double micro_sigma_m = 18.0;  ///< spot scatter around its micro-centre
+  double gps_jitter_prob = 0.26;
+  double gps_jitter_sigma_m = 4.0;
+
+  /// Gravity decay for destination choice: weight ~ exp(-d / scale). Short
+  /// scales make trips local, which drives the self-contained communities
+  /// the paper observes (~74% of trips stay inside one community).
+  double trip_distance_scale_m = 2800.0;
+  /// Gravity self-weight of a hotspot (share of loop-ish trips).
+  double self_gravity = 4.2;
+
+  /// Mean riding speed (m/s) used to derive trip end times.
+  double ride_speed_mps = 3.4;
+
+  /// Minimum separation enforced between generated stations, metres.
+  double station_min_separation_m = 420.0;
+
+  /// Dirty-record injection counts (paper's cleaning removes 452 rentals
+  /// and 83 locations, 3 of them stations).
+  int dirty_outside_locations = 17;
+  int dirty_water_locations = 15;
+  int dirty_missing_coord_locations = 13;
+  int dirty_rentals_per_bad_location = 7;  // mean, Poisson
+  int dirty_missing_fk_rentals = 61;
+  int dirty_dangling_fk_rentals = 73;
+  int dirty_unreferenced_locations = 32;
+};
+
+/// \brief Generates the full "original" (dirty) dataset.
+///
+/// The result is intended to be fed to CleanDataset(); the cleaned output
+/// then matches the paper's cleaned Table I row in scale and structure.
+/// Generation is deterministic for a fixed config.
+Result<Dataset> GenerateSyntheticMoby(const SyntheticConfig& config);
+
+/// \brief The generator's internal station placement, exposed for tests and
+/// for experiments that need ground-truth station sites: positions of the
+/// `station_count` valid stations, in id order (location ids 1..N).
+std::vector<geo::LatLon> GenerateStationSites(const SyntheticConfig& config);
+
+/// \brief Hour-of-day demand profile (24 weights, unnormalised) for a
+/// hotspot kind on a weekday or weekend day. Exposed for tests and for the
+/// temporal-profile validation in the analysis layer.
+std::array<double, 24> HourProfile(geo::Hotspot::Kind kind, bool weekend);
+
+/// \brief Day-of-week demand multiplier for a hotspot kind (index 0 = Mon).
+std::array<double, 7> DayProfile(geo::Hotspot::Kind kind);
+
+/// \brief Seasonal × pandemic demand multiplier for a calendar day. Models
+/// the COVID-19 collapse of March–May 2020 and the summer peaks.
+double SeasonalFactor(int year, int month);
+
+}  // namespace bikegraph::data

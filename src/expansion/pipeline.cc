@@ -1,0 +1,37 @@
+#include "expansion/pipeline.h"
+
+#include "geo/dublin.h"
+
+namespace bikegraph::expansion {
+
+Result<PipelineResult> RunExpansionPipeline(const data::Dataset& raw,
+                                            const geo::Region& land,
+                                            const PipelineConfig& config) {
+  PipelineResult result;
+
+  BIKEGRAPH_ASSIGN_OR_RETURN(data::CleaningResult cleaned,
+                             data::CleanDataset(raw, land));
+  result.cleaning_report = cleaned.report;
+  result.cleaned = std::move(cleaned.dataset);
+
+  BIKEGRAPH_ASSIGN_OR_RETURN(
+      result.candidate_network,
+      BuildCandidateNetwork(result.cleaned, config.clustering));
+
+  BIKEGRAPH_ASSIGN_OR_RETURN(
+      result.selection,
+      SelectStations(result.candidate_network, config.selection));
+
+  BIKEGRAPH_ASSIGN_OR_RETURN(
+      result.final_network,
+      BuildFinalNetwork(result.cleaned, result.candidate_network,
+                        result.selection));
+  return result;
+}
+
+Result<PipelineResult> RunExpansionPipeline(const data::Dataset& raw,
+                                            const PipelineConfig& config) {
+  return RunExpansionPipeline(raw, geo::DublinLand(), config);
+}
+
+}  // namespace bikegraph::expansion

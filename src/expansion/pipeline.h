@@ -1,0 +1,44 @@
+#pragma once
+
+#include "core/result.h"
+#include "cluster/geo_cluster.h"
+#include "data/cleaning.h"
+#include "data/dataset.h"
+#include "expansion/candidate.h"
+#include "expansion/final_network.h"
+#include "expansion/selection.h"
+
+namespace bikegraph::expansion {
+
+/// \brief Configuration of the end-to-end expansion pipeline.
+struct PipelineConfig {
+  cluster::GeoClusterParams clustering;
+  SelectionParams selection;
+};
+
+/// \brief Everything the paper's methodology produces, bundled: the
+/// cleaning report (Table I), the candidate network (Fig. 1 / Table II),
+/// the Algorithm-1 outcome, and the final expanded network
+/// (Fig. 2 / Table III).
+struct PipelineResult {
+  data::CleaningReport cleaning_report;
+  data::Dataset cleaned;
+  CandidateNetwork candidate_network;
+  SelectionResult selection;
+  FinalNetwork final_network;
+};
+
+/// \brief Runs the full three-step methodology of §IV on a raw dataset:
+/// (1) clean + constrained graph construction, (2) station ranking and
+/// selection, (3) reassignment into the final expanded network. Community
+/// detection (step 3 of the paper) lives in the analysis module and
+/// consumes the returned FinalNetwork.
+Result<PipelineResult> RunExpansionPipeline(const data::Dataset& raw,
+                                            const geo::Region& land,
+                                            const PipelineConfig& config = {});
+
+/// \brief Convenience overload using the Dublin land model.
+Result<PipelineResult> RunExpansionPipeline(const data::Dataset& raw,
+                                            const PipelineConfig& config = {});
+
+}  // namespace bikegraph::expansion

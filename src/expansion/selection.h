@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "expansion/candidate.h"
+
+namespace bikegraph::expansion {
+
+/// \brief Parameters of the station selection algorithm (paper §IV-B,
+/// Algorithm 1). Defaults are the paper's settings.
+struct SelectionParams {
+  /// Rule 4 — Secondary-Distance: a new station must be at least this far
+  /// from every pre-existing station, and (via the iterative suppression
+  /// loop) from every other accepted new station. The paper uses 0.25 km.
+  double secondary_distance_m = 250.0;
+  /// Rule 3 — Degree-Threshold: minimum degree. By default the minimum
+  /// degree over the pre-existing stations is used (Algorithm 1 line 1);
+  /// tests and ablations may override it.
+  std::optional<int64_t> degree_threshold_override;
+};
+
+/// \brief Why a candidate was rejected (audit trail for the ablation bench
+/// and for debugging rule interactions).
+enum class RejectionReason {
+  kNone = 0,           ///< selected
+  kBelowDegree,        ///< Rule 3: degree < threshold
+  kNearFixedStation,   ///< Rule 4 vs pre-existing stations
+  kSuppressedByPeer,   ///< iterative pairwise suppression (lines 10-16)
+};
+
+/// \brief Result of running Algorithm 1.
+struct SelectionResult {
+  /// Candidate indices (into CandidateNetwork::candidates) accepted as new
+  /// stations, sorted by descending score (degree), ties by index.
+  std::vector<int32_t> selected;
+  /// Per-candidate final score (0 for rejected; degree for selected).
+  /// Indexed like CandidateNetwork::candidates; fixed stations hold 0.
+  std::vector<int64_t> scores;
+  /// Per-candidate rejection reason (kNone for fixed stations & selected).
+  std::vector<RejectionReason> reasons;
+  /// The degree threshold actually applied (Algorithm 1 line 1).
+  int64_t degree_threshold = 0;
+  /// Suppression loop iterations until fixpoint.
+  int suppression_rounds = 0;
+
+  size_t RejectedCount(RejectionReason reason) const;
+};
+
+/// \brief Runs Algorithm 1 (station ranking and selection) over the free
+/// candidates of `network`.
+///
+/// Implementation notes:
+///  - Rule 1 (cluster boundary) and Rule 2 (centroid proximity >= 50 m) are
+///    enforced structurally by the clustering stage; this routine asserts
+///    Rule 2 against fixed stations via the 250 m secondary distance, which
+///    subsumes it.
+///  - The suppression loop zeroes the lower-degree member of every
+///    conflicting pair until no two surviving candidates are within the
+///    secondary distance, exactly as lines 10-16 of the paper's pseudocode.
+Result<SelectionResult> SelectStations(const CandidateNetwork& network,
+                                       const SelectionParams& params = {});
+
+}  // namespace bikegraph::expansion

@@ -1,0 +1,118 @@
+#include "geo/dublin.h"
+
+namespace bikegraph::geo {
+
+Polygon DublinBoundary() {
+  // Octagon around Dublin city & inner suburbs (clockwise from NW).
+  return Polygon({
+      {53.425, -6.400},  // NW (near Blanchardstown)
+      {53.430, -6.250},  // N (near Dublin Airport approach)
+      {53.410, -6.100},  // NE (Howth side)
+      {53.350, -6.040},  // E (bay mouth)
+      {53.270, -6.050},  // SE (Dalkey side)
+      {53.245, -6.180},  // S (Dundrum side)
+      {53.260, -6.350},  // SW (Tallaght side)
+      {53.340, -6.430},  // W (Lucan side)
+  });
+}
+
+Polygon DublinBay() {
+  // Water east of the coastline; the coast runs from the Howth side down
+  // through the port mouth and around to Dún Laoghaire.
+  return Polygon({
+      {53.405, -6.055},  // NE open water
+      {53.390, -6.120},  // north shore (Sutton strand)
+      {53.365, -6.165},  // Clontarf front
+      {53.348, -6.185},  // port mouth, north wall
+      {53.332, -6.205},  // Sandymount strand
+      {53.315, -6.180},  // Booterstown front
+      {53.300, -6.150},  // Blackrock front
+      {53.291, -6.120},  // Dún Laoghaire harbour mouth
+      {53.278, -6.080},  // Sandycove front
+      {53.262, -6.055},  // SE open water
+  });
+}
+
+Polygon RiverLiffey() {
+  // A thin strip through the city centre: ~90 m wide, from Heuston (-6.295)
+  // to the port (-6.19).
+  return Polygon({
+      {53.3472, -6.295},
+      {53.3476, -6.240},
+      {53.3474, -6.190},
+      {53.3466, -6.190},
+      {53.3468, -6.240},
+      {53.3464, -6.295},
+  });
+}
+
+Region DublinLand() {
+  return Region(DublinBoundary(), {DublinBay(), RiverLiffey()});
+}
+
+std::vector<Hotspot> DublinHotspots() {
+  using Kind = Hotspot::Kind;
+  return {
+      // City-centre commute cores. These dominate trip volume (the paper:
+      // ~50% of trips start in the central green community).
+      {"City Centre North (O'Connell St)", {53.3508, -6.2603}, 16.0, 450.0, Kind::kCommute},
+      {"City Centre South (Grafton St)", {53.3414, -6.2601}, 15.0, 450.0, Kind::kCommute},
+      {"IFSC / Docklands", {53.3492, -6.2415}, 10.0, 400.0, Kind::kCommute},
+      {"Grand Canal Dock", {53.3392, -6.2376}, 8.0, 350.0, Kind::kCommute},
+      {"Heuston Station", {53.3464, -6.2923}, 6.0, 300.0, Kind::kCommute},
+      {"Connolly Station", {53.3531, -6.2466}, 5.0, 300.0, Kind::kCommute},
+      {"St Stephen's Green", {53.3382, -6.2591}, 6.0, 350.0, Kind::kMixed},
+      {"Smithfield", {53.3489, -6.2785}, 4.0, 300.0, Kind::kMixed},
+      {"Trinity College", {53.3438, -6.2546}, 5.0, 250.0, Kind::kCommute},
+      {"DCU Glasnevin", {53.3857, -6.2567}, 3.0, 350.0, Kind::kCommute},
+      // Leisure anchors — weekend/midday peaks (paper: communities 1 & 7 in
+      // GDay; 1 & 7 in GHour).
+      {"Phoenix Park (Parkgate)", {53.3522, -6.3095}, 5.0, 500.0, Kind::kLeisure},
+      {"Phoenix Park (North Rd)", {53.3638, -6.3297}, 3.0, 550.0, Kind::kLeisure},
+      {"Dun Laoghaire Pier", {53.2949, -6.1339}, 4.0, 400.0, Kind::kLeisure},
+      {"Blackrock Park", {53.3022, -6.1778}, 3.0, 350.0, Kind::kLeisure},
+      {"Sandymount Strand", {53.3337, -6.2210}, 3.0, 400.0, Kind::kLeisure},
+      {"Herbert Park", {53.3270, -6.2336}, 2.0, 300.0, Kind::kLeisure},
+      // Residential / suburban anchors — commute origins.
+      {"Drumcondra", {53.3710, -6.2536}, 3.0, 400.0, Kind::kCommute},
+      {"Phibsborough", {53.3606, -6.2734}, 3.0, 350.0, Kind::kCommute},
+      {"Rathmines", {53.3213, -6.2654}, 4.0, 400.0, Kind::kCommute},
+      {"Ranelagh", {53.3262, -6.2564}, 3.0, 350.0, Kind::kCommute},
+      {"Rathgar", {53.3133, -6.2756}, 2.0, 350.0, Kind::kCommute},
+      {"Donnybrook", {53.3195, -6.2331}, 2.0, 350.0, Kind::kCommute},
+      {"Ballsbridge", {53.3288, -6.2291}, 3.0, 300.0, Kind::kCommute},
+      {"Inchicore", {53.3364, -6.3111}, 2.0, 400.0, Kind::kCommute},
+      {"Kilmainham", {53.3418, -6.3076}, 2.0, 350.0, Kind::kMixed},
+      {"Stoneybatter", {53.3555, -6.2893}, 2.5, 350.0, Kind::kCommute},
+      {"Cabra", {53.3652, -6.2963}, 2.0, 400.0, Kind::kCommute},
+      {"Clontarf", {53.3635, -6.2070}, 2.5, 450.0, Kind::kMixed},
+      {"Fairview", {53.3582, -6.2329}, 2.0, 350.0, Kind::kCommute},
+      {"East Wall", {53.3543, -6.2266}, 1.5, 300.0, Kind::kCommute},
+      {"Ringsend", {53.3410, -6.2266}, 2.5, 300.0, Kind::kMixed},
+      {"Irishtown", {53.3373, -6.2236}, 1.5, 300.0, Kind::kMixed},
+      {"Harold's Cross", {53.3229, -6.2838}, 2.0, 350.0, Kind::kCommute},
+      {"Crumlin", {53.3225, -6.3091}, 1.5, 450.0, Kind::kCommute},
+      {"Dolphin's Barn", {53.3318, -6.2906}, 1.5, 350.0, Kind::kCommute},
+      {"The Liberties", {53.3404, -6.2804}, 3.0, 350.0, Kind::kMixed},
+      {"Christchurch", {53.3434, -6.2700}, 3.0, 250.0, Kind::kMixed},
+      {"Booterstown", {53.3086, -6.1957}, 1.5, 350.0, Kind::kCommute},
+      {"Monkstown", {53.2937, -6.1528}, 1.5, 350.0, Kind::kLeisure},
+      {"Glasthule", {53.2890, -6.1220}, 1.2, 300.0, Kind::kLeisure},
+      {"Donnycarney", {53.3747, -6.2206}, 1.2, 400.0, Kind::kCommute},
+      {"Santry", {53.3951, -6.2430}, 1.0, 450.0, Kind::kCommute},
+      {"Walkinstown", {53.3156, -6.3287}, 1.0, 450.0, Kind::kCommute},
+      {"Terenure", {53.3098, -6.2857}, 1.5, 400.0, Kind::kCommute},
+      {"Milltown", {53.3098, -6.2494}, 1.2, 350.0, Kind::kCommute},
+      {"Dundrum", {53.2920, -6.2459}, 1.5, 450.0, Kind::kMixed},
+      {"Stillorgan", {53.2887, -6.1994}, 1.2, 450.0, Kind::kCommute},
+      {"Finglas", {53.3903, -6.2977}, 1.0, 500.0, Kind::kCommute},
+      {"Coolock", {53.3898, -6.1969}, 0.8, 500.0, Kind::kCommute},
+      {"Raheny", {53.3810, -6.1747}, 0.8, 450.0, Kind::kMixed},
+  };
+}
+
+LatLon OutsideDublinPoint() { return {53.145, -6.070}; }  // Co. Wicklow hills
+
+LatLon InBayPoint() { return {53.330, -6.130}; }  // middle of Dublin Bay
+
+}  // namespace bikegraph::geo

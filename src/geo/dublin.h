@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/polygon.h"
+
+namespace bikegraph::geo {
+
+/// \brief Geographic fixtures for the Dublin study area.
+///
+/// The paper's dataset is confined to Dublin city: the cleaning pipeline
+/// drops locations outside Dublin and locations "not on land" (GPS fixes in
+/// Dublin Bay or the Liffey). These fixtures provide a simplified but
+/// self-consistent model of that geography: a study-area boundary polygon
+/// and water polygons (Dublin Bay, the River Liffey corridor) subtracted as
+/// holes. Coordinates approximate the real city; the pipeline only relies on
+/// topological consistency (stations on land, bay to the east, river through
+/// the centre), not on cartographic fidelity.
+
+/// \brief The study-area boundary (an octagon around Dublin city and its
+/// inner suburbs, roughly 20 km across).
+Polygon DublinBoundary();
+
+/// \brief Dublin Bay — the water body east of the city. Any GPS fix inside
+/// it fails the "on land" cleaning rule.
+Polygon DublinBay();
+
+/// \brief The River Liffey corridor through the city centre (a thin
+/// east-west strip ~90 m wide).
+Polygon RiverLiffey();
+
+/// \brief The full land region: boundary minus bay minus river.
+Region DublinLand();
+
+/// \brief A demand hotspot used by the synthetic trip generator: a named
+/// centre of gravity with an attraction weight and a spatial spread.
+///
+/// `kind` drives the temporal mixture of trips touching the hotspot:
+/// commute hotspots peak on weekday rush hours, leisure hotspots peak on
+/// weekends and middays (the patterns the paper observes around Phoenix
+/// Park and Dún Laoghaire), and mixed hotspots blend both.
+struct Hotspot {
+  std::string name;
+  LatLon center;
+  double weight;     ///< relative share of trip endpoints drawn to it
+  double spread_m;   ///< Gaussian spatial spread of endpoints around it
+  enum class Kind { kCommute, kLeisure, kMixed } kind = Kind::kMixed;
+};
+
+/// \brief The canonical hotspot set: city-centre commute cores, Phoenix
+/// Park and Dún Laoghaire leisure areas, and suburban residential anchors.
+std::vector<Hotspot> DublinHotspots();
+
+/// \brief A point well outside the study area (Co. Wicklow) for
+/// dirty-record injection.
+LatLon OutsideDublinPoint();
+
+/// \brief A point inside Dublin Bay (water) for dirty-record injection.
+LatLon InBayPoint();
+
+}  // namespace bikegraph::geo

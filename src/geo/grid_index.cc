@@ -1,0 +1,150 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/haversine.h"
+
+namespace bikegraph::geo {
+
+GridIndex::GridIndex(double cell_size_m, double reference_lat) {
+  if (cell_size_m <= 0.0) cell_size_m = 100.0;
+  cell_lat_deg_ = MetersToLatDegrees(cell_size_m);
+  cell_lon_deg_ = MetersToLonDegrees(cell_size_m, reference_lat);
+}
+
+GridIndex::CellKey GridIndex::KeyFor(const LatLon& p) const {
+  return CellKey{static_cast<int32_t>(std::floor(p.lat / cell_lat_deg_)),
+                 static_cast<int32_t>(std::floor(p.lon / cell_lon_deg_))};
+}
+
+bool GridIndex::Add(int64_t id, const LatLon& point) {
+  if (!point.IsValid()) return false;
+  cells_[KeyFor(point)].push_back(id);
+  points_[id] = point;
+  return true;
+}
+
+std::vector<int64_t> GridIndex::WithinRadius(const LatLon& center,
+                                             double radius_m) const {
+  std::vector<int64_t> out;
+  if (radius_m < 0.0 || points_.empty()) return out;
+  const double dlat = MetersToLatDegrees(radius_m);
+  const double dlon = MetersToLonDegrees(radius_m, center.lat);
+  const CellKey lo = KeyFor(LatLon(center.lat - dlat, center.lon - dlon));
+  const CellKey hi = KeyFor(LatLon(center.lat + dlat, center.lon + dlon));
+  for (int32_t row = lo.row; row <= hi.row; ++row) {
+    for (int32_t col = lo.col; col <= hi.col; ++col) {
+      auto it = cells_.find(CellKey{row, col});
+      if (it == cells_.end()) continue;
+      for (int64_t id : it->second) {
+        if (HaversineMeters(points_.at(id), center) <= radius_m) {
+          out.push_back(id);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t GridIndex::CountWithinRadius(const LatLon& center,
+                                    double radius_m) const {
+  if (radius_m < 0.0 || points_.empty()) return 0;
+  const double dlat = MetersToLatDegrees(radius_m);
+  const double dlon = MetersToLonDegrees(radius_m, center.lat);
+  const CellKey lo = KeyFor(LatLon(center.lat - dlat, center.lon - dlon));
+  const CellKey hi = KeyFor(LatLon(center.lat + dlat, center.lon + dlon));
+  size_t count = 0;
+  for (int32_t row = lo.row; row <= hi.row; ++row) {
+    for (int32_t col = lo.col; col <= hi.col; ++col) {
+      auto it = cells_.find(CellKey{row, col});
+      if (it == cells_.end()) continue;
+      for (int64_t id : it->second) {
+        if (HaversineMeters(points_.at(id), center) <= radius_m) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+GridIndex::Neighbor GridIndex::Nearest(const LatLon& query,
+                                       int64_t exclude_id) const {
+  Neighbor best;
+  best.distance_m = std::numeric_limits<double>::infinity();
+  if (points_.empty()) return best;
+  // Expanding ring search: examine cells at increasing Chebyshev radius until
+  // the best candidate is provably closer than any unexplored cell.
+  const CellKey origin = KeyFor(query);
+  const double cell_m =
+      kEarthRadiusMeters * DegToRad(cell_lat_deg_);  // cell edge in metres
+  // Bound the ring search by the grid's populated extent.
+  for (int32_t ring = 0;; ++ring) {
+    bool any_cell_checked = false;
+    for (int32_t row = origin.row - ring; row <= origin.row + ring; ++row) {
+      for (int32_t col = origin.col - ring; col <= origin.col + ring; ++col) {
+        // Only the boundary of the ring (interior was covered earlier).
+        if (ring > 0 && std::abs(row - origin.row) != ring &&
+            std::abs(col - origin.col) != ring) {
+          continue;
+        }
+        auto it = cells_.find(CellKey{row, col});
+        if (it == cells_.end()) continue;
+        any_cell_checked = true;
+        for (int64_t id : it->second) {
+          if (id == exclude_id) continue;
+          double d = HaversineMeters(points_.at(id), query);
+          if (d < best.distance_m ||
+              (d == best.distance_m && id < best.id)) {
+            best.id = id;
+            best.distance_m = d;
+          }
+        }
+      }
+    }
+    // Stop when we have a hit and the next ring cannot contain anything
+    // closer: the nearest point in ring r+1 is at least r*cell_m away.
+    if (best.id >= 0 && best.distance_m <= ring * cell_m) break;
+    // Safety stop: if we've searched far past the data extent, give up ring
+    // growth and fall back to a full scan.
+    if (ring > 4096) {
+      for (const auto& [id, p] : points_) {
+        if (id == exclude_id) continue;
+        double d = HaversineMeters(p, query);
+        if (d < best.distance_m || (d == best.distance_m && id < best.id)) {
+          best.id = id;
+          best.distance_m = d;
+        }
+      }
+      break;
+    }
+    (void)any_cell_checked;
+  }
+  return best;
+}
+
+std::vector<GridIndex::Neighbor> GridIndex::KNearest(const LatLon& query,
+                                                     size_t k,
+                                                     int64_t exclude_id) const {
+  std::vector<Neighbor> all;
+  all.reserve(points_.size());
+  for (const auto& [id, p] : points_) {
+    if (id == exclude_id) continue;
+    all.push_back(Neighbor{id, HaversineMeters(p, query)});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance_m != b.distance_m) return a.distance_m < b.distance_m;
+    return a.id < b.id;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+LatLon GridIndex::PointOf(int64_t id) const {
+  auto it = points_.find(id);
+  if (it == points_.end()) return LatLon(std::nan(""), std::nan(""));
+  return it->second;
+}
+
+}  // namespace bikegraph::geo

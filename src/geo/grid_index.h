@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/latlon.h"
+
+namespace bikegraph::geo {
+
+/// \brief A spatial hash grid over lat/lon points supporting radius queries
+/// and nearest-neighbour lookups.
+///
+/// Points are bucketed into square cells of `cell_size_m` metres. A radius
+/// query inspects only the cells overlapping the query disc, so queries are
+/// O(points in neighbourhood) instead of O(n). This is the workhorse behind
+/// the 50 m fixed-station absorption step, the 100 m geo-component
+/// construction for HAC, Rule 2/4 proximity checks, and nearest-station
+/// reassignment.
+///
+/// The index is append-only: build it with Add()/Build y querying is valid
+/// after any Add (no explicit build step required).
+class GridIndex {
+ public:
+  /// \param cell_size_m edge length of a grid cell in metres. Choose it near
+  ///   the typical query radius; defaults to 100 m (the paper's cluster
+  ///   boundary scale).
+  /// \param reference_lat latitude at which the metres→degrees conversion for
+  ///   cell widths is computed; defaults to Dublin.
+  explicit GridIndex(double cell_size_m = 100.0, double reference_lat = 53.35);
+
+  /// Inserts a point with an opaque caller id (typically an index into the
+  /// caller's own array). Invalid coordinates are ignored and return false.
+  bool Add(int64_t id, const LatLon& point);
+
+  /// Number of points stored.
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Ids of all points within `radius_m` metres of `center` (Haversine),
+  /// inclusive of the boundary. Order is unspecified but deterministic.
+  std::vector<int64_t> WithinRadius(const LatLon& center, double radius_m) const;
+
+  /// Number of points within `radius_m` of `center` (cheaper than
+  /// materialising the id list).
+  size_t CountWithinRadius(const LatLon& center, double radius_m) const;
+
+  /// Id and distance of the nearest point to `query`, or {-1, inf} when the
+  /// index is empty. `exclude_id` (if >= 0) is skipped — useful when the
+  /// query point itself is in the index.
+  struct Neighbor {
+    int64_t id = -1;
+    double distance_m = 0.0;
+  };
+  Neighbor Nearest(const LatLon& query, int64_t exclude_id = -1) const;
+
+  /// The `k` nearest points (ascending distance). Fewer if the index holds
+  /// fewer than `k` (excluding `exclude_id`).
+  std::vector<Neighbor> KNearest(const LatLon& query, size_t k,
+                                 int64_t exclude_id = -1) const;
+
+  /// Stored coordinate for an id added earlier; invalid LatLon if unknown.
+  LatLon PointOf(int64_t id) const;
+
+ private:
+  struct CellKey {
+    int32_t row;
+    int32_t col;
+    bool operator==(const CellKey& o) const { return row == o.row && col == o.col; }
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& k) const {
+      return std::hash<int64_t>()((static_cast<int64_t>(k.row) << 32) ^
+                                  static_cast<uint32_t>(k.col));
+    }
+  };
+
+  CellKey KeyFor(const LatLon& p) const;
+
+  double cell_lat_deg_;
+  double cell_lon_deg_;
+  std::unordered_map<CellKey, std::vector<int64_t>, CellKeyHash> cells_;
+  std::unordered_map<int64_t, LatLon> points_;
+};
+
+}  // namespace bikegraph::geo

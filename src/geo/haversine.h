@@ -1,0 +1,34 @@
+#pragma once
+
+#include "geo/latlon.h"
+
+namespace bikegraph::geo {
+
+/// \brief Great-circle distance between two points in metres, using the
+/// Haversine formula (paper eq. 1).
+///
+/// Haversine is numerically stable at the small distances that dominate
+/// bike-share analysis (tens of metres), unlike the spherical law of
+/// cosines — which is why the paper selects it.
+double HaversineMeters(const LatLon& a, const LatLon& b);
+
+/// \brief Fast flat-Earth (equirectangular) approximation of the distance in
+/// metres. Accurate to well under 0.1% at intra-city scales; used as the
+/// cheap comparator in the geo ablation benchmark and inside hot loops where
+/// a conservative bound suffices.
+double EquirectangularMeters(const LatLon& a, const LatLon& b);
+
+/// \brief Initial great-circle bearing from `a` to `b` in degrees [0, 360).
+double BearingDegrees(const LatLon& a, const LatLon& b);
+
+/// \brief Destination point `distance_m` metres from `origin` along
+/// `bearing_deg` (great-circle).
+LatLon Offset(const LatLon& origin, double distance_m, double bearing_deg);
+
+/// \brief Degrees of latitude spanned by `meters` (constant everywhere).
+double MetersToLatDegrees(double meters);
+
+/// \brief Degrees of longitude spanned by `meters` at latitude `at_lat_deg`.
+double MetersToLonDegrees(double meters, double at_lat_deg);
+
+}  // namespace bikegraph::geo

@@ -1,0 +1,13 @@
+#include "geo/latlon.h"
+
+#include <cstdio>
+
+namespace bikegraph::geo {
+
+std::string LatLon::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6f, %.6f)", lat, lon);
+  return buf;
+}
+
+}  // namespace bikegraph::geo

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace bikegraph::geo {
+
+/// \brief A WGS-84 geographic coordinate in decimal degrees.
+///
+/// Latitude is positive north, longitude positive east. Dublin sits around
+/// (53.35, -6.26). The struct is a plain value type; distance computations
+/// live in haversine.h.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  LatLon() = default;
+  LatLon(double lat_deg, double lon_deg) : lat(lat_deg), lon(lon_deg) {}
+
+  /// True iff both coordinates are finite and within the valid WGS-84 range.
+  bool IsValid() const {
+    return std::isfinite(lat) && std::isfinite(lon) && lat >= -90.0 &&
+           lat <= 90.0 && lon >= -180.0 && lon <= 180.0;
+  }
+
+  bool operator==(const LatLon& o) const { return lat == o.lat && lon == o.lon; }
+  bool operator!=(const LatLon& o) const { return !(*this == o); }
+
+  std::string ToString() const;
+};
+
+/// \brief Degree/radian conversions.
+inline double DegToRad(double deg) { return deg * 0.017453292519943295; }
+inline double RadToDeg(double rad) { return rad * 57.29577951308232; }
+
+/// \brief Mean Earth radius in metres (IUGG), used by the Haversine formula.
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+}  // namespace bikegraph::geo

@@ -1,0 +1,98 @@
+#include "graphdb/property_graph.h"
+
+#include <unordered_set>
+
+namespace bikegraph::graphdb {
+
+NodeId PropertyGraph::AddNode(std::string label) {
+  NodeId id = static_cast<NodeId>(node_labels_.size());
+  node_labels_.push_back(std::move(label));
+  node_props_.emplace_back();
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return id;
+}
+
+Result<EdgeId> PropertyGraph::AddEdge(NodeId from, NodeId to,
+                                      std::string type) {
+  if (!HasNode(from) || !HasNode(to)) {
+    return Status::NotFound("edge endpoint does not exist: " +
+                            std::to_string(from) + " -> " +
+                            std::to_string(to));
+  }
+  EdgeId id = static_cast<EdgeId>(edge_from_.size());
+  edge_from_.push_back(from);
+  edge_to_.push_back(to);
+  edge_types_.push_back(std::move(type));
+  edge_props_.emplace_back();
+  out_edges_[from].push_back(id);
+  in_edges_[to].push_back(id);
+  return id;
+}
+
+Status PropertyGraph::SetNodeProperty(NodeId id, const std::string& key,
+                                      PropertyValue v) {
+  if (!HasNode(id)) return Status::NotFound("no such node");
+  node_props_[id][key] = std::move(v);
+  return Status::OK();
+}
+
+Status PropertyGraph::SetEdgeProperty(EdgeId id, const std::string& key,
+                                      PropertyValue v) {
+  if (!HasEdge(id)) return Status::NotFound("no such edge");
+  edge_props_[id][key] = std::move(v);
+  return Status::OK();
+}
+
+PropertyValue PropertyGraph::GetNodeProperty(NodeId id,
+                                             const std::string& key) const {
+  if (!HasNode(id)) return PropertyValue();
+  auto it = node_props_[id].find(key);
+  return it == node_props_[id].end() ? PropertyValue() : it->second;
+}
+
+PropertyValue PropertyGraph::GetEdgeProperty(EdgeId id,
+                                             const std::string& key) const {
+  if (!HasEdge(id)) return PropertyValue();
+  auto it = edge_props_[id].find(key);
+  return it == edge_props_[id].end() ? PropertyValue() : it->second;
+}
+
+void PropertyGraph::ForEachNode(const std::string& label,
+                                const std::function<void(NodeId)>& fn) const {
+  for (NodeId id = 0; id < static_cast<NodeId>(NodeCount()); ++id) {
+    if (label.empty() || node_labels_[id] == label) fn(id);
+  }
+}
+
+void PropertyGraph::ForEachEdge(const std::string& type,
+                                const std::function<void(EdgeId)>& fn) const {
+  for (EdgeId id = 0; id < static_cast<EdgeId>(EdgeCount()); ++id) {
+    if (type.empty() || edge_types_[id] == type) fn(id);
+  }
+}
+
+size_t PropertyGraph::DistinctDirectedPairs(bool include_loops) const {
+  std::unordered_set<uint64_t> pairs;
+  pairs.reserve(EdgeCount());
+  for (size_t e = 0; e < EdgeCount(); ++e) {
+    if (!include_loops && edge_from_[e] == edge_to_[e]) continue;
+    pairs.insert((static_cast<uint64_t>(edge_from_[e]) << 32) ^
+                 static_cast<uint64_t>(edge_to_[e]));
+  }
+  return pairs.size();
+}
+
+size_t PropertyGraph::DistinctUndirectedPairs(bool include_loops) const {
+  std::unordered_set<uint64_t> pairs;
+  pairs.reserve(EdgeCount());
+  for (size_t e = 0; e < EdgeCount(); ++e) {
+    NodeId a = edge_from_[e], b = edge_to_[e];
+    if (!include_loops && a == b) continue;
+    if (a > b) std::swap(a, b);
+    pairs.insert((static_cast<uint64_t>(a) << 32) ^ static_cast<uint64_t>(b));
+  }
+  return pairs.size();
+}
+
+}  // namespace bikegraph::graphdb

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.h"
+#include "graphdb/property_value.h"
+
+namespace bikegraph::graphdb {
+
+using NodeId = int64_t;
+using EdgeId = int64_t;
+
+/// \brief An in-memory labelled property graph — the library's substitute
+/// for the Neo4j store used in the paper.
+///
+/// Data model:
+///  - nodes carry a label (e.g. "Station") and a property map;
+///  - relationships are directed, typed (e.g. "TRIP"), may be parallel
+///    (multigraph — one relationship per trip in GDay/GHour) and carry
+///    their own property map;
+///  - adjacency is indexed in both directions.
+///
+/// Ids are dense and assigned sequentially by AddNode/AddEdge, so they can
+/// index into caller-side arrays directly.
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  /// Adds a node; returns its dense id (0-based).
+  NodeId AddNode(std::string label);
+
+  /// Adds a directed relationship; endpoints must exist.
+  Result<EdgeId> AddEdge(NodeId from, NodeId to, std::string type);
+
+  size_t NodeCount() const { return node_labels_.size(); }
+  size_t EdgeCount() const { return edge_from_.size(); }
+
+  bool HasNode(NodeId id) const {
+    return id >= 0 && static_cast<size_t>(id) < NodeCount();
+  }
+  bool HasEdge(EdgeId id) const {
+    return id >= 0 && static_cast<size_t>(id) < EdgeCount();
+  }
+
+  const std::string& NodeLabel(NodeId id) const { return node_labels_[id]; }
+  const std::string& EdgeType(EdgeId id) const { return edge_types_[id]; }
+  NodeId EdgeFrom(EdgeId id) const { return edge_from_[id]; }
+  NodeId EdgeTo(EdgeId id) const { return edge_to_[id]; }
+
+  /// Property access. Setting overwrites; getting a missing key returns a
+  /// null PropertyValue.
+  Status SetNodeProperty(NodeId id, const std::string& key, PropertyValue v);
+  Status SetEdgeProperty(EdgeId id, const std::string& key, PropertyValue v);
+  PropertyValue GetNodeProperty(NodeId id, const std::string& key) const;
+  PropertyValue GetEdgeProperty(EdgeId id, const std::string& key) const;
+
+  /// Outgoing / incoming relationship ids of a node.
+  const std::vector<EdgeId>& OutEdges(NodeId id) const { return out_edges_[id]; }
+  const std::vector<EdgeId>& InEdges(NodeId id) const { return in_edges_[id]; }
+
+  /// Degree counts on the multigraph (parallel edges counted separately;
+  /// self-loops counted once in each direction).
+  size_t OutDegree(NodeId id) const { return out_edges_[id].size(); }
+  size_t InDegree(NodeId id) const { return in_edges_[id].size(); }
+  size_t Degree(NodeId id) const { return OutDegree(id) + InDegree(id); }
+
+  /// Calls `fn` for every node id with the given label ("" = all).
+  void ForEachNode(const std::string& label,
+                   const std::function<void(NodeId)>& fn) const;
+
+  /// Calls `fn` for every edge id with the given type ("" = all).
+  void ForEachEdge(const std::string& type,
+                   const std::function<void(EdgeId)>& fn) const;
+
+  /// Number of distinct (from, to) ordered pairs, optionally skipping loops
+  /// — the "directed edges (no loops)" counters in the paper's Table II.
+  size_t DistinctDirectedPairs(bool include_loops) const;
+
+  /// Number of distinct unordered {from, to} pairs.
+  size_t DistinctUndirectedPairs(bool include_loops) const;
+
+ private:
+  std::vector<std::string> node_labels_;
+  std::vector<std::string> edge_types_;
+  std::vector<NodeId> edge_from_;
+  std::vector<NodeId> edge_to_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  std::vector<std::unordered_map<std::string, PropertyValue>> node_props_;
+  std::vector<std::unordered_map<std::string, PropertyValue>> edge_props_;
+};
+
+}  // namespace bikegraph::graphdb

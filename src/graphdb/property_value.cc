@@ -1,0 +1,43 @@
+#include "graphdb/property_value.h"
+
+#include "core/string_util.h"
+
+namespace bikegraph::graphdb {
+
+Result<int64_t> PropertyValue::AsInt() const {
+  if (auto* v = std::get_if<int64_t>(&value_)) return *v;
+  return Status::InvalidArgument("property is not an integer");
+}
+
+Result<double> PropertyValue::AsDouble() const {
+  if (auto* v = std::get_if<double>(&value_)) return *v;
+  if (auto* v = std::get_if<int64_t>(&value_)) return static_cast<double>(*v);
+  return Status::InvalidArgument("property is not numeric");
+}
+
+Result<bool> PropertyValue::AsBool() const {
+  if (auto* v = std::get_if<bool>(&value_)) return *v;
+  return Status::InvalidArgument("property is not a boolean");
+}
+
+Result<std::string> PropertyValue::AsString() const {
+  if (auto* v = std::get_if<std::string>(&value_)) return *v;
+  return Status::InvalidArgument("property is not a string");
+}
+
+double PropertyValue::NumericOr(double fallback) const {
+  if (auto* v = std::get_if<double>(&value_)) return *v;
+  if (auto* v = std::get_if<int64_t>(&value_)) return static_cast<double>(*v);
+  if (auto* v = std::get_if<bool>(&value_)) return *v ? 1.0 : 0.0;
+  return fallback;
+}
+
+std::string PropertyValue::ToString() const {
+  if (is_null()) return "null";
+  if (auto* v = std::get_if<int64_t>(&value_)) return std::to_string(*v);
+  if (auto* v = std::get_if<double>(&value_)) return FormatDouble(*v, 6);
+  if (auto* v = std::get_if<bool>(&value_)) return *v ? "true" : "false";
+  return std::get<std::string>(value_);
+}
+
+}  // namespace bikegraph::graphdb

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "core/result.h"
+
+namespace bikegraph::graphdb {
+
+/// \brief A typed property value stored on a node or relationship.
+///
+/// Mirrors the Neo4j property model restricted to the types the pipeline
+/// uses: integers (ids, trip counts, day-of-week, hour), floats (weights,
+/// coordinates), strings (names) and booleans (is_station).
+class PropertyValue {
+ public:
+  PropertyValue() : value_(std::monostate{}) {}
+  PropertyValue(int64_t v) : value_(v) {}              // NOLINT implicit
+  PropertyValue(int v) : value_(int64_t{v}) {}         // NOLINT implicit
+  PropertyValue(double v) : value_(v) {}               // NOLINT implicit
+  PropertyValue(bool v) : value_(v) {}                 // NOLINT implicit
+  PropertyValue(std::string v) : value_(std::move(v)) {}  // NOLINT implicit
+  PropertyValue(const char* v) : value_(std::string(v)) {}  // NOLINT implicit
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(value_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+
+  /// Typed accessors; non-matching access is an error status.
+  Result<int64_t> AsInt() const;
+  Result<double> AsDouble() const;  ///< ints widen to double
+  Result<bool> AsBool() const;
+  Result<std::string> AsString() const;
+
+  /// Loose numeric view: int/double/bool → double, else 0.0 (used by
+  /// weight-by-property projections with a documented default).
+  double NumericOr(double fallback) const;
+
+  std::string ToString() const;
+
+  bool operator==(const PropertyValue& other) const {
+    return value_ == other.value_;
+  }
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string> value_;
+};
+
+}  // namespace bikegraph::graphdb

@@ -1,0 +1,156 @@
+#include "graphdb/weighted_graph.h"
+
+#include <cmath>
+
+#include "graphdb/property_graph.h"
+
+namespace bikegraph::graphdb {
+
+double WeightedGraph::WeightBetween(int32_t u, int32_t v) const {
+  if (u == v) return self_weight_[u];
+  for (const Neighbor& n : neighbors(u)) {
+    if (n.node == v) return n.weight;
+  }
+  return 0.0;
+}
+
+WeightedGraphBuilder::WeightedGraphBuilder(size_t node_count)
+    : pair_weights_(node_count), self_weight_(node_count, 0.0) {}
+
+Status WeightedGraphBuilder::AddEdge(int32_t u, int32_t v, double weight) {
+  if (u < 0 || v < 0 || static_cast<size_t>(u) >= pair_weights_.size() ||
+      static_cast<size_t>(v) >= pair_weights_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (!std::isfinite(weight) || weight < 0.0) {
+    return Status::InvalidArgument("edge weight must be finite and >= 0");
+  }
+  if (u == v) {
+    self_weight_[u] += weight;
+    return Status::OK();
+  }
+  if (u > v) std::swap(u, v);
+  pair_weights_[u][v] += weight;
+  return Status::OK();
+}
+
+WeightedGraph WeightedGraphBuilder::Build() const {
+  const size_t n = pair_weights_.size();
+  WeightedGraph g;
+  g.self_weight_ = self_weight_;
+  g.strength_.assign(n, 0.0);
+  g.offsets_.assign(n + 1, 0);
+
+  // First pass: count symmetric adjacency entries.
+  std::vector<size_t> deg(n, 0);
+  size_t pair_count = 0;
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& [v, w] : pair_weights_[u]) {
+      ++deg[u];
+      ++deg[v];
+      ++pair_count;
+      (void)w;
+    }
+  }
+  g.offsets_[0] = 0;
+  for (size_t u = 0; u < n; ++u) g.offsets_[u + 1] = g.offsets_[u] + deg[u];
+  g.adj_.resize(g.offsets_[n]);
+
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& [v, w] : pair_weights_[u]) {
+      g.adj_[cursor[u]++] = {static_cast<int32_t>(v), w};
+      g.adj_[cursor[v]++] = {static_cast<int32_t>(u), w};
+      g.strength_[u] += w;
+      g.strength_[v] += w;
+    }
+  }
+  g.edge_count_ = pair_count;
+  double total = 0.0;
+  size_t loops = 0;
+  for (size_t u = 0; u < n; ++u) {
+    total += g.strength_[u];
+    if (g.self_weight_[u] > 0.0) ++loops;
+    g.strength_[u] += 2.0 * g.self_weight_[u];
+  }
+  total /= 2.0;
+  for (size_t u = 0; u < n; ++u) total += g.self_weight_[u];
+  g.total_weight_ = total;
+  g.self_loop_count_ = loops;
+  return g;
+}
+
+Result<WeightedGraph> ProjectUndirected(const PropertyGraph& graph,
+                                        const ProjectionOptions& options) {
+  WeightedGraphBuilder builder(graph.NodeCount());
+  Status status = Status::OK();
+  graph.ForEachEdge(options.edge_type, [&](EdgeId e) {
+    if (!status.ok()) return;
+    NodeId from = graph.EdgeFrom(e);
+    NodeId to = graph.EdgeTo(e);
+    if (!options.include_loops && from == to) return;
+    double w = 1.0;
+    if (!options.weight_property.empty()) {
+      w = graph.GetEdgeProperty(e, options.weight_property).NumericOr(1.0);
+    }
+    status = builder.AddEdge(static_cast<int32_t>(from),
+                             static_cast<int32_t>(to), w);
+  });
+  BIKEGRAPH_RETURN_NOT_OK(status);
+  return builder.Build();
+}
+
+DigraphBuilder::DigraphBuilder(size_t node_count) : out_(node_count) {}
+
+Status DigraphBuilder::AddEdge(int32_t from, int32_t to, double weight) {
+  if (from < 0 || to < 0 || static_cast<size_t>(from) >= out_.size() ||
+      static_cast<size_t>(to) >= out_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (!std::isfinite(weight) || weight < 0.0) {
+    return Status::InvalidArgument("edge weight must be finite and >= 0");
+  }
+  out_[from][to] += weight;
+  return Status::OK();
+}
+
+Digraph DigraphBuilder::Build() const {
+  const size_t n = out_.size();
+  Digraph g;
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  g.out_strength_.assign(n, 0.0);
+  g.in_strength_.assign(n, 0.0);
+
+  std::vector<size_t> in_deg(n, 0);
+  size_t total_edges = 0;
+  for (size_t u = 0; u < n; ++u) {
+    total_edges += out_[u].size();
+    for (const auto& [v, w] : out_[u]) {
+      ++in_deg[v];
+      (void)w;
+    }
+  }
+  for (size_t u = 0; u < n; ++u) {
+    g.out_offsets_[u + 1] = g.out_offsets_[u] + out_[u].size();
+    g.in_offsets_[u + 1] = g.in_offsets_[u] + in_deg[u];
+  }
+  g.out_adj_.resize(total_edges);
+  g.in_adj_.resize(total_edges);
+
+  std::vector<size_t> out_cursor(g.out_offsets_.begin(),
+                                 g.out_offsets_.end() - 1);
+  std::vector<size_t> in_cursor(g.in_offsets_.begin(),
+                                g.in_offsets_.end() - 1);
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& [v, w] : out_[u]) {
+      g.out_adj_[out_cursor[u]++] = {static_cast<int32_t>(v), w};
+      g.in_adj_[in_cursor[v]++] = {static_cast<int32_t>(u), w};
+      g.out_strength_[u] += w;
+      g.in_strength_[v] += w;
+    }
+  }
+  return g;
+}
+
+}  // namespace bikegraph::graphdb

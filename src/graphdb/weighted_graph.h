@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/result.h"
+
+namespace bikegraph::graphdb {
+
+class PropertyGraph;
+
+/// \brief An immutable undirected weighted simple graph in CSR form — the
+/// input format of all community-detection and metric algorithms.
+///
+/// Parallel edges are merged by weight accumulation at build time.
+/// Self-loops are stored separately from the adjacency lists. Weight
+/// conventions follow standard practice for modularity:
+///  - `strength(u)` = Σ_v w(u,v) + 2·self_weight(u);
+///  - `total_weight()` (the `m` of eq. 2) = Σ_{u<v} w(u,v) + Σ_u self(u)
+///    = Σ_u strength(u) / 2.
+class WeightedGraph {
+ public:
+  struct Neighbor {
+    int32_t node;
+    double weight;
+  };
+
+  /// An empty graph (0 nodes); usable as a value-type default.
+  WeightedGraph() : offsets_{0} {}
+
+  size_t node_count() const { return offsets_.size() - 1; }
+  size_t edge_count() const { return edge_count_; }  ///< distinct u<v pairs
+  size_t self_loop_count() const { return self_loop_count_; }
+
+  std::span<const Neighbor> neighbors(int32_t u) const {
+    return {adj_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+  double self_weight(int32_t u) const { return self_weight_[u]; }
+  double strength(int32_t u) const { return strength_[u]; }
+  size_t degree(int32_t u) const { return offsets_[u + 1] - offsets_[u]; }
+  double total_weight() const { return total_weight_; }
+
+  /// Weight of edge {u,v}; 0 when absent. O(degree(u)) scan.
+  double WeightBetween(int32_t u, int32_t v) const;
+
+ private:
+  friend class WeightedGraphBuilder;
+  std::vector<size_t> offsets_;
+  std::vector<Neighbor> adj_;
+  std::vector<double> self_weight_;
+  std::vector<double> strength_;
+  double total_weight_ = 0.0;
+  size_t edge_count_ = 0;
+  size_t self_loop_count_ = 0;
+};
+
+/// \brief Accumulating builder for WeightedGraph.
+///
+/// AddEdge(u, v, w) accumulates weight onto the unordered pair {u, v};
+/// u == v accumulates a self-loop. Build() freezes into CSR.
+class WeightedGraphBuilder {
+ public:
+  explicit WeightedGraphBuilder(size_t node_count);
+
+  /// Accumulates weight on {u,v}. Returns InvalidArgument for bad ids or
+  /// non-finite/negative weight.
+  Status AddEdge(int32_t u, int32_t v, double weight = 1.0);
+
+  size_t node_count() const { return pair_weights_.size(); }
+
+  WeightedGraph Build() const;
+
+ private:
+  std::vector<std::map<int32_t, double>> pair_weights_;  // u -> {v>=u: w}
+  std::vector<double> self_weight_;
+};
+
+/// \brief Options for projecting a PropertyGraph into a WeightedGraph.
+struct ProjectionOptions {
+  /// Edge type filter; empty = all relationships.
+  std::string edge_type;
+  /// If non-empty, edge weight is this numeric property (missing -> 1.0);
+  /// otherwise each relationship contributes weight 1.
+  std::string weight_property;
+  /// Drop self-loops entirely.
+  bool include_loops = true;
+};
+
+/// \brief Collapses a (multi-)PropertyGraph into an undirected weighted
+/// simple graph. Node ids are preserved (dense in both).
+Result<WeightedGraph> ProjectUndirected(const PropertyGraph& graph,
+                                        const ProjectionOptions& options = {});
+
+/// \brief A small immutable directed graph in CSR form (out- and in-
+/// adjacency), used by PageRank and the directed summary statistics.
+class Digraph {
+ public:
+  struct Neighbor {
+    int32_t node;
+    double weight;
+  };
+
+  size_t node_count() const { return out_offsets_.size() - 1; }
+  size_t edge_count() const { return out_adj_.size(); }
+
+  std::span<const Neighbor> out_neighbors(int32_t u) const {
+    return {out_adj_.data() + out_offsets_[u],
+            out_offsets_[u + 1] - out_offsets_[u]};
+  }
+  std::span<const Neighbor> in_neighbors(int32_t u) const {
+    return {in_adj_.data() + in_offsets_[u],
+            in_offsets_[u + 1] - in_offsets_[u]};
+  }
+  double out_strength(int32_t u) const { return out_strength_[u]; }
+  double in_strength(int32_t u) const { return in_strength_[u]; }
+
+ private:
+  friend class DigraphBuilder;
+  std::vector<size_t> out_offsets_, in_offsets_;
+  std::vector<Neighbor> out_adj_, in_adj_;
+  std::vector<double> out_strength_, in_strength_;
+};
+
+/// \brief Accumulating builder for Digraph (parallel edges merged).
+class DigraphBuilder {
+ public:
+  explicit DigraphBuilder(size_t node_count);
+  Status AddEdge(int32_t from, int32_t to, double weight = 1.0);
+  Digraph Build() const;
+
+ private:
+  std::vector<std::map<int32_t, double>> out_;  // from -> {to: w}
+};
+
+}  // namespace bikegraph::graphdb

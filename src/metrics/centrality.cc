@@ -1,0 +1,230 @@
+#include "metrics/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stack>
+#include <unordered_set>
+
+namespace bikegraph::metrics {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Single-source shortest paths for Brandes/closeness: fills distances,
+/// predecessor DAG, path counts and the stack of nodes in non-decreasing
+/// distance order.
+struct SsspResult {
+  std::vector<double> dist;
+  std::vector<std::vector<int32_t>> preds;
+  std::vector<double> sigma;  // shortest-path counts
+  std::vector<int32_t> order; // settled, nearest first
+};
+
+SsspResult Sssp(const graphdb::WeightedGraph& g, int32_t source,
+                bool weighted) {
+  const size_t n = g.node_count();
+  SsspResult r;
+  r.dist.assign(n, kInf);
+  r.preds.assign(n, {});
+  r.sigma.assign(n, 0.0);
+  r.order.reserve(n);
+  r.dist[source] = 0.0;
+  r.sigma[source] = 1.0;
+
+  if (!weighted) {
+    std::queue<int32_t> q;
+    q.push(source);
+    while (!q.empty()) {
+      int32_t u = q.front();
+      q.pop();
+      r.order.push_back(u);
+      for (const auto& nb : g.neighbors(u)) {
+        int32_t v = nb.node;
+        if (r.dist[v] == kInf) {
+          r.dist[v] = r.dist[u] + 1.0;
+          q.push(v);
+        }
+        if (r.dist[v] == r.dist[u] + 1.0) {
+          r.sigma[v] += r.sigma[u];
+          r.preds[v].push_back(u);
+        }
+      }
+    }
+    return r;
+  }
+
+  // Dijkstra with length = 1/weight.
+  using Entry = std::pair<double, int32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  std::vector<bool> settled(n, false);
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    r.order.push_back(u);
+    for (const auto& nb : g.neighbors(u)) {
+      if (nb.weight <= 0.0) continue;
+      const double len = 1.0 / nb.weight;
+      const int32_t v = nb.node;
+      const double nd = d + len;
+      if (nd < r.dist[v] - 1e-12) {
+        r.dist[v] = nd;
+        r.sigma[v] = r.sigma[u];
+        r.preds[v].assign(1, u);
+        pq.push({nd, v});
+      } else if (std::abs(nd - r.dist[v]) <= 1e-12 && !settled[v]) {
+        r.sigma[v] += r.sigma[u];
+        r.preds[v].push_back(u);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Result<std::vector<double>> PageRank(const graphdb::Digraph& graph,
+                                     const PageRankOptions& options) {
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in [0, 1)");
+  }
+  const size_t n = graph.node_count();
+  std::vector<double> rank(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  if (n == 0) return rank;
+
+  std::vector<double> next(n, 0.0);
+  const double dn = static_cast<double>(n);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t u = 0; u < n; ++u) {
+      const double out = graph.out_strength(static_cast<int32_t>(u));
+      if (out <= 0.0) {
+        dangling += rank[u];
+        continue;
+      }
+      for (const auto& nb : graph.out_neighbors(static_cast<int32_t>(u))) {
+        next[nb.node] += rank[u] * nb.weight / out;
+      }
+    }
+    double delta = 0.0;
+    for (size_t u = 0; u < n; ++u) {
+      const double v = (1.0 - options.damping) / dn +
+                       options.damping * (next[u] + dangling / dn);
+      delta += std::abs(v - rank[u]);
+      next[u] = v;
+    }
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+Result<std::vector<double>> Betweenness(const graphdb::WeightedGraph& graph,
+                                        bool weighted) {
+  const size_t n = graph.node_count();
+  std::vector<double> bc(n, 0.0);
+  for (size_t s = 0; s < n; ++s) {
+    SsspResult r = Sssp(graph, static_cast<int32_t>(s), weighted);
+    std::vector<double> delta(n, 0.0);
+    for (auto it = r.order.rbegin(); it != r.order.rend(); ++it) {
+      const int32_t w = *it;
+      for (int32_t v : r.preds[w]) {
+        delta[v] += r.sigma[v] / r.sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != static_cast<int32_t>(s)) bc[w] += delta[w];
+    }
+  }
+  // Each unordered pair was counted twice (once per endpoint as source).
+  for (double& v : bc) v /= 2.0;
+  return bc;
+}
+
+Result<std::vector<double>> HarmonicCloseness(
+    const graphdb::WeightedGraph& graph, bool weighted) {
+  const size_t n = graph.node_count();
+  std::vector<double> hc(n, 0.0);
+  for (size_t s = 0; s < n; ++s) {
+    SsspResult r = Sssp(graph, static_cast<int32_t>(s), weighted);
+    double acc = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      if (v == s || r.dist[v] == kInf || r.dist[v] <= 0.0) continue;
+      acc += 1.0 / r.dist[v];
+    }
+    hc[s] = acc;
+  }
+  return hc;
+}
+
+std::vector<double> LocalClusteringCoefficients(
+    const graphdb::WeightedGraph& graph) {
+  const size_t n = graph.node_count();
+  std::vector<double> cc(n, 0.0);
+  // Adjacency sets for O(1) membership checks.
+  std::vector<std::unordered_set<int32_t>> adj(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& nb : graph.neighbors(static_cast<int32_t>(u))) {
+      adj[u].insert(nb.node);
+    }
+  }
+  for (size_t u = 0; u < n; ++u) {
+    const size_t deg = adj[u].size();
+    if (deg < 2) continue;
+    size_t links = 0;
+    const auto span = graph.neighbors(static_cast<int32_t>(u));
+    for (size_t i = 0; i < span.size(); ++i) {
+      for (size_t j = i + 1; j < span.size(); ++j) {
+        if (adj[span[i].node].count(span[j].node) > 0) ++links;
+      }
+    }
+    cc[u] = 2.0 * static_cast<double>(links) /
+            (static_cast<double>(deg) * static_cast<double>(deg - 1));
+  }
+  return cc;
+}
+
+double GlobalClusteringCoefficient(const graphdb::WeightedGraph& graph) {
+  const size_t n = graph.node_count();
+  std::vector<std::unordered_set<int32_t>> adj(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& nb : graph.neighbors(static_cast<int32_t>(u))) {
+      adj[u].insert(nb.node);
+    }
+  }
+  uint64_t closed = 0;  // ordered wedges that close (3! per triangle x2?)
+  uint64_t wedges = 0;
+  for (size_t u = 0; u < n; ++u) {
+    const size_t deg = adj[u].size();
+    if (deg < 2) continue;
+    wedges += deg * (deg - 1) / 2;
+    const auto span = graph.neighbors(static_cast<int32_t>(u));
+    for (size_t i = 0; i < span.size(); ++i) {
+      for (size_t j = i + 1; j < span.size(); ++j) {
+        if (adj[span[i].node].count(span[j].node) > 0) ++closed;
+      }
+    }
+  }
+  if (wedges == 0) return 0.0;
+  return static_cast<double>(closed) / static_cast<double>(wedges);
+}
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double total = 0.0, weighted_sum = 0.0;
+  const double n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < 0.0) return 0.0;  // undefined for negative values
+    total += values[i];
+    weighted_sum += (static_cast<double>(i) + 1.0) * values[i];
+  }
+  if (total <= 0.0) return 0.0;
+  return (2.0 * weighted_sum) / (n * total) - (n + 1.0) / n;
+}
+
+}  // namespace bikegraph::metrics

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+#include "graphdb/weighted_graph.h"
+
+namespace bikegraph::metrics {
+
+/// Network metrics used across the BSS literature the paper surveys (§II):
+/// connectivity (degree, strength, node flux), spatial structure (local
+/// clustering coefficient), stability/prominence (betweenness, closeness,
+/// PageRank) and equity (Gini).
+
+/// \brief Options for PageRank on a directed graph.
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 200;
+  double tolerance = 1e-10;  ///< L1 change per iteration to stop
+};
+
+/// \brief Weighted PageRank on a Digraph. Dangling mass is redistributed
+/// uniformly. Returns one score per node, summing to 1.
+Result<std::vector<double>> PageRank(const graphdb::Digraph& graph,
+                                     const PageRankOptions& options = {});
+
+/// \brief Brandes betweenness centrality on the undirected graph.
+///
+/// If `weighted` is true, edges are traversed with Dijkstra using
+/// length = 1/weight (heavier flows are "closer"), the standard convention
+/// for flow networks; otherwise BFS hop counts are used. Self-loops are
+/// ignored. Scores are unnormalised pair-dependency sums (each unordered
+/// pair counted once).
+Result<std::vector<double>> Betweenness(const graphdb::WeightedGraph& graph,
+                                        bool weighted = false);
+
+/// \brief Harmonic closeness centrality: C(u) = Σ_{v≠u} 1/d(u,v), with the
+/// same edge-length convention as Betweenness. Harmonic closeness is used
+/// (rather than classic closeness) so disconnected graphs are handled
+/// gracefully.
+Result<std::vector<double>> HarmonicCloseness(
+    const graphdb::WeightedGraph& graph, bool weighted = false);
+
+/// \brief Local clustering coefficient per node (unweighted triangles over
+/// wedges on the simple graph; self-loops ignored). Degree<2 nodes score 0.
+std::vector<double> LocalClusteringCoefficients(
+    const graphdb::WeightedGraph& graph);
+
+/// \brief Global clustering coefficient: 3·triangles / wedges.
+double GlobalClusteringCoefficient(const graphdb::WeightedGraph& graph);
+
+/// \brief Gini coefficient of a non-negative value vector (0 = perfectly
+/// equal, →1 = concentrated). Used as the equity metric over station
+/// strengths. Empty or all-zero input yields 0.
+double GiniCoefficient(std::vector<double> values);
+
+}  // namespace bikegraph::metrics

@@ -1,0 +1,76 @@
+#include "metrics/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "core/string_util.h"
+
+namespace bikegraph::metrics {
+
+std::string GraphCounts::ToString() const {
+  std::ostringstream os;
+  os << "#nodes " << FormatWithCommas(static_cast<int64_t>(nodes))
+     << ", #undirected " << FormatWithCommas(static_cast<int64_t>(undirected_edges))
+     << " (" << FormatWithCommas(static_cast<int64_t>(undirected_edges_no_loops))
+     << " no loops), #directed "
+     << FormatWithCommas(static_cast<int64_t>(directed_edges)) << " ("
+     << FormatWithCommas(static_cast<int64_t>(directed_edges_no_loops))
+     << " no loops), #trips "
+     << FormatWithCommas(static_cast<int64_t>(trips));
+  return os.str();
+}
+
+GraphCounts CountGraph(const graphdb::PropertyGraph& graph,
+                       const std::string& edge_type) {
+  GraphCounts counts;
+  counts.nodes = graph.NodeCount();
+  std::unordered_set<uint64_t> directed, undirected;
+  size_t trips = 0, directed_loops = 0, undirected_loops = 0;
+  graph.ForEachEdge(edge_type, [&](graphdb::EdgeId e) {
+    ++trips;
+    const auto from = static_cast<uint64_t>(graph.EdgeFrom(e));
+    const auto to = static_cast<uint64_t>(graph.EdgeTo(e));
+    directed.insert((from << 32) | to);
+    const uint64_t lo = std::min(from, to), hi = std::max(from, to);
+    undirected.insert((lo << 32) | hi);
+  });
+  for (uint64_t key : directed) {
+    if ((key >> 32) == (key & 0xFFFFFFFFULL)) ++directed_loops;
+  }
+  for (uint64_t key : undirected) {
+    if ((key >> 32) == (key & 0xFFFFFFFFULL)) ++undirected_loops;
+  }
+  counts.trips = trips;
+  counts.directed_edges = directed.size();
+  counts.directed_edges_no_loops = directed.size() - directed_loops;
+  counts.undirected_edges = undirected.size();
+  counts.undirected_edges_no_loops = undirected.size() - undirected_loops;
+  return counts;
+}
+
+WeightedGraphSummary Summarize(const graphdb::WeightedGraph& graph) {
+  WeightedGraphSummary s;
+  s.nodes = graph.node_count();
+  s.edges = graph.edge_count();
+  s.total_weight = graph.total_weight();
+  if (s.nodes == 0) return s;
+  double strength_sum = 0.0;
+  size_t degree_sum = 0;
+  for (size_t u = 0; u < s.nodes; ++u) {
+    const double st = graph.strength(static_cast<int32_t>(u));
+    strength_sum += st;
+    s.max_strength = std::max(s.max_strength, st);
+    degree_sum += graph.degree(static_cast<int32_t>(u));
+  }
+  s.mean_degree = static_cast<double>(degree_sum) / static_cast<double>(s.nodes);
+  s.mean_strength = strength_sum / static_cast<double>(s.nodes);
+  if (s.nodes > 1) {
+    s.density = static_cast<double>(s.edges) /
+                (static_cast<double>(s.nodes) *
+                 static_cast<double>(s.nodes - 1) / 2.0);
+  }
+  return s;
+}
+
+}  // namespace bikegraph::metrics

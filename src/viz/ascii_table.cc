@@ -1,0 +1,83 @@
+#include "viz/ascii_table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace bikegraph::viz {
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  size_t digits = 0;
+  for (char c : s) {
+    if ((c >= '0' && c <= '9')) {
+      ++digits;
+    } else if (c != '.' && c != ',' && c != '-' && c != '+' && c != '%' &&
+               c != 'e' && c != 'x') {
+      return false;
+    }
+  }
+  return digits > 0;
+}
+
+}  // namespace
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_sep = [&]() {
+    os << "+";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells, bool is_header) {
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      const size_t pad = widths[c] - cell.size();
+      const bool right = !is_header && LooksNumeric(cell);
+      os << " ";
+      if (right) os << std::string(pad, ' ');
+      os << cell;
+      if (!right) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << "\n";
+  };
+
+  emit_sep();
+  emit_row(header_, true);
+  emit_sep();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_sep();
+    } else {
+      emit_row(row, false);
+    }
+  }
+  emit_sep();
+  return os.str();
+}
+
+}  // namespace bikegraph::viz

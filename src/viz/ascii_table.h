@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bikegraph::viz {
+
+/// \brief Minimal fixed-width table renderer used by the bench harnesses to
+/// print paper-vs-measured tables.
+///
+/// \code
+///   AsciiTable t({"Measure", "Paper", "Measured"});
+///   t.AddRow({"#stations", "92", "92"});
+///   std::cout << t.ToString();
+/// \endcode
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells, long rows are
+  /// truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column auto-sizing; numeric-looking cells right-align.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+};
+
+}  // namespace bikegraph::viz

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "core/status.h"
+#include "community/partition.h"
+#include "expansion/candidate.h"
+#include "expansion/final_network.h"
+
+namespace bikegraph::viz {
+
+/// Map artefacts corresponding to the paper's figures. Each writer emits a
+/// GeoJSON FeatureCollection viewable in any GeoJSON tool (geojson.io,
+/// QGIS, kepler.gl).
+
+/// \brief Fig. 1 — the candidate graph: one point per candidate (purple in
+/// the paper; we tag `kind` = station|candidate) and one line per distinct
+/// directed station pair, weighted by trip count.
+Status WriteCandidateMap(const expansion::CandidateNetwork& network,
+                         const std::string& path);
+
+/// \brief Fig. 2 — the selected graph: stations sized by self-trips, edges
+/// by directed trip counts; only edges with weight in the top
+/// `edge_weight_percentile` (e.g. 0.99 = top 1%) are drawn, matching the
+/// paper's rendering.
+Status WriteSelectedMap(const expansion::FinalNetwork& network,
+                        const std::string& path,
+                        double edge_weight_percentile = 0.99);
+
+/// \brief Figs. 3/4/6 — community maps: stations coloured by community
+/// (we tag `community` and a repeating colour name so styling is trivial).
+Status WriteCommunityMap(const expansion::FinalNetwork& network,
+                         const community::Partition& partition,
+                         const std::string& path);
+
+/// \brief Graphviz DOT export of a final network's aggregated trip graph
+/// (edges above `min_weight` trips), for quick `dot -Tsvg` rendering.
+Status WriteDot(const expansion::FinalNetwork& network,
+                const std::string& path, double min_weight = 50.0);
+
+}  // namespace bikegraph::viz

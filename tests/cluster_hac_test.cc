@@ -1,0 +1,196 @@
+#include "cluster/hac.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/rng.h"
+#include "geo/haversine.h"
+
+#include <gtest/gtest.h>
+
+namespace bikegraph::cluster {
+namespace {
+
+using geo::LatLon;
+using geo::Offset;
+
+const LatLon kCenter(53.35, -6.26);
+
+/// Canonicalises a labelling so different label orders compare equal.
+std::vector<int32_t> Canonical(std::vector<int32_t> labels) {
+  std::map<int32_t, int32_t> remap;
+  for (int32_t& l : labels) {
+    auto [it, inserted] = remap.emplace(l, static_cast<int32_t>(remap.size()));
+    l = it->second;
+    (void)inserted;
+  }
+  return labels;
+}
+
+TEST(DenseHacTest, RejectsBadInput) {
+  EXPECT_FALSE(DenseHac({}, 0, Linkage::kComplete).ok());
+  EXPECT_FALSE(DenseHac({1.0, 2.0}, 3, Linkage::kComplete).ok());
+}
+
+TEST(DenseHacTest, SinglePointTrivial) {
+  auto d = DenseHac({0.0}, 1, Linkage::kComplete);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->merges.empty());
+  EXPECT_EQ(d->CutAt(100.0), std::vector<int32_t>{0});
+}
+
+TEST(DenseHacTest, TwoClustersAtObviousGap) {
+  // Points at 0, 1, 10, 11 on a line (abstract distances).
+  std::vector<double> pos = {0.0, 1.0, 10.0, 11.0};
+  const size_t n = pos.size();
+  std::vector<double> d(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) d[i * n + j] = std::abs(pos[i] - pos[j]);
+  }
+  for (Linkage linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    auto dendro = DenseHac(d, n, linkage);
+    ASSERT_TRUE(dendro.ok());
+    EXPECT_EQ(dendro->merges.size(), n - 1);
+    auto labels = Canonical(dendro->CutAt(2.0));
+    EXPECT_EQ(labels, (std::vector<int32_t>{0, 0, 1, 1}));
+    // Cut above the full tree height: everything together.
+    auto all = Canonical(dendro->CutAt(1000.0));
+    EXPECT_EQ(all, (std::vector<int32_t>{0, 0, 0, 0}));
+    // Cut below the smallest merge: all singletons.
+    auto none = Canonical(dendro->CutAt(0.5));
+    EXPECT_EQ(std::set<int32_t>(none.begin(), none.end()).size(), 4u);
+  }
+}
+
+TEST(DenseHacTest, CompleteLinkageRespectsDiameter) {
+  // Complete-linkage cut at t guarantees intra-cluster diameter <= t.
+  Rng rng(5);
+  std::vector<LatLon> points;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back(Offset(kCenter, rng.NextUniform(0.0, 500.0),
+                            rng.NextUniform(0.0, 360.0)));
+  }
+  auto dendro = DenseHacGeo(points, Linkage::kComplete);
+  ASSERT_TRUE(dendro.ok());
+  const double threshold = 120.0;
+  auto labels = dendro->CutAt(threshold);
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      if (labels[i] == labels[j]) {
+        EXPECT_LE(geo::HaversineMeters(points[i], points[j]),
+                  threshold + 1e-6);
+      }
+    }
+  }
+}
+
+TEST(DenseHacTest, SingleLinkageChains) {
+  // A chain of points 40 m apart: single linkage at 50 m joins the whole
+  // chain; complete linkage cannot.
+  std::vector<LatLon> points;
+  for (int i = 0; i < 8; ++i) {
+    points.push_back(Offset(kCenter, i * 40.0, 90.0));
+  }
+  auto single = DenseHacGeo(points, Linkage::kSingle);
+  auto complete = DenseHacGeo(points, Linkage::kComplete);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(complete.ok());
+  auto single_labels = Canonical(single->CutAt(50.0));
+  auto complete_labels = Canonical(complete->CutAt(50.0));
+  EXPECT_EQ(std::set<int32_t>(single_labels.begin(), single_labels.end()).size(),
+            1u);
+  EXPECT_GT(
+      std::set<int32_t>(complete_labels.begin(), complete_labels.end()).size(),
+      1u);
+}
+
+TEST(ThresholdHacTest, EmptyAndErrors) {
+  auto empty = ThresholdCompleteLinkage({}, 100.0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_FALSE(ThresholdCompleteLinkage({kCenter}, -1.0).ok());
+  EXPECT_FALSE(
+      ThresholdCompleteLinkage({LatLon(999.0, 0.0)}, 100.0).ok());
+}
+
+TEST(ThresholdHacTest, IsolatedPointsStaySingletons) {
+  std::vector<LatLon> points = {
+      kCenter, Offset(kCenter, 500.0, 0.0), Offset(kCenter, 500.0, 180.0)};
+  auto labels = ThresholdCompleteLinkage(points, 100.0);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(std::set<int32_t>(labels->begin(), labels->end()).size(), 3u);
+}
+
+TEST(ThresholdHacTest, TightGroupMerges) {
+  std::vector<LatLon> points = {
+      kCenter, Offset(kCenter, 30.0, 0.0), Offset(kCenter, 30.0, 120.0),
+      Offset(kCenter, 2000.0, 90.0)};
+  auto labels = ThresholdCompleteLinkage(points, 100.0);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ((*labels)[0], (*labels)[1]);
+  EXPECT_EQ((*labels)[0], (*labels)[2]);
+  EXPECT_NE((*labels)[0], (*labels)[3]);
+}
+
+TEST(ThresholdHacTest, DiameterInvariantHolds) {
+  Rng rng(11);
+  std::vector<LatLon> points;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back(Offset(kCenter, rng.NextUniform(0.0, 800.0),
+                            rng.NextUniform(0.0, 360.0)));
+  }
+  const double threshold = 100.0;
+  auto labels = ThresholdCompleteLinkage(points, threshold);
+  ASSERT_TRUE(labels.ok());
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      if ((*labels)[i] == (*labels)[j]) {
+        EXPECT_LE(geo::HaversineMeters(points[i], points[j]),
+                  threshold + 1e-6);
+      }
+    }
+  }
+}
+
+// Property test: the scalable threshold HAC must produce exactly the same
+// partition as the dense reference implementation cut at the same level.
+class ThresholdEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double, int>> {};
+
+TEST_P(ThresholdEquivalenceTest, MatchesDenseReference) {
+  auto [seed, threshold, n] = GetParam();
+  Rng rng(seed);
+  std::vector<LatLon> points;
+  for (int i = 0; i < n; ++i) {
+    points.push_back(Offset(kCenter, rng.NextUniform(0.0, 600.0),
+                            rng.NextUniform(0.0, 360.0)));
+  }
+  auto sparse = ThresholdCompleteLinkage(points, threshold);
+  auto dense = DenseHacGeo(points, Linkage::kComplete);
+  ASSERT_TRUE(sparse.ok());
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(Canonical(*sparse), Canonical(dense->CutAt(threshold)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThresholdEquivalenceTest,
+    ::testing::Values(std::tuple<uint64_t, double, int>{1, 80.0, 50},
+                      std::tuple<uint64_t, double, int>{2, 120.0, 100},
+                      std::tuple<uint64_t, double, int>{3, 60.0, 150},
+                      std::tuple<uint64_t, double, int>{4, 200.0, 80},
+                      std::tuple<uint64_t, double, int>{5, 100.0, 120}));
+
+TEST(ThresholdHacTest, DuplicatePointsMergeAtZeroDistance) {
+  std::vector<LatLon> points = {kCenter, kCenter, kCenter,
+                                Offset(kCenter, 500.0, 0.0)};
+  auto labels = ThresholdCompleteLinkage(points, 10.0);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ((*labels)[0], (*labels)[1]);
+  EXPECT_EQ((*labels)[1], (*labels)[2]);
+  EXPECT_NE((*labels)[0], (*labels)[3]);
+}
+
+}  // namespace
+}  // namespace bikegraph::cluster

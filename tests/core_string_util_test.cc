@@ -1,0 +1,97 @@
+#include "core/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace bikegraph {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoDelimiterYieldsWholeString) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(ToLowerTest, AsciiLowercasing) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+}
+
+TEST(ParseIntTest, ParsesValidIntegers) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt("-17"), -17);
+  EXPECT_EQ(*ParseInt("  99  "), 99);
+  EXPECT_EQ(*ParseInt("0"), 0);
+}
+
+TEST(ParseIntTest, RejectsInvalid) {
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("abc").ok());
+  EXPECT_FALSE(ParseInt("12x").ok());
+  EXPECT_FALSE(ParseInt("1.5").ok());
+  EXPECT_FALSE(ParseInt("999999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, ParsesValidDoubles) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-6.2603"), -6.2603);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsInvalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("12.3.4").ok());
+  EXPECT_FALSE(ParseDouble("lat").ok());
+}
+
+TEST(FormatTest, FormatDoubleDecimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+TEST(FormatTest, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(61872), "61,872");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-61872), "-61,872");
+}
+
+}  // namespace
+}  // namespace bikegraph

@@ -1,0 +1,151 @@
+#include "data/cleaning.h"
+
+#include "core/civil_time.h"
+#include "geo/dublin.h"
+
+#include <gtest/gtest.h>
+
+namespace bikegraph::data {
+namespace {
+
+CivilTime At(int h) {
+  return CivilTime::FromCalendar(2020, 6, 1, h, 0, 0).ValueOrDie();
+}
+
+RentalRecord Rental(int64_t id, int64_t from, int64_t to) {
+  RentalRecord r;
+  r.id = id;
+  r.bike_id = 1;
+  r.start_time = At(8);
+  r.end_time = At(9);
+  r.rental_location_id = from;
+  r.return_location_id = to;
+  return r;
+}
+
+/// A dirty fixture with exactly one violation per cleaning rule.
+Dataset DirtyDataset() {
+  std::vector<LocationRecord> locs = {
+      {1, {53.35, -6.26}, true, "Stn A"},       // good station
+      {2, {53.36, -6.25}, true, "Stn B"},       // good station
+      {3, {53.34, -6.27}, false, ""},           // good dockless
+      {4, geo::OutsideDublinPoint(), false, ""},  // rule 1
+      {5, geo::InBayPoint(), false, ""},          // rule 2
+      {7, {53.33, -6.28}, false, ""},             // rule 6 (unreferenced)
+  };
+  LocationRecord missing;  // rule 3
+  missing.id = 6;
+  locs.push_back(missing);
+
+  std::vector<RentalRecord> rentals = {
+      Rental(1, 1, 3),  // good
+      Rental(2, 3, 2),  // good
+      Rental(3, 1, 4),  // touches outside-Dublin location
+      Rental(4, 5, 1),  // touches water location
+      Rental(5, 6, 2),  // touches missing-coords location
+      Rental(6, kInvalidId, 1),  // rule 4
+      Rental(7, 1, 999),         // rule 5 (dangling)
+  };
+  return Dataset(std::move(locs), std::move(rentals));
+}
+
+TEST(CleaningTest, RemovesEachDirtClass) {
+  auto result = CleanDataset(DirtyDataset(), geo::DublinLand());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const CleaningReport& rep = result->report;
+
+  EXPECT_EQ(rep.locations_outside_area, 1u);
+  EXPECT_EQ(rep.locations_in_water, 1u);
+  EXPECT_EQ(rep.locations_missing_coords, 1u);
+  EXPECT_EQ(rep.rentals_at_bad_locations, 3u);
+  EXPECT_EQ(rep.rentals_missing_ids, 1u);
+  EXPECT_EQ(rep.rentals_dangling_ids, 1u);
+  EXPECT_EQ(rep.locations_unreferenced, 1u);
+
+  EXPECT_EQ(rep.before.rental_count, 7u);
+  EXPECT_EQ(rep.after.rental_count, 2u);
+  EXPECT_EQ(rep.before.location_count, 7u);
+  EXPECT_EQ(rep.after.location_count, 3u);
+  EXPECT_EQ(rep.TotalRentalsDropped(), 5u);
+  EXPECT_EQ(rep.TotalLocationsDropped(), 4u);
+}
+
+TEST(CleaningTest, CleanedDatasetValidates) {
+  auto result = CleanDataset(DirtyDataset(), geo::DublinLand());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->dataset.Validate().ok());
+}
+
+TEST(CleaningTest, CleanInputPassesThrough) {
+  std::vector<LocationRecord> locs = {
+      {1, {53.35, -6.26}, true, "Stn A"},
+      {2, {53.34, -6.27}, false, ""},
+  };
+  std::vector<RentalRecord> rentals = {Rental(1, 1, 2), Rental(2, 2, 1)};
+  Dataset ds(std::move(locs), std::move(rentals));
+  auto result = CleanDataset(ds, geo::DublinLand());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->report.after.rental_count, 2u);
+  EXPECT_EQ(result->report.after.location_count, 2u);
+  EXPECT_EQ(result->report.TotalRentalsDropped(), 0u);
+  EXPECT_EQ(result->report.TotalLocationsDropped(), 0u);
+}
+
+TEST(CleaningTest, StationRemovalIsCounted) {
+  std::vector<LocationRecord> locs = {
+      {1, {53.35, -6.26}, true, "Good Stn"},
+      {2, geo::InBayPoint(), true, "Sunken Stn"},
+      {3, {53.34, -6.27}, false, ""},
+  };
+  std::vector<RentalRecord> rentals = {Rental(1, 1, 3)};
+  Dataset ds(std::move(locs), std::move(rentals));
+  auto result = CleanDataset(ds, geo::DublinLand());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->report.stations_removed, 1u);
+  EXPECT_EQ(result->report.after.station_count, 1u);
+}
+
+TEST(CleaningTest, StationsSurviveViaAnyReference) {
+  // A station referenced only as a destination must survive rule 6.
+  std::vector<LocationRecord> locs = {
+      {1, {53.35, -6.26}, true, "Origin Stn"},
+      {2, {53.36, -6.25}, true, "Dest Stn"},
+  };
+  std::vector<RentalRecord> rentals = {Rental(1, 1, 2)};
+  Dataset ds(std::move(locs), std::move(rentals));
+  auto result = CleanDataset(ds, geo::DublinLand());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->report.after.station_count, 2u);
+}
+
+TEST(CleaningTest, CascadeRemovesRentalsBeforeRule6) {
+  // Location 3 is only referenced by a rental that dies with location 4
+  // (outside Dublin) — so 3 must fall to rule 6.
+  std::vector<LocationRecord> locs = {
+      {1, {53.35, -6.26}, true, "Stn"},
+      {2, {53.34, -6.27}, false, ""},
+      {3, {53.33, -6.28}, false, ""},
+      {4, geo::OutsideDublinPoint(), false, ""},
+  };
+  std::vector<RentalRecord> rentals = {Rental(1, 1, 2), Rental(2, 3, 4)};
+  Dataset ds(std::move(locs), std::move(rentals));
+  auto result = CleanDataset(ds, geo::DublinLand());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->report.locations_unreferenced, 1u);
+  EXPECT_FALSE(result->dataset.HasLocation(3));
+  EXPECT_FALSE(result->dataset.HasLocation(4));
+}
+
+TEST(CleaningTest, ReportToStringMentionsEveryRule) {
+  auto result = CleanDataset(DirtyDataset(), geo::DublinLand());
+  ASSERT_TRUE(result.ok());
+  std::string text = result->report.ToString();
+  for (const char* needle :
+       {"rule 1", "rule 2", "rule 3", "rule 4", "rule 5", "rule 6",
+        "stations removed"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace bikegraph::data

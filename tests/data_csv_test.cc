@@ -1,0 +1,103 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace bikegraph::data {
+namespace {
+
+TEST(CsvReaderTest, BasicParse) {
+  auto table = CsvReader::ParseString("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][2], "6");
+}
+
+TEST(CsvReaderTest, QuotedFieldsWithCommas) {
+  auto table = CsvReader::ParseString("name,pos\n\"Dun Laoghaire, Pier\",x\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "Dun Laoghaire, Pier");
+}
+
+TEST(CsvReaderTest, EscapedQuotes) {
+  auto table = CsvReader::ParseString("a\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvReaderTest, QuotedNewlines) {
+  auto table = CsvReader::ParseString("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvReaderTest, CrLfTolerated) {
+  auto table = CsvReader::ParseString("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvReaderTest, MissingTrailingNewline) {
+  auto table = CsvReader::ParseString("a,b\n1,2");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvReaderTest, EmptyFieldsPreserved) {
+  auto table = CsvReader::ParseString("a,b,c\n,,\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvReaderTest, RowWidthMismatchIsError) {
+  auto table = CsvReader::ParseString("a,b\n1,2,3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CsvReaderTest, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(CsvReader::ParseString("a\n\"oops\n").ok());
+}
+
+TEST(CsvReaderTest, EmptyDocumentIsError) {
+  EXPECT_FALSE(CsvReader::ParseString("").ok());
+}
+
+TEST(CsvReaderTest, MissingFileIsIOError) {
+  auto r = CsvReader::ReadFile("/no/such/file.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTableTest, ColumnIndexLookup) {
+  auto table = CsvReader::ParseString("id,lat,lon\n1,2,3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ColumnIndex("lat"), 1);
+  EXPECT_EQ(table->ColumnIndex("missing"), -1);
+}
+
+TEST(CsvWriterTest, RoundTripThroughReader) {
+  CsvWriter w({"name", "value"});
+  ASSERT_TRUE(w.AddRow({"plain", "1"}).ok());
+  ASSERT_TRUE(w.AddRow({"with,comma", "2"}).ok());
+  ASSERT_TRUE(w.AddRow({"with\"quote", "3"}).ok());
+  ASSERT_TRUE(w.AddRow({"with\nnewline", "4"}).ok());
+  auto table = CsvReader::ParseString(w.ToString());
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 4u);
+  EXPECT_EQ(table->rows[1][0], "with,comma");
+  EXPECT_EQ(table->rows[2][0], "with\"quote");
+  EXPECT_EQ(table->rows[3][0], "with\nnewline");
+}
+
+TEST(CsvWriterTest, RowWidthEnforced) {
+  CsvWriter w({"a", "b"});
+  EXPECT_FALSE(w.AddRow({"only-one"}).ok());
+  EXPECT_TRUE(w.AddRow({"x", "y"}).ok());
+  EXPECT_EQ(w.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace bikegraph::data

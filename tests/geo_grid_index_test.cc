@@ -1,0 +1,157 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/rng.h"
+#include "geo/haversine.h"
+
+#include <gtest/gtest.h>
+
+namespace bikegraph::geo {
+namespace {
+
+TEST(GridIndexTest, EmptyIndexBehaviour) {
+  GridIndex index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.WithinRadius({53.35, -6.26}, 100.0).size(), 0u);
+  EXPECT_EQ(index.Nearest({53.35, -6.26}).id, -1);
+}
+
+TEST(GridIndexTest, RejectsInvalidPoints) {
+  GridIndex index;
+  EXPECT_FALSE(index.Add(1, LatLon(std::nan(""), 0.0)));
+  EXPECT_TRUE(index.Add(2, LatLon(53.35, -6.26)));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(GridIndexTest, WithinRadiusExactBoundary) {
+  GridIndex index(50.0);
+  LatLon center(53.35, -6.26);
+  index.Add(1, Offset(center, 99.9, 90.0));
+  index.Add(2, Offset(center, 100.1, 90.0));
+  auto hits = index.WithinRadius(center, 100.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(GridIndexTest, NearestFindsClosest) {
+  GridIndex index(100.0);
+  LatLon center(53.35, -6.26);
+  index.Add(10, Offset(center, 500.0, 0.0));
+  index.Add(20, Offset(center, 120.0, 90.0));
+  index.Add(30, Offset(center, 3000.0, 180.0));
+  auto nearest = index.Nearest(center);
+  EXPECT_EQ(nearest.id, 20);
+  EXPECT_NEAR(nearest.distance_m, 120.0, 0.5);
+}
+
+TEST(GridIndexTest, NearestWithExclusion) {
+  GridIndex index(100.0);
+  LatLon center(53.35, -6.26);
+  index.Add(1, center);
+  index.Add(2, Offset(center, 80.0, 45.0));
+  EXPECT_EQ(index.Nearest(center).id, 1);
+  EXPECT_EQ(index.Nearest(center, /*exclude_id=*/1).id, 2);
+}
+
+TEST(GridIndexTest, NearestAcrossManyCells) {
+  // Nearest neighbour far from the query: the ring search must expand.
+  GridIndex index(50.0);
+  LatLon center(53.35, -6.26);
+  index.Add(7, Offset(center, 4000.0, 270.0));
+  auto nearest = index.Nearest(center);
+  EXPECT_EQ(nearest.id, 7);
+  EXPECT_NEAR(nearest.distance_m, 4000.0, 2.0);
+}
+
+TEST(GridIndexTest, KNearestOrdering) {
+  GridIndex index(100.0);
+  LatLon center(53.35, -6.26);
+  for (int i = 1; i <= 5; ++i) {
+    index.Add(i, Offset(center, i * 100.0, 90.0));
+  }
+  auto knn = index.KNearest(center, 3);
+  ASSERT_EQ(knn.size(), 3u);
+  EXPECT_EQ(knn[0].id, 1);
+  EXPECT_EQ(knn[1].id, 2);
+  EXPECT_EQ(knn[2].id, 3);
+  EXPECT_LT(knn[0].distance_m, knn[1].distance_m);
+}
+
+TEST(GridIndexTest, KNearestFewerThanK) {
+  GridIndex index(100.0);
+  index.Add(1, {53.35, -6.26});
+  EXPECT_EQ(index.KNearest({53.35, -6.26}, 10).size(), 1u);
+}
+
+TEST(GridIndexTest, PointOfReturnsStoredCoordinate) {
+  GridIndex index;
+  LatLon p(53.351234, -6.267890);
+  index.Add(42, p);
+  EXPECT_EQ(index.PointOf(42), p);
+  EXPECT_TRUE(std::isnan(index.PointOf(99).lat));
+}
+
+TEST(GridIndexTest, CountMatchesList) {
+  GridIndex index(75.0);
+  LatLon center(53.35, -6.26);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    index.Add(i, Offset(center, rng.NextUniform(0.0, 400.0),
+                        rng.NextUniform(0.0, 360.0)));
+  }
+  for (double radius : {50.0, 150.0, 399.0}) {
+    EXPECT_EQ(index.CountWithinRadius(center, radius),
+              index.WithinRadius(center, radius).size());
+  }
+}
+
+// Property test: grid results match a brute-force scan for random points
+// and radii (various cell sizes).
+class GridIndexPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridIndexPropertyTest, MatchesBruteForce) {
+  const double cell_size = GetParam();
+  GridIndex index(cell_size);
+  Rng rng(99);
+  const LatLon center(53.35, -6.26);
+  std::vector<LatLon> points;
+  for (int i = 0; i < 500; ++i) {
+    LatLon p = Offset(center, rng.NextUniform(0.0, 2000.0),
+                      rng.NextUniform(0.0, 360.0));
+    points.push_back(p);
+    index.Add(i, p);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    LatLon q = Offset(center, rng.NextUniform(0.0, 1500.0),
+                      rng.NextUniform(0.0, 360.0));
+    double radius = rng.NextUniform(10.0, 800.0);
+
+    std::vector<int64_t> expected;
+    int64_t best_id = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < points.size(); ++i) {
+      double d = HaversineMeters(points[i], q);
+      if (d <= radius) expected.push_back(static_cast<int64_t>(i));
+      if (d < best_dist ||
+          (d == best_dist && static_cast<int64_t>(i) < best_id)) {
+        best_dist = d;
+        best_id = static_cast<int64_t>(i);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+
+    EXPECT_EQ(index.WithinRadius(q, radius), expected);
+    auto nearest = index.Nearest(q);
+    EXPECT_EQ(nearest.id, best_id);
+    EXPECT_NEAR(nearest.distance_m, best_dist, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellSizes, GridIndexPropertyTest,
+                         ::testing::Values(25.0, 100.0, 400.0, 2000.0));
+
+}  // namespace
+}  // namespace bikegraph::geo

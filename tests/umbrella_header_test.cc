@@ -1,0 +1,47 @@
+// Verifies that the umbrella header is self-contained and that the main
+// entry points of each module are reachable through it alone.
+
+#include "bikegraph.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeaderTest, CoreTypesReachable) {
+  bikegraph::Status s = bikegraph::Status::OK();
+  EXPECT_TRUE(s.ok());
+  bikegraph::Rng rng(1);
+  EXPECT_LT(rng.NextDouble(), 1.0);
+  auto t = bikegraph::CivilTime::FromCalendar(2020, 1, 3);
+  EXPECT_TRUE(t.ok());
+}
+
+TEST(UmbrellaHeaderTest, GeoAndDataReachable) {
+  EXPECT_GT(bikegraph::geo::HaversineMeters({53.35, -6.26}, {53.30, -6.13}),
+            0.0);
+  EXPECT_TRUE(bikegraph::geo::DublinLand().Contains({53.3498, -6.2603}));
+  bikegraph::data::SyntheticConfig cfg;
+  EXPECT_EQ(cfg.station_count, 92);
+}
+
+TEST(UmbrellaHeaderTest, GraphAndCommunityReachable) {
+  bikegraph::graphdb::WeightedGraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1.0).ok());
+  auto g = b.Build();
+  auto louvain = bikegraph::community::RunLouvain(g);
+  ASSERT_TRUE(louvain.ok());
+  EXPECT_EQ(louvain->partition.node_count(), 3u);
+}
+
+TEST(UmbrellaHeaderTest, PipelineEntryPointsReachable) {
+  // Type-level smoke: the experiment config composes all module configs.
+  bikegraph::analysis::ExperimentConfig config;
+  EXPECT_EQ(config.pipeline.clustering.cluster_boundary_m, 100.0);
+  EXPECT_EQ(config.pipeline.selection.secondary_distance_m, 250.0);
+  EXPECT_EQ(config.louvain.resolution, 1.0);
+  bikegraph::analysis::PaperExpectations paper;
+  EXPECT_EQ(paper.selected_total_stations, 238u);
+}
+
+}  // namespace

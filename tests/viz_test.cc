@@ -1,0 +1,142 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/civil_time.h"
+#include "expansion/pipeline.h"
+#include "geo/haversine.h"
+#include "viz/ascii_table.h"
+#include "viz/map_export.h"
+
+#include <gtest/gtest.h>
+
+namespace bikegraph::viz {
+namespace {
+
+TEST(AsciiTableTest, RendersHeaderAndRows) {
+  AsciiTable t({"Measure", "Value"});
+  t.AddRow({"#nodes", "1172"});
+  t.AddRow({"#trips", "61872"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("Measure"), std::string::npos);
+  EXPECT_NE(out.find("1172"), std::string::npos);
+  EXPECT_NE(out.find("61872"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(AsciiTableTest, PadsAndTruncatesRows) {
+  AsciiTable t({"a", "b"});
+  t.AddRow({"only-one"});
+  t.AddRow({"x", "y", "z-ignored"});
+  std::string out = t.ToString();
+  EXPECT_EQ(out.find("z-ignored"), std::string::npos);
+}
+
+TEST(AsciiTableTest, SeparatorRows) {
+  AsciiTable t({"x"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::string out = t.ToString();
+  // 2 outer + 1 header + 1 mid separator = 4 separator lines.
+  size_t count = 0, pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++count;
+    pos += 2;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(AsciiTableTest, ColumnsAlignAcrossRows) {
+  AsciiTable t({"name", "n"});
+  t.AddRow({"short", "1"});
+  t.AddRow({"a-much-longer-name", "22"});
+  std::istringstream lines(t.ToString());
+  std::string line;
+  size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+/// Small final network for exporter smoke tests.
+expansion::FinalNetwork SmallNetwork() {
+  const geo::LatLon center(53.35, -6.26);
+  std::vector<data::LocationRecord> locs = {
+      {1, center, true, "A"},
+      {2, geo::Offset(center, 800.0, 90.0), true, "B"},
+  };
+  std::vector<data::RentalRecord> rentals;
+  for (int i = 0; i < 5; ++i) {
+    data::RentalRecord r;
+    r.id = i + 1;
+    r.bike_id = 1;
+    r.start_time = CivilTime::FromCalendar(2020, 6, 1, 8, 0, 0).ValueOrDie();
+    r.end_time = r.start_time.AddSeconds(900);
+    r.rental_location_id = i % 2 == 0 ? 1 : 2;
+    r.return_location_id = i % 2 == 0 ? 2 : 1;
+    rentals.push_back(r);
+  }
+  data::Dataset ds(std::move(locs), std::move(rentals));
+  auto pipeline = expansion::RunExpansionPipeline(ds);
+  EXPECT_TRUE(pipeline.ok());
+  return std::move(pipeline->final_network);
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(MapExportTest, SelectedMapContainsStations) {
+  auto net = SmallNetwork();
+  std::string path = ::testing::TempDir() + "/selected.geojson";
+  ASSERT_TRUE(WriteSelectedMap(net, path).ok());
+  std::string content = ReadAll(path);
+  EXPECT_NE(content.find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(content.find("\"pre_existing\":1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MapExportTest, SelectedMapRejectsBadPercentile) {
+  auto net = SmallNetwork();
+  EXPECT_FALSE(WriteSelectedMap(net, "/tmp/x.geojson", 1.5).ok());
+}
+
+TEST(MapExportTest, CommunityMapTagsCommunities) {
+  auto net = SmallNetwork();
+  community::Partition p;
+  p.assignment = {0, 1};
+  std::string path = ::testing::TempDir() + "/communities.geojson";
+  ASSERT_TRUE(WriteCommunityMap(net, p, path).ok());
+  std::string content = ReadAll(path);
+  EXPECT_NE(content.find("\"community\":1"), std::string::npos);
+  EXPECT_NE(content.find("\"community\":2"), std::string::npos);
+  EXPECT_NE(content.find("\"color\":\"blue\""), std::string::npos);
+  EXPECT_NE(content.find("\"color\":\"orange\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MapExportTest, CommunityMapSizeMismatch) {
+  auto net = SmallNetwork();
+  community::Partition p;
+  p.assignment = {0};
+  EXPECT_FALSE(WriteCommunityMap(net, p, "/tmp/x.geojson").ok());
+}
+
+TEST(MapExportTest, DotExportHasDigraphStructure) {
+  auto net = SmallNetwork();
+  std::string path = ::testing::TempDir() + "/net.dot";
+  ASSERT_TRUE(WriteDot(net, path, /*min_weight=*/1.0).ok());
+  std::string content = ReadAll(path);
+  EXPECT_NE(content.find("digraph"), std::string::npos);
+  EXPECT_NE(content.find("n0 -> n1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bikegraph::viz
