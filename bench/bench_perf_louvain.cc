@@ -29,6 +29,41 @@ graphdb::WeightedGraph CliqueRing(int cliques, int size, uint64_t seed = 5) {
   return b.Build();
 }
 
+// Graph construction cost in isolation: replay a pre-generated edge stream
+// (with duplicates, so weight merging is exercised) into the builder.
+void BM_WeightedGraphBuild(benchmark::State& state) {
+  const int cliques = static_cast<int>(state.range(0));
+  const int size = 12;
+  const int n = cliques * size;
+  struct Edge {
+    int32_t u, v;
+    double w;
+  };
+  std::vector<Edge> edges;
+  Rng rng(11);
+  for (int q = 0; q < cliques; ++q) {
+    for (int i = 0; i < size; ++i) {
+      for (int j = i + 1; j < size; ++j) {
+        edges.push_back(Edge{q * size + i, q * size + j,
+                             0.5 + rng.NextDouble()});
+      }
+    }
+    edges.push_back(Edge{q * size, ((q + 1) % cliques) * size + 1, 0.5});
+  }
+  // Duplicate a third of the edges to exercise parallel-edge merging.
+  const size_t base = edges.size();
+  for (size_t i = 0; i < base; i += 3) edges.push_back(edges[i]);
+  for (auto _ : state) {
+    graphdb::WeightedGraphBuilder b(n);
+    for (const Edge& e : edges) (void)b.AddEdge(e.u, e.v, e.w);
+    auto g = b.Build();
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_WeightedGraphBuild)->Arg(50)->Arg(200)->Arg(800);
+
 void BM_Louvain(benchmark::State& state) {
   auto g = CliqueRing(static_cast<int>(state.range(0)), 12);
   for (auto _ : state) {

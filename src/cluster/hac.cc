@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <limits>
 #include <queue>
-#include <unordered_map>
 
 #include "geo/grid_index.h"
 #include "geo/haversine.h"
@@ -54,15 +52,15 @@ std::vector<int32_t> Dendrogram::CutAt(double threshold) const {
       intact[new_id] = false;
     }
   }
-  // Labels considering only point entries.
+  // Labels considering only point entries; roots are dense cluster ids, so
+  // a flat remap table suffices.
   std::vector<int32_t> labels(n, -1);
-  std::unordered_map<int32_t, int32_t> remap;
+  std::vector<int32_t> remap(n + merges.size(), -1);
+  int32_t next = 0;
   for (size_t i = 0; i < n; ++i) {
     int32_t root = uf.Find(static_cast<int32_t>(i));
-    auto [it, inserted] =
-        remap.emplace(root, static_cast<int32_t>(remap.size()));
-    labels[i] = it->second;
-    (void)inserted;
+    if (remap[root] < 0) remap[root] = next++;
+    labels[i] = remap[root];
   }
   return labels;
 }
@@ -169,10 +167,17 @@ Result<Dendrogram> DenseHacGeo(const std::vector<geo::LatLon>& points,
                                Linkage linkage) {
   const size_t n = points.size();
   if (n == 0) return Status::InvalidArgument("empty input");
+  // Precompute per-point cos(latitude) once: the O(n^2) matrix fill then
+  // pays two sin calls per pair instead of two sin and two cos.
+  std::vector<double> cos_lat(n);
+  for (size_t i = 0; i < n; ++i) {
+    cos_lat[i] = std::cos(geo::DegToRad(points[i].lat));
+  }
   std::vector<double> d(n * n, 0.0);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
-      double dist = geo::HaversineMeters(points[i], points[j]);
+      double dist = geo::HaversineMetersWithCos(points[i], points[j],
+                                                cos_lat[i], cos_lat[j]);
       d[i * n + j] = dist;
       d[j * n + i] = dist;
     }
@@ -199,40 +204,60 @@ Result<std::vector<int32_t>> ThresholdCompleteLinkage(
     grid.Add(static_cast<int64_t>(i), points[i]);
   }
 
-  // Cluster slots: 0..n-1 are points; merged clusters append new slots.
-  // A heap entry (a, b) is valid iff both slots are still active: the
-  // complete-linkage distance between two clusters never changes while both
-  // survive, so no version counters are needed.
-  std::vector<std::unordered_map<int32_t, double>> nbrs(n);
+  // Cluster slots: 0..n-1 are points; merged clusters append new slots, so
+  // there are at most 2n-1 slots in total. A heap entry (a, b) is valid iff
+  // both slots are still active: the complete-linkage distance between two
+  // clusters never changes while both survive, so no version counters are
+  // needed.
+  //
+  // Per-slot neighbour lists are flat (slot, distance) vectors. Entries
+  // pointing at deactivated slots are skipped on read instead of erased
+  // (lazy deletion); slot ids are never reused, so each list holds at most
+  // one entry per active slot.
+  struct Entry {
+    int32_t slot;
+    double dist;
+  };
+  const size_t max_slots = 2 * n;
+  std::vector<std::vector<Entry>> nbrs(n);
   std::vector<bool> active(n, true);
+  nbrs.reserve(max_slots);
+  active.reserve(max_slots);
 
   struct HeapEntry {
     double dist;
     int32_t a, b;
-    bool operator>(const HeapEntry& o) const {
-      if (dist != o.dist) return dist > o.dist;
-      if (a != o.a) return a > o.a;
-      return b > o.b;
+    bool operator<(const HeapEntry& o) const {
+      if (dist != o.dist) return dist < o.dist;
+      if (a != o.a) return a < o.a;
+      return b < o.b;
     }
+    bool operator>(const HeapEntry& o) const { return o < *this; }
   };
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
 
-  for (size_t i = 0; i < n; ++i) {
-    for (int64_t j : grid.WithinRadius(points[i], threshold_m)) {
-      if (j <= static_cast<int64_t>(i)) continue;
-      double dist = geo::HaversineMeters(points[i], points[j]);
-      if (dist > threshold_m) continue;
-      nbrs[i].emplace(static_cast<int32_t>(j), dist);
-      nbrs[j].emplace(static_cast<int32_t>(i), dist);
-      heap.push(
-          HeapEntry{dist, static_cast<int32_t>(i), static_cast<int32_t>(j)});
-    }
-  }
+  // Candidate pairs arrive in two streams. The initial within-threshold
+  // pairs are sorted once and consumed by index — skipping a stale entry is
+  // O(1) instead of a heap pop (the vast majority of entries go stale
+  // before they surface). Only merge-generated pairs need a live heap.
+  std::vector<HeapEntry> initial;
+  grid.ForEachPairWithinRadius(
+      threshold_m, [&](int64_t a64, int64_t b64, double dist) {
+        const int32_t i = static_cast<int32_t>(std::min(a64, b64));
+        const int32_t j = static_cast<int32_t>(std::max(a64, b64));
+        nbrs[i].push_back(Entry{j, dist});
+        nbrs[j].push_back(Entry{i, dist});
+        initial.push_back(HeapEntry{dist, i, j});
+      });
+  std::sort(initial.begin(), initial.end());
+  size_t next_initial = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      generated;
 
   // Union-find over slots; point labels read off at the end.
   std::vector<int32_t> parent(n);
+  parent.reserve(max_slots);
   for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int32_t>(i);
-  std::function<int32_t(int32_t)> find = [&](int32_t x) {
+  auto find = [&parent](int32_t x) {
     while (parent[x] != x) {
       parent[x] = parent[parent[x]];
       x = parent[x];
@@ -240,14 +265,32 @@ Result<std::vector<int32_t>> ThresholdCompleteLinkage(
     return x;
   };
 
-  while (!heap.empty()) {
-    HeapEntry top = heap.top();
-    heap.pop();
-    if (top.a >= static_cast<int32_t>(active.size()) ||
-        top.b >= static_cast<int32_t>(active.size())) {
-      continue;
+  // Flat intersection scratch, reset after every merge.
+  std::vector<double> dist_to(max_slots, 0.0);
+  std::vector<char> mark(max_slots, 0);
+  std::vector<Entry> merged;  // reused per merge
+
+  while (true) {
+    // Drop stale candidates from both streams, then take the global min.
+    while (next_initial < initial.size() &&
+           (!active[initial[next_initial].a] ||
+            !active[initial[next_initial].b])) {
+      ++next_initial;
     }
-    if (!active[top.a] || !active[top.b]) continue;
+    while (!generated.empty() && (!active[generated.top().a] ||
+                                  !active[generated.top().b])) {
+      generated.pop();
+    }
+    HeapEntry top;
+    if (next_initial < initial.size() &&
+        (generated.empty() || initial[next_initial] < generated.top())) {
+      top = initial[next_initial++];
+    } else if (!generated.empty()) {
+      top = generated.top();
+      generated.pop();
+    } else {
+      break;
+    }
 
     // Merge slots a and b into new slot c.
     const int32_t a = top.a, b = top.b;
@@ -260,40 +303,45 @@ Result<std::vector<int32_t>> ThresholdCompleteLinkage(
 
     // Complete linkage: d(c,k) = max(d(a,k), d(b,k)); k must be a
     // within-threshold neighbour of BOTH a and b, otherwise d(c,k) exceeds
-    // the threshold and the pair is dropped forever.
-    std::unordered_map<int32_t, double> merged;
-    const auto& small = nbrs[a].size() <= nbrs[b].size() ? nbrs[a] : nbrs[b];
-    const auto& large = nbrs[a].size() <= nbrs[b].size() ? nbrs[b] : nbrs[a];
-    for (const auto& [k, dk] : small) {
-      if (k == a || k == b) continue;
-      if (!active[k]) continue;
-      auto it = large.find(k);
-      if (it == large.end()) continue;
-      double dck = std::max(dk, it->second);
-      if (dck > threshold_m) continue;
-      merged.emplace(k, dck);
+    // the threshold and the pair is dropped forever. The intersection runs
+    // over the flat lists via the mark scratch — no hashing. Marks are only
+    // ever set for active slots, so the second scan needs no active check.
+    merged.clear();
+    for (const Entry& e : nbrs[a]) {
+      if (!active[e.slot]) continue;
+      mark[e.slot] = 1;
+      dist_to[e.slot] = e.dist;
     }
-    nbrs.push_back(std::move(merged));
-    // Update the surviving neighbours' maps and push fresh heap entries.
-    for (const auto& [k, dck] : nbrs[c]) {
-      nbrs[k].erase(a);
-      nbrs[k].erase(b);
-      nbrs[k].emplace(c, dck);
-      heap.push(HeapEntry{dck, std::min(c, k), std::max(c, k)});
+    for (const Entry& e : nbrs[b]) {
+      if (!mark[e.slot]) continue;
+      mark[e.slot] = 0;  // consume so nothing can match twice
+      const double dck = std::max(dist_to[e.slot], e.dist);
+      if (dck > threshold_m) continue;
+      merged.push_back(Entry{e.slot, dck});
+    }
+    for (const Entry& e : nbrs[a]) mark[e.slot] = 0;
+    nbrs.emplace_back(merged.begin(), merged.end());
+    // Tell the surviving neighbours about c and push fresh heap entries;
+    // their stale a/b entries are skipped lazily via the active flags.
+    for (const Entry& e : nbrs[c]) {
+      nbrs[e.slot].push_back(Entry{c, e.dist});
+      generated.push(
+          HeapEntry{e.dist, std::min(c, e.slot), std::max(c, e.slot)});
     }
     nbrs[a].clear();
+    nbrs[a].shrink_to_fit();
     nbrs[b].clear();
+    nbrs[b].shrink_to_fit();
   }
 
-  // Dense labels for the points.
+  // Dense labels for the points; roots are slot ids, so the remap is flat.
   std::vector<int32_t> labels(n, -1);
-  std::unordered_map<int32_t, int32_t> remap;
+  std::vector<int32_t> remap(nbrs.size(), -1);
+  int32_t next = 0;
   for (size_t i = 0; i < n; ++i) {
     int32_t root = find(static_cast<int32_t>(i));
-    auto [it, inserted] =
-        remap.emplace(root, static_cast<int32_t>(remap.size()));
-    labels[i] = it->second;
-    (void)inserted;
+    if (remap[root] < 0) remap[root] = next++;
+    labels[i] = remap[root];
   }
   return labels;
 }

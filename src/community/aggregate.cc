@@ -6,6 +6,7 @@ graphdb::WeightedGraph AggregateByPartition(
     const graphdb::WeightedGraph& graph, const Partition& partition) {
   const size_t k = partition.CommunityCount();
   graphdb::WeightedGraphBuilder builder(k);
+  builder.Reserve(graph.edge_count() + graph.self_loop_count());
   for (size_t u = 0; u < graph.node_count(); ++u) {
     const int32_t cu = partition.assignment[u];
     const double self = graph.self_weight(static_cast<int32_t>(u));

@@ -1,7 +1,6 @@
 #include "community/fast_greedy.h"
 
 #include <queue>
-#include <unordered_map>
 
 #include "community/modularity.h"
 
@@ -19,15 +18,31 @@ Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph) {
   }
   const double two_m = 2.0 * m;
 
-  // Community slots: 0..n-1 singletons; merges append. e_ij = w_ij / 2m
-  // between distinct communities; a_i = strength_i / 2m.
-  std::vector<std::unordered_map<int32_t, double>> e(n);
+  // Community slots: 0..n-1 singletons; merges append, so there are at most
+  // 2n-1 slots over the whole run. e_ij = w_ij / 2m between distinct
+  // communities; a_i = strength_i / 2m.
+  //
+  // Per-slot neighbour lists are flat (slot, weight) vectors. Entries
+  // pointing at deactivated slots are skipped on read instead of erased
+  // (lazy deletion): a slot id is never reused, so at most one entry per
+  // list refers to any active slot.
+  struct Entry {
+    int32_t slot;
+    double e;
+  };
+  const size_t max_slots = 2 * n;
+  std::vector<std::vector<Entry>> e(n);
   std::vector<double> a(n);
   std::vector<bool> active(n, true);
+  e.reserve(max_slots);
+  a.reserve(max_slots);
+  active.reserve(max_slots);
   for (size_t u = 0; u < n; ++u) {
     a[u] = graph.strength(static_cast<int32_t>(u)) / two_m;
-    for (const auto& nb : graph.neighbors(static_cast<int32_t>(u))) {
-      e[u][nb.node] = nb.weight / two_m;
+    auto nbs = graph.neighbors(static_cast<int32_t>(u));
+    e[u].reserve(nbs.size());
+    for (const auto& nb : nbs) {
+      e[u].push_back(Entry{nb.node, nb.weight / two_m});
     }
   }
 
@@ -54,6 +69,7 @@ Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph) {
 
   // Union-find over slots.
   std::vector<int32_t> parent(n);
+  parent.reserve(max_slots);
   for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int32_t>(i);
   auto find = [&](int32_t x) {
     while (parent[x] != x) {
@@ -62,6 +78,12 @@ Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph) {
     }
     return x;
   };
+
+  // Flat merge scratch, reset through the touched list after every merge.
+  std::vector<double> acc(max_slots, 0.0);
+  std::vector<char> seen(max_slots, 0);
+  std::vector<int32_t> touched;
+  touched.reserve(64);
 
   while (!heap.empty()) {
     Candidate top = heap.top();
@@ -81,25 +103,36 @@ Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph) {
     parent[find(j)] = c;
     ++result.merges;
 
-    std::unordered_map<int32_t, double> merged;
+    touched.clear();
     for (const auto& src : {i, j}) {
       for (const auto& [k, eik] : e[src]) {
         if (k == i || k == j) continue;
         if (!active[k]) continue;
-        merged[k] += eik;
+        if (!seen[k]) {
+          seen[k] = 1;
+          touched.push_back(k);
+        }
+        acc[k] += eik;
       }
     }
     a.push_back(a[i] + a[j]);
+    std::vector<Entry> merged;
+    merged.reserve(touched.size());
+    for (int32_t k : touched) {
+      merged.push_back(Entry{k, acc[k]});
+      acc[k] = 0.0;
+      seen[k] = 0;
+    }
     e.push_back(std::move(merged));
     for (const auto& [k, eck] : e[c]) {
-      e[k].erase(i);
-      e[k].erase(j);
-      e[k][c] = eck;
+      e[k].push_back(Entry{c, eck});  // i/j leftovers are skipped lazily
       heap.push(Candidate{delta_q(std::min(c, k), std::max(c, k), eck),
                           std::min(c, k), std::max(c, k)});
     }
     e[i].clear();
+    e[i].shrink_to_fit();
     e[j].clear();
+    e[j].shrink_to_fit();
   }
 
   // Labels for original nodes.

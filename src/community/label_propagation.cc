@@ -1,7 +1,5 @@
 #include "community/label_propagation.h"
 
-#include <unordered_map>
-
 #include "core/rng.h"
 
 namespace bikegraph::community {
@@ -25,7 +23,12 @@ Result<LabelPropagationResult> RunLabelPropagation(
   std::vector<int32_t> order(n);
   for (size_t i = 0; i < n; ++i) order[i] = static_cast<int32_t>(i);
 
-  std::unordered_map<int32_t, double> votes;
+  // Flat vote scratch indexed by label (labels stay < n); reset via the
+  // touched list so each node costs O(degree), allocation-free.
+  std::vector<double> votes(n, 0.0);
+  std::vector<char> seen(n, 0);
+  std::vector<int32_t> touched;
+  touched.reserve(64);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
     rng.Shuffle(&order);
@@ -33,17 +36,28 @@ Result<LabelPropagationResult> RunLabelPropagation(
     for (int32_t u : order) {
       auto nbs = graph.neighbors(u);
       if (nbs.empty()) continue;
-      votes.clear();
-      for (const auto& nb : nbs) votes[labels[nb.node]] += nb.weight;
+      for (const auto& nb : nbs) {
+        const int32_t l = labels[nb.node];
+        if (!seen[l]) {
+          seen[l] = 1;
+          touched.push_back(l);
+        }
+        votes[l] += nb.weight;
+      }
+      // Exact argmax of (weight, -label): order-independent, so the touched
+      // list needs no sorting; scratch reset is fused into the scan.
       int32_t best = labels[u];
       double best_w = -1.0;
-      for (const auto& [label, w] : votes) {
-        if (w > best_w + 1e-12 ||
-            (w > best_w - 1e-12 && label < best)) {
+      for (int32_t label : touched) {
+        const double w = votes[label];
+        votes[label] = 0.0;
+        seen[label] = 0;
+        if (w > best_w || (w == best_w && label < best)) {
           best_w = w;
           best = label;
         }
       }
+      touched.clear();
       if (best != labels[u]) {
         labels[u] = best;
         changed = true;

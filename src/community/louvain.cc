@@ -1,8 +1,5 @@
 #include "community/louvain.h"
 
-#include <cmath>
-#include <unordered_map>
-
 #include "core/rng.h"
 #include "community/aggregate.h"
 #include "community/modularity.h"
@@ -40,54 +37,92 @@ LocalMoveOutcome LocalMoving(const WeightedGraph& g,
   for (size_t i = 0; i < n; ++i) order[i] = static_cast<int32_t>(i);
   rng->Shuffle(&order);
 
-  // Scratch: weight from the current node to each neighbouring community.
-  std::unordered_map<int32_t, double> w_to_comm;
-  const double two_m = 2.0 * m;
+  // Flat scratch: weight from the current node to each neighbouring
+  // community, indexed by community label (always < n). Only the entries in
+  // `touched` are live; they are reset after every node, so the cost per
+  // node is O(degree), not O(n).
+  std::vector<double> w_to_comm(n, 0.0);
+  std::vector<char> comm_seen(n, 0);
+  std::vector<int32_t> touched;
+  touched.reserve(64);
+  const double inv_two_m = 1.0 / (2.0 * m);
+
+  // Pruned local moving: after the initial shuffled pass, only nodes whose
+  // neighbourhood changed are re-evaluated (a ring-buffer work queue instead
+  // of full sweeps — the standard Louvain pruning). The evaluation budget
+  // matches the seed's sweep cap.
+  std::vector<int32_t> queue(order);
+  std::vector<char> in_queue(n, 1);
+  size_t head = 0;
+  size_t budget =
+      static_cast<size_t>(options.max_sweeps_per_level) * n;
 
   bool any_move_ever = false;
-  for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
-    bool moved_this_sweep = false;
-    for (int32_t u : order) {
-      const int32_t cu = comm[u];
-      const double k_u = g.strength(u);
+  while (head < queue.size() && budget > 0) {
+    --budget;
+    const int32_t u = queue[head++];
+    // Recycle consumed prefix storage once it dominates the buffer.
+    if (head >= 16384 && head * 2 >= queue.size()) {
+      queue.erase(queue.begin(), queue.begin() + static_cast<long>(head));
+      head = 0;
+    }
+    in_queue[u] = 0;
 
-      w_to_comm.clear();
-      w_to_comm[cu];  // ensure current community is a candidate
-      for (const auto& nb : g.neighbors(u)) {
-        w_to_comm[comm[nb.node]] += nb.weight;
+    const int32_t cu = comm[u];
+    const double k_u = g.strength(u);
+
+    comm_seen[cu] = 1;  // ensure current community is a candidate
+    touched.push_back(cu);
+    for (const auto& nb : g.neighbors(u)) {
+      const int32_t c = comm[nb.node];
+      if (!comm_seen[c]) {
+        comm_seen[c] = 1;
+        touched.push_back(c);
       }
+      w_to_comm[c] += nb.weight;
+    }
 
-      // Remove u from its community.
-      sigma_tot[cu] -= k_u;
+    // Remove u from its community.
+    sigma_tot[cu] -= k_u;
 
-      // Gain of joining community c:
-      //   ΔQ ∝ w(u→c) − γ · k_u · Σ_tot(c) / 2m
-      // (constant terms w.r.t. the choice of c are dropped).
-      int32_t best_comm = cu;
-      double best_gain = w_to_comm[cu] -
-                         options.resolution * k_u * sigma_tot[cu] / two_m;
-      // Strictly-better gain wins; near-ties break to the smaller label for
-      // determinism across platforms.
-      for (const auto& [c, w_uc] : w_to_comm) {
-        if (c == cu) continue;
-        double gain =
-            w_uc - options.resolution * k_u * sigma_tot[c] / two_m;
-        const bool better = gain > best_gain + 1e-12;
-        const bool tie = std::abs(gain - best_gain) <= 1e-12 && c < best_comm;
-        if (better || tie) {
-          if (gain > best_gain) best_gain = gain;
-          best_comm = c;
-        }
-      }
-
-      sigma_tot[best_comm] += k_u;
-      if (best_comm != cu) {
-        comm[u] = best_comm;
-        moved_this_sweep = true;
-        any_move_ever = true;
+    // Gain of joining community c:
+    //   ΔQ ∝ w(u→c) − γ · k_u · Σ_tot(c) / 2m
+    // (constant terms w.r.t. the choice of c are dropped).
+    // The winner is the exact argmax of (gain, -label) among communities
+    // strictly better than staying — an order-independent rule, so the
+    // touched list needs no sorting. Scratch reset is fused into the scan.
+    const double ku_res = options.resolution * k_u * inv_two_m;
+    const double stay_gain = w_to_comm[cu] - ku_res * sigma_tot[cu];
+    int32_t best_comm = cu;
+    double best_gain = stay_gain;
+    for (int32_t c : touched) {
+      const double w_uc = w_to_comm[c];
+      w_to_comm[c] = 0.0;
+      comm_seen[c] = 0;
+      if (c == cu) continue;
+      const double gain = w_uc - ku_res * sigma_tot[c];
+      if (gain > best_gain ||
+          (gain == best_gain && gain > stay_gain && c < best_comm)) {
+        best_gain = gain;
+        best_comm = c;
       }
     }
-    if (!moved_this_sweep) break;
+    touched.clear();
+
+    sigma_tot[best_comm] += k_u;
+    if (best_comm != cu) {
+      comm[u] = best_comm;
+      any_move_ever = true;
+      // Re-evaluate neighbours outside the destination community — members
+      // of best_comm only gained an ally, so they have no new reason to
+      // leave (the standard Louvain pruning rule).
+      for (const auto& nb : g.neighbors(u)) {
+        if (comm[nb.node] != best_comm && !in_queue[nb.node]) {
+          in_queue[nb.node] = 1;
+          queue.push_back(nb.node);
+        }
+      }
+    }
   }
   out.partition.Renumber();
   out.improved = any_move_ever;
@@ -107,25 +142,33 @@ Result<LouvainResult> RunLouvain(const graphdb::WeightedGraph& graph,
   if (n == 0) return result;
 
   Rng rng(options.seed);
-  WeightedGraph level_graph = graph;  // copy; levels shrink quickly
+  // The first level runs on the input graph directly (no copy); aggregated
+  // levels own their shrinking graphs.
+  const WeightedGraph* level_graph = &graph;
+  WeightedGraph owned_level;
   Partition cumulative = Partition::Singletons(n);
   double best_q = Modularity(graph, cumulative, options.resolution);
 
   for (int level = 0; level < options.max_levels; ++level) {
-    LocalMoveOutcome outcome = LocalMoving(level_graph, options, &rng);
+    LocalMoveOutcome outcome = LocalMoving(*level_graph, options, &rng);
     if (!outcome.improved) break;
     Partition candidate = ComposePartitions(cumulative, outcome.partition);
     candidate.Renumber();
-    const double q = Modularity(graph, candidate, options.resolution);
+    // Modularity is invariant under aggregation (self-loops and strengths
+    // are preserved), so score the level partition on the small level graph
+    // instead of rescanning the full input graph.
+    const double q =
+        Modularity(*level_graph, outcome.partition, options.resolution);
     if (q <= best_q + options.min_gain) break;
     best_q = q;
     cumulative = candidate;
     result.level_partitions.push_back(candidate);
     ++result.levels;
-    if (outcome.partition.CommunityCount() == level_graph.node_count()) {
+    if (outcome.partition.CommunityCount() == level_graph->node_count()) {
       break;  // no aggregation possible
     }
-    level_graph = AggregateByPartition(level_graph, outcome.partition);
+    owned_level = AggregateByPartition(*level_graph, outcome.partition);
+    level_graph = &owned_level;
   }
 
   result.partition = cumulative;

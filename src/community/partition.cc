@@ -15,6 +15,27 @@ size_t Partition::CommunityCount() const {
 }
 
 void Partition::Renumber() {
+  // All algorithms in this module keep labels in [0, n), so a flat remap
+  // table covers the common case without hashing; arbitrary labels (e.g.
+  // hand-built partitions) fall back to a hash map.
+  int32_t max_label = -1;
+  bool flat_ok = true;
+  for (int32_t c : assignment) {
+    if (c < 0 || static_cast<size_t>(c) >= 4 * assignment.size() + 64) {
+      flat_ok = false;
+      break;
+    }
+    if (c > max_label) max_label = c;
+  }
+  if (flat_ok) {
+    std::vector<int32_t> remap(static_cast<size_t>(max_label) + 1, -1);
+    int32_t next = 0;
+    for (int32_t& c : assignment) {
+      if (remap[c] < 0) remap[c] = next++;
+      c = remap[c];
+    }
+    return;
+  }
   std::unordered_map<int32_t, int32_t> remap;
   for (int32_t& c : assignment) {
     auto [it, inserted] = remap.emplace(c, static_cast<int32_t>(remap.size()));

@@ -75,11 +75,13 @@ Result<SelectionResult> SelectStations(const CandidateNetwork& network,
   // Lines 10-16: iterative pairwise suppression among surviving candidates.
   // A grid over survivors finds conflicting pairs without O(n^2) scans.
   bool changed = true;
+  std::vector<int32_t> survivors;
+  std::vector<int64_t> in_range;  // reused query buffer, sorted per query
   while (changed) {
     changed = false;
     ++result.suppression_rounds;
     geo::GridIndex survivor_index(std::max(params.secondary_distance_m, 50.0));
-    std::vector<int32_t> survivors;
+    survivors.clear();
     for (size_t i = 0; i < n; ++i) {
       if (result.scores[i] > 0) {
         survivor_index.Add(static_cast<int64_t>(i),
@@ -89,8 +91,14 @@ Result<SelectionResult> SelectStations(const CandidateNetwork& network,
     }
     for (int32_t i : survivors) {
       if (result.scores[i] == 0) continue;  // suppressed earlier this round
-      for (int64_t j : survivor_index.WithinRadius(
-               network.candidates[i].centroid, params.secondary_distance_m)) {
+      // Ascending-id order keeps the loser choice deterministic, so the
+      // visitor fills a reusable buffer that is sorted before use.
+      in_range.clear();
+      survivor_index.ForEachWithinRadius(
+          network.candidates[i].centroid, params.secondary_distance_m,
+          [&](int64_t j, double) { in_range.push_back(j); });
+      std::sort(in_range.begin(), in_range.end());
+      for (int64_t j : in_range) {
         if (j == i || result.scores[j] == 0 || result.scores[i] == 0) continue;
         // Zero the lower-degree member (ties: the higher index loses, so
         // the earlier/denser cluster survives deterministically).

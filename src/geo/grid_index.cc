@@ -19,53 +19,51 @@ GridIndex::CellKey GridIndex::KeyFor(const LatLon& p) const {
                  static_cast<int32_t>(std::floor(p.lon / cell_lon_deg_))};
 }
 
+double GridIndex::RingCellExtentMeters(double query_lat, int32_t ring) const {
+  // Most poleward latitude ring+1 can reach: longitude cells are narrowest
+  // there, so this is the conservative per-ring distance bound.
+  const double reach =
+      std::min(90.0, std::abs(query_lat) +
+                         (static_cast<double>(ring) + 1.0) * cell_lat_deg_);
+  return std::max(1e-9, MinCellExtentMeters(std::cos(DegToRad(reach))));
+}
+
+double GridIndex::MinCellExtentMeters(double cos_query_lat) const {
+  const double cell_lat_m = kEarthRadiusMeters * DegToRad(cell_lat_deg_);
+  // A longitude cell spans cell_lon_deg_ degrees, whose metric width shrinks
+  // with cos(latitude): away from the reference latitude it can be narrower
+  // than the latitude edge, so the ring-termination bound must use the
+  // smaller of the two extents or the search could stop while a closer
+  // point sits in an unvisited lateral cell.
+  const double cell_lon_m = kEarthRadiusMeters * DegToRad(cell_lon_deg_) *
+                            std::max(0.0, cos_query_lat);
+  return std::min(cell_lat_m, cell_lon_m);
+}
+
 bool GridIndex::Add(int64_t id, const LatLon& point) {
   if (!point.IsValid()) return false;
-  cells_[KeyFor(point)].push_back(id);
-  points_[id] = point;
+  const int32_t slot = static_cast<int32_t>(points_.size());
+  points_.push_back(point);
+  ids_.push_back(id);
+  cos_lat_.push_back(std::cos(DegToRad(point.lat)));
+  id_to_slot_[id] = slot;
+  cells_[KeyFor(point)].push_back(slot);
   return true;
 }
 
 std::vector<int64_t> GridIndex::WithinRadius(const LatLon& center,
                                              double radius_m) const {
   std::vector<int64_t> out;
-  if (radius_m < 0.0 || points_.empty()) return out;
-  const double dlat = MetersToLatDegrees(radius_m);
-  const double dlon = MetersToLonDegrees(radius_m, center.lat);
-  const CellKey lo = KeyFor(LatLon(center.lat - dlat, center.lon - dlon));
-  const CellKey hi = KeyFor(LatLon(center.lat + dlat, center.lon + dlon));
-  for (int32_t row = lo.row; row <= hi.row; ++row) {
-    for (int32_t col = lo.col; col <= hi.col; ++col) {
-      auto it = cells_.find(CellKey{row, col});
-      if (it == cells_.end()) continue;
-      for (int64_t id : it->second) {
-        if (HaversineMeters(points_.at(id), center) <= radius_m) {
-          out.push_back(id);
-        }
-      }
-    }
-  }
+  ForEachWithinRadius(center, radius_m,
+                      [&](int64_t id, double) { out.push_back(id); });
   std::sort(out.begin(), out.end());
   return out;
 }
 
 size_t GridIndex::CountWithinRadius(const LatLon& center,
                                     double radius_m) const {
-  if (radius_m < 0.0 || points_.empty()) return 0;
-  const double dlat = MetersToLatDegrees(radius_m);
-  const double dlon = MetersToLonDegrees(radius_m, center.lat);
-  const CellKey lo = KeyFor(LatLon(center.lat - dlat, center.lon - dlon));
-  const CellKey hi = KeyFor(LatLon(center.lat + dlat, center.lon + dlon));
   size_t count = 0;
-  for (int32_t row = lo.row; row <= hi.row; ++row) {
-    for (int32_t col = lo.col; col <= hi.col; ++col) {
-      auto it = cells_.find(CellKey{row, col});
-      if (it == cells_.end()) continue;
-      for (int64_t id : it->second) {
-        if (HaversineMeters(points_.at(id), center) <= radius_m) ++count;
-      }
-    }
-  }
+  ForEachWithinRadius(center, radius_m, [&](int64_t, double) { ++count; });
   return count;
 }
 
@@ -77,11 +75,9 @@ GridIndex::Neighbor GridIndex::Nearest(const LatLon& query,
   // Expanding ring search: examine cells at increasing Chebyshev radius until
   // the best candidate is provably closer than any unexplored cell.
   const CellKey origin = KeyFor(query);
-  const double cell_m =
-      kEarthRadiusMeters * DegToRad(cell_lat_deg_);  // cell edge in metres
-  // Bound the ring search by the grid's populated extent.
+  const double cos_query = std::cos(DegToRad(query.lat));
+  size_t visited = 0;
   for (int32_t ring = 0;; ++ring) {
-    bool any_cell_checked = false;
     for (int32_t row = origin.row - ring; row <= origin.row + ring; ++row) {
       for (int32_t col = origin.col - ring; col <= origin.col + ring; ++col) {
         // Only the boundary of the ring (interior was covered earlier).
@@ -91,35 +87,44 @@ GridIndex::Neighbor GridIndex::Nearest(const LatLon& query,
         }
         auto it = cells_.find(CellKey{row, col});
         if (it == cells_.end()) continue;
-        any_cell_checked = true;
-        for (int64_t id : it->second) {
-          if (id == exclude_id) continue;
-          double d = HaversineMeters(points_.at(id), query);
+        for (int32_t slot : it->second) {
+          ++visited;
+          if (ids_[slot] == exclude_id) continue;
+          double d = HaversineMetersWithCos(points_[slot], query,
+                                            cos_lat_[slot], cos_query);
           if (d < best.distance_m ||
-              (d == best.distance_m && id < best.id)) {
-            best.id = id;
+              (d == best.distance_m && ids_[slot] < best.id)) {
+            best.id = ids_[slot];
             best.distance_m = d;
           }
         }
       }
     }
     // Stop when we have a hit and the next ring cannot contain anything
-    // closer: the nearest point in ring r+1 is at least r*cell_m away.
-    if (best.id >= 0 && best.distance_m <= ring * cell_m) break;
-    // Safety stop: if we've searched far past the data extent, give up ring
-    // growth and fall back to a full scan.
-    if (ring > 4096) {
-      for (const auto& [id, p] : points_) {
-        if (id == exclude_id) continue;
-        double d = HaversineMeters(p, query);
-        if (d < best.distance_m || (d == best.distance_m && id < best.id)) {
-          best.id = id;
+    // closer: the nearest point in ring r+1 is at least r*cell_m away, with
+    // the cell extent evaluated at the most poleward latitude the next ring
+    // can reach (longitude cells only get narrower toward the poles).
+    if (best.id >= 0 &&
+        best.distance_m <= ring * RingCellExtentMeters(query.lat, ring)) {
+      break;
+    }
+    // Every stored point has been examined — no further ring can help.
+    if (visited >= points_.size()) break;
+    // Far past any sane grid extent (e.g. a degenerate near-pole cell
+    // metric): fall back to an exhaustive scan rather than miss points.
+    if (ring > 1 << 16) {
+      for (size_t slot = 0; slot < points_.size(); ++slot) {
+        if (ids_[slot] == exclude_id) continue;
+        double d = HaversineMetersWithCos(points_[slot], query,
+                                          cos_lat_[slot], cos_query);
+        if (d < best.distance_m ||
+            (d == best.distance_m && ids_[slot] < best.id)) {
+          best.id = ids_[slot];
           best.distance_m = d;
         }
       }
       break;
     }
-    (void)any_cell_checked;
   }
   return best;
 }
@@ -127,24 +132,71 @@ GridIndex::Neighbor GridIndex::Nearest(const LatLon& query,
 std::vector<GridIndex::Neighbor> GridIndex::KNearest(const LatLon& query,
                                                      size_t k,
                                                      int64_t exclude_id) const {
-  std::vector<Neighbor> all;
-  all.reserve(points_.size());
-  for (const auto& [id, p] : points_) {
-    if (id == exclude_id) continue;
-    all.push_back(Neighbor{id, HaversineMeters(p, query)});
+  std::vector<Neighbor> heap;  // max-heap: farthest of the k best at front
+  if (k == 0 || points_.empty()) return heap;
+  heap.reserve(std::min(k, points_.size()) + 1);
+  auto closer = [](const Neighbor& x, const Neighbor& y) {
+    if (x.distance_m != y.distance_m) return x.distance_m < y.distance_m;
+    return x.id < y.id;
+  };
+
+  const CellKey origin = KeyFor(query);
+  const double cos_query = std::cos(DegToRad(query.lat));
+  auto consider = [&](int32_t slot) {
+    if (ids_[slot] == exclude_id) return;
+    Neighbor cand{ids_[slot],
+                  HaversineMetersWithCos(points_[slot], query, cos_lat_[slot],
+                                         cos_query)};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), closer);
+    } else if (closer(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), closer);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), closer);
+    }
+  };
+  size_t visited = 0;
+  for (int32_t ring = 0;; ++ring) {
+    for (int32_t row = origin.row - ring; row <= origin.row + ring; ++row) {
+      for (int32_t col = origin.col - ring; col <= origin.col + ring; ++col) {
+        if (ring > 0 && std::abs(row - origin.row) != ring &&
+            std::abs(col - origin.col) != ring) {
+          continue;
+        }
+        auto it = cells_.find(CellKey{row, col});
+        if (it == cells_.end()) continue;
+        for (int32_t slot : it->second) {
+          ++visited;
+          consider(slot);
+        }
+      }
+    }
+    // The k-th best is provably closer than anything in ring r+1.
+    if (heap.size() == k &&
+        heap.front().distance_m <= ring * RingCellExtentMeters(query.lat,
+                                                               ring)) {
+      break;
+    }
+    if (visited >= points_.size()) break;
+    if (ring > 1 << 16) {  // degenerate metric: exhaustive fallback
+      // Restart from scratch — the ring scan already pushed some of these
+      // slots, and re-considering them would duplicate ids in the heap.
+      heap.clear();
+      for (size_t slot = 0; slot < points_.size(); ++slot) {
+        consider(static_cast<int32_t>(slot));
+      }
+      break;
+    }
   }
-  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
-    if (a.distance_m != b.distance_m) return a.distance_m < b.distance_m;
-    return a.id < b.id;
-  });
-  if (all.size() > k) all.resize(k);
-  return all;
+  std::sort(heap.begin(), heap.end(), closer);
+  return heap;
 }
 
 LatLon GridIndex::PointOf(int64_t id) const {
-  auto it = points_.find(id);
-  if (it == points_.end()) return LatLon(std::nan(""), std::nan(""));
-  return it->second;
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return LatLon(std::nan(""), std::nan(""));
+  return points_[it->second];
 }
 
 }  // namespace bikegraph::geo

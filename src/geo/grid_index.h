@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "geo/bbox.h"
+#include "geo/haversine.h"
 #include "geo/latlon.h"
 
 namespace bikegraph::geo {
@@ -19,7 +21,12 @@ namespace bikegraph::geo {
 /// construction for HAC, Rule 2/4 proximity checks, and nearest-station
 /// reassignment.
 ///
-/// The index is append-only: build it with Add()/Build y querying is valid
+/// Storage is dense: coordinates, caller ids and precomputed cos(latitude)
+/// live in flat arrays indexed by insertion slot, and grid cells hold slot
+/// indices. Queries therefore never hash per distance check — the id hash
+/// map is only consulted by Add() and PointOf().
+///
+/// The index is append-only: build it with Add(); querying is valid
 /// after any Add (no explicit build step required).
 class GridIndex {
  public:
@@ -38,8 +45,122 @@ class GridIndex {
   size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }
 
+  /// Calls `visit(id, distance_m)` for every point within `radius_m` metres
+  /// of `center` (Haversine), inclusive of the boundary. Zero allocations.
+  /// Visit order is deterministic but unspecified (cell-scan order, not
+  /// sorted by id or distance).
+  template <typename Visitor>
+  void ForEachWithinRadius(const LatLon& center, double radius_m,
+                           Visitor&& visit) const {
+    if (radius_m < 0.0 || points_.empty()) return;
+    const double cos_center = std::cos(DegToRad(center.lat));
+    // Cheap rejection on the haversine kernel h: d <= r ⟺ h <= sin²(r/2R).
+    // The bound is padded so rounding can never reject a boundary point;
+    // survivors still take the exact d <= radius_m test, so results match
+    // HaversineMeters bit for bit.
+    const double sin_r = std::sin(radius_m / (2.0 * kEarthRadiusMeters));
+    const double h_max =
+        radius_m >= 3.14 * kEarthRadiusMeters ? 1.1
+                                              : sin_r * sin_r * (1.0 + 1e-9);
+    const double dlat = MetersToLatDegrees(radius_m);
+    // Any point within radius_m differs in latitude by at most dlat
+    // (great-circle distance >= meridian distance), so one compare rejects
+    // the top/bottom bands of the scanned cells before any trig.
+    const double dlat_pad = dlat * (1.0 + 1e-9);
+    const double dlon = MetersToLonDegrees(radius_m, center.lat);
+    const CellKey lo = KeyFor(LatLon(center.lat - dlat, center.lon - dlon));
+    const CellKey hi = KeyFor(LatLon(center.lat + dlat, center.lon + dlon));
+    for (int32_t row = lo.row; row <= hi.row; ++row) {
+      for (int32_t col = lo.col; col <= hi.col; ++col) {
+        auto it = cells_.find(CellKey{row, col});
+        if (it == cells_.end()) continue;
+        for (int32_t slot : it->second) {
+          const LatLon& p = points_[slot];
+          if (std::abs(p.lat - center.lat) > dlat_pad) continue;
+          // Inlined haversine kernel of (p, center) — identical operations
+          // to HaversineMetersWithCos, split so rejected candidates skip
+          // the sqrt/asin tail.
+          const double sin_dphi = std::sin(DegToRad(center.lat - p.lat) / 2.0);
+          const double sin_dlambda =
+              std::sin(DegToRad(center.lon - p.lon) / 2.0);
+          const double h = sin_dphi * sin_dphi + cos_lat_[slot] * cos_center *
+                                                     sin_dlambda * sin_dlambda;
+          if (h > h_max) continue;
+          const double d = 2.0 * kEarthRadiusMeters *
+                           std::asin(std::min(1.0, std::sqrt(h)));
+          if (d <= radius_m) visit(ids_[slot], d);
+        }
+      }
+    }
+  }
+
+  /// Calls `visit(id_a, id_b, distance_m)` once for every unordered pair of
+  /// distinct stored points within `radius_m` of each other (boundary
+  /// inclusive). Each pair is enumerated exactly once via a forward
+  /// half-neighbourhood sweep over the cells, so the whole sweep costs half
+  /// of n per-point radius queries and allocates nothing. Pair order is
+  /// deterministic but unspecified.
+  template <typename Visitor>
+  void ForEachPairWithinRadius(double radius_m, Visitor&& visit) const {
+    if (radius_m < 0.0 || points_.empty()) return;
+    const double sin_r = std::sin(radius_m / (2.0 * kEarthRadiusMeters));
+    const double h_max =
+        radius_m >= 3.14 * kEarthRadiusMeters ? 1.1
+                                              : sin_r * sin_r * (1.0 + 1e-9);
+    const double dlat_pad = MetersToLatDegrees(radius_m) * (1.0 + 1e-9);
+    // Cell spans that cover the radius in each axis; +1 guards the floor
+    // rounding at the query box edges (over-covering only costs a rejected
+    // candidate, never a missed pair).
+    const int32_t row_span =
+        static_cast<int32_t>(dlat_pad / cell_lat_deg_) + 1;
+    auto pair_kernel = [&](int32_t sa, int32_t sb) {
+      const LatLon& pa = points_[sa];
+      const LatLon& pb = points_[sb];
+      if (std::abs(pa.lat - pb.lat) > dlat_pad) return;
+      const double sin_dphi = std::sin(DegToRad(pb.lat - pa.lat) / 2.0);
+      const double sin_dlambda = std::sin(DegToRad(pb.lon - pa.lon) / 2.0);
+      const double h = sin_dphi * sin_dphi + cos_lat_[sa] * cos_lat_[sb] *
+                                                 sin_dlambda * sin_dlambda;
+      if (h > h_max) return;
+      const double d =
+          2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+      if (d <= radius_m) visit(ids_[sa], ids_[sb], d);
+    };
+    for (const auto& [key, slots] : cells_) {
+      // Intra-cell pairs.
+      for (size_t i = 0; i < slots.size(); ++i) {
+        for (size_t j = i + 1; j < slots.size(); ++j) {
+          pair_kernel(slots[i], slots[j]);
+        }
+      }
+      // Inter-cell pairs against the forward half-neighbourhood, so each
+      // cell pair is visited from exactly one side. The longitude span is
+      // evaluated at the most poleward latitude any partner of a point in
+      // this row can occupy — the row's far cell EDGE plus the radius —
+      // because longitude cells narrow toward the poles.
+      const double row_edge_lat =
+          std::max(std::abs(static_cast<double>(key.row)) ,
+                   std::abs(static_cast<double>(key.row) + 1.0)) *
+          cell_lat_deg_;
+      const double dlon = MetersToLonDegrees(
+          radius_m, std::min(89.9, row_edge_lat + dlat_pad));
+      const int32_t col_span = static_cast<int32_t>(dlon / cell_lon_deg_) + 1;
+      for (int32_t dr = 0; dr <= row_span; ++dr) {
+        const int32_t dc_begin = dr == 0 ? 1 : -col_span;
+        for (int32_t dc = dc_begin; dc <= col_span; ++dc) {
+          auto it = cells_.find(CellKey{key.row + dr, key.col + dc});
+          if (it == cells_.end()) continue;
+          for (int32_t sa : slots) {
+            for (int32_t sb : it->second) pair_kernel(sa, sb);
+          }
+        }
+      }
+    }
+  }
+
   /// Ids of all points within `radius_m` metres of `center` (Haversine),
-  /// inclusive of the boundary. Order is unspecified but deterministic.
+  /// inclusive of the boundary, sorted ascending. Prefer
+  /// ForEachWithinRadius in hot loops — this materialises a vector.
   std::vector<int64_t> WithinRadius(const LatLon& center, double radius_m) const;
 
   /// Number of points within `radius_m` of `center` (cheaper than
@@ -55,8 +176,9 @@ class GridIndex {
   };
   Neighbor Nearest(const LatLon& query, int64_t exclude_id = -1) const;
 
-  /// The `k` nearest points (ascending distance). Fewer if the index holds
-  /// fewer than `k` (excluding `exclude_id`).
+  /// The `k` nearest points (ascending distance, ties by id). Fewer if the
+  /// index holds fewer than `k` (excluding `exclude_id`). Expanding-ring
+  /// search: only the cells near the query are inspected.
   std::vector<Neighbor> KNearest(const LatLon& query, size_t k,
                                  int64_t exclude_id = -1) const;
 
@@ -78,10 +200,22 @@ class GridIndex {
 
   CellKey KeyFor(const LatLon& p) const;
 
+  /// Smallest metric extent of a grid cell at `query_lat_rad`'s cosine: the
+  /// safe per-ring distance bound for expanding-ring searches.
+  double MinCellExtentMeters(double cos_query_lat) const;
+
+  /// Conservative per-ring bound: the smallest cell extent anywhere within
+  /// reach of ring `ring`+1 around latitude `query_lat`.
+  double RingCellExtentMeters(double query_lat, int32_t ring) const;
+
   double cell_lat_deg_;
   double cell_lon_deg_;
-  std::unordered_map<CellKey, std::vector<int64_t>, CellKeyHash> cells_;
-  std::unordered_map<int64_t, LatLon> points_;
+  std::unordered_map<CellKey, std::vector<int32_t>, CellKeyHash> cells_;
+  // Dense per-slot storage (slot = insertion order).
+  std::vector<LatLon> points_;
+  std::vector<int64_t> ids_;
+  std::vector<double> cos_lat_;
+  std::unordered_map<int64_t, int32_t> id_to_slot_;
 };
 
 }  // namespace bikegraph::geo

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 #include "geo/latlon.h"
 
 namespace bikegraph::geo {
@@ -11,6 +14,22 @@ namespace bikegraph::geo {
 /// bike-share analysis (tens of metres), unlike the spherical law of
 /// cosines — which is why the paper selects it.
 double HaversineMeters(const LatLon& a, const LatLon& b);
+
+/// \brief Haversine with the two cos(latitude) factors supplied by the
+/// caller. Bit-identical to HaversineMeters when `cos_lat_a/b` equal
+/// `std::cos(DegToRad(a.lat))` / `std::cos(DegToRad(b.lat))` — hot loops
+/// (distance matrices, grid queries) precompute them once per point
+/// instead of twice per pair.
+inline double HaversineMetersWithCos(const LatLon& a, const LatLon& b,
+                                     double cos_lat_a, double cos_lat_b) {
+  const double dphi = DegToRad(b.lat - a.lat);
+  const double dlambda = DegToRad(b.lon - a.lon);
+  const double sin_dphi = std::sin(dphi / 2.0);
+  const double sin_dlambda = std::sin(dlambda / 2.0);
+  const double h = sin_dphi * sin_dphi +
+                   cos_lat_a * cos_lat_b * sin_dlambda * sin_dlambda;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
 
 /// \brief Fast flat-Earth (equirectangular) approximation of the distance in
 /// metres. Accurate to well under 0.1% at intra-city scales; used as the

@@ -1,5 +1,6 @@
 #include "graphdb/weighted_graph.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "graphdb/property_graph.h"
@@ -8,63 +9,116 @@ namespace bikegraph::graphdb {
 
 double WeightedGraph::WeightBetween(int32_t u, int32_t v) const {
   if (u == v) return self_weight_[u];
-  for (const Neighbor& n : neighbors(u)) {
-    if (n.node == v) return n.weight;
-  }
+  auto row = neighbors(u);
+  auto it = std::lower_bound(
+      row.begin(), row.end(), v,
+      [](const Neighbor& n, int32_t node) { return n.node < node; });
+  if (it != row.end() && it->node == v) return it->weight;
   return 0.0;
 }
 
 WeightedGraphBuilder::WeightedGraphBuilder(size_t node_count)
-    : pair_weights_(node_count), self_weight_(node_count, 0.0) {}
+    : node_count_(node_count),
+      check_limit_(static_cast<uint32_t>(
+          std::min<size_t>(node_count, uint32_t{1} << 31))),
+      self_weight_(node_count, 0.0) {}
 
-Status WeightedGraphBuilder::AddEdge(int32_t u, int32_t v, double weight) {
-  if (u < 0 || v < 0 || static_cast<size_t>(u) >= pair_weights_.size() ||
-      static_cast<size_t>(v) >= pair_weights_.size()) {
-    return Status::InvalidArgument("edge endpoint out of range");
-  }
-  if (!std::isfinite(weight) || weight < 0.0) {
-    return Status::InvalidArgument("edge weight must be finite and >= 0");
-  }
-  if (u == v) {
-    self_weight_[u] += weight;
-    return Status::OK();
-  }
-  if (u > v) std::swap(u, v);
-  pair_weights_[u][v] += weight;
-  return Status::OK();
+namespace {
+
+/// One scattered adjacency entry: the key packs (neighbour, slot) so a
+/// plain key sort orders each row by neighbour id while keeping parallel
+/// edges in insertion order — weight accumulation then matches what an
+/// incremental map would have produced, bit for bit. The weight travels in
+/// the same 16 bytes, so neither the sort nor the merge scan touches a
+/// second array.
+struct RowEntry {
+  RowEntry() {}  // intentionally no init: buffers are fully overwritten
+  RowEntry(uint64_t k, double weight) : key(k), w(weight) {}
+  uint64_t key;
+  double w;
+  bool operator<(const RowEntry& o) const { return key < o.key; }
+};
+
+/// `slot` may be any value ascending in insertion order within the row —
+/// the global scatter position qualifies.
+inline uint64_t PackRowKey(int32_t neighbor, uint32_t slot) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(neighbor)) << 32) |
+         slot;
 }
 
+/// Keys are unique, so plain insertion sort; rows are short, so the inline
+/// loop beats a std::sort dispatch per row.
+inline void SortRow(RowEntry* begin, RowEntry* end) {
+  if (end - begin > 32) {
+    std::sort(begin, end);
+    return;
+  }
+  for (RowEntry* i = begin + 1; i < end; ++i) {
+    if (i[-1].key <= i->key) continue;
+    RowEntry tmp = *i;
+    RowEntry* j = i;
+    do {
+      *j = j[-1];
+      --j;
+    } while (j > begin && j[-1].key > tmp.key);
+    *j = tmp;
+  }
+}
+
+}  // namespace
+
 WeightedGraph WeightedGraphBuilder::Build() const {
-  const size_t n = pair_weights_.size();
+  const size_t n = node_count_;
   WeightedGraph g;
   g.self_weight_ = self_weight_;
   g.strength_.assign(n, 0.0);
   g.offsets_.assign(n + 1, 0);
 
-  // First pass: count symmetric adjacency entries.
-  std::vector<size_t> deg(n, 0);
-  size_t pair_count = 0;
-  for (size_t u = 0; u < n; ++u) {
-    for (const auto& [v, w] : pair_weights_[u]) {
-      ++deg[u];
-      ++deg[v];
-      ++pair_count;
-      (void)w;
-    }
+  // Single symmetric counting sort: scatter both directions of every edge
+  // into per-node rows, sort each short row by (neighbour, insertion
+  // order), then merge duplicates straight into the final CSR arrays.
+  const size_t entries = 2 * edges_.size();
+  std::vector<uint32_t> start(n + 1, 0);
+  for (const EdgeTriple& e : edges_) {
+    ++start[e.u + 1];
+    ++start[e.v + 1];
   }
-  g.offsets_[0] = 0;
-  for (size_t u = 0; u < n; ++u) g.offsets_[u + 1] = g.offsets_[u] + deg[u];
-  g.adj_.resize(g.offsets_[n]);
+  for (size_t u = 0; u < n; ++u) start[u + 1] += start[u];
 
-  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (size_t u = 0; u < n; ++u) {
-    for (const auto& [v, w] : pair_weights_[u]) {
-      g.adj_[cursor[u]++] = {static_cast<int32_t>(v), w};
-      g.adj_[cursor[v]++] = {static_cast<int32_t>(u), w};
-      g.strength_[u] += w;
-      g.strength_[v] += w;
-    }
+  // Scatter, using start[] itself as the cursor array — afterwards start[u]
+  // holds the END of row u, so row boundaries are still recoverable.
+  std::vector<RowEntry> rows(entries);
+  for (const EdgeTriple& e : edges_) {
+    const uint32_t p = start[e.u]++;
+    rows[p] = RowEntry(PackRowKey(e.v, p), e.w);
+    const uint32_t q = start[e.v]++;
+    rows[q] = RowEntry(PackRowKey(e.u, q), e.w);
   }
+
+  g.adj_.resize(entries);  // upper bound; Neighbor() performs no init
+  size_t out = 0;
+  size_t pair_count = 0;
+  g.offsets_[0] = 0;
+  for (size_t u = 0; u < n; ++u) {
+    const uint32_t beg = u == 0 ? 0 : start[u - 1], end = start[u];
+    if (end - beg > 1) SortRow(rows.data() + beg, rows.data() + end);
+    double strength = 0.0;
+    for (uint32_t i = beg; i < end;) {
+      const int32_t v = static_cast<int32_t>(rows[i].key >> 32);
+      double w = 0.0;
+      while (i < end && static_cast<int32_t>(rows[i].key >> 32) == v) {
+        w += rows[i].w;
+        ++i;
+      }
+      g.adj_[out++] = WeightedGraph::Neighbor(v, w);
+      strength += w;
+      if (v > static_cast<int32_t>(u)) ++pair_count;
+    }
+    g.strength_[u] = strength;
+    g.offsets_[u + 1] = out;
+  }
+  g.adj_.resize(out);
+  if (g.adj_.capacity() > 2 * (out + 8)) g.adj_.shrink_to_fit();
   g.edge_count_ = pair_count;
   double total = 0.0;
   size_t loops = 0;
@@ -100,54 +154,86 @@ Result<WeightedGraph> ProjectUndirected(const PropertyGraph& graph,
   return builder.Build();
 }
 
-DigraphBuilder::DigraphBuilder(size_t node_count) : out_(node_count) {}
-
-Status DigraphBuilder::AddEdge(int32_t from, int32_t to, double weight) {
-  if (from < 0 || to < 0 || static_cast<size_t>(from) >= out_.size() ||
-      static_cast<size_t>(to) >= out_.size()) {
-    return Status::InvalidArgument("edge endpoint out of range");
-  }
-  if (!std::isfinite(weight) || weight < 0.0) {
-    return Status::InvalidArgument("edge weight must be finite and >= 0");
-  }
-  out_[from][to] += weight;
-  return Status::OK();
-}
+DigraphBuilder::DigraphBuilder(size_t node_count) : node_count_(node_count) {}
 
 Digraph DigraphBuilder::Build() const {
-  const size_t n = out_.size();
+  const size_t n = node_count_;
   Digraph g;
   g.out_offsets_.assign(n + 1, 0);
   g.in_offsets_.assign(n + 1, 0);
   g.out_strength_.assign(n, 0.0);
   g.in_strength_.assign(n, 0.0);
 
-  std::vector<size_t> in_deg(n, 0);
-  size_t total_edges = 0;
+  // Counting sort by `from`, then the same fused in-place sort/merge/compact
+  // as the undirected builder; the in-adjacency is derived from the merged
+  // out-rows afterwards.
+  std::vector<uint32_t> start(n + 1, 0);
+  for (const EdgeTriple& e : edges_) ++start[e.from + 1];
+  for (size_t u = 0; u < n; ++u) start[u + 1] += start[u];
+  g.out_adj_.resize(edges_.size());
+  Digraph::Neighbor* adj = g.out_adj_.data();
+  for (const EdgeTriple& e : edges_) {
+    adj[start[e.from]++] = Digraph::Neighbor(e.to, e.w);
+  }
+  size_t out = 0;
   for (size_t u = 0; u < n; ++u) {
-    total_edges += out_[u].size();
-    for (const auto& [v, w] : out_[u]) {
-      ++in_deg[v];
-      (void)w;
+    const uint32_t beg = u == 0 ? 0 : start[u - 1], end = start[u];
+    uint32_t merged_end = beg;
+    if (end - beg > 64) {
+      std::stable_sort(adj + beg, adj + end,
+                       [](const Digraph::Neighbor& a,
+                          const Digraph::Neighbor& b) {
+                         return a.node < b.node;
+                       });
+      for (uint32_t i = beg; i < end;) {
+        const int32_t v = adj[i].node;
+        double w = adj[i].weight;
+        ++i;
+        while (i < end && adj[i].node == v) {
+          w += adj[i].weight;
+          ++i;
+        }
+        adj[merged_end++] = Digraph::Neighbor(v, w);
+      }
+    } else {
+      for (uint32_t i = beg; i < end; ++i) {
+        const int32_t v = adj[i].node;
+        const double w = adj[i].weight;
+        uint32_t j = merged_end;
+        while (j > beg && adj[j - 1].node > v) --j;
+        if (j > beg && adj[j - 1].node == v) {
+          adj[j - 1].weight += w;
+          continue;
+        }
+        for (uint32_t k = merged_end; k > j; --k) adj[k] = adj[k - 1];
+        adj[j] = Digraph::Neighbor(v, w);
+        ++merged_end;
+      }
     }
+    double strength = 0.0;
+    const uint32_t len = merged_end - beg;
+    for (uint32_t i = 0; i < len; ++i) {
+      const Digraph::Neighbor nb = adj[beg + i];
+      adj[out + i] = nb;
+      strength += nb.weight;
+      ++g.in_offsets_[nb.node + 1];  // in-degree count over merged edges
+    }
+    out += len;
+    g.out_strength_[u] = strength;
+    g.out_offsets_[u + 1] = out;
   }
-  for (size_t u = 0; u < n; ++u) {
-    g.out_offsets_[u + 1] = g.out_offsets_[u] + out_[u].size();
-    g.in_offsets_[u + 1] = g.in_offsets_[u] + in_deg[u];
-  }
-  g.out_adj_.resize(total_edges);
-  g.in_adj_.resize(total_edges);
+  g.out_adj_.resize(out);
 
-  std::vector<size_t> out_cursor(g.out_offsets_.begin(),
-                                 g.out_offsets_.end() - 1);
+  for (size_t u = 0; u < n; ++u) g.in_offsets_[u + 1] += g.in_offsets_[u];
+  g.in_adj_.resize(out);
   std::vector<size_t> in_cursor(g.in_offsets_.begin(),
                                 g.in_offsets_.end() - 1);
   for (size_t u = 0; u < n; ++u) {
-    for (const auto& [v, w] : out_[u]) {
-      g.out_adj_[out_cursor[u]++] = {static_cast<int32_t>(v), w};
-      g.in_adj_[in_cursor[v]++] = {static_cast<int32_t>(u), w};
-      g.out_strength_[u] += w;
-      g.in_strength_[v] += w;
+    for (size_t i = g.out_offsets_[u]; i < g.out_offsets_[u + 1]; ++i) {
+      const Digraph::Neighbor& nb = g.out_adj_[i];
+      g.in_adj_[in_cursor[nb.node]++] =
+          Digraph::Neighbor(static_cast<int32_t>(u), nb.weight);
+      g.in_strength_[nb.node] += nb.weight;
     }
   }
   return g;

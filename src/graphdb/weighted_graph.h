@@ -1,8 +1,9 @@
 #pragma once
 
+#include <cmath>
 #include <cstdint>
-#include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/result.h"
@@ -23,6 +24,8 @@ class PropertyGraph;
 class WeightedGraph {
  public:
   struct Neighbor {
+    Neighbor() {}  // no init: Build() fills adjacency without a memset pass
+    Neighbor(int32_t n, double w) : node(n), weight(w) {}
     int32_t node;
     double weight;
   };
@@ -34,6 +37,7 @@ class WeightedGraph {
   size_t edge_count() const { return edge_count_; }  ///< distinct u<v pairs
   size_t self_loop_count() const { return self_loop_count_; }
 
+  /// Neighbors of `u`, sorted ascending by node id (a Build() invariant).
   std::span<const Neighbor> neighbors(int32_t u) const {
     return {adj_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
   }
@@ -42,7 +46,8 @@ class WeightedGraph {
   size_t degree(int32_t u) const { return offsets_[u + 1] - offsets_[u]; }
   double total_weight() const { return total_weight_; }
 
-  /// Weight of edge {u,v}; 0 when absent. O(degree(u)) scan.
+  /// Weight of edge {u,v}; 0 when absent. O(log degree(u)) binary search
+  /// over the sorted adjacency row.
   double WeightBetween(int32_t u, int32_t v) const;
 
  private:
@@ -60,20 +65,57 @@ class WeightedGraph {
 ///
 /// AddEdge(u, v, w) accumulates weight onto the unordered pair {u, v};
 /// u == v accumulates a self-loop. Build() freezes into CSR.
+///
+/// AddEdge is an O(1) append into a flat edge-triple buffer — no per-edge
+/// node allocations. Parallel edges are merged once at Build() by a stable
+/// sort + linear scan, so duplicate weights accumulate in AddEdge call
+/// order (bit-identical to incremental accumulation).
 class WeightedGraphBuilder {
  public:
   explicit WeightedGraphBuilder(size_t node_count);
 
   /// Accumulates weight on {u,v}. Returns InvalidArgument for bad ids or
-  /// non-finite/negative weight.
-  Status AddEdge(int32_t u, int32_t v, double weight = 1.0);
+  /// non-finite/negative weight. Inline: this is called once per edge on
+  /// every graph-construction hot path.
+  Status AddEdge(int32_t u, int32_t v, double weight = 1.0) {
+    // Unsigned compares cover the range checks and negatives in one branch
+    // each (negative ids wrap to huge unsigned values).
+    if (static_cast<uint32_t>(u) >= check_limit_ ||
+        static_cast<uint32_t>(v) >= check_limit_) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (!std::isfinite(weight) || weight < 0.0) {
+      return Status::InvalidArgument("edge weight must be finite and >= 0");
+    }
+    if (u == v) {
+      self_weight_[u] += weight;
+      return Status::OK();
+    }
+    if (u > v) std::swap(u, v);
+    // Grow 4x: large buffers come from fresh pages, so fewer reallocations
+    // beat tighter memory on every platform we run on.
+    if (edges_.size() == edges_.capacity()) {
+      edges_.reserve(edges_.capacity() < 256 ? 1024 : 4 * edges_.capacity());
+    }
+    edges_.push_back(EdgeTriple{u, v, weight});
+    return Status::OK();
+  }
 
-  size_t node_count() const { return pair_weights_.size(); }
+  /// Pre-sizes the edge buffer for `edge_count` AddEdge calls.
+  void Reserve(size_t edge_count) { edges_.reserve(edge_count); }
+
+  size_t node_count() const { return node_count_; }
 
   WeightedGraph Build() const;
 
  private:
-  std::vector<std::map<int32_t, double>> pair_weights_;  // u -> {v>=u: w}
+  struct EdgeTriple {
+    int32_t u, v;  // canonicalised so u < v
+    double w;
+  };
+  size_t node_count_;
+  uint32_t check_limit_;  // min(node_count, 2^31): ids are int32
+  std::vector<EdgeTriple> edges_;
   std::vector<double> self_weight_;
 };
 
@@ -98,6 +140,8 @@ Result<WeightedGraph> ProjectUndirected(const PropertyGraph& graph,
 class Digraph {
  public:
   struct Neighbor {
+    Neighbor() {}  // no init: Build() fills adjacency without a memset pass
+    Neighbor(int32_t n, double w) : node(n), weight(w) {}
     int32_t node;
     double weight;
   };
@@ -123,15 +167,35 @@ class Digraph {
   std::vector<double> out_strength_, in_strength_;
 };
 
-/// \brief Accumulating builder for Digraph (parallel edges merged).
+/// \brief Accumulating builder for Digraph (parallel edges merged at
+/// Build() by stable sort + scan, like WeightedGraphBuilder).
 class DigraphBuilder {
  public:
   explicit DigraphBuilder(size_t node_count);
-  Status AddEdge(int32_t from, int32_t to, double weight = 1.0);
+  Status AddEdge(int32_t from, int32_t to, double weight = 1.0) {
+    if (from < 0 || to < 0 || static_cast<size_t>(from) >= node_count_ ||
+        static_cast<size_t>(to) >= node_count_) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (!std::isfinite(weight) || weight < 0.0) {
+      return Status::InvalidArgument("edge weight must be finite and >= 0");
+    }
+    if (edges_.size() == edges_.capacity()) {
+      edges_.reserve(edges_.capacity() < 256 ? 1024 : 4 * edges_.capacity());
+    }
+    edges_.push_back(EdgeTriple{from, to, weight});
+    return Status::OK();
+  }
+  void Reserve(size_t edge_count) { edges_.reserve(edge_count); }
   Digraph Build() const;
 
  private:
-  std::vector<std::map<int32_t, double>> out_;  // from -> {to: w}
+  struct EdgeTriple {
+    int32_t from, to;
+    double w;
+  };
+  size_t node_count_;
+  std::vector<EdgeTriple> edges_;
 };
 
 }  // namespace bikegraph::graphdb

@@ -1,0 +1,514 @@
+// Equivalence tests for the flat-memory hot-path rewrites: the sort+scan
+// CSR builder, the flat-scratch Louvain, and the grid-driven threshold HAC
+// must produce exactly the results of straightforward map-based reference
+// implementations (and of the dense reference algorithms).
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "cluster/hac.h"
+#include "community/aggregate.h"
+#include "community/louvain.h"
+#include "community/modularity.h"
+#include "community/partition.h"
+#include "core/rng.h"
+#include "geo/grid_index.h"
+#include "geo/haversine.h"
+#include "graphdb/weighted_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace bikegraph {
+namespace {
+
+using cluster::DenseHacGeo;
+using cluster::Linkage;
+using cluster::ThresholdCompleteLinkage;
+using community::AggregateByPartition;
+using community::ComposePartitions;
+using community::LouvainOptions;
+using community::Modularity;
+using community::Partition;
+using community::RunLouvain;
+using geo::LatLon;
+using graphdb::WeightedGraph;
+using graphdb::WeightedGraphBuilder;
+
+// ---------------------------------------------------------------------------
+// Reference CSR builder: per-node ordered maps, exactly the seed scheme.
+// ---------------------------------------------------------------------------
+struct RefGraph {
+  std::vector<size_t> offsets;
+  std::vector<WeightedGraph::Neighbor> adj;
+  std::vector<double> self_weight, strength;
+  double total_weight = 0.0;
+  size_t edge_count = 0, self_loop_count = 0;
+};
+
+RefGraph ReferenceBuild(size_t n,
+                        const std::vector<std::array<double, 3>>& edges) {
+  std::vector<std::map<int32_t, double>> pw(n);
+  RefGraph g;
+  g.self_weight.assign(n, 0.0);
+  for (const auto& e : edges) {
+    int32_t u = static_cast<int32_t>(e[0]), v = static_cast<int32_t>(e[1]);
+    double w = e[2];
+    if (u == v) {
+      g.self_weight[u] += w;
+      continue;
+    }
+    if (u > v) std::swap(u, v);
+    pw[u][v] += w;
+  }
+  g.strength.assign(n, 0.0);
+  g.offsets.assign(n + 1, 0);
+  std::vector<size_t> deg(n, 0);
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& [v, w] : pw[u]) {
+      ++deg[u];
+      ++deg[v];
+      ++g.edge_count;
+      (void)w;
+    }
+  }
+  for (size_t u = 0; u < n; ++u) g.offsets[u + 1] = g.offsets[u] + deg[u];
+  g.adj.resize(g.offsets[n]);
+  std::vector<size_t> cur(g.offsets.begin(), g.offsets.end() - 1);
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& [v, w] : pw[u]) {
+      g.adj[cur[u]++] = {v, w};
+      g.adj[cur[v]++] = {static_cast<int32_t>(u), w};
+      g.strength[u] += w;
+      g.strength[v] += w;
+    }
+  }
+  double total = 0.0;
+  for (size_t u = 0; u < n; ++u) {
+    total += g.strength[u];
+    if (g.self_weight[u] > 0.0) ++g.self_loop_count;
+    g.strength[u] += 2.0 * g.self_weight[u];
+  }
+  total /= 2.0;
+  for (size_t u = 0; u < n; ++u) total += g.self_weight[u];
+  g.total_weight = total;
+  return g;
+}
+
+TEST(FlatCsrBuilderTest, MatchesMapReferenceOnRandomMultigraphs) {
+  Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.NextBounded(60);
+    const size_t m = rng.NextBounded(8 * n);
+    std::vector<std::array<double, 3>> edges;
+    WeightedGraphBuilder builder(n);
+    for (size_t e = 0; e < m; ++e) {
+      const auto u = static_cast<double>(rng.NextBounded(n));
+      // Skew endpoints so parallel edges and self-loops are common.
+      const auto v = static_cast<double>(rng.NextBounded(n / 2 + 1));
+      const double w = rng.NextBounded(4) == 0 ? 0.0 : rng.NextDouble();
+      edges.push_back({u, v, w});
+      ASSERT_TRUE(builder
+                      .AddEdge(static_cast<int32_t>(u),
+                               static_cast<int32_t>(v), w)
+                      .ok());
+    }
+    WeightedGraph g = builder.Build();
+    RefGraph ref = ReferenceBuild(n, edges);
+
+    ASSERT_EQ(g.node_count(), n);
+    EXPECT_EQ(g.edge_count(), ref.edge_count);
+    EXPECT_EQ(g.self_loop_count(), ref.self_loop_count);
+    EXPECT_EQ(g.total_weight(), ref.total_weight);  // bit-identical
+    for (size_t u = 0; u < n; ++u) {
+      const auto ui = static_cast<int32_t>(u);
+      EXPECT_EQ(g.strength(ui), ref.strength[u]);
+      EXPECT_EQ(g.self_weight(ui), ref.self_weight[u]);
+      auto row = g.neighbors(ui);
+      ASSERT_EQ(row.size(), ref.offsets[u + 1] - ref.offsets[u]);
+      for (size_t i = 0; i < row.size(); ++i) {
+        const auto& expect = ref.adj[ref.offsets[u] + i];
+        EXPECT_EQ(row[i].node, expect.node);
+        EXPECT_EQ(row[i].weight, expect.weight);  // merge order preserved
+        // Sorted-adjacency invariant that WeightBetween's binary search
+        // relies on.
+        if (i > 0) EXPECT_LT(row[i - 1].node, row[i].node);
+        EXPECT_EQ(g.WeightBetween(ui, expect.node), expect.weight);
+      }
+    }
+    // WeightBetween (binary search) agrees with a linear reference lookup
+    // for every pair, present or absent.
+    for (size_t u = 0; u < n; ++u) {
+      for (size_t v = 0; v < n; ++v) {
+        double expect = 0.0;
+        if (u == v) {
+          expect = ref.self_weight[u];
+        } else {
+          for (size_t i = ref.offsets[u]; i < ref.offsets[u + 1]; ++i) {
+            if (ref.adj[i].node == static_cast<int32_t>(v)) {
+              expect = ref.adj[i].weight;
+            }
+          }
+        }
+        EXPECT_EQ(g.WeightBetween(static_cast<int32_t>(u),
+                                  static_cast<int32_t>(v)),
+                  expect);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference Louvain: same algorithm, std::map scratch instead of the flat
+// vectors. The selection rule (exact argmax of (gain, -label) among
+// strictly-better-than-staying candidates) is order independent, so the two
+// implementations must agree exactly.
+// ---------------------------------------------------------------------------
+struct RefLocalMoveOutcome {
+  Partition partition;
+  bool improved = false;
+};
+
+RefLocalMoveOutcome RefLocalMoving(const WeightedGraph& g,
+                                   const LouvainOptions& options, Rng* rng) {
+  const size_t n = g.node_count();
+  const double m = g.total_weight();
+  RefLocalMoveOutcome out;
+  out.partition = Partition::Singletons(n);
+  if (n == 0 || m <= 0.0) return out;
+  std::vector<int32_t>& comm = out.partition.assignment;
+  std::vector<double> sigma_tot(n);
+  for (size_t u = 0; u < n; ++u) sigma_tot[u] = g.strength(static_cast<int32_t>(u));
+
+  std::vector<int32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int32_t>(i);
+  rng->Shuffle(&order);
+  const double inv_two_m = 1.0 / (2.0 * m);
+
+  std::deque<int32_t> queue(order.begin(), order.end());
+  std::vector<char> in_queue(n, 1);
+  size_t budget = static_cast<size_t>(options.max_sweeps_per_level) * n;
+  bool any_move = false;
+  while (!queue.empty() && budget > 0) {
+    --budget;
+    const int32_t u = queue.front();
+    queue.pop_front();
+    in_queue[u] = 0;
+    const int32_t cu = comm[u];
+    const double k_u = g.strength(u);
+
+    std::map<int32_t, double> w_to_comm;
+    w_to_comm[cu];
+    for (const auto& nb : g.neighbors(u)) w_to_comm[comm[nb.node]] += nb.weight;
+
+    sigma_tot[cu] -= k_u;
+    const double ku_res = options.resolution * k_u * inv_two_m;
+    const double stay_gain = w_to_comm[cu] - ku_res * sigma_tot[cu];
+    int32_t best_comm = cu;
+    double best_gain = stay_gain;
+    for (const auto& [c, w_uc] : w_to_comm) {
+      if (c == cu) continue;
+      const double gain = w_uc - ku_res * sigma_tot[c];
+      if (gain > best_gain ||
+          (gain == best_gain && gain > stay_gain && c < best_comm)) {
+        best_gain = gain;
+        best_comm = c;
+      }
+    }
+    sigma_tot[best_comm] += k_u;
+    if (best_comm != cu) {
+      comm[u] = best_comm;
+      any_move = true;
+      for (const auto& nb : g.neighbors(u)) {
+        if (comm[nb.node] != best_comm && !in_queue[nb.node]) {
+          in_queue[nb.node] = 1;
+          queue.push_back(nb.node);
+        }
+      }
+    }
+  }
+  out.partition.Renumber();
+  out.improved = any_move;
+  return out;
+}
+
+community::LouvainResult RefLouvain(const WeightedGraph& graph,
+                                    const LouvainOptions& options) {
+  community::LouvainResult result;
+  const size_t n = graph.node_count();
+  result.partition = Partition::Singletons(n);
+  if (n == 0) return result;
+  Rng rng(options.seed);
+  const WeightedGraph* level_graph = &graph;
+  WeightedGraph owned;
+  Partition cumulative = Partition::Singletons(n);
+  double best_q = Modularity(graph, cumulative, options.resolution);
+  for (int level = 0; level < options.max_levels; ++level) {
+    RefLocalMoveOutcome outcome = RefLocalMoving(*level_graph, options, &rng);
+    if (!outcome.improved) break;
+    Partition candidate = ComposePartitions(cumulative, outcome.partition);
+    candidate.Renumber();
+    const double q =
+        Modularity(*level_graph, outcome.partition, options.resolution);
+    if (q <= best_q + options.min_gain) break;
+    best_q = q;
+    cumulative = candidate;
+    result.level_partitions.push_back(candidate);
+    ++result.levels;
+    if (outcome.partition.CommunityCount() == level_graph->node_count()) break;
+    owned = AggregateByPartition(*level_graph, outcome.partition);
+    level_graph = &owned;
+  }
+  result.partition = cumulative;
+  result.partition.Renumber();
+  result.modularity = Modularity(graph, result.partition, options.resolution);
+  return result;
+}
+
+WeightedGraph RandomGraph(size_t n, double edge_rate, uint64_t seed) {
+  WeightedGraphBuilder b(n);
+  Rng rng(seed);
+  const size_t m = static_cast<size_t>(edge_rate * static_cast<double>(n));
+  for (size_t e = 0; e < m; ++e) {
+    const auto u = static_cast<int32_t>(rng.NextBounded(n));
+    const auto v = static_cast<int32_t>(rng.NextBounded(n));
+    (void)b.AddEdge(u, v, 0.25 + rng.NextDouble());
+  }
+  return b.Build();
+}
+
+TEST(FlatLouvainTest, MatchesMapReferenceOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    WeightedGraph g = RandomGraph(40 + 15 * seed, 3.0, seed * 77);
+    LouvainOptions opts;
+    opts.seed = seed;
+    auto flat = RunLouvain(g, opts);
+    ASSERT_TRUE(flat.ok());
+    auto ref = RefLouvain(g, opts);
+    EXPECT_EQ(flat->partition.assignment, ref.partition.assignment)
+        << "partition diverged for seed " << seed;
+    EXPECT_EQ(flat->modularity, ref.modularity);
+    EXPECT_EQ(flat->levels, ref.levels);
+  }
+}
+
+TEST(FlatLouvainTest, MatchesMapReferenceOnCliqueRing) {
+  WeightedGraphBuilder b(10 * 8);
+  Rng rng(5);
+  for (int q = 0; q < 10; ++q) {
+    for (int i = 0; i < 8; ++i) {
+      for (int j = i + 1; j < 8; ++j) {
+        (void)b.AddEdge(q * 8 + i, q * 8 + j, 0.5 + rng.NextDouble());
+      }
+    }
+    (void)b.AddEdge(q * 8, ((q + 1) % 10) * 8 + 1, 0.5);
+  }
+  WeightedGraph g = b.Build();
+  auto flat = RunLouvain(g);
+  ASSERT_TRUE(flat.ok());
+  auto ref = RefLouvain(g, LouvainOptions{});
+  EXPECT_EQ(flat->partition.assignment, ref.partition.assignment);
+  EXPECT_EQ(flat->modularity, ref.modularity);
+}
+
+// ---------------------------------------------------------------------------
+// ThresholdCompleteLinkage vs the dense reference.
+// ---------------------------------------------------------------------------
+std::vector<LatLon> RandomClumpedPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const LatLon center(53.35, -6.26);
+  std::vector<LatLon> micros;
+  for (size_t i = 0; i < std::max<size_t>(4, n / 10); ++i) {
+    micros.push_back(geo::Offset(center, rng.NextUniform(0.0, 1500.0),
+                                 rng.NextUniform(0.0, 360.0)));
+  }
+  std::vector<LatLon> points;
+  for (size_t i = 0; i < n; ++i) {
+    const LatLon& m = micros[rng.NextBounded(micros.size())];
+    points.push_back(geo::Offset(m, rng.NextExponential(1.0 / 40.0),
+                                 rng.NextUniform(0.0, 360.0)));
+  }
+  return points;
+}
+
+/// Labels are equivalent iff they induce the same partition of indices.
+void ExpectSamePartition(const std::vector<int32_t>& a,
+                         const std::vector<int32_t>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  std::map<int32_t, int32_t> a2b;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto [it, inserted] = a2b.emplace(a[i], b[i]);
+    EXPECT_EQ(it->second, b[i]) << "partition mismatch at point " << i;
+    (void)inserted;
+  }
+  std::map<int32_t, int32_t> b2a;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto [it, inserted] = b2a.emplace(b[i], a[i]);
+    EXPECT_EQ(it->second, a[i]) << "partition mismatch at point " << i;
+    (void)inserted;
+  }
+}
+
+TEST(ThresholdHacEquivalenceTest, MatchesDenseCutOnRandomInputs) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const size_t n = 80 + 70 * seed;  // up to 500
+    ASSERT_LE(n, 500u);
+    auto points = RandomClumpedPoints(n, seed * 13);
+    for (double threshold : {40.0, 100.0, 250.0}) {
+      auto sparse = ThresholdCompleteLinkage(points, threshold);
+      ASSERT_TRUE(sparse.ok());
+      auto dense = DenseHacGeo(points, Linkage::kComplete);
+      ASSERT_TRUE(dense.ok());
+      ExpectSamePartition(*sparse, dense->CutAt(threshold));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GridIndex: dense-storage queries against brute force, including the
+// expanding-ring KNearest and the pair sweep.
+// ---------------------------------------------------------------------------
+TEST(GridIndexEquivalenceTest, KNearestMatchesBruteForce) {
+  Rng rng(99);
+  const LatLon center(53.35, -6.26);
+  std::vector<LatLon> points;
+  geo::GridIndex index(100.0);
+  for (int i = 0; i < 300; ++i) {
+    points.push_back(geo::Offset(center, rng.NextUniform(0.0, 1200.0),
+                                 rng.NextUniform(0.0, 360.0)));
+    index.Add(i, points.back());
+  }
+  for (int q = 0; q < 40; ++q) {
+    const LatLon query = geo::Offset(center, rng.NextUniform(0.0, 1500.0),
+                                     rng.NextUniform(0.0, 360.0));
+    const size_t k = 1 + rng.NextBounded(12);
+    const int64_t exclude = q % 3 == 0 ? static_cast<int64_t>(q) : -1;
+    std::vector<geo::GridIndex::Neighbor> brute;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (static_cast<int64_t>(i) == exclude) continue;
+      brute.push_back({static_cast<int64_t>(i),
+                       geo::HaversineMeters(points[i], query)});
+    }
+    std::sort(brute.begin(), brute.end(), [](const auto& a, const auto& b) {
+      if (a.distance_m != b.distance_m) return a.distance_m < b.distance_m;
+      return a.id < b.id;
+    });
+    if (brute.size() > k) brute.resize(k);
+    auto got = index.KNearest(query, k, exclude);
+    ASSERT_EQ(got.size(), brute.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, brute[i].id) << "query " << q << " rank " << i;
+      EXPECT_DOUBLE_EQ(got[i].distance_m, brute[i].distance_m);
+    }
+  }
+}
+
+TEST(GridIndexEquivalenceTest, ForEachWithinRadiusMatchesWithinRadius) {
+  Rng rng(7);
+  const LatLon center(53.35, -6.26);
+  geo::GridIndex index(80.0);
+  std::vector<LatLon> points;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back(geo::Offset(center, rng.NextUniform(0.0, 900.0),
+                                 rng.NextUniform(0.0, 360.0)));
+    index.Add(i, points.back());
+  }
+  for (int q = 0; q < 30; ++q) {
+    const LatLon query = geo::Offset(center, rng.NextUniform(0.0, 1000.0),
+                                     rng.NextUniform(0.0, 360.0));
+    const double radius = rng.NextUniform(10.0, 300.0);
+    std::vector<int64_t> via_visitor;
+    index.ForEachWithinRadius(query, radius, [&](int64_t id, double d) {
+      EXPECT_LE(d, radius);
+      EXPECT_EQ(d, geo::HaversineMeters(index.PointOf(id), query));
+      via_visitor.push_back(id);
+    });
+    std::sort(via_visitor.begin(), via_visitor.end());
+    EXPECT_EQ(via_visitor, index.WithinRadius(query, radius));
+  }
+}
+
+TEST(GridIndexEquivalenceTest, PairSweepMatchesBruteForcePairs) {
+  Rng rng(21);
+  const LatLon center(53.35, -6.26);
+  geo::GridIndex index(100.0);
+  std::vector<LatLon> points;
+  for (int i = 0; i < 250; ++i) {
+    points.push_back(geo::Offset(center, rng.NextUniform(0.0, 700.0),
+                                 rng.NextUniform(0.0, 360.0)));
+    index.Add(i, points.back());
+  }
+  for (double radius : {30.0, 100.0, 240.0}) {
+    std::vector<std::pair<int64_t, int64_t>> got;
+    index.ForEachPairWithinRadius(radius, [&](int64_t a, int64_t b, double d) {
+      EXPECT_LE(d, radius);
+      EXPECT_EQ(d, geo::HaversineMeters(index.PointOf(a), index.PointOf(b)));
+      got.emplace_back(std::min(a, b), std::max(a, b));
+    });
+    std::sort(got.begin(), got.end());
+    ASSERT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end())
+        << "pair enumerated twice at radius " << radius;
+    std::vector<std::pair<int64_t, int64_t>> brute;
+    for (size_t i = 0; i < points.size(); ++i) {
+      for (size_t j = i + 1; j < points.size(); ++j) {
+        if (geo::HaversineMeters(points[i], points[j]) <= radius) {
+          brute.emplace_back(i, j);
+        }
+      }
+    }
+    EXPECT_EQ(got, brute);
+  }
+}
+
+// The pair sweep's per-row longitude span must widen with latitude (cells
+// narrow toward the poles); enumerate at 80°N and compare to brute force.
+TEST(GridIndexEquivalenceTest, PairSweepMatchesBruteForceAtHighLatitude) {
+  Rng rng(33);
+  const LatLon center(80.0, 20.0);
+  geo::GridIndex index(100.0);  // reference latitude stays at Dublin
+  std::vector<LatLon> points;
+  for (int i = 0; i < 150; ++i) {
+    points.push_back(geo::Offset(center, rng.NextUniform(0.0, 500.0),
+                                 rng.NextUniform(0.0, 360.0)));
+    index.Add(i, points.back());
+  }
+  for (double radius : {60.0, 150.0}) {
+    std::vector<std::pair<int64_t, int64_t>> got;
+    index.ForEachPairWithinRadius(radius, [&](int64_t a, int64_t b, double) {
+      got.emplace_back(std::min(a, b), std::max(a, b));
+    });
+    std::sort(got.begin(), got.end());
+    std::vector<std::pair<int64_t, int64_t>> brute;
+    for (size_t i = 0; i < points.size(); ++i) {
+      for (size_t j = i + 1; j < points.size(); ++j) {
+        if (geo::HaversineMeters(points[i], points[j]) <= radius) {
+          brute.emplace_back(i, j);
+        }
+      }
+    }
+    EXPECT_EQ(got, brute) << "radius " << radius;
+  }
+}
+
+// Regression: Nearest's ring termination must account for the longitude
+// cell width. Away from the reference latitude, longitude cells are
+// narrower (in metres) than latitude cells, so a bound using only the
+// latitude edge can stop before a closer point in a lateral cell is seen.
+TEST(GridIndexNearestTest, RingTerminationCorrectAwayFromReferenceLatitude) {
+  geo::GridIndex index(100.0);  // reference latitude 53.35
+  const LatLon query(75.0, 0.0);
+  // A sits ~90 m east — about 2 longitude cells away at latitude 75.
+  const LatLon a = geo::Offset(query, 90.0, 90.0);
+  // B sits ~95 m north — inside the first ring.
+  const LatLon b = geo::Offset(query, 95.0, 0.0);
+  index.Add(1, a);
+  index.Add(2, b);
+  auto nearest = index.Nearest(query);
+  EXPECT_EQ(nearest.id, 1) << "terminated before scanning the lateral cell";
+  EXPECT_NEAR(nearest.distance_m, 90.0, 1.0);
+}
+
+}  // namespace
+}  // namespace bikegraph

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Runs the bench_perf_* google-benchmark binaries with JSON output and
+# aggregates the results into BENCH_perf.json at the repo root, so the perf
+# trajectory is tracked across PRs.
+#
+# Usage: tools/run_benches.sh [build_dir] [benchmark_filter]
+#   build_dir         defaults to "build"
+#   benchmark_filter  optional --benchmark_filter regex applied to every binary
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+# Keep freed arenas mapped so repeated large builds reuse warm pages instead
+# of paying mmap/page-fault churn per iteration; applied uniformly so runs
+# are comparable across PRs.
+export GLIBC_TUNABLES="${GLIBC_TUNABLES:-glibc.malloc.mmap_max=0:glibc.malloc.trim_threshold=-1}"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+FILTER="${2:-}"
+OUT_DIR="$BUILD_DIR/bench_json"
+mkdir -p "$OUT_DIR"
+
+declare -a JSON_FILES=()
+for bin in "$BUILD_DIR"/bench_perf_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  out="$OUT_DIR/$name.json"
+  echo ">>> $name"
+  args=(--benchmark_format=json --benchmark_out="$out" \
+        --benchmark_out_format=json)
+  if [ -n "$FILTER" ]; then
+    args+=("--benchmark_filter=$FILTER")
+  fi
+  "$bin" "${args[@]}" >/dev/null
+  JSON_FILES+=("$out")
+done
+
+if [ "${#JSON_FILES[@]}" -eq 0 ]; then
+  echo "no bench_perf_* binaries found in $BUILD_DIR (build them first)" >&2
+  exit 1
+fi
+
+python3 - "$REPO_ROOT/BENCH_perf.json" "${JSON_FILES[@]}" <<'EOF'
+import json, sys
+
+out_path, *inputs = sys.argv[1:]
+merged = {"schema": 1, "benches": {}}
+for path in inputs:
+    with open(path) as f:
+        data = json.load(f)
+    name = path.rsplit("/", 1)[-1].removesuffix(".json")
+    ctx = data.get("context", {})
+    merged.setdefault("context", {
+        "host": ctx.get("host_name"),
+        "num_cpus": ctx.get("num_cpus"),
+        "build_type": ctx.get("library_build_type"),
+        "date": ctx.get("date"),
+    })
+    bench = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        bench[b["name"]] = {
+            "real_time_ns": b["real_time"],
+            "cpu_time_ns": b["cpu_time"],
+            "iterations": b["iterations"],
+        }
+        if "items_per_second" in b:
+            bench[b["name"]]["items_per_second"] = b["items_per_second"]
+    merged["benches"][name] = bench
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+EOF
