@@ -27,20 +27,20 @@ int main() {
   };
   for (const Job& job : jobs) {
     auto status =
-        viz::WriteCommunityMap(net, job.exp->louvain.partition, job.path);
+        viz::WriteCommunityMap(net, job.exp->detection.partition, job.path);
     if (!status.ok()) {
       std::fprintf(stderr, "export failed: %s\n", status.ToString().c_str());
       return 1;
     }
     std::printf("%s -> %s (%zu communities, Q=%.2f)\n", job.figure, job.path,
-                job.exp->louvain.partition.CommunityCount(),
-                job.exp->louvain.modularity);
+                job.exp->detection.partition.CommunityCount(),
+                job.exp->detection.modularity);
   }
 
   // Spatial character of the GBasic communities: centroid and side of the
   // Liffey (the paper reads Fig. 3 as southside / suburbs / centre-north).
   std::printf("\nGBasic community geography:\n");
-  const auto& partition = result.gbasic.louvain.partition;
+  const auto& partition = result.gbasic.detection.partition;
   const size_t k = partition.CommunityCount();
   std::vector<double> lat(k, 0), lon(k, 0), dist(k, 0);
   std::vector<size_t> count(k, 0), south(k, 0);

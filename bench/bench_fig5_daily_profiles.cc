@@ -42,7 +42,7 @@ int main() {
   std::printf("=== Fig. 5: daily travel patterns per GDay community ===\n");
   auto result = RunExperimentOrDie();
   auto shares = analysis::CommunityDayShares(result.pipeline.final_network,
-                                             result.gday.louvain.partition);
+                                             result.gday.detection.partition);
   if (!shares.ok()) {
     std::fprintf(stderr, "%s\n", shares.status().ToString().c_str());
     return 1;

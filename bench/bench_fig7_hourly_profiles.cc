@@ -40,7 +40,7 @@ int main() {
   std::printf("=== Fig. 7: hourly travel patterns per GHour community ===\n");
   auto result = RunExperimentOrDie();
   auto shares = analysis::CommunityHourShares(result.pipeline.final_network,
-                                              result.ghour.louvain.partition);
+                                              result.ghour.detection.partition);
   if (!shares.ok()) {
     std::fprintf(stderr, "%s\n", shares.status().ToString().c_str());
     return 1;

@@ -33,9 +33,9 @@ int main() {
 
   viz::AsciiTable headline({"Measure", "Paper", "Ours"});
   headline.AddRow({"communities", Fmt(paper.gbasic_communities),
-                   Fmt(exp.louvain.partition.CommunityCount())});
+                   Fmt(exp.detection.partition.CommunityCount())});
   headline.AddRow({"modularity", Num(paper.gbasic_modularity),
-                   Num(exp.louvain.modularity)});
+                   Num(exp.detection.modularity)});
   headline.AddRow({"self-contained trips", Pct(paper.gbasic_self_contained),
                    Pct(exp.stats.SelfContainedFraction())});
   std::fputs(headline.ToString().c_str(), stdout);

@@ -14,9 +14,9 @@ int main() {
 
   viz::AsciiTable headline({"Measure", "Paper", "Ours"});
   headline.AddRow({"communities", Fmt(paper.gday_communities),
-                   Fmt(exp.louvain.partition.CommunityCount())});
+                   Fmt(exp.detection.partition.CommunityCount())});
   headline.AddRow({"modularity", Num(paper.gday_modularity),
-                   Num(exp.louvain.modularity)});
+                   Num(exp.detection.modularity)});
   std::fputs(headline.ToString().c_str(), stdout);
   std::printf("\n");
 

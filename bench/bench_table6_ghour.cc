@@ -14,9 +14,9 @@ int main() {
 
   viz::AsciiTable headline({"Measure", "Paper", "Ours"});
   headline.AddRow({"communities", Fmt(paper.ghour_communities),
-                   Fmt(exp.louvain.partition.CommunityCount())});
+                   Fmt(exp.detection.partition.CommunityCount())});
   headline.AddRow({"modularity", Num(paper.ghour_modularity),
-                   Num(exp.louvain.modularity)});
+                   Num(exp.detection.modularity)});
   std::fputs(headline.ToString().c_str(), stdout);
   std::printf("\n");
 
@@ -34,13 +34,13 @@ int main() {
   // The monotone-granularity law the paper demonstrates across IV-VI.
   std::printf("\nGranularity sweep (communities / modularity):\n");
   std::printf("  GBasic: %zu / %.2f   (paper 3 / 0.25)\n",
-              result.gbasic.louvain.partition.CommunityCount(),
-              result.gbasic.louvain.modularity);
+              result.gbasic.detection.partition.CommunityCount(),
+              result.gbasic.detection.modularity);
   std::printf("  GDay:   %zu / %.2f   (paper 7 / 0.32)\n",
-              result.gday.louvain.partition.CommunityCount(),
-              result.gday.louvain.modularity);
+              result.gday.detection.partition.CommunityCount(),
+              result.gday.detection.modularity);
   std::printf("  GHour:  %zu / %.2f   (paper 10 / 0.54)\n",
-              result.ghour.louvain.partition.CommunityCount(),
-              result.ghour.louvain.modularity);
+              result.ghour.detection.partition.CommunityCount(),
+              result.ghour.detection.modularity);
   return 0;
 }

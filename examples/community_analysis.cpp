@@ -1,7 +1,8 @@
 // Community analysis at three temporal granularities — the paper's
-// validation methodology as a reusable tool. Runs Louvain on GBasic, GDay
-// and GHour, compares against the alternative algorithms (label
-// propagation, fast-greedy, Infomap-lite), and exports the community maps.
+// validation methodology as a reusable tool. Runs the configured detection
+// algorithm (Louvain by default) on GBasic, GDay and GHour, compares every
+// algorithm in the registry via the unified Detect() entry point, and
+// exports the community maps.
 //
 //   $ ./build/examples/community_analysis
 
@@ -9,10 +10,7 @@
 #include <iostream>
 
 #include "analysis/experiment.h"
-#include "community/fast_greedy.h"
-#include "community/infomap.h"
-#include "community/label_propagation.h"
-#include "community/modularity.h"
+#include "community/detector.h"
 #include "viz/ascii_table.h"
 #include "viz/map_export.h"
 
@@ -37,32 +35,28 @@ int main() {
                            ? "GDay"
                            : "GHour";
     char q[16], sc[16];
-    std::snprintf(q, sizeof(q), "%.3f", exp->louvain.modularity);
+    std::snprintf(q, sizeof(q), "%.3f", exp->detection.modularity);
     std::snprintf(sc, sizeof(sc), "%.0f%%",
                   100.0 * exp->stats.SelfContainedFraction());
     sweep.AddRow({name,
-                  std::to_string(exp->louvain.partition.CommunityCount()), q,
-                  sc, std::to_string(exp->louvain.levels)});
+                  std::to_string(exp->detection.partition.CommunityCount()), q,
+                  sc, std::to_string(exp->detection.levels)});
   }
   std::printf("Temporal granularity sweep:\n%s\n", sweep.ToString().c_str());
 
-  // Algorithm comparison on GBasic (the paper's future-work experiment).
-  viz::AsciiTable algos({"Algorithm", "Communities", "Modularity"});
-  auto add = [&](const std::string& name, const community::Partition& p) {
-    char q[16];
-    std::snprintf(q, sizeof(q), "%.3f",
-                  community::Modularity(r.gbasic.graph, p));
-    algos.AddRow({name, std::to_string(p.CommunityCount()), q});
-  };
-  add("Louvain", r.gbasic.louvain.partition);
-  if (auto lpa = community::RunLabelPropagation(r.gbasic.graph); lpa.ok()) {
-    add("LabelPropagation", lpa->partition);
-  }
-  if (auto fg = community::RunFastGreedy(r.gbasic.graph); fg.ok()) {
-    add("FastGreedy (CNM)", fg->partition);
-  }
-  if (auto im = community::RunInfomapLite(r.gbasic.graph); im.ok()) {
-    add("Infomap-lite", im->partition);
+  // Algorithm comparison on GBasic (the paper's future-work experiment):
+  // every registry entry through the one Detect() entry point.
+  viz::AsciiTable algos({"Algorithm", "Communities", "Modularity", "Wall (ms)"});
+  for (community::AlgorithmId id : community::ListAlgorithms()) {
+    community::DetectSpec spec;
+    spec.algorithm = id;
+    auto run = community::Detect(r.gbasic.graph, spec);
+    if (!run.ok()) continue;
+    char q[16], ms[16];
+    std::snprintf(q, sizeof(q), "%.3f", run->modularity);
+    std::snprintf(ms, sizeof(ms), "%.1f", run->wall_time_ms);
+    algos.AddRow({std::string(community::AlgorithmName(id)),
+                  std::to_string(run->partition.CommunityCount()), q, ms});
   }
   std::printf("Algorithm comparison on GBasic:\n%s\n",
               algos.ToString().c_str());
@@ -83,11 +77,11 @@ int main() {
   }
   std::printf("GBasic community composition:\n%s\n", comp.ToString().c_str());
 
-  (void)viz::WriteCommunityMap(net, r.gbasic.louvain.partition,
+  (void)viz::WriteCommunityMap(net, r.gbasic.detection.partition,
                                "communities_gbasic.geojson");
-  (void)viz::WriteCommunityMap(net, r.gday.louvain.partition,
+  (void)viz::WriteCommunityMap(net, r.gday.detection.partition,
                                "communities_gday.geojson");
-  (void)viz::WriteCommunityMap(net, r.ghour.louvain.partition,
+  (void)viz::WriteCommunityMap(net, r.ghour.detection.partition,
                                "communities_ghour.geojson");
   std::printf("wrote communities_{gbasic,gday,ghour}.geojson\n");
   return 0;

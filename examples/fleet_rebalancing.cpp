@@ -24,7 +24,7 @@ int main() {
   }
   const auto& r = result.ValueOrDie();
   const auto& net = r.pipeline.final_network;
-  const auto& partition = r.gday.louvain.partition;
+  const auto& partition = r.gday.detection.partition;
 
   auto day_shares = analysis::CommunityDayShares(net, partition);
   if (!day_shares.ok()) {

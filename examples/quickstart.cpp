@@ -75,11 +75,11 @@ int main() {
   auto add_row = [&](const char* name, const analysis::CommunityExperiment& e,
                      size_t paper_k, double paper_q) {
     char q[16], sc[16];
-    std::snprintf(q, sizeof(q), "%.2f", e.louvain.modularity);
+    std::snprintf(q, sizeof(q), "%.2f", e.detection.modularity);
     std::snprintf(sc, sizeof(sc), "%.0f%%",
                   100.0 * e.stats.SelfContainedFraction());
     t4.AddRow({name, std::to_string(paper_k),
-               std::to_string(e.louvain.partition.CommunityCount()),
+               std::to_string(e.detection.partition.CommunityCount()),
                FormatDouble(paper_q, 2), q, sc});
   };
   add_row("GBasic", r.gbasic, paper.gbasic_communities, paper.gbasic_modularity);

@@ -5,16 +5,16 @@ namespace bikegraph::analysis {
 Result<CommunityExperiment> RunCommunityExperiment(
     const expansion::FinalNetwork& network,
     const TemporalGraphOptions& graph_options,
-    const community::LouvainOptions& louvain_options) {
+    const community::DetectSpec& detect_spec) {
   CommunityExperiment exp;
   exp.granularity = graph_options.granularity;
   BIKEGRAPH_ASSIGN_OR_RETURN(exp.graph,
                              BuildTemporalGraph(network.graph, graph_options));
-  BIKEGRAPH_ASSIGN_OR_RETURN(exp.louvain,
-                             community::RunLouvain(exp.graph, louvain_options));
+  BIKEGRAPH_ASSIGN_OR_RETURN(exp.detection,
+                             community::Detect(exp.graph, detect_spec));
   BIKEGRAPH_ASSIGN_OR_RETURN(
       exp.stats,
-      ComputeCommunityTripStats(network, exp.louvain.partition));
+      ComputeCommunityTripStats(network, exp.detection.partition));
   return exp;
 }
 
@@ -30,11 +30,12 @@ Result<ExperimentResult> RunPaperExperiment(const ExperimentConfig& config) {
   TemporalGraphOptions gbasic_options;  // kNull
   BIKEGRAPH_ASSIGN_OR_RETURN(
       result.gbasic,
-      RunCommunityExperiment(net, gbasic_options, config.louvain));
+      RunCommunityExperiment(net, gbasic_options, config.detection));
   BIKEGRAPH_ASSIGN_OR_RETURN(
-      result.gday, RunCommunityExperiment(net, config.gday, config.louvain));
+      result.gday, RunCommunityExperiment(net, config.gday, config.detection));
   BIKEGRAPH_ASSIGN_OR_RETURN(
-      result.ghour, RunCommunityExperiment(net, config.ghour, config.louvain));
+      result.ghour,
+      RunCommunityExperiment(net, config.ghour, config.detection));
   return result;
 }
 

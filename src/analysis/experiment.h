@@ -6,7 +6,7 @@
 #include "core/result.h"
 #include "analysis/community_stats.h"
 #include "analysis/temporal_graph.h"
-#include "community/louvain.h"
+#include "community/detector.h"
 #include "data/synthetic.h"
 #include "expansion/pipeline.h"
 #include "graphdb/weighted_graph.h"
@@ -49,7 +49,10 @@ struct PaperExpectations {
 struct ExperimentConfig {
   data::SyntheticConfig synthetic;
   expansion::PipelineConfig pipeline;
-  community::LouvainOptions louvain;
+  /// Which community-detection algorithm to run, with which options. The
+  /// default (Louvain, default CommunityOptions) reproduces the paper's
+  /// setting; any registry algorithm can be swapped in by name or id.
+  community::DetectSpec detection;
   /// Temporal projection settings (see TemporalGraphOptions). Hour-of-day
   /// profiles share a strong daytime baseline, so GHour uses a higher
   /// contrast to surface the commute-vs-midday split the paper reports.
@@ -63,7 +66,8 @@ struct ExperimentConfig {
 struct CommunityExperiment {
   TemporalGranularity granularity = TemporalGranularity::kNull;
   graphdb::WeightedGraph graph;
-  community::LouvainResult louvain;
+  /// Unified result of the configured algorithm (Louvain by default).
+  community::CommunityResult detection;
   CommunityTripStats stats;
 };
 
@@ -76,15 +80,15 @@ struct ExperimentResult {
 };
 
 /// \brief Runs the full reproduction: synthetic Moby dataset → cleaning →
-/// candidate graph → Algorithm 1 → final network → Louvain at the three
-/// temporal granularities.
+/// candidate graph → Algorithm 1 → final network → community detection at
+/// the three temporal granularities (Louvain by default, per the paper).
 Result<ExperimentResult> RunPaperExperiment(const ExperimentConfig& config = {});
 
 /// \brief Runs one community-detection experiment on an existing final
-/// network.
+/// network with any registered algorithm.
 Result<CommunityExperiment> RunCommunityExperiment(
     const expansion::FinalNetwork& network,
     const TemporalGraphOptions& graph_options,
-    const community::LouvainOptions& louvain_options);
+    const community::DetectSpec& detect_spec);
 
 }  // namespace bikegraph::analysis

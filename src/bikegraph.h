@@ -46,8 +46,11 @@
 #include "expansion/pipeline.h"
 #include "expansion/selection.h"
 
-// Community detection.
+// Community detection. detector.h is the unified entry point (Detect(),
+// algorithm registry); the per-algorithm headers remain for the legacy
+// Run* wrappers and their option/result structs.
 #include "community/aggregate.h"
+#include "community/detector.h"
 #include "community/fast_greedy.h"
 #include "community/infomap.h"
 #include "community/label_propagation.h"

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/result.h"
+#include "community/partition.h"
+#include "graphdb/weighted_graph.h"
+
+namespace bikegraph::community {
+
+/// \brief Identifier of a community-detection algorithm in the registry.
+///
+/// Louvain is the algorithm the paper runs (via Neo4j GDS); the other three
+/// are the comparison algorithms it names as future work. Adding an
+/// algorithm means adding an enum value and one registry entry in
+/// detector.cc — every consumer that iterates `ListAlgorithms()` (ablation
+/// benches, sweeps, examples) picks it up without code changes.
+enum class AlgorithmId : int32_t {
+  kLouvain = 0,
+  kLabelPropagation = 1,
+  kFastGreedy = 2,
+  kInfomap = 3,
+};
+
+/// \brief Unified options for all registered algorithms — the superset of
+/// the four legacy option structs.
+///
+/// Fields held in a `std::optional` default to the consuming algorithm's
+/// legacy default when unset, so a default-constructed `CommunityOptions`
+/// reproduces every legacy `Run*` call bit-for-bit. Per-algorithm mapping
+/// (fields not listed are ignored by that algorithm):
+///
+///   | field               | Louvain | LabelProp | FastGreedy | Infomap |
+///   |---------------------|---------|-----------|------------|---------|
+///   | seed                | yes     | yes       | —          | yes     |
+///   | resolution          | yes (1) | —         | —          | —       |
+///   | max_levels          | 64      | —         | —          | 32      |
+///   | max_sweeps_per_level| 128     | —         | —          | 64      |
+///   | max_iterations      | —       | 100       | —          | —       |
+///   | max_merges          | —       | —         | 0 (∞)      | —       |
+///   | min_gain            | 1e-9    | —         | 0.0        | —       |
+///   | min_improvement     | —       | —         | —          | 1e-10   |
+struct CommunityOptions {
+  /// Seed for node-visit shuffling (Louvain, label propagation, Infomap).
+  uint64_t seed = 1;
+  /// Resolution γ of the modularity objective (Louvain; 1 = paper setting).
+  double resolution = 1.0;
+  /// Aggregation-level cap. Unset: Louvain 64, Infomap 32.
+  std::optional<int> max_levels;
+  /// Local-moving sweep cap per level. Unset: Louvain 128, Infomap 64.
+  std::optional<int> max_sweeps_per_level;
+  /// Full-pass cap for label propagation. Unset: 100.
+  std::optional<int> max_iterations;
+  /// Merge cap for fast-greedy; 0 means unlimited (legacy behavior).
+  size_t max_merges = 0;
+  /// Minimum gain to continue. Louvain: modularity gain per level (unset:
+  /// 1e-9). FastGreedy: a merge requires ΔQ > min_gain (unset: 0.0).
+  std::optional<double> min_gain;
+  /// Minimum codelength improvement (bits) per Infomap level (unset: 1e-10).
+  std::optional<double> min_improvement;
+};
+
+/// \brief What `Detect()` should run: which algorithm, with which options.
+struct DetectSpec {
+  AlgorithmId algorithm = AlgorithmId::kLouvain;
+  CommunityOptions options;
+};
+
+/// \brief Unified result of any registered algorithm.
+///
+/// Per-algorithm field population (unused counters stay at their zero
+/// defaults):
+///   - Louvain: partition, modularity (at the requested resolution),
+///     quality = modularity, levels, level_partitions, converged.
+///   - LabelPropagation: partition, modularity (γ=1), quality = modularity,
+///     iterations, converged.
+///   - FastGreedy: partition, modularity (γ=1), quality = modularity,
+///     merges, converged.
+///   - Infomap: partition, modularity (γ=1), quality = codelength (bits,
+///     lower is better), singleton_quality = all-singletons codelength,
+///     levels, converged.
+struct CommunityResult {
+  AlgorithmId algorithm = AlgorithmId::kLouvain;
+  /// Final partition over the input graph's nodes (dense labels).
+  Partition partition;
+  /// Newman modularity of `partition` on the input graph.
+  double modularity = 0.0;
+  /// The algorithm's own objective on `partition`: modularity for the
+  /// modularity-based algorithms, map-equation codelength for Infomap.
+  double quality = 0.0;
+  /// Reference value of `quality` (Infomap: singleton codelength).
+  double singleton_quality = 0.0;
+  /// Aggregation levels performed (Louvain, Infomap).
+  int levels = 0;
+  /// Full passes performed (label propagation).
+  int iterations = 0;
+  /// Community merges performed (fast-greedy).
+  size_t merges = 0;
+  /// True when the algorithm stopped because it converged rather than
+  /// hitting an iteration/level/merge cap.
+  bool converged = false;
+  /// Wall-clock time of the run; filled by `Detect()` (zero when a backend
+  /// is invoked directly, e.g. through a legacy wrapper).
+  double wall_time_ms = 0.0;
+  /// Partition of the input nodes at each level, coarsest last (Louvain
+  /// only; `level_partitions.back()` equals `partition` when non-empty).
+  std::vector<Partition> level_partitions;
+};
+
+/// \brief One registry row: identity, canonical name, and the entry point.
+struct AlgorithmInfo {
+  AlgorithmId id;
+  /// Canonical name, accepted by ParseAlgorithm (e.g. "louvain").
+  std::string_view name;
+  /// One-line human description for tables and --help output.
+  std::string_view description;
+  /// The backend: validates options, runs, fills the unified result
+  /// (everything except wall_time_ms, which Detect() stamps).
+  Result<CommunityResult> (*run)(const graphdb::WeightedGraph& graph,
+                                 const CommunityOptions& options);
+};
+
+/// \brief All registered algorithms, in stable AlgorithmId order.
+std::span<const AlgorithmInfo> AlgorithmRegistry();
+
+/// \brief Ids of all registered algorithms (registry order).
+std::vector<AlgorithmId> ListAlgorithms();
+
+/// \brief Canonical name of an algorithm ("louvain", "label_propagation",
+/// "fast_greedy", "infomap"). Round-trips through ParseAlgorithm.
+std::string_view AlgorithmName(AlgorithmId id);
+
+/// \brief Parses an algorithm name. Matching is case-insensitive and
+/// ignores '-', '_', ' ' and '.', and common aliases are accepted
+/// ("lpa", "cnm", "infomap-lite", ...). Unknown names return NotFound
+/// listing the canonical names.
+Result<AlgorithmId> ParseAlgorithm(std::string_view name);
+
+/// \brief The single entry point: runs `spec.algorithm` on `graph` with
+/// `spec.options` and stamps the wall time. Invalid option values return
+/// InvalidArgument; an id outside the registry returns InvalidArgument.
+Result<CommunityResult> Detect(const graphdb::WeightedGraph& graph,
+                               const DetectSpec& spec);
+
+namespace internal {
+
+/// Algorithm backends, each implemented next to its legacy entry point
+/// (louvain.cc, label_propagation.cc, fast_greedy.cc, infomap.cc). The
+/// legacy `Run*` functions are thin wrappers over these, so `Detect()` and
+/// the legacy API are bit-identical by construction. Not part of the public
+/// surface — call `Detect()` instead. Note: the label-propagation and
+/// Infomap backends leave `modularity` unset (their legacy results have no
+/// such field); the registry adapters in detector.cc fill it for the
+/// unified surface.
+Result<CommunityResult> DetectLouvain(const graphdb::WeightedGraph& graph,
+                                      const CommunityOptions& options);
+Result<CommunityResult> DetectLabelPropagation(
+    const graphdb::WeightedGraph& graph, const CommunityOptions& options);
+Result<CommunityResult> DetectFastGreedy(const graphdb::WeightedGraph& graph,
+                                         const CommunityOptions& options);
+Result<CommunityResult> DetectInfomap(const graphdb::WeightedGraph& graph,
+                                      const CommunityOptions& options);
+
+}  // namespace internal
+
+}  // namespace bikegraph::community

@@ -1,13 +1,24 @@
 #include "community/fast_greedy.h"
 
+#include <cmath>
 #include <queue>
 
+#include "community/detector.h"
 #include "community/modularity.h"
 
 namespace bikegraph::community {
 
-Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph) {
-  FastGreedyResult result;
+namespace internal {
+
+Result<CommunityResult> DetectFastGreedy(const graphdb::WeightedGraph& graph,
+                                         const CommunityOptions& options) {
+  const double min_gain = options.min_gain.value_or(0.0);
+  if (!std::isfinite(min_gain)) {
+    return Status::InvalidArgument("min_gain must be finite");
+  }
+  CommunityResult result;
+  result.algorithm = AlgorithmId::kFastGreedy;
+  result.converged = true;
   const size_t n = graph.node_count();
   result.partition = Partition::Singletons(n);
   if (n == 0) return result;
@@ -17,6 +28,8 @@ Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph) {
     return result;
   }
   const double two_m = 2.0 * m;
+  const size_t merge_cap =
+      options.max_merges == 0 ? static_cast<size_t>(-1) : options.max_merges;
 
   // Community slots: 0..n-1 singletons; merges append, so there are at most
   // 2n-1 slots over the whole run. e_ij = w_ij / 2m between distinct
@@ -92,7 +105,13 @@ Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph) {
     // Gains of surviving pairs never change (e_ij and a_i are only touched
     // by merges that deactivate a slot), so an entry is fresh iff both
     // slots are active.
-    if (top.gain <= 0.0) break;
+    if (top.gain <= min_gain) break;
+    // Cap check only once a profitable merge is actually on deck, so a cap
+    // equal to the natural merge count still reports convergence.
+    if (result.merges >= merge_cap) {
+      result.converged = false;  // stopped by the cap, not by gain exhaustion
+      break;
+    }
 
     const int32_t i = top.a, j = top.b;
     const int32_t c = static_cast<int32_t>(e.size());
@@ -140,6 +159,24 @@ Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph) {
   for (size_t u = 0; u < n; ++u) labels[u] = find(static_cast<int32_t>(u));
   result.partition.Renumber();
   result.modularity = Modularity(graph, result.partition);
+  result.quality = result.modularity;
+  return result;
+}
+
+}  // namespace internal
+
+Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph,
+                                       const FastGreedyOptions& options) {
+  CommunityOptions unified;
+  unified.max_merges = options.max_merges;
+  unified.min_gain = options.min_gain;
+  BIKEGRAPH_ASSIGN_OR_RETURN(CommunityResult detected,
+                             internal::DetectFastGreedy(graph, unified));
+  FastGreedyResult result;
+  result.partition = std::move(detected.partition);
+  result.modularity = detected.modularity;
+  result.merges = detected.merges;
+  result.converged = detected.converged;
   return result;
 }
 

@@ -1,16 +1,32 @@
 #pragma once
 
+#include <cstddef>
+
 #include "core/result.h"
 #include "community/partition.h"
 #include "graphdb/weighted_graph.h"
 
 namespace bikegraph::community {
 
+/// \brief Options for the fast-greedy (CNM) agglomeration. Defaults
+/// reproduce the historical parameterless behavior exactly: merge while the
+/// best candidate has strictly positive gain, with no merge cap.
+struct FastGreedyOptions {
+  /// Maximum number of community merges; 0 means unlimited.
+  size_t max_merges = 0;
+  /// A merge is performed only while the best candidate's ΔQ exceeds this
+  /// threshold. Must be finite; 0 reproduces the classic stopping rule.
+  double min_gain = 0.0;
+};
+
 /// \brief Result of a fast-greedy (CNM) run.
 struct FastGreedyResult {
   Partition partition;
   double modularity = 0.0;
   size_t merges = 0;  ///< number of community merges performed
+  /// True when the run stopped because no candidate merge beat `min_gain`
+  /// (or the heap drained), false when it stopped at `max_merges`.
+  bool converged = true;
 };
 
 /// \brief Clauset–Newman–Moore greedy modularity agglomeration — the
@@ -22,6 +38,7 @@ struct FastGreedyResult {
 /// ΔQ(i,j) = 2·(e_ij − a_i·a_j), stopping when no merge has positive gain.
 /// Weighted edges and self-loops are supported; complexity is
 /// O(E log E) via a lazy min-heap over candidate merges.
-Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph);
+Result<FastGreedyResult> RunFastGreedy(const graphdb::WeightedGraph& graph,
+                                       const FastGreedyOptions& options = {});
 
 }  // namespace bikegraph::community

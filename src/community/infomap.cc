@@ -5,6 +5,7 @@
 
 #include "core/rng.h"
 #include "community/aggregate.h"
+#include "community/detector.h"
 
 namespace bikegraph::community {
 
@@ -62,8 +63,8 @@ struct LocalMoveOutcome {
   bool improved = false;
 };
 
-LocalMoveOutcome LocalMoving(const WeightedGraph& g,
-                             const InfomapOptions& options, Rng* rng) {
+LocalMoveOutcome LocalMoving(const WeightedGraph& g, int max_sweeps,
+                             Rng* rng) {
   const size_t n = g.node_count();
   LocalMoveOutcome out;
   out.partition = Partition::Singletons(n);
@@ -79,7 +80,7 @@ LocalMoveOutcome LocalMoving(const WeightedGraph& g,
   rng->Shuffle(&order);
 
   std::unordered_map<int32_t, double> w_to_comm;
-  for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     bool moved = false;
     for (int32_t u : order) {
       const int32_t cu = comm[u];
@@ -144,41 +145,84 @@ double MapEquationCodelength(const graphdb::WeightedGraph& graph,
   return CodelengthFromFlows(f, NodeEntropyTerm(graph));
 }
 
-Result<InfomapResult> RunInfomapLite(const graphdb::WeightedGraph& graph,
-                                     const InfomapOptions& options) {
-  if (options.max_levels <= 0 || options.max_sweeps_per_level <= 0) {
+namespace internal {
+
+Result<CommunityResult> DetectInfomap(const graphdb::WeightedGraph& graph,
+                                      const CommunityOptions& options) {
+  const int max_levels = options.max_levels.value_or(32);
+  const int max_sweeps = options.max_sweeps_per_level.value_or(64);
+  const double min_improvement = options.min_improvement.value_or(1e-10);
+  if (max_levels <= 0 || max_sweeps <= 0) {
     return Status::InvalidArgument("iteration limits must be positive");
   }
-  InfomapResult result;
+  if (!std::isfinite(min_improvement)) {
+    return Status::InvalidArgument("min_improvement must be finite");
+  }
+  CommunityResult result;
+  result.algorithm = AlgorithmId::kInfomap;
   const size_t n = graph.node_count();
   result.partition = Partition::Singletons(n);
-  if (n == 0) return result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
 
-  result.singleton_codelength =
-      MapEquationCodelength(graph, result.partition);
+  result.singleton_quality = MapEquationCodelength(graph, result.partition);
 
   Rng rng(options.seed);
   WeightedGraph level_graph = graph;
   Partition cumulative = Partition::Singletons(n);
-  double best_len = result.singleton_codelength;
+  double best_len = result.singleton_quality;
 
-  for (int level = 0; level < options.max_levels; ++level) {
-    LocalMoveOutcome outcome = LocalMoving(level_graph, options, &rng);
-    if (!outcome.improved) break;
+  bool converged = false;
+  for (int level = 0; level < max_levels; ++level) {
+    LocalMoveOutcome outcome = LocalMoving(level_graph, max_sweeps, &rng);
+    if (!outcome.improved) {
+      converged = true;
+      break;
+    }
     Partition candidate = ComposePartitions(cumulative, outcome.partition);
     candidate.Renumber();
     const double len = MapEquationCodelength(graph, candidate);
-    if (len >= best_len - options.min_improvement) break;
+    if (len >= best_len - min_improvement) {
+      converged = true;
+      break;
+    }
     best_len = len;
     cumulative = candidate;
     ++result.levels;
-    if (outcome.partition.CommunityCount() == level_graph.node_count()) break;
+    if (outcome.partition.CommunityCount() == level_graph.node_count()) {
+      converged = true;
+      break;
+    }
     level_graph = AggregateByPartition(level_graph, outcome.partition);
   }
+  result.converged = converged;
 
   result.partition = cumulative;
   result.partition.Renumber();
-  result.codelength = MapEquationCodelength(graph, result.partition);
+  result.quality = MapEquationCodelength(graph, result.partition);
+  // modularity is filled by the registry adapter (detector.cc); the legacy
+  // wrapper below has no field for it.
+  return result;
+}
+
+}  // namespace internal
+
+Result<InfomapResult> RunInfomapLite(const graphdb::WeightedGraph& graph,
+                                     const InfomapOptions& options) {
+  CommunityOptions unified;
+  unified.seed = options.seed;
+  unified.max_levels = options.max_levels;
+  unified.max_sweeps_per_level = options.max_sweeps_per_level;
+  unified.min_improvement = options.min_improvement;
+  BIKEGRAPH_ASSIGN_OR_RETURN(CommunityResult detected,
+                             internal::DetectInfomap(graph, unified));
+  InfomapResult result;
+  result.partition = std::move(detected.partition);
+  result.codelength = detected.quality;
+  result.singleton_codelength = detected.singleton_quality;
+  result.levels = detected.levels;
   return result;
 }
 

@@ -1,16 +1,20 @@
 #include "community/label_propagation.h"
 
 #include "core/rng.h"
+#include "community/detector.h"
 
 namespace bikegraph::community {
 
-Result<LabelPropagationResult> RunLabelPropagation(
-    const graphdb::WeightedGraph& graph,
-    const LabelPropagationOptions& options) {
-  if (options.max_iterations <= 0) {
+namespace internal {
+
+Result<CommunityResult> DetectLabelPropagation(
+    const graphdb::WeightedGraph& graph, const CommunityOptions& options) {
+  const int max_iterations = options.max_iterations.value_or(100);
+  if (max_iterations <= 0) {
     return Status::InvalidArgument("max_iterations must be positive");
   }
-  LabelPropagationResult result;
+  CommunityResult result;
+  result.algorithm = AlgorithmId::kLabelPropagation;
   const size_t n = graph.node_count();
   result.partition = Partition::Singletons(n);
   if (n == 0) {
@@ -29,7 +33,7 @@ Result<LabelPropagationResult> RunLabelPropagation(
   std::vector<char> seen(n, 0);
   std::vector<int32_t> touched;
   touched.reserve(64);
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
+  for (int iter = 0; iter < max_iterations; ++iter) {
     ++result.iterations;
     rng.Shuffle(&order);
     bool changed = false;
@@ -69,6 +73,27 @@ Result<LabelPropagationResult> RunLabelPropagation(
     }
   }
   result.partition.Renumber();
+  // modularity/quality are filled by the registry adapter (detector.cc):
+  // label propagation has no native objective, and the legacy wrapper
+  // below would only throw the extra O(V+E) scan away.
+  return result;
+}
+
+}  // namespace internal
+
+Result<LabelPropagationResult> RunLabelPropagation(
+    const graphdb::WeightedGraph& graph,
+    const LabelPropagationOptions& options) {
+  CommunityOptions unified;
+  unified.seed = options.seed;
+  unified.max_iterations = options.max_iterations;
+  BIKEGRAPH_ASSIGN_OR_RETURN(
+      CommunityResult detected,
+      internal::DetectLabelPropagation(graph, unified));
+  LabelPropagationResult result;
+  result.partition = std::move(detected.partition);
+  result.iterations = detected.iterations;
+  result.converged = detected.converged;
   return result;
 }
 

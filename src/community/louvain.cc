@@ -1,7 +1,10 @@
 #include "community/louvain.h"
 
+#include <cmath>
+
 #include "core/rng.h"
 #include "community/aggregate.h"
+#include "community/detector.h"
 #include "community/modularity.h"
 
 namespace bikegraph::community {
@@ -18,8 +21,8 @@ struct LocalMoveOutcome {
   bool improved = false;
 };
 
-LocalMoveOutcome LocalMoving(const WeightedGraph& g,
-                             const LouvainOptions& options, Rng* rng) {
+LocalMoveOutcome LocalMoving(const WeightedGraph& g, int max_sweeps,
+                             double resolution, Rng* rng) {
   const size_t n = g.node_count();
   const double m = g.total_weight();
   LocalMoveOutcome out;
@@ -54,8 +57,7 @@ LocalMoveOutcome LocalMoving(const WeightedGraph& g,
   std::vector<int32_t> queue(order);
   std::vector<char> in_queue(n, 1);
   size_t head = 0;
-  size_t budget =
-      static_cast<size_t>(options.max_sweeps_per_level) * n;
+  size_t budget = static_cast<size_t>(max_sweeps) * n;
 
   bool any_move_ever = false;
   while (head < queue.size() && budget > 0) {
@@ -91,7 +93,7 @@ LocalMoveOutcome LocalMoving(const WeightedGraph& g,
     // The winner is the exact argmax of (gain, -label) among communities
     // strictly better than staying — an order-independent rule, so the
     // touched list needs no sorting. Scratch reset is fused into the scan.
-    const double ku_res = options.resolution * k_u * inv_two_m;
+    const double ku_res = resolution * k_u * inv_two_m;
     const double stay_gain = w_to_comm[cu] - ku_res * sigma_tot[cu];
     int32_t best_comm = cu;
     double best_gain = stay_gain;
@@ -131,15 +133,28 @@ LocalMoveOutcome LocalMoving(const WeightedGraph& g,
 
 }  // namespace
 
-Result<LouvainResult> RunLouvain(const graphdb::WeightedGraph& graph,
-                                 const LouvainOptions& options) {
-  if (options.resolution <= 0.0) {
-    return Status::InvalidArgument("resolution must be positive");
+namespace internal {
+
+Result<CommunityResult> DetectLouvain(const graphdb::WeightedGraph& graph,
+                                      const CommunityOptions& options) {
+  if (!std::isfinite(options.resolution) || options.resolution <= 0.0) {
+    return Status::InvalidArgument("resolution must be positive and finite");
   }
-  LouvainResult result;
+  const int max_levels = options.max_levels.value_or(64);
+  const int max_sweeps = options.max_sweeps_per_level.value_or(128);
+  const double min_gain = options.min_gain.value_or(1e-9);
+  if (!std::isfinite(min_gain)) {
+    return Status::InvalidArgument("min_gain must be finite");
+  }
+
+  CommunityResult result;
+  result.algorithm = AlgorithmId::kLouvain;
   const size_t n = graph.node_count();
   result.partition = Partition::Singletons(n);
-  if (n == 0) return result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
 
   Rng rng(options.seed);
   // The first level runs on the input graph directly (no copy); aggregated
@@ -149,9 +164,14 @@ Result<LouvainResult> RunLouvain(const graphdb::WeightedGraph& graph,
   Partition cumulative = Partition::Singletons(n);
   double best_q = Modularity(graph, cumulative, options.resolution);
 
-  for (int level = 0; level < options.max_levels; ++level) {
-    LocalMoveOutcome outcome = LocalMoving(*level_graph, options, &rng);
-    if (!outcome.improved) break;
+  bool converged = false;
+  for (int level = 0; level < max_levels; ++level) {
+    LocalMoveOutcome outcome =
+        LocalMoving(*level_graph, max_sweeps, options.resolution, &rng);
+    if (!outcome.improved) {
+      converged = true;
+      break;
+    }
     Partition candidate = ComposePartitions(cumulative, outcome.partition);
     candidate.Renumber();
     // Modularity is invariant under aggregation (self-loops and strengths
@@ -159,21 +179,47 @@ Result<LouvainResult> RunLouvain(const graphdb::WeightedGraph& graph,
     // instead of rescanning the full input graph.
     const double q =
         Modularity(*level_graph, outcome.partition, options.resolution);
-    if (q <= best_q + options.min_gain) break;
+    if (q <= best_q + min_gain) {
+      converged = true;
+      break;
+    }
     best_q = q;
     cumulative = candidate;
     result.level_partitions.push_back(candidate);
     ++result.levels;
     if (outcome.partition.CommunityCount() == level_graph->node_count()) {
-      break;  // no aggregation possible
+      converged = true;  // no aggregation possible
+      break;
     }
     owned_level = AggregateByPartition(*level_graph, outcome.partition);
     level_graph = &owned_level;
   }
+  result.converged = converged;
 
   result.partition = cumulative;
   result.partition.Renumber();
   result.modularity = Modularity(graph, result.partition, options.resolution);
+  result.quality = result.modularity;
+  return result;
+}
+
+}  // namespace internal
+
+Result<LouvainResult> RunLouvain(const graphdb::WeightedGraph& graph,
+                                 const LouvainOptions& options) {
+  CommunityOptions unified;
+  unified.seed = options.seed;
+  unified.resolution = options.resolution;
+  unified.max_levels = options.max_levels;
+  unified.max_sweeps_per_level = options.max_sweeps_per_level;
+  unified.min_gain = options.min_gain;
+  BIKEGRAPH_ASSIGN_OR_RETURN(CommunityResult detected,
+                             internal::DetectLouvain(graph, unified));
+  LouvainResult result;
+  result.partition = std::move(detected.partition);
+  result.modularity = detected.modularity;
+  result.levels = detected.levels;
+  result.level_partitions = std::move(detected.level_partitions);
   return result;
 }
 

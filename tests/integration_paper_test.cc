@@ -96,9 +96,9 @@ TEST(PaperIntegrationTest, SelectionObeysAllRules) {
 
 TEST(PaperIntegrationTest, CommunityCountsGrowWithGranularity) {
   const auto& r = Experiment();
-  const size_t k_basic = r.gbasic.louvain.partition.CommunityCount();
-  const size_t k_day = r.gday.louvain.partition.CommunityCount();
-  const size_t k_hour = r.ghour.louvain.partition.CommunityCount();
+  const size_t k_basic = r.gbasic.detection.partition.CommunityCount();
+  const size_t k_day = r.gday.detection.partition.CommunityCount();
+  const size_t k_hour = r.ghour.detection.partition.CommunityCount();
   // Paper: 3 -> 7 -> 10.
   EXPECT_GE(k_basic, 3u);
   EXPECT_LE(k_basic, 8u);
@@ -110,11 +110,11 @@ TEST(PaperIntegrationTest, CommunityCountsGrowWithGranularity) {
 TEST(PaperIntegrationTest, ModularityGrowsWithGranularity) {
   const auto& r = Experiment();
   // Paper: 0.25 -> 0.32 -> 0.54; ours must be positive and monotone.
-  EXPECT_GT(r.gbasic.louvain.modularity, 0.15);
-  EXPECT_LT(r.gbasic.louvain.modularity, 0.45);
-  EXPECT_GT(r.gday.louvain.modularity, r.gbasic.louvain.modularity);
-  EXPECT_GT(r.ghour.louvain.modularity, r.gday.louvain.modularity);
-  EXPECT_LT(r.ghour.louvain.modularity, 0.75);
+  EXPECT_GT(r.gbasic.detection.modularity, 0.15);
+  EXPECT_LT(r.gbasic.detection.modularity, 0.45);
+  EXPECT_GT(r.gday.detection.modularity, r.gbasic.detection.modularity);
+  EXPECT_GT(r.ghour.detection.modularity, r.gday.detection.modularity);
+  EXPECT_LT(r.ghour.detection.modularity, 0.75);
 }
 
 TEST(PaperIntegrationTest, CommunitiesAreLargelySelfContained) {
@@ -143,7 +143,7 @@ TEST(PaperIntegrationTest, CommunitiesMixOldAndNewStations) {
 TEST(PaperIntegrationTest, FigFiveDayPatternsSplit) {
   const auto& r = Experiment();
   auto shares = analysis::CommunityDayShares(r.pipeline.final_network,
-                                             r.gday.louvain.partition);
+                                             r.gday.detection.partition);
   ASSERT_TRUE(shares.ok());
   size_t commute = 0, leisure = 0;
   for (const auto& row : *shares) {
@@ -167,7 +167,7 @@ TEST(PaperIntegrationTest, FigFiveDayPatternsSplit) {
 TEST(PaperIntegrationTest, FigSevenHourPatternsSplit) {
   const auto& r = Experiment();
   auto shares = analysis::CommunityHourShares(r.pipeline.final_network,
-                                              r.ghour.louvain.partition);
+                                              r.ghour.detection.partition);
   ASSERT_TRUE(shares.ok());
   size_t commute = 0, midday = 0;
   for (const auto& row : *shares) {
@@ -193,10 +193,10 @@ TEST(PaperIntegrationTest, DeterministicAcrossRuns) {
   // community structure exactly.
   auto again = analysis::RunPaperExperiment(analysis::ExperimentConfig{});
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(again->gbasic.louvain.partition.assignment,
-            Experiment().gbasic.louvain.partition.assignment);
-  EXPECT_DOUBLE_EQ(again->ghour.louvain.modularity,
-                   Experiment().ghour.louvain.modularity);
+  EXPECT_EQ(again->gbasic.detection.partition.assignment,
+            Experiment().gbasic.detection.partition.assignment);
+  EXPECT_DOUBLE_EQ(again->ghour.detection.modularity,
+                   Experiment().ghour.detection.modularity);
 }
 
 }  // namespace

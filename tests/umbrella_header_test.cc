@@ -34,12 +34,36 @@ TEST(UmbrellaHeaderTest, GraphAndCommunityReachable) {
   EXPECT_EQ(louvain->partition.node_count(), 3u);
 }
 
+TEST(UmbrellaHeaderTest, UnifiedDetectorApiReachable) {
+  namespace community = bikegraph::community;
+  // The whole registry surface compiles and runs through the umbrella
+  // header alone: enumeration, name round-trip, and unified dispatch.
+  bikegraph::graphdb::WeightedGraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 2.0).ok());
+  auto g = b.Build();
+  const auto ids = community::ListAlgorithms();
+  EXPECT_EQ(ids.size(), community::AlgorithmRegistry().size());
+  for (community::AlgorithmId id : ids) {
+    auto parsed = community::ParseAlgorithm(community::AlgorithmName(id));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, id);
+    community::DetectSpec spec;
+    spec.algorithm = id;
+    auto result = community::Detect(g, spec);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->partition.node_count(), 4u);
+  }
+}
+
 TEST(UmbrellaHeaderTest, PipelineEntryPointsReachable) {
   // Type-level smoke: the experiment config composes all module configs.
   bikegraph::analysis::ExperimentConfig config;
   EXPECT_EQ(config.pipeline.clustering.cluster_boundary_m, 100.0);
   EXPECT_EQ(config.pipeline.selection.secondary_distance_m, 250.0);
-  EXPECT_EQ(config.louvain.resolution, 1.0);
+  EXPECT_EQ(config.detection.algorithm,
+            bikegraph::community::AlgorithmId::kLouvain);
+  EXPECT_EQ(config.detection.options.resolution, 1.0);
   bikegraph::analysis::PaperExpectations paper;
   EXPECT_EQ(paper.selected_total_stations, 238u);
 }

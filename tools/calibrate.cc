@@ -13,12 +13,12 @@ int main() {
     auto pipe = expansion::RunExpansionPipeline(*raw);
     if (!pipe.ok()) { std::printf("pipe failed: %s\n", pipe.status().ToString().c_str()); return 1; }
     const auto& net = pipe->final_network;
-    community::LouvainOptions lv;
+    community::DetectSpec lv;  // default: Louvain, paper options
     analysis::TemporalGraphOptions null_opt;
     auto gb = analysis::RunCommunityExperiment(net, null_opt, lv);
     std::printf("fidelity=%.2f selected=%zu GBasic k=%zu Q=%.2f self=%.0f%%\n",
                 fidelity, net.selected_count(),
-                gb->louvain.partition.CommunityCount(), gb->louvain.modularity,
+                gb->detection.partition.CommunityCount(), gb->detection.modularity,
                 100 * gb->stats.SelfContainedFraction());
     for (auto [gran, name] : {std::pair{analysis::TemporalGranularity::kDay, "Day "},
                               std::pair{analysis::TemporalGranularity::kHour, "Hour"}}) {
@@ -27,8 +27,8 @@ int main() {
           analysis::TemporalGraphOptions o{gran, floor, contrast};
           auto e = analysis::RunCommunityExperiment(net, o, lv);
           std::printf("  %s c=%4.1f f=%.2f  k=%2zu Q=%.2f self=%.0f%%\n", name,
-                      contrast, floor, e->louvain.partition.CommunityCount(),
-                      e->louvain.modularity,
+                      contrast, floor, e->detection.partition.CommunityCount(),
+                      e->detection.modularity,
                       100 * e->stats.SelfContainedFraction());
         }
       }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate in one command: configure + build + ctest.
+#
+#   tools/ci.sh                         # release build, all tests
+#   BIKEGRAPH_SANITIZE=address tools/ci.sh          # ASan build
+#   BIKEGRAPH_SANITIZE=undefined tools/ci.sh        # UBSan build
+#   tools/ci.sh -R community_detector_test          # extra args go to ctest
+#
+# The build directory defaults to build/ (build-asan/ or build-ubsan/ for
+# sanitized runs, so a sanitizer pass never clobbers the main tree).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SANITIZE="${BIKEGRAPH_SANITIZE:-}"
+
+case "$SANITIZE" in
+  "")        BUILD_DIR="${BUILD_DIR:-$ROOT/build}" ;;
+  address)   BUILD_DIR="${BUILD_DIR:-$ROOT/build-asan}" ;;
+  undefined) BUILD_DIR="${BUILD_DIR:-$ROOT/build-ubsan}" ;;
+  *) echo "BIKEGRAPH_SANITIZE must be empty, 'address' or 'undefined'" >&2
+     exit 2 ;;
+esac
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DBIKEGRAPH_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
