@@ -1,0 +1,111 @@
+// Streaming-engine throughput benchmarks: event ingestion through the
+// sliding window, snapshot freezing, and warm-start community refresh vs
+// a full re-detect on consecutive windows. Wired into tools/run_benches.sh
+// and BENCH_perf.json alongside the bench_perf_* microbenches.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "community/detector.h"
+#include "stream/engine.h"
+#include "stream/incremental_community.h"
+#include "stream/snapshot.h"
+#include "stream/testing.h"
+#include "stream/window_graph.h"
+
+namespace bikegraph::stream {
+namespace {
+
+using testing::PlantedStream;
+
+// Raw ingestion throughput (deltas + expiry ring) through a 7-day
+// sliding window — the per-event hot path of the live engine.
+void BM_StreamIngest(benchmark::State& state) {
+  const auto stations = static_cast<size_t>(state.range(0));
+  const auto events = PlantedStream(stations, 4, 28, 4000, 17);
+  for (auto _ : state) {
+    SlidingWindowGraph window({stations, 7 * 86400});
+    for (const TripEvent& e : events) {
+      benchmark::DoNotOptimize(window.Ingest(e).ok());
+    }
+    benchmark::DoNotOptimize(window.trip_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_StreamIngest)->Arg(64)->Arg(256);
+
+// Freezing the live window into an immutable CSR snapshot (GBasic
+// projection), the read-side publication step.
+void BM_SnapshotFreeze(benchmark::State& state) {
+  const auto stations = static_cast<size_t>(state.range(0));
+  SlidingWindowGraph window({stations, 0});
+  for (const TripEvent& e : PlantedStream(stations, 4, 7, 4000, 23)) {
+    (void)window.Ingest(e);
+  }
+  for (auto _ : state) {
+    auto snap = FreezeSnapshot(window);
+    benchmark::DoNotOptimize(snap.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(window.trip_count()));
+}
+BENCHMARK(BM_SnapshotFreeze)->Arg(64)->Arg(256);
+
+/// Consecutive window graphs for the refresh benchmarks: one frozen
+/// snapshot per day over a 7-day sliding window.
+std::vector<graphdb::WeightedGraph> WindowSequence(size_t stations) {
+  std::vector<graphdb::WeightedGraph> graphs;
+  SlidingWindowGraph window({stations, 7 * 86400});
+  const auto events = PlantedStream(stations, 4, 21, 2000, 31);
+  int day = 0;
+  const int64_t first = events.front().start_time.seconds_since_epoch();
+  for (const TripEvent& e : events) {
+    (void)window.Ingest(e);
+    const int event_day =
+        static_cast<int>((e.start_time.seconds_since_epoch() - first) / 86400);
+    if (event_day > day && event_day >= 7) {
+      day = event_day;
+      graphs.push_back(FreezeSnapshot(window).ValueOrDie().graph);
+    }
+  }
+  return graphs;
+}
+
+// Warm-start refresh: each window's Louvain run is seeded with the
+// previous window's partition through the incremental tracker.
+void BM_WarmStartRefresh(benchmark::State& state) {
+  const auto stations = static_cast<size_t>(state.range(0));
+  const auto graphs = WindowSequence(stations);
+  community::DetectSpec spec;
+  for (auto _ : state) {
+    IncrementalCommunityTracker tracker;
+    for (const auto& g : graphs) {
+      benchmark::DoNotOptimize(tracker.Refresh(g, spec).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graphs.size()));
+}
+BENCHMARK(BM_WarmStartRefresh)->Arg(64)->Arg(256);
+
+// The baseline the warm start must beat: a cold Louvain run per window.
+void BM_FullRedetect(benchmark::State& state) {
+  const auto stations = static_cast<size_t>(state.range(0));
+  const auto graphs = WindowSequence(stations);
+  community::DetectSpec spec;
+  for (auto _ : state) {
+    for (const auto& g : graphs) {
+      benchmark::DoNotOptimize(community::Detect(g, spec).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graphs.size()));
+}
+BENCHMARK(BM_FullRedetect)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace bikegraph::stream
+
+BENCHMARK_MAIN();

@@ -49,6 +49,14 @@ double StationProfiles::Similarity(size_t a, size_t b,
   return 1.0;
 }
 
+double PerTripWeight(const StationProfiles& profiles, size_t a, size_t b,
+                     const TemporalGraphOptions& options) {
+  const double sim = profiles.Similarity(a, b, options.granularity);
+  const double sharpened = std::pow(std::max(0.0, sim), options.contrast);
+  return options.similarity_floor +
+         (1.0 - options.similarity_floor) * sharpened;
+}
+
 Result<StationProfiles> ExtractStationProfiles(
     const graphdb::PropertyGraph& trips) {
   StationProfiles profiles;
@@ -106,12 +114,9 @@ Result<graphdb::WeightedGraph> BuildTemporalGraph(
     if (!status.ok()) return;
     const auto from = static_cast<size_t>(trips.EdgeFrom(e));
     const auto to = static_cast<size_t>(trips.EdgeTo(e));
-    const double sim = profiles.Similarity(from, to, options.granularity);
-    const double sharpened = std::pow(std::max(0.0, sim), options.contrast);
-    const double w = options.similarity_floor +
-                     (1.0 - options.similarity_floor) * sharpened;
     status = builder.AddEdge(static_cast<int32_t>(from),
-                             static_cast<int32_t>(to), w);
+                             static_cast<int32_t>(to),
+                             PerTripWeight(profiles, from, to, options));
   });
   BIKEGRAPH_RETURN_NOT_OK(status);
   return builder.Build();

@@ -50,6 +50,14 @@ struct StationProfiles {
 Result<StationProfiles> ExtractStationProfiles(
     const graphdb::PropertyGraph& trips);
 
+/// \brief Weight one trip between stations `a` and `b` contributes to the
+/// projected graph: floor + (1 − floor) · similarity^contrast. The single
+/// source of the projection formula — BuildTemporalGraph applies it per
+/// trip edge and the streaming snapshot freeze applies it per window
+/// pair, so the two stay bit-identical by construction.
+double PerTripWeight(const StationProfiles& profiles, size_t a, size_t b,
+                     const TemporalGraphOptions& options);
+
 /// \brief Builds the undirected weighted graph for one temporal granularity
 /// (paper §IV-C "Network Structures").
 ///

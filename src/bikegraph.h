@@ -62,6 +62,15 @@
 #include "metrics/centrality.h"
 #include "metrics/graph_stats.h"
 
+// Streaming ingestion: sliding-window graphs, immutable snapshots,
+// warm-start community refresh (see docs/STREAMING.md).
+#include "stream/engine.h"
+#include "stream/event.h"
+#include "stream/incremental_community.h"
+#include "stream/replay.h"
+#include "stream/snapshot.h"
+#include "stream/window_graph.h"
+
 // Analysis & experiments.
 #include "analysis/community_stats.h"
 #include "analysis/experiment.h"

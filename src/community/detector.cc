@@ -37,16 +37,16 @@ constexpr AlgorithmInfo kRegistry[] = {
     {AlgorithmId::kLouvain, "louvain",
      "multi-level modularity optimisation (Blondel et al. 2008; the "
      "paper's algorithm)",
-     &internal::DetectLouvain},
+     &internal::DetectLouvain, /*supports_warm_start=*/true},
     {AlgorithmId::kLabelPropagation, "label_propagation",
      "asynchronous weighted label propagation (Raghavan et al. 2007)",
-     &LabelPropagationEntry},
+     &LabelPropagationEntry, /*supports_warm_start=*/true},
     {AlgorithmId::kFastGreedy, "fast_greedy",
      "Clauset-Newman-Moore greedy modularity agglomeration",
-     &internal::DetectFastGreedy},
+     &internal::DetectFastGreedy, /*supports_warm_start=*/false},
     {AlgorithmId::kInfomap, "infomap",
      "two-level map-equation optimisation (Rosvall & Bergstrom 2008)",
-     &InfomapEntry},
+     &InfomapEntry, /*supports_warm_start=*/false},
 };
 
 const AlgorithmInfo* FindInfo(AlgorithmId id) {

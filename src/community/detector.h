@@ -44,6 +44,7 @@ enum class AlgorithmId : int32_t {
 ///   | max_merges          | —       | —         | 0 (∞)      | —       |
 ///   | min_gain            | 1e-9    | —         | 0.0        | —       |
 ///   | min_improvement     | —       | —         | —          | 1e-10   |
+///   | initial_partition   | yes     | yes       | ignored    | ignored |
 struct CommunityOptions {
   /// Seed for node-visit shuffling (Louvain, label propagation, Infomap).
   uint64_t seed = 1;
@@ -62,6 +63,15 @@ struct CommunityOptions {
   std::optional<double> min_gain;
   /// Minimum codelength improvement (bits) per Infomap level (unset: 1e-10).
   std::optional<double> min_improvement;
+  /// Warm-start seed: start the algorithm from this partition instead of
+  /// singletons (labels need not be dense; a renumbered copy is used).
+  /// Louvain seeds its first local-moving phase with it; label
+  /// propagation seeds its labels. Fast-greedy and Infomap ignore it.
+  /// Must cover exactly the input graph's nodes when set. The streaming
+  /// layer threads the previous window's partition through this field
+  /// (see stream/incremental_community.h); unset reproduces the cold
+  /// start bit for bit.
+  std::optional<Partition> initial_partition;
 };
 
 /// \brief What `Detect()` should run: which algorithm, with which options.
@@ -122,6 +132,11 @@ struct AlgorithmInfo {
   /// (everything except wall_time_ms, which Detect() stamps).
   Result<CommunityResult> (*run)(const graphdb::WeightedGraph& graph,
                                  const CommunityOptions& options);
+  /// True when the backend honours CommunityOptions::initial_partition.
+  /// Capability data lives here (not hard-coded at call sites) so
+  /// consumers like the streaming warm-start tracker pick up new
+  /// seedable backends without code changes.
+  bool supports_warm_start = false;
 };
 
 /// \brief All registered algorithms, in stable AlgorithmId order.

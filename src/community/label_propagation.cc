@@ -24,6 +24,18 @@ Result<CommunityResult> DetectLabelPropagation(
 
   Rng rng(options.seed);
   std::vector<int32_t>& labels = result.partition.assignment;
+  // Warm start: begin from the seed's (renumbered, hence dense < n)
+  // labels instead of singletons. The propagation loop below is
+  // unchanged, so an unset seed is bit-identical to the cold start.
+  if (options.initial_partition.has_value()) {
+    if (options.initial_partition->node_count() != n) {
+      return Status::InvalidArgument(
+          "initial_partition must cover exactly the graph's nodes");
+    }
+    Partition seed = *options.initial_partition;
+    seed.Renumber();
+    labels = std::move(seed.assignment);
+  }
   std::vector<int32_t> order(n);
   for (size_t i = 0; i < n; ++i) order[i] = static_cast<int32_t>(i);
 

@@ -21,8 +21,12 @@ struct LocalMoveOutcome {
   bool improved = false;
 };
 
+/// `seed_assignment` (optional) warm-starts the phase: communities begin
+/// as the seed's (dense-labelled) groups instead of singletons. Null
+/// keeps the cold-start path untouched.
 LocalMoveOutcome LocalMoving(const WeightedGraph& g, int max_sweeps,
-                             double resolution, Rng* rng) {
+                             double resolution, Rng* rng,
+                             const std::vector<int32_t>* seed_assignment) {
   const size_t n = g.node_count();
   const double m = g.total_weight();
   LocalMoveOutcome out;
@@ -32,8 +36,16 @@ LocalMoveOutcome LocalMoving(const WeightedGraph& g, int max_sweeps,
   std::vector<int32_t>& comm = out.partition.assignment;
   // Σ_tot per community (summed strengths).
   std::vector<double> sigma_tot(n);
-  for (size_t u = 0; u < n; ++u) {
-    sigma_tot[u] = g.strength(static_cast<int32_t>(u));
+  if (seed_assignment == nullptr) {
+    for (size_t u = 0; u < n; ++u) {
+      sigma_tot[u] = g.strength(static_cast<int32_t>(u));
+    }
+  } else {
+    comm = *seed_assignment;
+    std::fill(sigma_tot.begin(), sigma_tot.end(), 0.0);
+    for (size_t u = 0; u < n; ++u) {
+      sigma_tot[comm[u]] += g.strength(static_cast<int32_t>(u));
+    }
   }
 
   std::vector<int32_t> order(n);
@@ -156,6 +168,26 @@ Result<CommunityResult> DetectLouvain(const graphdb::WeightedGraph& graph,
     return result;
   }
 
+  // Warm start: the first local-moving phase begins from the seed's
+  // communities. The seed is only a starting point — every move still
+  // requires a strict modularity improvement, and a seed that scores no
+  // better than singletons is discarded by the level-acceptance test
+  // below. Empty graphs (m = 0) have nothing to move, so seeding is
+  // skipped there and the cold path answers.
+  Partition seed;
+  bool seeded = false;
+  if (options.initial_partition.has_value()) {
+    if (options.initial_partition->node_count() != n) {
+      return Status::InvalidArgument(
+          "initial_partition must cover exactly the graph's nodes");
+    }
+    if (graph.total_weight() > 0.0) {
+      seed = *options.initial_partition;
+      seed.Renumber();
+      seeded = true;
+    }
+  }
+
   Rng rng(options.seed);
   // The first level runs on the input graph directly (no copy); aggregated
   // levels own their shrinking graphs.
@@ -166,9 +198,14 @@ Result<CommunityResult> DetectLouvain(const graphdb::WeightedGraph& graph,
 
   bool converged = false;
   for (int level = 0; level < max_levels; ++level) {
+    const bool seed_level = seeded && level == 0;
     LocalMoveOutcome outcome =
-        LocalMoving(*level_graph, max_sweeps, options.resolution, &rng);
-    if (!outcome.improved) {
+        LocalMoving(*level_graph, max_sweeps, options.resolution, &rng,
+                    seed_level ? &seed.assignment : nullptr);
+    // A seeded first level is scored even when no node moved: the seed
+    // itself may already beat singletons, and bailing here would throw
+    // the warm start away.
+    if (!outcome.improved && !seed_level) {
       converged = true;
       break;
     }

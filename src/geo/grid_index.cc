@@ -42,13 +42,60 @@ double GridIndex::MinCellExtentMeters(double cos_query_lat) const {
 
 bool GridIndex::Add(int64_t id, const LatLon& point) {
   if (!point.IsValid()) return false;
+  if (frozen_) {
+    // Thaw: drop the frozen arrays and let the lazy hash build re-bucket
+    // everything (slot_keys_ still holds every slot's cell) on the next
+    // query.
+    frozen_ = false;
+    frozen_keys_.clear();
+    frozen_offsets_.clear();
+    frozen_slots_.clear();
+    cells_.clear();
+    hashed_upto_ = 0;
+  }
   const int32_t slot = static_cast<int32_t>(points_.size());
   points_.push_back(point);
   ids_.push_back(id);
   cos_lat_.push_back(std::cos(DegToRad(point.lat)));
+  slot_keys_.push_back(KeyFor(point));
   id_to_slot_[id] = slot;
-  cells_[KeyFor(point)].push_back(slot);
   return true;
+}
+
+void GridIndex::EnsureHashed() const {
+  for (; hashed_upto_ < slot_keys_.size(); ++hashed_upto_) {
+    cells_[slot_keys_[hashed_upto_]].push_back(
+        static_cast<int32_t>(hashed_upto_));
+  }
+}
+
+void GridIndex::Freeze() {
+  if (frozen_) return;
+  const size_t n = slot_keys_.size();
+  // Sort slots by cell key (stable, so each cell keeps insertion order —
+  // the same order the hash buckets would hold).
+  std::vector<int32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int32_t>(i);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int32_t a, int32_t b) {
+                     return slot_keys_[a] < slot_keys_[b];
+                   });
+  frozen_keys_.clear();
+  frozen_offsets_.clear();
+  frozen_slots_.clear();
+  frozen_slots_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const CellKey key = slot_keys_[order[i]];
+    if (frozen_keys_.empty() || !(frozen_keys_.back() == key)) {
+      frozen_keys_.push_back(key);
+      frozen_offsets_.push_back(i);
+    }
+    frozen_slots_.push_back(order[i]);
+  }
+  frozen_offsets_.push_back(n);
+  cells_.clear();
+  hashed_upto_ = n;
+  frozen_ = true;
 }
 
 std::vector<int64_t> GridIndex::WithinRadius(const LatLon& center,
@@ -85,9 +132,7 @@ GridIndex::Neighbor GridIndex::Nearest(const LatLon& query,
             std::abs(col - origin.col) != ring) {
           continue;
         }
-        auto it = cells_.find(CellKey{row, col});
-        if (it == cells_.end()) continue;
-        for (int32_t slot : it->second) {
+        for (int32_t slot : CellSlots(CellKey{row, col})) {
           ++visited;
           if (ids_[slot] == exclude_id) continue;
           double d = HaversineMetersWithCos(points_[slot], query,
@@ -164,9 +209,7 @@ std::vector<GridIndex::Neighbor> GridIndex::KNearest(const LatLon& query,
             std::abs(col - origin.col) != ring) {
           continue;
         }
-        auto it = cells_.find(CellKey{row, col});
-        if (it == cells_.end()) continue;
-        for (int32_t slot : it->second) {
+        for (int32_t slot : CellSlots(CellKey{row, col})) {
           ++visited;
           consider(slot);
         }

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -27,7 +29,19 @@ namespace bikegraph::geo {
 /// map is only consulted by Add() and PointOf().
 ///
 /// The index is append-only: build it with Add(); querying is valid
-/// after any Add (no explicit build step required).
+/// after any Add (no explicit build step required). Cell buckets are
+/// built lazily at the first query, so Add() itself never hashes — a
+/// pure build phase costs only flat appends. Consequently the first
+/// query after an Add mutates internal state: an unfrozen index is NOT
+/// safe for concurrent readers. Call Freeze() before sharing across
+/// threads (frozen queries are pure reads).
+///
+/// Build-once / query-many workloads should call Freeze() after the last
+/// Add: the cells collapse into a sorted flat array (binary-searched per
+/// lookup, cache-friendly slot runs) and the bucket hash map is dropped
+/// entirely. A frozen index answers the same queries with identical
+/// results; Add() after Freeze() transparently thaws back to the lazy
+/// hash representation.
 class GridIndex {
  public:
   /// \param cell_size_m edge length of a grid cell in metres. Choose it near
@@ -72,9 +86,7 @@ class GridIndex {
     const CellKey hi = KeyFor(LatLon(center.lat + dlat, center.lon + dlon));
     for (int32_t row = lo.row; row <= hi.row; ++row) {
       for (int32_t col = lo.col; col <= hi.col; ++col) {
-        auto it = cells_.find(CellKey{row, col});
-        if (it == cells_.end()) continue;
-        for (int32_t slot : it->second) {
+        for (int32_t slot : CellSlots(CellKey{row, col})) {
           const LatLon& p = points_[slot];
           if (std::abs(p.lat - center.lat) > dlat_pad) continue;
           // Inlined haversine kernel of (p, center) — identical operations
@@ -126,7 +138,7 @@ class GridIndex {
           2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
       if (d <= radius_m) visit(ids_[sa], ids_[sb], d);
     };
-    for (const auto& [key, slots] : cells_) {
+    ForEachCell([&](const CellKey& key, std::span<const int32_t> slots) {
       // Intra-cell pairs.
       for (size_t i = 0; i < slots.size(); ++i) {
         for (size_t j = i + 1; j < slots.size(); ++j) {
@@ -148,14 +160,15 @@ class GridIndex {
       for (int32_t dr = 0; dr <= row_span; ++dr) {
         const int32_t dc_begin = dr == 0 ? 1 : -col_span;
         for (int32_t dc = dc_begin; dc <= col_span; ++dc) {
-          auto it = cells_.find(CellKey{key.row + dr, key.col + dc});
-          if (it == cells_.end()) continue;
+          const std::span<const int32_t> other =
+              CellSlots(CellKey{key.row + dr, key.col + dc});
+          if (other.empty()) continue;
           for (int32_t sa : slots) {
-            for (int32_t sb : it->second) pair_kernel(sa, sb);
+            for (int32_t sb : other) pair_kernel(sa, sb);
           }
         }
       }
-    }
+    });
   }
 
   /// Ids of all points within `radius_m` metres of `center` (Haversine),
@@ -185,11 +198,24 @@ class GridIndex {
   /// Stored coordinate for an id added earlier; invalid LatLon if unknown.
   LatLon PointOf(int64_t id) const;
 
+  /// Compacts the cell buckets into a sorted flat array (build-once /
+  /// query-many mode): cell lookup becomes a binary search over sorted
+  /// keys with contiguous slot runs, and the bucket hash map is freed.
+  /// Query results are identical to the unfrozen index (pair/radius visit
+  /// order may differ — it was always unspecified). Idempotent; O(n log n).
+  void Freeze();
+
+  /// True while in frozen (sorted-cell) mode; cleared by Add().
+  bool frozen() const { return frozen_; }
+
  private:
   struct CellKey {
     int32_t row;
     int32_t col;
     bool operator==(const CellKey& o) const { return row == o.row && col == o.col; }
+    bool operator<(const CellKey& o) const {
+      return row != o.row ? row < o.row : col < o.col;
+    }
   };
   struct CellKeyHash {
     size_t operator()(const CellKey& k) const {
@@ -208,13 +234,65 @@ class GridIndex {
   /// reach of ring `ring`+1 around latitude `query_lat`.
   double RingCellExtentMeters(double query_lat, int32_t ring) const;
 
+  /// Inserts any not-yet-bucketed slots into the hash cells (the lazy
+  /// build step; no-op when frozen or already caught up).
+  void EnsureHashed() const;
+
+  /// Slots of one cell — binary search over the frozen arrays, or a hash
+  /// lookup (after the lazy build) otherwise. Empty span for empty cells.
+  std::span<const int32_t> CellSlots(const CellKey& key) const {
+    if (frozen_) {
+      auto it = std::lower_bound(frozen_keys_.begin(), frozen_keys_.end(),
+                                 key);
+      if (it == frozen_keys_.end() || !(*it == key)) return {};
+      const size_t c = static_cast<size_t>(it - frozen_keys_.begin());
+      return {frozen_slots_.data() + frozen_offsets_[c],
+              frozen_offsets_[c + 1] - frozen_offsets_[c]};
+    }
+    EnsureHashed();
+    auto it = cells_.find(key);
+    if (it == cells_.end()) return {};
+    return {it->second.data(), it->second.size()};
+  }
+
+  /// Visits every non-empty cell as (key, slots). Frozen: sorted key
+  /// order; unfrozen: hash order (callers must not rely on either).
+  template <typename Fn>
+  void ForEachCell(Fn&& fn) const {
+    if (frozen_) {
+      for (size_t c = 0; c < frozen_keys_.size(); ++c) {
+        fn(frozen_keys_[c],
+           std::span<const int32_t>(frozen_slots_.data() + frozen_offsets_[c],
+                                    frozen_offsets_[c + 1] -
+                                        frozen_offsets_[c]));
+      }
+      return;
+    }
+    EnsureHashed();
+    for (const auto& [key, slots] : cells_) {
+      fn(key, std::span<const int32_t>(slots.data(), slots.size()));
+    }
+  }
+
   double cell_lat_deg_;
   double cell_lon_deg_;
-  std::unordered_map<CellKey, std::vector<int32_t>, CellKeyHash> cells_;
+  // Lazy bucket map: slots [0, hashed_upto_) are bucketed; Add() only
+  // appends to the flat arrays, and EnsureHashed() catches up on the
+  // first query. Dropped entirely while frozen.
+  mutable std::unordered_map<CellKey, std::vector<int32_t>, CellKeyHash>
+      cells_;
+  mutable size_t hashed_upto_ = 0;
+  // Frozen (sorted-cell) representation: unique keys sorted by (row,
+  // col), with each cell's slots contiguous in frozen_slots_.
+  bool frozen_ = false;
+  std::vector<CellKey> frozen_keys_;
+  std::vector<size_t> frozen_offsets_;
+  std::vector<int32_t> frozen_slots_;
   // Dense per-slot storage (slot = insertion order).
   std::vector<LatLon> points_;
   std::vector<int64_t> ids_;
   std::vector<double> cos_lat_;
+  std::vector<CellKey> slot_keys_;
   std::unordered_map<int64_t, int32_t> id_to_slot_;
 };
 

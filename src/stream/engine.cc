@@ -1,0 +1,67 @@
+#include "stream/engine.h"
+
+namespace bikegraph::stream {
+
+StreamEngine::StreamEngine(StreamEngineConfig config)
+    : config_(std::move(config)),
+      window_(WindowGraphOptions{config_.station_count,
+                                 config_.window_seconds}),
+      tracker_(config_.refresh) {
+  if (config_.station_positions.size() >= config_.station_count) {
+    // Index exactly the station universe; extra entries are not station
+    // ids and must not leak into snapshot spatial queries.
+    station_index_ = BuildFrozenStationIndex(
+        {config_.station_positions.begin(),
+         config_.station_positions.begin() +
+             static_cast<long>(config_.station_count)});
+  }
+}
+
+Status StreamEngine::Ingest(const TripEvent& event) {
+  // Fail fast on a truncated positions table instead of hours later at
+  // the first Snapshot() of a live run.
+  if (!config_.station_positions.empty() &&
+      config_.station_positions.size() < config_.station_count) {
+    return Status::InvalidArgument(
+        "station_positions must cover every station id");
+  }
+  BIKEGRAPH_RETURN_NOT_OK(window_.Ingest(event));
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status StreamEngine::Advance(CivilTime watermark) {
+  const size_t before = window_.trip_count();
+  const CivilTime old_mark = window_.watermark();
+  window_.Advance(watermark);
+  if (window_.trip_count() != before || window_.watermark() != old_mark) {
+    dirty_ = true;
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const WindowSnapshot>> StreamEngine::Snapshot() {
+  if (!config_.station_positions.empty() &&
+      config_.station_positions.size() < config_.station_count) {
+    return Status::InvalidArgument(
+        "station_positions must cover every station id");
+  }
+  if (!dirty_) {
+    auto current = publisher_.Current();
+    if (current) return current;
+  }
+  BIKEGRAPH_ASSIGN_OR_RETURN(
+      WindowSnapshot snap,
+      FreezeSnapshot(window_, config_.projection, station_index_));
+  dirty_ = false;
+  return publisher_.Publish(std::move(snap));
+}
+
+Result<RefreshOutcome> StreamEngine::DetectCurrent(
+    const community::DetectSpec& spec) {
+  BIKEGRAPH_ASSIGN_OR_RETURN(std::shared_ptr<const WindowSnapshot> snap,
+                             Snapshot());
+  return tracker_.Refresh(snap->graph, spec);
+}
+
+}  // namespace bikegraph::stream

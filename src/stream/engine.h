@@ -1,0 +1,104 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/civil_time.h"
+#include "core/result.h"
+#include "analysis/temporal_graph.h"
+#include "community/detector.h"
+#include "geo/latlon.h"
+#include "stream/event.h"
+#include "stream/incremental_community.h"
+#include "stream/snapshot.h"
+#include "stream/window_graph.h"
+
+namespace bikegraph::stream {
+
+/// \brief Configuration of a StreamEngine.
+struct StreamEngineConfig {
+  /// Station universe; event endpoints must be dense ids < station_count.
+  size_t station_count = 0;
+  /// Sliding-window length in seconds; 0 = landmark window (never
+  /// expires — the batch semantics over a replayed dataset).
+  int64_t window_seconds = 7 * 86400;
+  /// Projection applied at snapshot time (GBasic by default; set the
+  /// granularity/floor/contrast for GDay/GHour-style windows).
+  analysis::TemporalGraphOptions projection;
+  /// Default algorithm for DetectCurrent() (Louvain, per the paper).
+  community::DetectSpec detection;
+  /// Warm-start escalation policy for the community tracker.
+  RefreshPolicy refresh;
+  /// Optional station positions (indexed by station id; when set there
+  /// must be at least station_count entries and exactly the first
+  /// station_count are indexed). Every snapshot then shares one frozen
+  /// GridIndex over them, built once at engine construction.
+  std::vector<geo::LatLon> station_positions;
+};
+
+/// \brief The live-monitoring entry point: ingest a trip stream, maintain
+/// the sliding window, publish immutable snapshots, and keep community
+/// structure fresh with warm-started refreshes.
+///
+/// Typical loop:
+///
+/// \code
+///   StreamEngine engine(config);
+///   for (const TripEvent& e : replay) {
+///     BIKEGRAPH_RETURN_NOT_OK(engine.Ingest(e));
+///     if (window_boundary) {
+///       BIKEGRAPH_ASSIGN_OR_RETURN(auto refresh, engine.DetectCurrent());
+///       // refresh.result.partition, refresh.nmi_drift, ...
+///     }
+///   }
+/// \endcode
+class StreamEngine {
+ public:
+  explicit StreamEngine(StreamEngineConfig config);
+
+  /// Ingests one event (events must arrive in start-time order).
+  Status Ingest(const TripEvent& event);
+
+  /// Advances stream time without an event, expiring stale trips.
+  Status Advance(CivilTime watermark);
+
+  /// Freezes the live window into an immutable snapshot, publishes it,
+  /// and returns it. Reuses the latest snapshot when nothing changed
+  /// since it was published.
+  Result<std::shared_ptr<const WindowSnapshot>> Snapshot();
+
+  /// The most recently published snapshot (nullptr before the first
+  /// Snapshot()/DetectCurrent() call). Never blocks ingestion.
+  std::shared_ptr<const WindowSnapshot> LatestSnapshot() const {
+    return publisher_.Current();
+  }
+
+  /// Refreshes community structure on the current window with the
+  /// configured default spec.
+  Result<RefreshOutcome> DetectCurrent() { return DetectCurrent(config_.detection); }
+
+  /// Refreshes community structure on the current window with an explicit
+  /// spec (snapshots first if the window changed). The warm-start seed is
+  /// managed by the engine's tracker; `spec.options.initial_partition` is
+  /// ignored.
+  Result<RefreshOutcome> DetectCurrent(const community::DetectSpec& spec);
+
+  const StreamEngineConfig& config() const { return config_; }
+  const SlidingWindowGraph& window() const { return window_; }
+  const IncrementalCommunityTracker& tracker() const { return tracker_; }
+  CivilTime watermark() const { return window_.watermark(); }
+  size_t ingested_count() const { return window_.ingested_count(); }
+
+ private:
+  StreamEngineConfig config_;
+  SlidingWindowGraph window_;
+  SnapshotPublisher publisher_;
+  IncrementalCommunityTracker tracker_;
+  /// Built once from config_.station_positions and shared by every
+  /// snapshot (stations never move between windows).
+  std::shared_ptr<const geo::GridIndex> station_index_;
+  /// True when the live window changed after the last publish.
+  bool dirty_ = true;
+};
+
+}  // namespace bikegraph::stream

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/civil_time.h"
+#include "core/result.h"
+#include "data/dataset.h"
+
+namespace bikegraph::stream {
+
+/// \brief One trip arriving on the live stream: a `data::RentalRecord`
+/// already resolved to station ids.
+///
+/// Station ids are dense indices into whatever station universe the
+/// consumer maintains (the paper's 92 fixed stations, or the expanded
+/// final-network stations) — the same convention as node ids in the trip
+/// multigraph, so a window over TripEvents projects onto exactly the
+/// graphs the batch pipeline builds. Event time is `start_time` (the
+/// paper's GDay/GHour features are derived from when a trip *began*, and
+/// the window maintainer orders and expires by it).
+struct TripEvent {
+  int64_t rental_id = data::kInvalidId;
+  int32_t from_station = -1;
+  int32_t to_station = -1;
+  CivilTime start_time;
+  CivilTime end_time;
+
+  /// Day-of-week feature of this trip (0 = Monday), as attached to trip
+  /// edges by the batch pipeline.
+  int day() const { return static_cast<int>(start_time.weekday()); }
+  /// Hour-of-day feature of this trip (0-23).
+  int hour() const { return start_time.hour(); }
+};
+
+/// \brief Maps a Location-table id to a station id; `nullopt` means the
+/// location has no station (the event is dropped and counted).
+using StationMapper = std::function<std::optional<int32_t>(int64_t)>;
+
+/// \brief Converts a dataset's rentals into TripEvents ordered by event
+/// time (ties broken by rental id, then input order, so the stream is
+/// deterministic). Rentals with a missing foreign key or an unmappable
+/// endpoint are skipped; `dropped` (if non-null) receives their count.
+std::vector<TripEvent> MakeTripEvents(const data::Dataset& dataset,
+                                      const StationMapper& map_location,
+                                      size_t* dropped = nullptr);
+
+}  // namespace bikegraph::stream

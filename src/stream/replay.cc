@@ -1,0 +1,89 @@
+#include "stream/replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace bikegraph::stream {
+
+std::vector<TripEvent> MakeTripEvents(const data::Dataset& dataset,
+                                      const StationMapper& map_location,
+                                      size_t* dropped) {
+  std::vector<TripEvent> events;
+  events.reserve(dataset.rentals().size());
+  size_t skipped = 0;
+  for (const data::RentalRecord& rental : dataset.rentals()) {
+    if (!rental.has_location_ids()) {
+      ++skipped;
+      continue;
+    }
+    const std::optional<int32_t> from = map_location(rental.rental_location_id);
+    const std::optional<int32_t> to = map_location(rental.return_location_id);
+    if (!from || !to) {
+      ++skipped;
+      continue;
+    }
+    TripEvent e;
+    e.rental_id = rental.id;
+    e.from_station = *from;
+    e.to_station = *to;
+    e.start_time = rental.start_time;
+    e.end_time = rental.end_time;
+    events.push_back(e);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TripEvent& a, const TripEvent& b) {
+                     if (a.start_time != b.start_time) {
+                       return a.start_time < b.start_time;
+                     }
+                     return a.rental_id < b.rental_id;
+                   });
+  if (dropped != nullptr) *dropped = skipped;
+  return events;
+}
+
+ReplaySource ReplaySource::FromDataset(const data::Dataset& dataset,
+                                       const StationMapper& map_location,
+                                       const ReplayOptions& options) {
+  size_t dropped = 0;
+  std::vector<TripEvent> events =
+      MakeTripEvents(dataset, map_location, &dropped);
+  return ReplaySource(std::move(events), dropped, options);
+}
+
+ReplaySource ReplaySource::FromFinalNetwork(
+    const data::Dataset& cleaned, const expansion::FinalNetwork& network,
+    const ReplayOptions& options) {
+  return FromDataset(
+      cleaned,
+      [&network](int64_t location_id) -> std::optional<int32_t> {
+        auto it = network.location_to_station.find(location_id);
+        if (it == network.location_to_station.end()) return std::nullopt;
+        return it->second;
+      },
+      options);
+}
+
+std::optional<TripEvent> ReplaySource::Next() {
+  if (Done()) return std::nullopt;
+  const TripEvent& e = events_[cursor_];
+  if (options_.speed > 0.0 && cursor_ > 0) {
+    const int64_t gap = e.start_time.seconds_since_epoch() -
+                        events_[cursor_ - 1].start_time.seconds_since_epoch();
+    if (gap > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          static_cast<double>(gap) / options_.speed));
+    }
+  }
+  ++cursor_;
+  return e;
+}
+
+Status ReplaySource::ReplayInto(StreamEngine* engine) {
+  while (auto event = Next()) {
+    BIKEGRAPH_RETURN_NOT_OK(engine->Ingest(*event));
+  }
+  return Status::OK();
+}
+
+}  // namespace bikegraph::stream

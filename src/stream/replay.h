@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/result.h"
+#include "data/dataset.h"
+#include "expansion/final_network.h"
+#include "stream/engine.h"
+#include "stream/event.h"
+
+namespace bikegraph::stream {
+
+/// \brief How fast a replay runs.
+struct ReplayOptions {
+  /// Event-time seconds replayed per wall-clock second; 0 (the default)
+  /// replays as fast as possible (no sleeping — the mode tests and
+  /// benches use). E.g. 86400 compresses a day of trips into a second.
+  double speed = 0.0;
+};
+
+/// \brief Turns a dataset (real or synthetic) into an ordered TripEvent
+/// stream — the bridge between the batch world and the streaming engine.
+///
+/// Construction resolves every rental's endpoints to station ids via a
+/// `StationMapper` (or a FinalNetwork's location→station map), drops
+/// unmappable rentals (counted), and sorts by event time. Consumption is
+/// pull-based (`Next`) or push-based (`ReplayInto`), with optional
+/// wall-clock pacing for live demos.
+class ReplaySource {
+ public:
+  /// Stream over `dataset`'s rentals with endpoints mapped by
+  /// `map_location`.
+  static ReplaySource FromDataset(const data::Dataset& dataset,
+                                  const StationMapper& map_location,
+                                  const ReplayOptions& options = {});
+
+  /// Stream over the cleaned dataset of a batch run, mapped onto the
+  /// expanded network's stations — replaying this through a landmark
+  /// window reproduces the batch trip multigraph exactly.
+  static ReplaySource FromFinalNetwork(const data::Dataset& cleaned,
+                                       const expansion::FinalNetwork& network,
+                                       const ReplayOptions& options = {});
+
+  /// The full ordered event stream.
+  const std::vector<TripEvent>& events() const { return events_; }
+  /// Rentals dropped because an endpoint had no station mapping.
+  size_t dropped_count() const { return dropped_; }
+
+  bool Done() const { return cursor_ >= events_.size(); }
+  size_t remaining() const { return events_.size() - cursor_; }
+
+  /// Next event without consuming it; nullptr when exhausted.
+  const TripEvent* Peek() const {
+    return Done() ? nullptr : &events_[cursor_];
+  }
+
+  /// Consumes and returns the next event. With a positive replay speed,
+  /// sleeps so consecutive events are spaced (event-time delta)/speed
+  /// apart in wall time.
+  std::optional<TripEvent> Next();
+
+  /// Rewinds to the start of the stream.
+  void Rewind() { cursor_ = 0; }
+
+  /// Drains the whole stream into `engine` (Ingest per event), honouring
+  /// the replay speed, and advances the engine's watermark to the last
+  /// event time. Returns the first ingestion error, if any.
+  Status ReplayInto(StreamEngine* engine);
+
+ private:
+  ReplaySource(std::vector<TripEvent> events, size_t dropped,
+               ReplayOptions options)
+      : events_(std::move(events)), dropped_(dropped), options_(options) {}
+
+  std::vector<TripEvent> events_;
+  size_t dropped_ = 0;
+  ReplayOptions options_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace bikegraph::stream

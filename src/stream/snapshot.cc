@@ -1,0 +1,92 @@
+#include "stream/snapshot.h"
+
+namespace bikegraph::stream {
+
+namespace {
+
+/// Sum of `count` copies of `w`, added one at a time. The batch builder
+/// accumulates each trip's weight individually, so a snapshot that wants
+/// bit-identical weights must round the same way — `count * w` is not the
+/// same double once count * w needs more than one rounding step.
+double RepeatedSum(double w, int64_t count) {
+  double total = 0.0;
+  for (int64_t i = 0; i < count; ++i) total += w;
+  return total;
+}
+
+}  // namespace
+
+std::shared_ptr<const geo::GridIndex> BuildFrozenStationIndex(
+    const std::vector<geo::LatLon>& station_positions) {
+  if (station_positions.empty()) return nullptr;
+  auto index = std::make_shared<geo::GridIndex>();
+  for (size_t s = 0; s < station_positions.size(); ++s) {
+    index->Add(static_cast<int64_t>(s), station_positions[s]);
+  }
+  index->Freeze();
+  return index;
+}
+
+Result<WindowSnapshot> FreezeSnapshot(
+    const SlidingWindowGraph& window,
+    const analysis::TemporalGraphOptions& projection,
+    std::shared_ptr<const geo::GridIndex> station_index) {
+  if (projection.similarity_floor < 0.0 || projection.similarity_floor > 1.0) {
+    return Status::InvalidArgument("similarity_floor must be in [0, 1]");
+  }
+  // The snapshot contract is "immutable, share freely across threads";
+  // an unfrozen index would lazily mutate under const queries, so the
+  // frozen invariant is enforced here rather than left to convention.
+  if (station_index != nullptr && !station_index->frozen()) {
+    return Status::InvalidArgument(
+        "station_index must be frozen (see GridIndex::Freeze)");
+  }
+
+  WindowSnapshot snap;
+  snap.window_start = window.window_start();
+  snap.window_end = window.watermark();
+  snap.trip_count = window.trip_count();
+  snap.projection = projection;
+  snap.profiles = window.Profiles();
+
+  graphdb::WeightedGraphBuilder builder(window.station_count());
+  builder.Reserve(window.pair_count());
+  Status status = Status::OK();
+  const bool temporal =
+      projection.granularity != analysis::TemporalGranularity::kNull;
+  window.ForEachPair([&](int32_t u, int32_t v, int64_t trips) {
+    if (!status.ok()) return;
+    double w = static_cast<double>(trips);
+    if (temporal) {
+      w = RepeatedSum(
+          analysis::PerTripWeight(snap.profiles, static_cast<size_t>(u),
+                                  static_cast<size_t>(v), projection),
+          trips);
+    }
+    status = builder.AddEdge(u, v, w);
+  });
+  BIKEGRAPH_RETURN_NOT_OK(status);
+  snap.graph = builder.Build();
+  snap.station_index = std::move(station_index);
+  return snap;
+}
+
+std::shared_ptr<const WindowSnapshot> SnapshotPublisher::Publish(
+    WindowSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.epoch = ++epoch_;
+  current_ = std::make_shared<const WindowSnapshot>(std::move(snapshot));
+  return current_;
+}
+
+std::shared_ptr<const WindowSnapshot> SnapshotPublisher::Current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+uint64_t SnapshotPublisher::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+}  // namespace bikegraph::stream

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/civil_time.h"
+#include "core/result.h"
+#include "analysis/temporal_graph.h"
+#include "geo/grid_index.h"
+#include "geo/latlon.h"
+#include "graphdb/weighted_graph.h"
+#include "stream/window_graph.h"
+
+namespace bikegraph::stream {
+
+/// \brief An immutable, epoch-stamped freeze of one window: the flat CSR
+/// station graph readers query, plus the per-station profiles and a frozen
+/// spatial index over the stations.
+///
+/// A snapshot never changes after publication, so benches, dashboards and
+/// detection all read a consistent graph while ingestion keeps mutating
+/// the live window. Readers hold it via `std::shared_ptr`; publishing a
+/// newer epoch never invalidates an older one.
+struct WindowSnapshot {
+  /// Publication sequence number (1, 2, ...; stamped by SnapshotPublisher;
+  /// 0 = not yet published).
+  uint64_t epoch = 0;
+  /// The frozen window's bounds: (window_start, window_end], with
+  /// window_start = CivilTime(INT64_MIN) for a landmark window.
+  CivilTime window_start;
+  CivilTime window_end;
+  /// Trips inside the window when it was frozen.
+  size_t trip_count = 0;
+  /// The projection that produced `graph` (granularity, floor, contrast).
+  analysis::TemporalGraphOptions projection;
+  /// The window's station graph in the batch pipeline's format: for kNull
+  /// edge weight = trip count, for kDay/kHour weights are modulated by
+  /// profile similarity exactly as `BuildTemporalGraph` does, so a
+  /// landmark window over a full dataset freezes to a bit-identical
+  /// graph.
+  graphdb::WeightedGraph graph;
+  /// Per-station day/hour profiles of the window.
+  analysis::StationProfiles profiles;
+  /// Frozen (sorted-cell) spatial index over the station positions, or
+  /// nullptr when none were given. Ids are station ids. Station
+  /// positions never change between windows, so consecutive snapshots
+  /// share one immutable index instead of rebuilding it per epoch.
+  std::shared_ptr<const geo::GridIndex> station_index;
+};
+
+/// \brief Builds the frozen station index snapshots share: one entry per
+/// station id (positions must cover ids 0..station_count-1). Build once,
+/// hand to every FreezeSnapshot call. Returns nullptr for an empty
+/// positions vector.
+std::shared_ptr<const geo::GridIndex> BuildFrozenStationIndex(
+    const std::vector<geo::LatLon>& station_positions);
+
+/// \brief Freezes the live window into an immutable snapshot (epoch 0;
+/// publish it to stamp one). `station_index` (optional, from
+/// BuildFrozenStationIndex; must be frozen, or InvalidArgument) is
+/// shared into the snapshot. Rejects invalid projection options.
+Result<WindowSnapshot> FreezeSnapshot(
+    const SlidingWindowGraph& window,
+    const analysis::TemporalGraphOptions& projection = {},
+    std::shared_ptr<const geo::GridIndex> station_index = nullptr);
+
+/// \brief Hands immutable snapshots from the ingestion side to readers.
+///
+/// `Publish` stamps the next epoch and atomically replaces the current
+/// snapshot; `Current` returns the latest (possibly nullptr before the
+/// first publish). Readers keep their shared_ptr for as long as they need
+/// a consistent view — old epochs stay alive until the last reader drops
+/// them.
+class SnapshotPublisher {
+ public:
+  /// Stamps `snapshot` with the next epoch, publishes it, and returns it.
+  std::shared_ptr<const WindowSnapshot> Publish(WindowSnapshot snapshot);
+
+  /// The most recently published snapshot; nullptr before any publish.
+  std::shared_ptr<const WindowSnapshot> Current() const;
+
+  /// Epoch of the latest published snapshot (0 before any publish).
+  uint64_t epoch() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const WindowSnapshot> current_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace bikegraph::stream

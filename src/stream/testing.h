@@ -1,0 +1,57 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/civil_time.h"
+#include "core/rng.h"
+#include "stream/event.h"
+
+namespace bikegraph::stream::testing {
+
+/// \brief Deterministic planted-community trip stream for tests and
+/// benchmarks (not part of the production surface).
+///
+/// `stations` stations are split into `communities` equal groups
+/// (stations must be divisible by communities, communities > 0); each of
+/// `days` days carries `trips_per_day` (> 0) trips in non-decreasing
+/// time order, 85% staying inside one group. The stream is fully
+/// determined by `seed`, so benches and tests exercising the same
+/// scenario stay in sync.
+inline std::vector<TripEvent> PlantedStream(size_t stations, int communities,
+                                            int days, int trips_per_day,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TripEvent> events;
+  events.reserve(static_cast<size_t>(days) * trips_per_day);
+  const CivilTime start = CivilTime::FromCalendar(2020, 3, 2).ValueOrDie();
+  const size_t per_group = stations / communities;
+  // Clamp so >86400 trips/day never feeds NextBounded a zero bound.
+  const auto gap =
+      static_cast<uint64_t>(std::max<int64_t>(1, 86400 / trips_per_day));
+  int64_t rental_id = 0;
+  for (int d = 0; d < days; ++d) {
+    int64_t second = 0;
+    for (int t = 0; t < trips_per_day; ++t) {
+      second += static_cast<int64_t>(rng.NextBounded(gap));
+      const int g = static_cast<int>(rng.NextBounded(communities));
+      const auto pick = [&](int group) {
+        return static_cast<int32_t>(group * per_group +
+                                    rng.NextBounded(per_group));
+      };
+      TripEvent e;
+      e.rental_id = rental_id++;
+      e.from_station = pick(g);
+      e.to_station = pick(rng.NextDouble() < 0.85
+                              ? g
+                              : static_cast<int>(rng.NextBounded(communities)));
+      e.start_time = start.AddDays(d).AddSeconds(second);
+      e.end_time = e.start_time.AddSeconds(500);
+      events.push_back(e);
+    }
+  }
+  return events;
+}
+
+}  // namespace bikegraph::stream::testing

@@ -1,0 +1,157 @@
+#include "stream/window_graph.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bikegraph::stream {
+
+SlidingWindowGraph::SlidingWindowGraph(const WindowGraphOptions& options)
+    : options_(options) {
+  day_.assign(options_.station_count, {});
+  hour_.assign(options_.station_count, {});
+  endpoint_count_.assign(options_.station_count, 0);
+}
+
+CivilTime SlidingWindowGraph::window_start() const {
+  if (options_.window_seconds <= 0 ||
+      watermark_.seconds_since_epoch() == INT64_MIN) {
+    return CivilTime(INT64_MIN);
+  }
+  return watermark_.AddSeconds(-options_.window_seconds);
+}
+
+Status SlidingWindowGraph::Ingest(const TripEvent& event) {
+  if (options_.window_seconds < 0) {
+    // Refuse loudly rather than silently behaving like a landmark
+    // window: a negative length is a sign bug or a misconverted
+    // duration, and "nothing ever expires" is the worst possible guess.
+    return Status::InvalidArgument("window_seconds must be >= 0");
+  }
+  const auto n = static_cast<int64_t>(options_.station_count);
+  if (event.from_station < 0 || event.from_station >= n ||
+      event.to_station < 0 || event.to_station >= n) {
+    return Status::InvalidArgument("trip event endpoint out of range");
+  }
+  // Ordering is enforced against the last *ingested* event, not the
+  // advanced watermark: a live caller advances to wall-clock time during
+  // lulls, and trips arriving afterwards legitimately carry older start
+  // times (a trip is reported when it ends). The expiry ring only needs
+  // event order to be non-decreasing among events themselves.
+  if (event.start_time.seconds_since_epoch() < last_event_seconds_) {
+    return Status::FailedPrecondition(
+        "trip event at " + event.start_time.ToString() +
+        " is older than the previously ingested event (the stream must be "
+        "ingested in start-time order)");
+  }
+  RingEntry entry;
+  entry.start_seconds = event.start_time.seconds_since_epoch();
+  entry.from = event.from_station;
+  entry.to = event.to_station;
+  entry.day = static_cast<uint8_t>(event.day());
+  entry.hour = static_cast<uint8_t>(event.hour());
+
+  ApplyDelta(entry, +1);
+  ++live_count_;
+  ++ingested_count_;
+  last_event_seconds_ = entry.start_seconds;
+  if (watermark_ < event.start_time) watermark_ = event.start_time;
+  // Landmark windows never expire, so their events need no expiry
+  // bookkeeping — skipping the ring keeps a whole-season replay flat in
+  // memory (modulo the pair map). An event already past the advanced
+  // watermark's window is pushed then immediately retired by the expiry
+  // pass below, leaving the counters consistent.
+  if (options_.window_seconds > 0) {
+    PushRing(entry);
+    ExpireOlderThan(watermark_.seconds_since_epoch() -
+                    options_.window_seconds);
+  }
+  return Status::OK();
+}
+
+void SlidingWindowGraph::Advance(CivilTime watermark) {
+  if (watermark <= watermark_) return;
+  watermark_ = watermark;
+  if (options_.window_seconds > 0) {
+    ExpireOlderThan(watermark.seconds_since_epoch() -
+                    options_.window_seconds);
+  }
+}
+
+int64_t SlidingWindowGraph::TripsBetween(int32_t u, int32_t v) const {
+  auto it = pair_trips_.find(PairKey(u, v));
+  return it == pair_trips_.end() ? 0 : it->second;
+}
+
+analysis::StationProfiles SlidingWindowGraph::Profiles() const {
+  analysis::StationProfiles profiles;
+  const size_t n = options_.station_count;
+  profiles.day.assign(n, {});
+  profiles.hour.assign(n, {});
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t d = 0; d < 7; ++d) {
+      profiles.day[s][d] = static_cast<double>(day_[s][d]);
+    }
+    for (size_t h = 0; h < 24; ++h) {
+      profiles.hour[s][h] = static_cast<double>(hour_[s][h]);
+    }
+  }
+  return profiles;
+}
+
+void SlidingWindowGraph::ApplyDelta(const RingEntry& e, int64_t delta) {
+  const uint64_t key = PairKey(e.from, e.to);
+  if (delta > 0) {
+    auto [it, inserted] = pair_trips_.try_emplace(key, 0);
+    it->second += delta;
+    if (inserted) sorted_pairs_dirty_ = true;
+  } else {
+    auto it = pair_trips_.find(key);
+    it->second += delta;
+    if (it->second == 0) {
+      pair_trips_.erase(it);
+      sorted_pairs_dirty_ = true;
+    }
+  }
+  for (int32_t station : {e.from, e.to}) {
+    day_[station][e.day] += delta;
+    hour_[station][e.hour] += delta;
+    endpoint_count_[station] += delta;
+  }
+}
+
+void SlidingWindowGraph::ExpireOlderThan(int64_t cutoff_seconds) {
+  while (ring_count_ > 0) {
+    const RingEntry& oldest = ring_[ring_head_];
+    if (oldest.start_seconds > cutoff_seconds) break;
+    ApplyDelta(oldest, -1);
+    ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+    --ring_count_;
+    --live_count_;
+  }
+}
+
+void SlidingWindowGraph::PushRing(const RingEntry& e) {
+  if (ring_count_ == ring_.size()) {
+    // Re-linearise into a buffer of the next power of two (PairKey-style
+    // masking keeps the wrap branch-free on the hot path).
+    const size_t new_cap = std::max<size_t>(1024, ring_.size() * 2);
+    std::vector<RingEntry> grown(new_cap);
+    for (size_t i = 0; i < ring_count_; ++i) {
+      grown[i] = ring_[(ring_head_ + i) & (ring_.size() - 1)];
+    }
+    ring_ = std::move(grown);
+    ring_head_ = 0;
+  }
+  ring_[(ring_head_ + ring_count_) & (ring_.size() - 1)] = e;
+  ++ring_count_;
+}
+
+void SlidingWindowGraph::RebuildSortedPairs() const {
+  sorted_pairs_.clear();
+  sorted_pairs_.reserve(pair_trips_.size());
+  for (const auto& [key, trips] : pair_trips_) sorted_pairs_.push_back(key);
+  std::sort(sorted_pairs_.begin(), sorted_pairs_.end());
+  sorted_pairs_dirty_ = false;
+}
+
+}  // namespace bikegraph::stream

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/civil_time.h"
+#include "core/result.h"
+#include "analysis/temporal_graph.h"
+#include "stream/event.h"
+
+namespace bikegraph::stream {
+
+/// \brief Options for a sliding-window graph maintainer.
+struct WindowGraphOptions {
+  /// Size of the station universe; event endpoints must be < station_count.
+  size_t station_count = 0;
+  /// Window length in seconds. The window covers the half-open interval
+  /// (watermark - window_seconds, watermark]; 0 means a landmark window
+  /// that never expires (the batch semantics). Negative values are
+  /// rejected by Ingest.
+  int64_t window_seconds = 7 * 86400;
+};
+
+/// \brief Maintains the weighted station graph of a sliding time window
+/// over a TripEvent stream, with O(1) amortized deltas per ingest/expiry.
+///
+/// State per window: trip counts per unordered station pair (self pairs
+/// included), per-station day-of-week / hour-of-day endpoint counters
+/// (each trip contributes its start time to *both* endpoints — twice to
+/// one station for a loop trip — exactly the `ExtractStationProfiles`
+/// convention), and an expiry ring of the live events keyed by event
+/// time. Events must be ingested in non-decreasing start-time order
+/// (relative to each other); the watermark is the max of the newest
+/// event's start time and the latest explicit `Advance`, and events
+/// whose start time falls out of the window are retired by reversing
+/// their deltas. Advancing past wall-clock time never blocks later
+/// events whose start times lag it — a trip is reported when it ends.
+///
+/// Counters are integral, so a window that drains back to empty returns
+/// to exactly its initial state (no floating-point residue), and the
+/// final landmark window over a whole dataset reproduces the batch
+/// pipeline's graph bit for bit when frozen (see snapshot.h).
+class SlidingWindowGraph {
+ public:
+  explicit SlidingWindowGraph(const WindowGraphOptions& options);
+
+  /// Applies one event's deltas and advances the watermark to its start
+  /// time if newer (expiring older events). Returns InvalidArgument for
+  /// out-of-range stations and FailedPrecondition when the event is
+  /// older than the previously ingested event (an explicit Advance never
+  /// blocks ingestion).
+  Status Ingest(const TripEvent& event);
+
+  /// Advances the watermark without ingesting (e.g. on a quiet stream so
+  /// stale trips still expire). Watermarks in the past are a no-op.
+  void Advance(CivilTime watermark);
+
+  const WindowGraphOptions& options() const { return options_; }
+  size_t station_count() const { return options_.station_count; }
+
+  /// Number of trips currently inside the window.
+  size_t trip_count() const { return live_count_; }
+  /// Total events ever ingested (monotonic).
+  size_t ingested_count() const { return ingested_count_; }
+  /// Events retired so far (monotonic).
+  size_t expired_count() const { return ingested_count_ - live_count_; }
+
+  /// Stream time: the start time of the newest event seen (or the last
+  /// explicit Advance, whichever is later).
+  CivilTime watermark() const { return watermark_; }
+  /// Exclusive lower bound of the window (watermark - window_seconds);
+  /// equal to CivilTime(INT64_MIN) for a landmark window.
+  CivilTime window_start() const;
+
+  /// Trips currently recorded between stations `u` and `v` (unordered;
+  /// u == v counts loop trips). Zero when absent.
+  int64_t TripsBetween(int32_t u, int32_t v) const;
+
+  /// Live per-station endpoint counters at the two temporal
+  /// granularities (integral; see class comment for the convention).
+  const std::array<int64_t, 7>& DayCounts(int32_t station) const {
+    return day_[station];
+  }
+  const std::array<int64_t, 24>& HourCounts(int32_t station) const {
+    return hour_[station];
+  }
+  /// Trip endpoints currently touching `station` (2x for loop trips).
+  int64_t EndpointCount(int32_t station) const {
+    return endpoint_count_[station];
+  }
+
+  /// The window's per-station profiles in the batch pipeline's format
+  /// (`analysis::StationProfiles`), for similarity reweighting.
+  analysis::StationProfiles Profiles() const;
+
+  /// Visits every pair with a live trip count, ordered by (u, v)
+  /// ascending: `visit(u, v, trips)` with u <= v. Deterministic, so
+  /// snapshot freezes are reproducible.
+  template <typename Visitor>
+  void ForEachPair(Visitor&& visit) const {
+    if (sorted_pairs_dirty_) RebuildSortedPairs();
+    for (uint64_t key : sorted_pairs_) {
+      visit(static_cast<int32_t>(key >> 32),
+            static_cast<int32_t>(key & 0xFFFFFFFFu),
+            pair_trips_.find(key)->second);
+    }
+  }
+
+  /// Number of distinct station pairs (self pairs included) with at least
+  /// one live trip.
+  size_t pair_count() const { return pair_trips_.size(); }
+
+ private:
+  /// Ring entry: the fields needed to reverse an event's deltas. day/hour
+  /// are precomputed so expiry never re-does calendar math.
+  struct RingEntry {
+    int64_t start_seconds;
+    int32_t from, to;
+    uint8_t day, hour;
+  };
+
+  static uint64_t PairKey(int32_t u, int32_t v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+           static_cast<uint32_t>(v);
+  }
+
+  void ApplyDelta(const RingEntry& e, int64_t delta);
+  void ExpireOlderThan(int64_t cutoff_seconds);
+  void PushRing(const RingEntry& e);
+  void RebuildSortedPairs() const;
+
+  WindowGraphOptions options_;
+  CivilTime watermark_{INT64_MIN};
+  /// Start time of the newest ingested event (the ordering bound; the
+  /// watermark can run ahead of it via Advance).
+  int64_t last_event_seconds_ = INT64_MIN;
+
+  std::unordered_map<uint64_t, int64_t> pair_trips_;
+  std::vector<std::array<int64_t, 7>> day_;
+  std::vector<std::array<int64_t, 24>> hour_;
+  std::vector<int64_t> endpoint_count_;
+
+  // Expiry ring: a circular buffer of the live events in time order
+  // (head = oldest). Grows by re-linearising into a larger buffer.
+  // Unused (empty) in landmark mode, where nothing ever expires.
+  std::vector<RingEntry> ring_;
+  size_t ring_head_ = 0;
+  size_t ring_count_ = 0;
+  size_t live_count_ = 0;
+  size_t ingested_count_ = 0;
+
+  // Sorted pair keys for deterministic iteration; rebuilt lazily after
+  // the pair set changes.
+  mutable std::vector<uint64_t> sorted_pairs_;
+  mutable bool sorted_pairs_dirty_ = false;
+};
+
+}  // namespace bikegraph::stream

@@ -118,6 +118,97 @@ TEST(TemporalGraphTest, RejectsBadOptions) {
   EXPECT_FALSE(BuildTemporalGraph(TinyTrips(), opts).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Edge cases the sliding-window path hits: zero-activity stations,
+// single-trip graphs, and profiles that have drained back to empty.
+// ---------------------------------------------------------------------------
+
+TEST(TemporalGraphTest, ZeroActivityStationsStayIsolatedButValid) {
+  graphdb::PropertyGraph g;
+  for (int i = 0; i < 4; ++i) g.AddNode("Station");
+  auto e = g.AddEdge(0, 1, "TRIP");
+  (void)g.SetEdgeProperty(*e, "day", 2);
+  (void)g.SetEdgeProperty(*e, "hour", 8);
+  // Stations 2 and 3 never trade: the projections must keep them as
+  // isolated nodes at every granularity, not drop or crash on them.
+  for (TemporalGranularity granularity :
+       {TemporalGranularity::kNull, TemporalGranularity::kDay,
+        TemporalGranularity::kHour}) {
+    TemporalGraphOptions opts;
+    opts.granularity = granularity;
+    auto projected = BuildTemporalGraph(g, opts);
+    ASSERT_TRUE(projected.ok());
+    EXPECT_EQ(projected->node_count(), 4u);
+    EXPECT_EQ(projected->degree(2), 0u);
+    EXPECT_DOUBLE_EQ(projected->strength(3), 0.0);
+  }
+  // Zero-activity profiles compare as "no evidence of dissimilarity".
+  auto profiles = ExtractStationProfiles(g);
+  ASSERT_TRUE(profiles.ok());
+  EXPECT_DOUBLE_EQ(profiles->Similarity(2, 3, TemporalGranularity::kDay), 1.0);
+  EXPECT_DOUBLE_EQ(profiles->Similarity(2, 0, TemporalGranularity::kHour),
+                   1.0);
+}
+
+TEST(TemporalGraphTest, SingleTripGraphKeepsFullWeight) {
+  graphdb::PropertyGraph g;
+  g.AddNode("Station");
+  g.AddNode("Station");
+  auto e = g.AddEdge(0, 1, "TRIP");
+  (void)g.SetEdgeProperty(*e, "day", 4);
+  (void)g.SetEdgeProperty(*e, "hour", 18);
+  // A single trip gives both endpoints identical one-spike profiles, so
+  // similarity is exactly 1 and the projected weight stays 1 at every
+  // granularity and any contrast.
+  for (double contrast : {1.0, 8.0, 28.0}) {
+    TemporalGraphOptions opts{TemporalGranularity::kHour, 0.05, contrast};
+    auto projected = BuildTemporalGraph(g, opts);
+    ASSERT_TRUE(projected.ok());
+    EXPECT_DOUBLE_EQ(projected->WeightBetween(0, 1), 1.0);
+  }
+}
+
+TEST(TemporalGraphTest, SingleLoopTripCountsBothEndpoints) {
+  graphdb::PropertyGraph g;
+  g.AddNode("Station");
+  auto e = g.AddEdge(0, 0, "TRIP");
+  (void)g.SetEdgeProperty(*e, "day", 0);
+  (void)g.SetEdgeProperty(*e, "hour", 7);
+  auto profiles = ExtractStationProfiles(g);
+  ASSERT_TRUE(profiles.ok());
+  // Loop trips contribute both endpoints to the same station.
+  EXPECT_DOUBLE_EQ(profiles->day[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(profiles->hour[0][7], 2.0);
+  TemporalGraphOptions opts{TemporalGranularity::kDay, 0.1, 2.0};
+  auto projected = BuildTemporalGraph(g, opts);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->self_loop_count(), 1u);
+  EXPECT_DOUBLE_EQ(projected->self_weight(0), 1.0);
+}
+
+TEST(TemporalGraphTest, EmptyTripGraphProjectsToEmptyGraph) {
+  // The state a drained window reaches: stations exist, nothing trades.
+  graphdb::PropertyGraph g;
+  for (int i = 0; i < 3; ++i) g.AddNode("Station");
+  for (TemporalGranularity granularity :
+       {TemporalGranularity::kNull, TemporalGranularity::kDay,
+        TemporalGranularity::kHour}) {
+    TemporalGraphOptions opts;
+    opts.granularity = granularity;
+    auto projected = BuildTemporalGraph(g, opts);
+    ASSERT_TRUE(projected.ok());
+    EXPECT_EQ(projected->node_count(), 3u);
+    EXPECT_EQ(projected->edge_count(), 0u);
+    EXPECT_DOUBLE_EQ(projected->total_weight(), 0.0);
+  }
+  auto profiles = ExtractStationProfiles(g);
+  ASSERT_TRUE(profiles.ok());
+  // All-empty profiles: similarity defaults to 1 everywhere.
+  EXPECT_DOUBLE_EQ(profiles->Similarity(0, 1, TemporalGranularity::kDay), 1.0);
+  EXPECT_DOUBLE_EQ(profiles->Similarity(1, 2, TemporalGranularity::kHour),
+                   1.0);
+}
+
 /// End-to-end mini network for the community-stats contract.
 expansion::FinalNetwork MiniNetwork() {
   std::vector<data::LocationRecord> locs = {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
+#include <tuple>
 
 #include "core/rng.h"
 #include "geo/haversine.h"
@@ -152,6 +154,95 @@ TEST_P(GridIndexPropertyTest, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(CellSizes, GridIndexPropertyTest,
                          ::testing::Values(25.0, 100.0, 400.0, 2000.0));
+
+// ---------------------------------------------------------------------------
+// Freeze(): the sorted-cell build-once/query-many mode must answer every
+// query identically to the lazy-hash representation.
+// ---------------------------------------------------------------------------
+
+using PairSet = std::set<std::tuple<int64_t, int64_t>>;
+
+PairSet CollectPairs(const GridIndex& index, double radius) {
+  PairSet pairs;
+  index.ForEachPairWithinRadius(radius, [&](int64_t a, int64_t b, double) {
+    pairs.insert({std::min(a, b), std::max(a, b)});
+  });
+  return pairs;
+}
+
+TEST(GridIndexFreezeTest, FrozenQueriesMatchUnfrozen) {
+  const LatLon center(53.35, -6.26);
+  Rng rng(123);
+  GridIndex lazy(80.0);
+  GridIndex frozen(80.0);
+  for (int i = 0; i < 400; ++i) {
+    LatLon p = Offset(center, rng.NextUniform(0.0, 1500.0),
+                      rng.NextUniform(0.0, 360.0));
+    lazy.Add(i, p);
+    frozen.Add(i, p);
+  }
+  frozen.Freeze();
+  EXPECT_TRUE(frozen.frozen());
+  EXPECT_FALSE(lazy.frozen());
+
+  for (int trial = 0; trial < 15; ++trial) {
+    LatLon q = Offset(center, rng.NextUniform(0.0, 1200.0),
+                      rng.NextUniform(0.0, 360.0));
+    const double radius = rng.NextUniform(20.0, 600.0);
+    EXPECT_EQ(frozen.WithinRadius(q, radius), lazy.WithinRadius(q, radius));
+    EXPECT_EQ(frozen.CountWithinRadius(q, radius),
+              lazy.CountWithinRadius(q, radius));
+    auto nf = frozen.Nearest(q);
+    auto nl = lazy.Nearest(q);
+    EXPECT_EQ(nf.id, nl.id);
+    EXPECT_EQ(nf.distance_m, nl.distance_m);
+    auto kf = frozen.KNearest(q, 7);
+    auto kl = lazy.KNearest(q, 7);
+    ASSERT_EQ(kf.size(), kl.size());
+    for (size_t i = 0; i < kf.size(); ++i) {
+      EXPECT_EQ(kf[i].id, kl[i].id);
+      EXPECT_EQ(kf[i].distance_m, kl[i].distance_m);
+    }
+  }
+  // The all-pairs sweep enumerates the same pair set.
+  for (double radius : {60.0, 200.0}) {
+    EXPECT_EQ(CollectPairs(frozen, radius), CollectPairs(lazy, radius));
+  }
+  EXPECT_EQ(frozen.PointOf(17).lat, lazy.PointOf(17).lat);
+}
+
+TEST(GridIndexFreezeTest, AddAfterFreezeThaws) {
+  const LatLon center(53.35, -6.26);
+  GridIndex index(100.0);
+  index.Add(0, center);
+  index.Add(1, Offset(center, 120.0, 90.0));
+  index.Freeze();
+  ASSERT_TRUE(index.frozen());
+  EXPECT_EQ(index.CountWithinRadius(center, 50.0), 1u);
+
+  // Adding thaws; queries see old and new points.
+  EXPECT_TRUE(index.Add(2, Offset(center, 30.0, 0.0)));
+  EXPECT_FALSE(index.frozen());
+  EXPECT_EQ(index.CountWithinRadius(center, 50.0), 2u);
+  EXPECT_EQ(index.WithinRadius(center, 200.0),
+            (std::vector<int64_t>{0, 1, 2}));
+
+  // Re-freezing works and stays consistent.
+  index.Freeze();
+  EXPECT_EQ(index.WithinRadius(center, 200.0),
+            (std::vector<int64_t>{0, 1, 2}));
+  auto n = index.Nearest(center, /*exclude_id=*/0);
+  EXPECT_EQ(n.id, 2);
+}
+
+TEST(GridIndexFreezeTest, FreezeEmptyAndIdempotent) {
+  GridIndex index;
+  index.Freeze();
+  index.Freeze();
+  EXPECT_TRUE(index.frozen());
+  EXPECT_EQ(index.Nearest({53.35, -6.26}).id, -1);
+  EXPECT_EQ(index.WithinRadius({53.35, -6.26}, 500.0).size(), 0u);
+}
 
 }  // namespace
 }  // namespace bikegraph::geo

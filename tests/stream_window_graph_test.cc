@@ -1,0 +1,216 @@
+// SlidingWindowGraph: ingest/expiry delta bookkeeping, the expiry ring,
+// and the window-profile edge cases the streaming path hits
+// (zero-activity stations, single-trip windows, profiles that empty out
+// on expiry).
+
+#include <array>
+#include <cstdint>
+
+#include "core/civil_time.h"
+#include "core/rng.h"
+#include "stream/window_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace bikegraph::stream {
+namespace {
+
+CivilTime At(int day, int hour, int minute = 0) {
+  // Jan 2020; 2020-01-06 is a Monday, so `day` 6 = Monday.
+  return CivilTime::FromCalendar(2020, 1, day, hour, minute).ValueOrDie();
+}
+
+TripEvent Trip(int32_t from, int32_t to, CivilTime start,
+               int64_t rental_id = 1) {
+  TripEvent e;
+  e.rental_id = rental_id;
+  e.from_station = from;
+  e.to_station = to;
+  e.start_time = start;
+  e.end_time = start.AddSeconds(600);
+  return e;
+}
+
+TEST(SlidingWindowGraphTest, IngestAppliesDeltas) {
+  SlidingWindowGraph w({/*station_count=*/4, /*window_seconds=*/86400});
+  ASSERT_TRUE(w.Ingest(Trip(0, 1, At(6, 8))).ok());   // Monday 08:00
+  ASSERT_TRUE(w.Ingest(Trip(1, 0, At(6, 9))).ok());
+  ASSERT_TRUE(w.Ingest(Trip(2, 2, At(6, 13))).ok());  // loop trip
+
+  EXPECT_EQ(w.trip_count(), 3u);
+  EXPECT_EQ(w.TripsBetween(0, 1), 2);
+  EXPECT_EQ(w.TripsBetween(1, 0), 2);  // unordered
+  EXPECT_EQ(w.TripsBetween(2, 2), 1);
+  EXPECT_EQ(w.TripsBetween(0, 2), 0);
+  // Monday = day 0; both endpoints counted, loops twice.
+  EXPECT_EQ(w.DayCounts(0)[0], 2);
+  EXPECT_EQ(w.HourCounts(0)[8], 1);
+  EXPECT_EQ(w.HourCounts(0)[9], 1);
+  EXPECT_EQ(w.DayCounts(2)[0], 2);
+  EXPECT_EQ(w.HourCounts(2)[13], 2);
+  EXPECT_EQ(w.EndpointCount(2), 2);
+  // Station 3 never traded: zero activity.
+  EXPECT_EQ(w.EndpointCount(3), 0);
+}
+
+TEST(SlidingWindowGraphTest, RejectsBadEvents) {
+  // A negative window is a misconfiguration, not a landmark window.
+  SlidingWindowGraph negative({2, -3600});
+  EXPECT_FALSE(negative.Ingest(Trip(0, 1, At(6, 8))).ok());
+
+  SlidingWindowGraph w({2, 3600});
+  EXPECT_FALSE(w.Ingest(Trip(-1, 0, At(6, 8))).ok());
+  EXPECT_FALSE(w.Ingest(Trip(0, 2, At(6, 8))).ok());
+  ASSERT_TRUE(w.Ingest(Trip(0, 1, At(6, 9))).ok());
+  // Time regression: the stream must be ordered by start time.
+  EXPECT_FALSE(w.Ingest(Trip(0, 1, At(6, 8))).ok());
+  // Equal timestamps are fine.
+  EXPECT_TRUE(w.Ingest(Trip(1, 0, At(6, 9))).ok());
+}
+
+TEST(SlidingWindowGraphTest, SingleTripWindowEmptiesOnExpiry) {
+  SlidingWindowGraph w({3, /*window_seconds=*/3600});
+  ASSERT_TRUE(w.Ingest(Trip(0, 1, At(6, 8))).ok());
+  EXPECT_EQ(w.trip_count(), 1u);
+  EXPECT_EQ(w.pair_count(), 1u);
+
+  // Advance just inside the window: the trip survives.
+  w.Advance(At(6, 8).AddSeconds(3599));
+  EXPECT_EQ(w.trip_count(), 1u);
+  // The boundary is inclusive of the window: at exactly start + window
+  // the trip has fallen out of (watermark - window, watermark].
+  w.Advance(At(6, 9));
+  EXPECT_EQ(w.trip_count(), 0u);
+  EXPECT_EQ(w.pair_count(), 0u);
+  EXPECT_EQ(w.TripsBetween(0, 1), 0);
+  // Profiles emptied out with it — no floating-point residue.
+  for (int d = 0; d < 7; ++d) {
+    EXPECT_EQ(w.DayCounts(0)[d], 0);
+    EXPECT_EQ(w.DayCounts(1)[d], 0);
+  }
+  for (int h = 0; h < 24; ++h) EXPECT_EQ(w.HourCounts(0)[h], 0);
+  EXPECT_EQ(w.EndpointCount(0), 0);
+  // Monotonic counters keep the history.
+  EXPECT_EQ(w.ingested_count(), 1u);
+  EXPECT_EQ(w.expired_count(), 1u);
+}
+
+TEST(SlidingWindowGraphTest, AdvanceNeverBlocksLaggingIngest) {
+  // Live pattern: the caller advances to wall-clock time during a lull;
+  // the next trip to arrive *ends* now but *started* earlier. Ordering
+  // is only enforced between events, not against the advanced watermark.
+  SlidingWindowGraph w({2, /*window_seconds=*/3600});
+  ASSERT_TRUE(w.Ingest(Trip(0, 1, At(6, 8))).ok());
+  w.Advance(At(6, 10));  // quiet stream: 08:00 trip expired
+  EXPECT_EQ(w.trip_count(), 0u);
+
+  // A trip that started at 09:40 (before the 10:00 watermark) ingests
+  // fine and is live: it is inside (09:00, 10:00].
+  ASSERT_TRUE(w.Ingest(Trip(1, 0, At(6, 9, 40))).ok());
+  EXPECT_EQ(w.trip_count(), 1u);
+  EXPECT_EQ(w.watermark(), At(6, 10));  // watermark never goes backwards
+
+  // A straggler entirely outside the window is accepted and immediately
+  // retired — counters stay consistent, nothing lingers.
+  w.Advance(At(6, 12));
+  ASSERT_TRUE(w.Ingest(Trip(0, 0, At(6, 10, 30))).ok());
+  EXPECT_EQ(w.trip_count(), 0u);
+  EXPECT_EQ(w.TripsBetween(0, 0), 0);
+  EXPECT_EQ(w.EndpointCount(0), 0);
+  // Events must still be ordered among themselves.
+  EXPECT_FALSE(w.Ingest(Trip(0, 1, At(6, 10))).ok());
+}
+
+TEST(SlidingWindowGraphTest, LandmarkWindowNeverExpires) {
+  SlidingWindowGraph w({2, /*window_seconds=*/0});
+  ASSERT_TRUE(w.Ingest(Trip(0, 1, At(6, 8))).ok());
+  w.Advance(At(20, 23));  // two weeks later
+  ASSERT_TRUE(w.Ingest(Trip(1, 0, At(20, 23))).ok());
+  EXPECT_EQ(w.trip_count(), 2u);
+  EXPECT_EQ(w.TripsBetween(0, 1), 2);
+  EXPECT_EQ(w.window_start().seconds_since_epoch(), INT64_MIN);
+}
+
+TEST(SlidingWindowGraphTest, ProfilesMatchCountersAndZeroActivity) {
+  SlidingWindowGraph w({3, 86400});
+  ASSERT_TRUE(w.Ingest(Trip(0, 1, At(6, 8))).ok());
+  ASSERT_TRUE(w.Ingest(Trip(0, 1, At(6, 17))).ok());
+  analysis::StationProfiles p = w.Profiles();
+  ASSERT_EQ(p.day.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.day[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(p.hour[1][8], 1.0);
+  EXPECT_DOUBLE_EQ(p.hour[1][17], 1.0);
+  // Zero-activity station: all-zero profile, and the similarity
+  // convention treats it as "no evidence of dissimilarity".
+  for (int d = 0; d < 7; ++d) EXPECT_DOUBLE_EQ(p.day[2][d], 0.0);
+  EXPECT_DOUBLE_EQ(
+      p.Similarity(2, 0, analysis::TemporalGranularity::kDay), 1.0);
+  EXPECT_DOUBLE_EQ(
+      p.Similarity(2, 2, analysis::TemporalGranularity::kHour), 1.0);
+}
+
+TEST(SlidingWindowGraphTest, ForEachPairIsSortedAndComplete) {
+  SlidingWindowGraph w({5, 0});
+  ASSERT_TRUE(w.Ingest(Trip(3, 1, At(6, 8))).ok());
+  ASSERT_TRUE(w.Ingest(Trip(0, 4, At(6, 9))).ok());
+  ASSERT_TRUE(w.Ingest(Trip(1, 3, At(6, 10))).ok());
+  ASSERT_TRUE(w.Ingest(Trip(2, 2, At(6, 11))).ok());
+
+  std::vector<std::array<int64_t, 3>> seen;
+  w.ForEachPair([&](int32_t u, int32_t v, int64_t trips) {
+    seen.push_back({u, v, trips});
+  });
+  const std::vector<std::array<int64_t, 3>> expected = {
+      {0, 4, 1}, {1, 3, 2}, {2, 2, 1}};
+  EXPECT_EQ(seen, expected);
+}
+
+// Drive many ingest/expiry cycles through a tiny ring and check the live
+// state against a brute-force recomputation — the ring re-linearisation
+// and delta reversal can't drift.
+TEST(SlidingWindowGraphTest, RandomisedStreamMatchesBruteForce) {
+  const int64_t window = 1800;
+  const size_t stations = 6;
+  SlidingWindowGraph w({stations, window});
+  Rng rng(42);
+  std::vector<TripEvent> all;
+  CivilTime t = At(6, 0);
+  for (int i = 0; i < 2000; ++i) {
+    t = t.AddSeconds(static_cast<int64_t>(rng.NextBounded(120)));
+    TripEvent e = Trip(static_cast<int32_t>(rng.NextBounded(stations)),
+                       static_cast<int32_t>(rng.NextBounded(stations)), t,
+                       i);
+    all.push_back(e);
+    ASSERT_TRUE(w.Ingest(e).ok());
+  }
+  // Brute force: trips with start in (t - window, t].
+  const int64_t cutoff = t.seconds_since_epoch() - window;
+  std::vector<std::vector<int64_t>> counts(stations,
+                                           std::vector<int64_t>(stations, 0));
+  std::vector<std::array<int64_t, 24>> hours(stations);
+  for (auto& h : hours) h.fill(0);
+  size_t live = 0;
+  for (const TripEvent& e : all) {
+    if (e.start_time.seconds_since_epoch() <= cutoff) continue;
+    ++live;
+    int32_t u = std::min(e.from_station, e.to_station);
+    int32_t v = std::max(e.from_station, e.to_station);
+    counts[u][v] += 1;
+    hours[e.from_station][e.hour()] += 1;
+    hours[e.to_station][e.hour()] += 1;
+  }
+  EXPECT_EQ(w.trip_count(), live);
+  for (size_t u = 0; u < stations; ++u) {
+    for (size_t v = u; v < stations; ++v) {
+      EXPECT_EQ(w.TripsBetween(static_cast<int32_t>(u),
+                               static_cast<int32_t>(v)),
+                counts[u][v])
+          << u << "," << v;
+    }
+    EXPECT_EQ(w.HourCounts(static_cast<int32_t>(u)),
+              hours[u]);
+  }
+}
+
+}  // namespace
+}  // namespace bikegraph::stream

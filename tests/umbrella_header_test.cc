@@ -56,6 +56,28 @@ TEST(UmbrellaHeaderTest, UnifiedDetectorApiReachable) {
   }
 }
 
+TEST(UmbrellaHeaderTest, StreamingEngineReachable) {
+  namespace stream = bikegraph::stream;
+  stream::StreamEngineConfig config;
+  config.station_count = 2;
+  config.window_seconds = 3600;
+  stream::StreamEngine engine(config);
+  stream::TripEvent e;
+  e.from_station = 0;
+  e.to_station = 1;
+  e.start_time = bikegraph::CivilTime::FromCalendar(2020, 6, 1, 8)
+                     .ValueOrDie();
+  e.end_time = e.start_time.AddSeconds(300);
+  ASSERT_TRUE(engine.Ingest(e).ok());
+  auto snapshot = engine.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ((*snapshot)->epoch, 1u);
+  EXPECT_EQ((*snapshot)->graph.node_count(), 2u);
+  auto refresh = engine.DetectCurrent();
+  ASSERT_TRUE(refresh.ok());
+  EXPECT_EQ(refresh->result.partition.node_count(), 2u);
+}
+
 TEST(UmbrellaHeaderTest, PipelineEntryPointsReachable) {
   // Type-level smoke: the experiment config composes all module configs.
   bikegraph::analysis::ExperimentConfig config;

@@ -6,12 +6,34 @@
 #   BIKEGRAPH_SANITIZE=undefined tools/ci.sh        # UBSan build
 #   tools/ci.sh -R community_detector_test          # extra args go to ctest
 #
+# Opt-in sanitizer matrix (the flag must come first): after the regular
+# FULL run, build the tree into build-asan/ and build-ubsan/ and re-run
+# a ctest subset under each. Extra args select the sanitized subset only
+# — the unsanitized gate always runs everything; with none, the
+# streaming/warm-start suites (the concurrency- and delta-heavy new
+# code) run by default.
+#
+#   tools/ci.sh --sanitize-matrix                   # default subset
+#   tools/ci.sh --sanitize-matrix -R stream         # explicit subset
+#
 # The build directory defaults to build/ (build-asan/ or build-ubsan/ for
 # sanitized runs, so a sanitizer pass never clobbers the main tree).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SANITIZE="${BIKEGRAPH_SANITIZE:-}"
+
+MATRIX=0
+if [ "${1:-}" = "--sanitize-matrix" ]; then
+  MATRIX=1
+  shift
+fi
+for arg in "$@"; do
+  if [ "$arg" = "--sanitize-matrix" ]; then
+    echo "--sanitize-matrix must be the first argument" >&2
+    exit 2
+  fi
+done
 
 case "$SANITIZE" in
   "")        BUILD_DIR="${BUILD_DIR:-$ROOT/build}" ;;
@@ -25,4 +47,24 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DBIKEGRAPH_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+if [ "$MATRIX" = 1 ]; then
+  # The tier-1 gate itself: matrix args select the sanitized subset
+  # below, never narrow this run.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+fi
+
+if [ "$MATRIX" = 1 ]; then
+  declare -a MATRIX_ARGS
+  if [ "$#" -gt 0 ]; then
+    MATRIX_ARGS=("$@")
+  else
+    MATRIX_ARGS=(-R 'stream|warm_start|grid_index')
+  fi
+  for san in address undefined; do
+    echo ">>> sanitizer matrix: $san"
+    env -u BUILD_DIR BIKEGRAPH_SANITIZE="$san" \
+        "${BASH_SOURCE[0]}" "${MATRIX_ARGS[@]}"
+  done
+fi

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Runs the bench_perf_* google-benchmark binaries with JSON output and
-# aggregates the results into BENCH_perf.json at the repo root, so the perf
-# trajectory is tracked across PRs.
+# Runs the bench_perf_* and bench_stream_* google-benchmark binaries with
+# JSON output and aggregates the results into BENCH_perf.json at the repo
+# root, so the perf trajectory is tracked across PRs.
 #
 # Usage: tools/run_benches.sh [build_dir] [benchmark_filter]
 #   build_dir         defaults to "build"
@@ -20,7 +20,7 @@ OUT_DIR="$BUILD_DIR/bench_json"
 mkdir -p "$OUT_DIR"
 
 declare -a JSON_FILES=()
-for bin in "$BUILD_DIR"/bench_perf_*; do
+for bin in "$BUILD_DIR"/bench_perf_* "$BUILD_DIR"/bench_stream_*; do
   [ -x "$bin" ] || continue
   name="$(basename "$bin")"
   out="$OUT_DIR/$name.json"
@@ -35,7 +35,8 @@ for bin in "$BUILD_DIR"/bench_perf_*; do
 done
 
 if [ "${#JSON_FILES[@]}" -eq 0 ]; then
-  echo "no bench_perf_* binaries found in $BUILD_DIR (build them first)" >&2
+  echo "no bench_perf_*/bench_stream_* binaries found in $BUILD_DIR" \
+       "(build them first)" >&2
   exit 1
 fi
 
