@@ -10,6 +10,8 @@
 #include "community/detector.h"
 #include "stream/engine.h"
 #include "stream/incremental_community.h"
+#include "stream/reorder_buffer.h"
+#include "stream/replay.h"
 #include "stream/snapshot.h"
 #include "stream/testing.h"
 #include "stream/window_graph.h"
@@ -35,6 +37,38 @@ void BM_StreamIngest(benchmark::State& state) {
                           static_cast<int64_t>(events.size()));
 }
 BENCHMARK(BM_StreamIngest)->Arg(64)->Arg(256);
+
+// Out-of-order ingestion: the same planted stream with up to an hour of
+// arrival jitter (the shared stream::JitterArrivalOrder model), pushed
+// through the reorder buffer in front of the window. Compare against
+// BM_StreamIngest to read the buffer's overhead; the measured numbers
+// are discussed in docs/STREAMING.md.
+void BM_StreamIngestOutOfOrder(benchmark::State& state) {
+  const auto stations = static_cast<size_t>(state.range(0));
+  const auto events =
+      JitterArrivalOrder(PlantedStream(stations, 4, 28, 4000, 17), 3600, 99)
+          .events;
+  ReorderBufferOptions options;
+  options.max_lateness_seconds = 3600;
+  for (auto _ : state) {
+    ReorderBuffer buffer(options);
+    SlidingWindowGraph window({stations, 7 * 86400});
+    for (const TripEvent& e : events) {
+      benchmark::DoNotOptimize(buffer.Push(e).ok());
+      while (auto released = buffer.PopReady()) {
+        benchmark::DoNotOptimize(window.Ingest(*released).ok());
+      }
+    }
+    buffer.Flush();
+    while (auto released = buffer.PopReady()) {
+      benchmark::DoNotOptimize(window.Ingest(*released).ok());
+    }
+    benchmark::DoNotOptimize(window.trip_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_StreamIngestOutOfOrder)->Arg(64)->Arg(256);
 
 // Freezing the live window into an immutable CSR snapshot (GBasic
 // projection), the read-side publication step.

@@ -67,6 +67,7 @@
 #include "stream/engine.h"
 #include "stream/event.h"
 #include "stream/incremental_community.h"
+#include "stream/reorder_buffer.h"
 #include "stream/replay.h"
 #include "stream/snapshot.h"
 #include "stream/window_graph.h"

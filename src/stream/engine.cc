@@ -4,6 +4,9 @@ namespace bikegraph::stream {
 
 StreamEngine::StreamEngine(StreamEngineConfig config)
     : config_(std::move(config)),
+      reorder_(ReorderBufferOptions{config_.max_lateness_seconds,
+                                    config_.late_policy,
+                                    config_.suppress_duplicate_rentals}),
       window_(WindowGraphOptions{config_.station_count,
                                  config_.window_seconds}),
       tracker_(config_.refresh) {
@@ -25,16 +28,41 @@ Status StreamEngine::Ingest(const TripEvent& event) {
     return Status::InvalidArgument(
         "station_positions must cover every station id");
   }
-  BIKEGRAPH_RETURN_NOT_OK(window_.Ingest(event));
-  dirty_ = true;
-  return Status::OK();
+  // Validate endpoints at arrival: an out-of-range event parked in the
+  // reorder buffer would otherwise fail a horizon later, far from the
+  // caller that produced it.
+  const auto n = static_cast<int64_t>(config_.station_count);
+  if (event.from_station < 0 || event.from_station >= n ||
+      event.to_station < 0 || event.to_station >= n) {
+    return Status::InvalidArgument("trip event endpoint out of range");
+  }
+  BIKEGRAPH_RETURN_NOT_OK(reorder_.Push(event));
+  return DrainReady();
 }
 
 Status StreamEngine::Advance(CivilTime watermark) {
+  // Raise the reorder watermark first: events it makes releasable carry
+  // start times <= watermark - max_lateness, so they enter the window
+  // before it expires anything at the new watermark.
+  reorder_.AdvanceWatermark(watermark);
+  BIKEGRAPH_RETURN_NOT_OK(DrainReady());
   const size_t before = window_.trip_count();
   const CivilTime old_mark = window_.watermark();
   window_.Advance(watermark);
   if (window_.trip_count() != before || window_.watermark() != old_mark) {
+    dirty_ = true;
+  }
+  return Status::OK();
+}
+
+Status StreamEngine::Flush() {
+  reorder_.Flush();
+  return DrainReady();
+}
+
+Status StreamEngine::DrainReady() {
+  while (std::optional<TripEvent> event = reorder_.PopReady()) {
+    BIKEGRAPH_RETURN_NOT_OK(window_.Ingest(*event));
     dirty_ = true;
   }
   return Status::OK();

@@ -10,6 +10,7 @@
 #include "geo/latlon.h"
 #include "stream/event.h"
 #include "stream/incremental_community.h"
+#include "stream/reorder_buffer.h"
 #include "stream/snapshot.h"
 #include "stream/window_graph.h"
 
@@ -34,6 +35,22 @@ struct StreamEngineConfig {
   /// station_count are indexed). Every snapshot then shares one frozen
   /// GridIndex over them, built once at engine construction.
   std::vector<geo::LatLon> station_positions;
+  /// Out-of-order tolerance: an arriving event may start up to this many
+  /// seconds before the watermark (newest start time seen, or the latest
+  /// explicit Advance); a bounded reorder buffer re-sorts such events
+  /// into start-time order before they reach the window. Size it to the
+  /// feed's worst start-to-report delay (for trips reported at their end,
+  /// the longest trip duration). 0 (the default) keeps the strict
+  /// pre-buffer contract: any start-time regression is late.
+  int64_t max_lateness_seconds = 0;
+  /// What happens to an event older than the horizon: kError (default)
+  /// fails the Ingest — the pre-buffer contract — while kDrop discards
+  /// it and counts it in `late_dropped_count()`, which is what a live
+  /// dashboard wants.
+  LateEventPolicy late_policy = LateEventPolicy::kError;
+  /// Suppress redelivered rental ids within the horizon (real feeds
+  /// redeliver); suppressed events count in `duplicate_count()`.
+  bool suppress_duplicate_rentals = false;
 };
 
 /// \brief The live-monitoring entry point: ingest a trip stream, maintain
@@ -56,11 +73,25 @@ class StreamEngine {
  public:
   explicit StreamEngine(StreamEngineConfig config);
 
-  /// Ingests one event (events must arrive in start-time order).
+  /// Ingests one event. Arrivals may be out of start-time order by up to
+  /// `config.max_lateness_seconds`; the reorder buffer re-sorts them, so
+  /// an event becomes visible to the window (and to snapshots) only once
+  /// the watermark has moved `max_lateness_seconds` past its start time.
+  /// Events older than that horizon hit `config.late_policy`. Endpoints
+  /// out of `[0, station_count)` are InvalidArgument at arrival.
   Status Ingest(const TripEvent& event);
 
-  /// Advances stream time without an event, expiring stale trips.
+  /// Advances stream time without an event: releases buffered events the
+  /// new watermark makes safe, then expires stale trips. The watermark is
+  /// also the reorder buffer's lateness bound, so advancing declares
+  /// "events starting before watermark - max_lateness are now late".
+  /// Watermarks in the past are a no-op.
   Status Advance(CivilTime watermark);
+
+  /// Marks end-of-stream: drains every buffered event into the window in
+  /// start-time order. Call before the final Snapshot()/DetectCurrent()
+  /// of a replay; afterwards further Ingest calls fail.
+  Status Flush();
 
   /// Freezes the live window into an immutable snapshot, publishes it,
   /// and returns it. Reuses the latest snapshot when nothing changed
@@ -86,11 +117,27 @@ class StreamEngine {
   const StreamEngineConfig& config() const { return config_; }
   const SlidingWindowGraph& window() const { return window_; }
   const IncrementalCommunityTracker& tracker() const { return tracker_; }
+  const ReorderBuffer& reorder() const { return reorder_; }
   CivilTime watermark() const { return window_.watermark(); }
   size_t ingested_count() const { return window_.ingested_count(); }
 
+  /// Reorder-buffer stats, surfaced for dashboards: events re-sorted by
+  /// the buffer, events dropped as too late (LateEventPolicy::kDrop),
+  /// redeliveries suppressed, and events admitted but not yet released
+  /// to the window.
+  uint64_t reordered_count() const { return reorder_.reordered_count(); }
+  uint64_t late_dropped_count() const {
+    return reorder_.late_dropped_count();
+  }
+  uint64_t duplicate_count() const { return reorder_.duplicate_count(); }
+  size_t buffered_count() const { return reorder_.buffered_count(); }
+
  private:
+  /// Moves every releasable buffered event into the window.
+  Status DrainReady();
+
   StreamEngineConfig config_;
+  ReorderBuffer reorder_;
   SlidingWindowGraph window_;
   SnapshotPublisher publisher_;
   IncrementalCommunityTracker tracker_;

@@ -89,6 +89,12 @@ Result<RefreshOutcome> IncrementalCommunityTracker::Refresh(
 void IncrementalCommunityTracker::Reset() {
   previous_partition_.reset();
   previous_modularity_ = 0.0;
+  // The refresh counter also phases the full_refresh_interval cadence:
+  // leaving it at its pre-reset value would carry the old schedule across
+  // the reset, making the first interval after a reset shorter (or
+  // longer) than configured. A reset starts the tracker's life over.
+  refresh_count_ = 0;
+  escalation_count_ = 0;
 }
 
 }  // namespace bikegraph::stream

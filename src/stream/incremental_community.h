@@ -74,7 +74,10 @@ class IncrementalCommunityTracker {
   Result<RefreshOutcome> Refresh(const graphdb::WeightedGraph& graph,
                                  const community::DetectSpec& spec);
 
-  /// Drops the remembered partition; the next Refresh runs cold.
+  /// Drops the remembered partition and zeroes the refresh/escalation
+  /// counters: the next Refresh runs cold and the full_refresh_interval
+  /// cadence restarts from it, exactly as on a freshly constructed
+  /// tracker.
   void Reset();
 
   const RefreshPolicy& policy() const { return policy_; }

@@ -1,0 +1,114 @@
+#include "stream/reorder_buffer.h"
+
+namespace bikegraph::stream {
+
+ReorderBuffer::ReorderBuffer(const ReorderBufferOptions& options)
+    : options_(options) {}
+
+Status ReorderBuffer::Push(const TripEvent& event) {
+  if (options_.max_lateness_seconds < 0) {
+    return Status::InvalidArgument("max_lateness_seconds must be >= 0");
+  }
+  if (flushed_) {
+    return Status::FailedPrecondition(
+        "ReorderBuffer was flushed (end of stream); no further events may "
+        "be pushed");
+  }
+  const int64_t start = event.start_time.seconds_since_epoch();
+  const int64_t cutoff = HorizonCutoff();
+  if (start < cutoff) {
+    if (options_.late_policy == LateEventPolicy::kDrop) {
+      ++late_dropped_count_;
+      return Status::OK();
+    }
+    return Status::FailedPrecondition(
+        "trip event at " + event.start_time.ToString() + " is " +
+        std::to_string(cutoff - start) +
+        "s older than the reorder horizon (watermark " +
+        CivilTime(watermark_seconds_).ToString() + " - max_lateness " +
+        std::to_string(options_.max_lateness_seconds) + "s)");
+  }
+  if (options_.suppress_duplicates && event.rental_id != data::kInvalidId) {
+    if (!seen_ids_.insert(event.rental_id).second) {
+      ++duplicate_count_;
+      return Status::OK();
+    }
+    seen_expiry_.emplace(start, event.rental_id);
+  }
+  if (start < watermark_seconds_) ++reordered_count_;
+  const bool advances = start > watermark_seconds_;
+  // Releasable on arrival? Only when the (possibly just-advanced)
+  // watermark is already max_lateness past the start: every in-order
+  // event in strict mode (max_lateness 0), or an exact-boundary straggler
+  // otherwise. Such an event may bypass the heap when nothing could
+  // precede it — the heap is empty (its top is always younger than the
+  // cutoff by then) and the direct slot is free.
+  const bool releasable =
+      start <= (advances ? start : watermark_seconds_) -
+                   options_.max_lateness_seconds;
+  if (advances) {
+    watermark_seconds_ = start;
+    if (!seen_expiry_.empty()) EvictExpiredIds(HorizonCutoff());
+  }
+  if (releasable) {
+    if (heap_.empty() && !has_direct_) {
+      direct_ = event;
+      has_direct_ = true;
+      return Status::OK();
+    }
+    if (has_direct_) {
+      // Two releasable events pending: keep the smaller (start, rental
+      // id) key in the direct slot so ties still release in rental-id
+      // order — the direct slot is always popped first. The displaced
+      // event goes to the heap, where it is immediately releasable. A
+      // new arrival can never be *older* than the direct event (both
+      // are >= the cutoff the direct event was <= of), so only the tie
+      // case ever swaps.
+      const int64_t direct_start = direct_.start_time.seconds_since_epoch();
+      if (start < direct_start ||
+          (start == direct_start && event.rental_id < direct_.rental_id)) {
+        const TripEvent displaced = direct_;
+        direct_ = event;
+        PushToHeap(displaced);
+        return Status::OK();
+      }
+    }
+  }
+  PushToHeap(event);
+  return Status::OK();
+}
+
+void ReorderBuffer::PushToHeap(const TripEvent& event) {
+  uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(event);
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = event;
+  }
+  heap_.push(HeapKey{event.start_time.seconds_since_epoch(),
+                     event.rental_id, slot});
+}
+
+void ReorderBuffer::AdvanceWatermark(CivilTime watermark) {
+  const int64_t seconds = watermark.seconds_since_epoch();
+  if (seconds <= watermark_seconds_) return;
+  watermark_seconds_ = seconds;
+  if (!seen_expiry_.empty()) EvictExpiredIds(HorizonCutoff());
+}
+
+void ReorderBuffer::Flush() { flushed_ = true; }
+
+void ReorderBuffer::EvictExpiredIds(int64_t cutoff) {
+  // Ids whose event start has fallen strictly below the horizon can never
+  // match an admissible redelivery (it would be late), so dropping them
+  // keeps the set bounded by one horizon of events.
+  while (!seen_expiry_.empty() && seen_expiry_.top().first < cutoff) {
+    seen_ids_.erase(seen_expiry_.top().second);
+    seen_expiry_.pop();
+  }
+}
+
+}  // namespace bikegraph::stream

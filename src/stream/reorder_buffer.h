@@ -1,0 +1,200 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "core/civil_time.h"
+#include "core/result.h"
+#include "stream/event.h"
+
+namespace bikegraph::stream {
+
+/// \brief What to do with an event that arrives later than the reorder
+/// horizon allows (its start time is more than `max_lateness_seconds`
+/// behind the buffer's watermark).
+enum class LateEventPolicy {
+  /// Drop the event and count it (`late_dropped_count`). The right choice
+  /// for live feeds, where one pathological straggler must not stall a
+  /// dashboard.
+  kDrop,
+  /// Return FailedPrecondition from Push. The right choice for replays,
+  /// where a too-late event means the configured horizon is wrong and the
+  /// run would silently diverge from the batch pipeline.
+  kError,
+};
+
+/// \brief Options for a ReorderBuffer.
+struct ReorderBufferOptions {
+  /// The reorder horizon: an arriving event may start at most this many
+  /// seconds before the newest start time seen so far. 0 means strict
+  /// order (any regression of start time is late) with pass-through
+  /// release — the pre-buffer contract.
+  int64_t max_lateness_seconds = 0;
+  /// Applied to events older than the horizon.
+  LateEventPolicy late_policy = LateEventPolicy::kError;
+  /// When true, an event whose `rental_id` was already admitted within
+  /// the horizon is suppressed and counted (`duplicate_count`) — real
+  /// feeds redeliver. Events with `rental_id == data::kInvalidId` are
+  /// never suppressed (there is nothing to match on). A redelivery
+  /// arriving after its original's start time has left the horizon is
+  /// handled by the late policy instead, which is the only reason the
+  /// id set stays bounded.
+  bool suppress_duplicates = false;
+};
+
+/// \brief A bounded min-heap that re-sorts a nearly-ordered TripEvent
+/// stream back into non-decreasing start-time order.
+///
+/// The paper's temporal graphs key trips by *start* time, but a live feed
+/// reports a trip when it *ends* — so arrivals are start-time-ordered only
+/// up to the longest trip duration. The buffer absorbs that: events are
+/// held in a min-heap keyed by (start time, rental id) and released once
+/// the watermark (the newest start time seen, or an explicit
+/// `AdvanceWatermark`) has moved at least `max_lateness_seconds` past
+/// them — at that point no admissible future arrival can precede them, so
+/// the released order equals the fully sorted order. Ties release in
+/// rental-id order, keeping a jittered replay deterministic.
+///
+/// An event older than the horizon at arrival is late: depending on
+/// `LateEventPolicy` it is dropped-and-counted or refused. `Flush()`
+/// marks end-of-stream and makes every held event releasable.
+///
+/// The buffer holds at most the events of one horizon (plus, with
+/// duplicate suppression, one id per event in the horizon), so memory is
+/// bounded by the feed rate times `max_lateness_seconds`.
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(const ReorderBufferOptions& options = {});
+
+  /// Admits one event. Returns FailedPrecondition for a too-late event
+  /// under LateEventPolicy::kError and after Flush(); OK otherwise (late
+  /// drops and duplicate suppressions are OK — check the counters).
+  /// Admitted events advance the watermark to their start time.
+  Status Push(const TripEvent& event);
+
+  /// Raises the watermark without an event (e.g. wall-clock time on a
+  /// quiet stream), making older buffered events releasable. Watermarks
+  /// in the past are a no-op.
+  void AdvanceWatermark(CivilTime watermark);
+
+  /// Marks end-of-stream: every buffered event becomes releasable (in
+  /// order), and further Push calls fail.
+  void Flush();
+
+  /// Pops the oldest releasable event, or nullopt when none is ready.
+  /// An event is releasable once its start time is at least
+  /// `max_lateness_seconds` behind the watermark (or after Flush).
+  std::optional<TripEvent> PopReady() {
+    if (has_direct_) {
+      has_direct_ = false;
+      ++released_count_;
+      return direct_;
+    }
+    if (heap_.empty() ||
+        (!flushed_ && heap_.top().start_seconds > HorizonCutoff())) {
+      return std::nullopt;
+    }
+    const uint32_t slot = heap_.top().slot;
+    heap_.pop();
+    free_slots_.push_back(slot);
+    ++released_count_;
+    return slots_[slot];
+  }
+
+  /// True when PopReady would return an event.
+  bool HasReady() const {
+    if (has_direct_) return true;
+    if (heap_.empty()) return false;
+    return flushed_ || heap_.top().start_seconds <= HorizonCutoff();
+  }
+
+  /// Events currently held (admitted but not yet handed out).
+  size_t buffered_count() const {
+    return heap_.size() + (has_direct_ ? 1 : 0);
+  }
+
+  /// Newest start time seen (or explicit advance); CivilTime(INT64_MIN)
+  /// before the first.
+  CivilTime watermark() const { return CivilTime(watermark_seconds_); }
+
+  const ReorderBufferOptions& options() const { return options_; }
+
+  /// Admitted events that arrived out of start-time order (start older
+  /// than the watermark at arrival) and were re-sorted by the buffer.
+  uint64_t reordered_count() const { return reordered_count_; }
+  /// Events older than the horizon dropped under LateEventPolicy::kDrop.
+  uint64_t late_dropped_count() const { return late_dropped_count_; }
+  /// Redelivered events suppressed by duplicate detection.
+  uint64_t duplicate_count() const { return duplicate_count_; }
+  /// Events released so far via PopReady.
+  uint64_t released_count() const { return released_count_; }
+
+ private:
+  /// Heap key: (start_seconds, rental_id) ascending — the release order.
+  /// The TripEvent itself lives in the slot pool, so sift operations move
+  /// 24-byte keys instead of whole events.
+  struct HeapKey {
+    int64_t start_seconds;
+    int64_t rental_id;
+    uint32_t slot;
+    bool operator>(const HeapKey& other) const {
+      if (start_seconds != other.start_seconds) {
+        return start_seconds > other.start_seconds;
+      }
+      return rental_id > other.rental_id;
+    }
+  };
+
+  /// Oldest start an arriving event may have and still be admitted; also
+  /// the newest start a held event may have and be released. The two
+  /// meet at equality, which is harmless: an event admitted exactly at
+  /// the horizon is immediately releasable, and no younger event can
+  /// still arrive before it.
+  int64_t HorizonCutoff() const {
+    // Before the first event (or advance) nothing is late and nothing is
+    // releasable; INT64_MIN encodes both without underflowing the
+    // subtraction.
+    if (watermark_seconds_ == INT64_MIN) return INT64_MIN;
+    return watermark_seconds_ - options_.max_lateness_seconds;
+  }
+  void EvictExpiredIds(int64_t cutoff);
+  /// Parks `event` in the slot pool and pushes its key onto the heap.
+  void PushToHeap(const TripEvent& event);
+
+  ReorderBufferOptions options_;
+  int64_t watermark_seconds_ = INT64_MIN;
+  bool flushed_ = false;
+
+  std::priority_queue<HeapKey, std::vector<HeapKey>, std::greater<HeapKey>>
+      heap_;
+  /// Slot pool backing the heap keys; free slots are recycled.
+  std::vector<TripEvent> slots_;
+  std::vector<uint32_t> free_slots_;
+
+  /// One-event bypass: an event that is releasable the moment it arrives
+  /// (every in-order event in strict max_lateness = 0 mode) skips the
+  /// heap entirely and is handed straight to the next PopReady, keeping
+  /// the strict configuration pass-through-cheap.
+  TripEvent direct_;
+  bool has_direct_ = false;
+
+  // Duplicate suppression: ids admitted whose start is still within the
+  // horizon, plus an eviction heap so the set shrinks as the watermark
+  // advances.
+  std::unordered_set<int64_t> seen_ids_;
+  std::priority_queue<std::pair<int64_t, int64_t>,
+                      std::vector<std::pair<int64_t, int64_t>>,
+                      std::greater<std::pair<int64_t, int64_t>>>
+      seen_expiry_;
+
+  uint64_t reordered_count_ = 0;
+  uint64_t late_dropped_count_ = 0;
+  uint64_t duplicate_count_ = 0;
+  uint64_t released_count_ = 0;
+};
+
+}  // namespace bikegraph::stream

@@ -3,8 +3,40 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <utility>
+
+#include "core/rng.h"
 
 namespace bikegraph::stream {
+
+JitteredStream JitterArrivalOrder(std::vector<TripEvent> events,
+                                  int64_t shuffle_seconds, uint64_t seed) {
+  JitteredStream stream;
+  if (shuffle_seconds <= 0 || events.size() < 2) {
+    stream.events = std::move(events);
+    return stream;  // unjittered: arrival time == start time
+  }
+  Rng rng(seed);
+  std::vector<std::pair<int64_t, size_t>> order;
+  order.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    const int64_t report =
+        events[i].start_time.seconds_since_epoch() +
+        static_cast<int64_t>(
+            rng.NextBounded(static_cast<uint64_t>(shuffle_seconds) + 1));
+    order.emplace_back(report, i);
+  }
+  // Ties keep the start-time order (the second pair member is the sorted
+  // index), so equal report times never invert more than the lag allows.
+  std::sort(order.begin(), order.end());
+  stream.events.reserve(events.size());
+  stream.report_seconds.reserve(events.size());
+  for (const auto& [report, index] : order) {
+    stream.events.push_back(events[index]);
+    stream.report_seconds.push_back(report);
+  }
+  return stream;
+}
 
 std::vector<TripEvent> MakeTripEvents(const data::Dataset& dataset,
                                       const StationMapper& map_location,
@@ -48,7 +80,10 @@ ReplaySource ReplaySource::FromDataset(const data::Dataset& dataset,
   size_t dropped = 0;
   std::vector<TripEvent> events =
       MakeTripEvents(dataset, map_location, &dropped);
-  return ReplaySource(std::move(events), dropped, options);
+  return ReplaySource(JitterArrivalOrder(std::move(events),
+                                         options.shuffle_seconds,
+                                         options.shuffle_seed),
+                      dropped, options);
 }
 
 ReplaySource ReplaySource::FromFinalNetwork(
@@ -68,8 +103,16 @@ std::optional<TripEvent> ReplaySource::Next() {
   if (Done()) return std::nullopt;
   const TripEvent& e = events_[cursor_];
   if (options_.speed > 0.0 && cursor_ > 0) {
-    const int64_t gap = e.start_time.seconds_since_epoch() -
-                        events_[cursor_ - 1].start_time.seconds_since_epoch();
+    // Pace on arrival time: the jittered report times when present (they
+    // are non-decreasing, so the total slept event-time equals the
+    // stream's span — pacing on the fluctuating start times would sleep
+    // on every upward jump and overshoot the span many times over), the
+    // start times otherwise.
+    const int64_t gap =
+        report_seconds_.empty()
+            ? e.start_time.seconds_since_epoch() -
+                  events_[cursor_ - 1].start_time.seconds_since_epoch()
+            : report_seconds_[cursor_] - report_seconds_[cursor_ - 1];
     if (gap > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(
           static_cast<double>(gap) / options_.speed));
@@ -83,7 +126,9 @@ Status ReplaySource::ReplayInto(StreamEngine* engine) {
   while (auto event = Next()) {
     BIKEGRAPH_RETURN_NOT_OK(engine->Ingest(*event));
   }
-  return Status::OK();
+  // End of stream: release whatever the reorder buffer still holds (for
+  // an ordered replay the buffer is pass-through and this is a no-op).
+  return engine->Flush();
 }
 
 }  // namespace bikegraph::stream

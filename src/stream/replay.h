@@ -12,13 +12,46 @@
 
 namespace bikegraph::stream {
 
-/// \brief How fast a replay runs.
+/// \brief How fast — and how tidily — a replay runs.
 struct ReplayOptions {
   /// Event-time seconds replayed per wall-clock second; 0 (the default)
   /// replays as fast as possible (no sleeping — the mode tests and
   /// benches use). E.g. 86400 compresses a day of trips into a second.
   double speed = 0.0;
+  /// Seeded arrival jitter, for exercising the reorder buffer: each
+  /// event's *arrival* is delayed by a uniform 0..shuffle_seconds report
+  /// lag (its start/end times are untouched) and the stream is re-sorted
+  /// by report time, so events arrive up to `shuffle_seconds` out of
+  /// start-time order — the shape of a live feed that reports trips when
+  /// they end. An engine whose `max_lateness_seconds >=
+  /// shuffle_seconds` absorbs the jitter completely. 0 (the default)
+  /// replays in sorted start-time order.
+  int64_t shuffle_seconds = 0;
+  /// Seed for the jitter; the perturbed order is fully determined by
+  /// (shuffle_seconds, shuffle_seed), so jittered runs are reproducible.
+  uint64_t shuffle_seed = 0x5EEDF00D;
 };
+
+/// \brief A TripEvent stream in arrival order plus each event's report
+/// (arrival) time — what JitterArrivalOrder produces.
+struct JitteredStream {
+  /// Events ordered by report time (ties keep start-time order).
+  std::vector<TripEvent> events;
+  /// Non-decreasing report time per event, seconds since epoch
+  /// (`events[i]` "arrives" at `report_seconds[i]`).
+  std::vector<int64_t> report_seconds;
+};
+
+/// \brief Re-sorts `events` (already in start-time order) by a perturbed
+/// report time: start + uniform 0..shuffle_seconds lag, drawn from
+/// `seed`. Fully deterministic; an event can precede another that
+/// started up to `shuffle_seconds` earlier, and never more — the jitter
+/// is exactly absorbed by a reorder horizon of `shuffle_seconds`. The
+/// one shared jitter model: ReplaySource, the reorder bench and the
+/// equivalence tests all use it. `shuffle_seconds <= 0` passes the
+/// stream through (report time = start time).
+JitteredStream JitterArrivalOrder(std::vector<TripEvent> events,
+                                  int64_t shuffle_seconds, uint64_t seed);
 
 /// \brief Turns a dataset (real or synthetic) into an ordered TripEvent
 /// stream — the bridge between the batch world and the streaming engine.
@@ -57,24 +90,33 @@ class ReplaySource {
   }
 
   /// Consumes and returns the next event. With a positive replay speed,
-  /// sleeps so consecutive events are spaced (event-time delta)/speed
-  /// apart in wall time.
+  /// sleeps so consecutive events are spaced (arrival-time delta)/speed
+  /// apart in wall time — arrival time is the jittered report time when
+  /// `shuffle_seconds > 0` (report times are non-decreasing, so a
+  /// jittered replay paces at the same overall speed as an ordered one)
+  /// and the event start time otherwise.
   std::optional<TripEvent> Next();
 
   /// Rewinds to the start of the stream.
   void Rewind() { cursor_ = 0; }
 
   /// Drains the whole stream into `engine` (Ingest per event), honouring
-  /// the replay speed, and advances the engine's watermark to the last
-  /// event time. Returns the first ingestion error, if any.
+  /// the replay speed, then flushes the engine's reorder buffer so every
+  /// jittered straggler lands in the window (a no-op for ordered
+  /// replays). Returns the first ingestion error, if any.
   Status ReplayInto(StreamEngine* engine);
 
  private:
-  ReplaySource(std::vector<TripEvent> events, size_t dropped,
-               ReplayOptions options)
-      : events_(std::move(events)), dropped_(dropped), options_(options) {}
+  ReplaySource(JitteredStream stream, size_t dropped, ReplayOptions options)
+      : events_(std::move(stream.events)),
+        report_seconds_(std::move(stream.report_seconds)),
+        dropped_(dropped),
+        options_(options) {}
 
   std::vector<TripEvent> events_;
+  /// Arrival time per event (empty when the stream is unjittered and
+  /// arrival time == start time).
+  std::vector<int64_t> report_seconds_;
   size_t dropped_ = 0;
   ReplayOptions options_;
   size_t cursor_ = 0;

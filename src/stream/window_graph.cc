@@ -1,7 +1,10 @@
 #include "stream/window_graph.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
+
+#include "core/logging.h"
 
 namespace bikegraph::stream {
 
@@ -18,6 +21,17 @@ CivilTime SlidingWindowGraph::window_start() const {
     return CivilTime(INT64_MIN);
   }
   return watermark_.AddSeconds(-options_.window_seconds);
+}
+
+bool SlidingWindowGraph::Contains(CivilTime t) const {
+  const int64_t seconds = t.seconds_since_epoch();
+  const int64_t mark = watermark_.seconds_since_epoch();
+  if (mark == INT64_MIN) return false;  // no event or Advance yet
+  if (seconds > mark) return false;
+  if (options_.window_seconds <= 0) return true;  // landmark
+  // Half-open (mark - W, mark]: the exclusive bound mirrors
+  // ExpireOlderThan, which retires start <= mark - W.
+  return seconds > mark - options_.window_seconds;
 }
 
 Status SlidingWindowGraph::Ingest(const TripEvent& event) {
@@ -106,6 +120,20 @@ void SlidingWindowGraph::ApplyDelta(const RingEntry& e, int64_t delta) {
     if (inserted) sorted_pairs_dirty_ = true;
   } else {
     auto it = pair_trips_.find(key);
+    if (it == pair_trips_.end()) {
+      // An expiry reversal for a pair the map has no record of means the
+      // ring and the pair map desynced — a library bug. Dereferencing
+      // end() here would be silent memory stomping; skip the whole
+      // reversal (counters included, they are just as suspect) and make
+      // the corruption loud instead.
+      assert(false && "expiry reversal for an unknown station pair");
+      ++delta_desync_count_;
+      BIKEGRAPH_LOG(Error)
+          << "SlidingWindowGraph: expiry reversal for unknown pair ("
+          << e.from << ", " << e.to << "); skipping reversal "
+          << "(expiry ring desynced from the pair map)";
+      return;
+    }
     it->second += delta;
     if (it->second == 0) {
       pair_trips_.erase(it);

@@ -70,9 +70,21 @@ class SlidingWindowGraph {
   /// Stream time: the start time of the newest event seen (or the last
   /// explicit Advance, whichever is later).
   CivilTime watermark() const { return watermark_; }
-  /// Exclusive lower bound of the window (watermark - window_seconds);
-  /// equal to CivilTime(INT64_MIN) for a landmark window.
+  /// *Exclusive* lower bound of the half-open window
+  /// `(watermark - window_seconds, watermark]`: an event starting exactly
+  /// at this instant is already outside the window (`ExpireOlderThan`
+  /// retires `start <= watermark - window_seconds`), so
+  /// `Contains(window_start())` is false — the first instant inside the
+  /// window is one second later. Equal to CivilTime(INT64_MIN) for a
+  /// landmark window (and before any event or Advance).
   CivilTime window_start() const;
+  /// The authoritative membership predicate for the window's half-open
+  /// interval: true iff `window_start() < t <= watermark()` (for a
+  /// landmark window: `t <= watermark()`). False before any event or
+  /// Advance. An event is live exactly while its start time satisfies
+  /// this — locked at the boundary (cutoff, cutoff ± 1) by
+  /// stream_window_graph_test.cc.
+  bool Contains(CivilTime t) const;
 
   /// Trips currently recorded between stations `u` and `v` (unordered;
   /// u == v counts loop trips). Zero when absent.
@@ -112,7 +124,15 @@ class SlidingWindowGraph {
   /// one live trip.
   size_t pair_count() const { return pair_trips_.size(); }
 
+  /// Times an expiry reversal referenced a station pair the pair map has
+  /// no record of — always 0 unless the ring and the map desync (a
+  /// library bug). The guard skips the reversal instead of dereferencing
+  /// a missing entry; tests assert this stays 0 so any desync surfaces
+  /// as a test failure rather than silent memory corruption.
+  size_t delta_desync_count() const { return delta_desync_count_; }
+
  private:
+  friend struct WindowGraphTestPeer;
   /// Ring entry: the fields needed to reverse an event's deltas. day/hour
   /// are precomputed so expiry never re-does calendar math.
   struct RingEntry {
@@ -151,6 +171,7 @@ class SlidingWindowGraph {
   size_t ring_count_ = 0;
   size_t live_count_ = 0;
   size_t ingested_count_ = 0;
+  size_t delta_desync_count_ = 0;
 
   // Sorted pair keys for deterministic iteration; rebuilt lazily after
   // the pair set changes.

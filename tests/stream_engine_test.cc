@@ -267,6 +267,78 @@ TEST(StreamEngineTest, DrainedWindowRefreshRunsCold) {
   EXPECT_FALSE(drained->escalated);
 }
 
+/// Two 4-cliques with a weak bridge: stable, obvious community structure
+/// so warm refreshes reproduce the seed and nothing escalates.
+graphdb::WeightedGraph TwoCliqueGraph() {
+  graphdb::WeightedGraphBuilder builder(8);
+  for (int32_t base : {0, 4}) {
+    for (int32_t u = base; u < base + 4; ++u) {
+      for (int32_t v = u + 1; v < base + 4; ++v) {
+        (void)builder.AddEdge(u, v, 1.0);
+      }
+    }
+  }
+  (void)builder.AddEdge(0, 4, 0.25);
+  return builder.Build();
+}
+
+// Satellite regression (PR 4): Reset() must zero the refresh and
+// escalation counters, not just the seed partition — the refresh counter
+// phases the full_refresh_interval cadence, so a stale count carried the
+// old schedule across the reset.
+TEST(IncrementalCommunityTrackerTest, ResetRestartsTheRefreshCadence) {
+  const graphdb::WeightedGraph graph = TwoCliqueGraph();
+  community::DetectSpec spec;  // Louvain, defaults
+  RefreshPolicy policy;
+  policy.full_refresh_interval = 3;
+  IncrementalCommunityTracker tracker(policy);
+
+  // Two refreshes advance the cadence to mid-phase...
+  ASSERT_TRUE(tracker.Refresh(graph, spec).ok());
+  ASSERT_TRUE(tracker.Refresh(graph, spec).ok());
+  EXPECT_EQ(tracker.refresh_count(), 2u);
+
+  // ...and a reset must restart it from zero, exactly like a fresh
+  // tracker.
+  tracker.Reset();
+  EXPECT_EQ(tracker.refresh_count(), 0u);
+  EXPECT_FALSE(tracker.previous_partition().has_value());
+
+  std::vector<bool> warm_flags;
+  for (int i = 0; i < 3; ++i) {
+    auto outcome = tracker.Refresh(graph, spec);
+    ASSERT_TRUE(outcome.ok());
+    warm_flags.push_back(outcome->warm_started);
+    EXPECT_EQ(outcome->refresh_count, static_cast<uint64_t>(i + 1));
+  }
+  // Post-reset schedule with interval 3: cold (no seed), warm, cold
+  // (interval due). Pre-fix the stale count made the third refresh warm
+  // and the second one's phase wrong.
+  EXPECT_EQ(warm_flags, (std::vector<bool>{false, true, false}));
+}
+
+TEST(IncrementalCommunityTrackerTest, ResetZeroesEscalationCount) {
+  const graphdb::WeightedGraph graph = TwoCliqueGraph();
+  community::DetectSpec spec;
+  RefreshPolicy policy;
+  policy.min_nmi = 1.1;  // impossible: every warm refresh escalates
+  IncrementalCommunityTracker tracker(policy);
+  ASSERT_TRUE(tracker.Refresh(graph, spec).ok());
+  ASSERT_TRUE(tracker.Refresh(graph, spec).ok());
+  EXPECT_GT(tracker.escalation_count(), 0u);
+
+  tracker.Reset();
+  EXPECT_EQ(tracker.escalation_count(), 0u);
+  EXPECT_EQ(tracker.refresh_count(), 0u);
+  // The first refresh of the tracker's new life is cold, never an
+  // escalation.
+  auto outcome = tracker.Refresh(graph, spec);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->warm_started);
+  EXPECT_FALSE(outcome->escalated);
+  EXPECT_EQ(tracker.escalation_count(), 0u);
+}
+
 TEST(StreamEngineTest, SnapshotsAreImmutableAndEpochStamped) {
   StreamEngineConfig config;
   config.station_count = 4;

@@ -1,0 +1,452 @@
+// Out-of-order ingestion: the ReorderBuffer's ordering/lateness/duplicate
+// contract, the StreamEngine wiring around it (watermark regression,
+// buffered-event visibility, end-of-stream flush, surfaced stats), and the
+// headline property — a jittered replay of the full synthetic dataset
+// through the buffer reproduces the ordered replay's window graph,
+// snapshot, and Louvain partition bit for bit.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "community/detector.h"
+#include "core/civil_time.h"
+#include "data/synthetic.h"
+#include "expansion/pipeline.h"
+#include "stream/engine.h"
+#include "stream/reorder_buffer.h"
+#include "stream/replay.h"
+#include "stream/testing.h"
+
+#include <gtest/gtest.h>
+
+namespace bikegraph::stream {
+namespace {
+
+CivilTime At(int day, int hour, int minute = 0) {
+  return CivilTime::FromCalendar(2020, 1, day, hour, minute).ValueOrDie();
+}
+
+TripEvent Trip(int32_t from, int32_t to, CivilTime start,
+               int64_t rental_id = 1) {
+  TripEvent e;
+  e.rental_id = rental_id;
+  e.from_station = from;
+  e.to_station = to;
+  e.start_time = start;
+  e.end_time = start.AddSeconds(600);
+  return e;
+}
+
+/// The one shared jitter model (stream::JitterArrivalOrder), arrival
+/// order only — what the engine equivalence tests feed.
+std::vector<TripEvent> JitterOrder(const std::vector<TripEvent>& events,
+                                   int64_t lag_seconds, uint64_t seed) {
+  return JitterArrivalOrder(events, lag_seconds, seed).events;
+}
+
+bool IsStartOrdered(const std::vector<TripEvent>& events) {
+  for (size_t i = 1; i < events.size(); ++i) {
+    if (events[i].start_time < events[i - 1].start_time) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ReorderBuffer unit behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(ReorderBufferTest, StrictModeIsPassThrough) {
+  ReorderBuffer buffer;  // max_lateness 0, kError: the pre-buffer contract
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 1)).ok());
+  auto released = buffer.PopReady();
+  ASSERT_TRUE(released.has_value());
+  EXPECT_EQ(released->rental_id, 1);
+  // Equal start times are fine, a regression is not.
+  ASSERT_TRUE(buffer.Push(Trip(1, 0, At(6, 8), 2)).ok());
+  EXPECT_TRUE(buffer.PopReady().has_value());
+  auto late = buffer.Push(Trip(0, 1, At(6, 7), 3));
+  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(buffer.reordered_count(), 0u);
+}
+
+TEST(ReorderBufferTest, ReordersWithinHorizon) {
+  ReorderBufferOptions options;
+  options.max_lateness_seconds = 3600;
+  ReorderBuffer buffer(options);
+  // Arrival order 10:00, 9:30, 10:20, 9:40 — all within an hour of the
+  // running watermark.
+  for (const TripEvent& e :
+       {Trip(0, 1, At(6, 10, 0), 1), Trip(0, 1, At(6, 9, 30), 2),
+        Trip(0, 1, At(6, 10, 20), 3), Trip(0, 1, At(6, 9, 40), 4)}) {
+    ASSERT_TRUE(buffer.Push(e).ok());
+  }
+  EXPECT_EQ(buffer.reordered_count(), 2u);  // 9:30 and 9:40 arrived late
+  EXPECT_EQ(buffer.buffered_count(), 4u);
+  EXPECT_FALSE(buffer.HasReady());  // nothing is an hour behind 10:20 yet
+
+  buffer.AdvanceWatermark(At(6, 11, 20));
+  std::vector<int64_t> released;
+  while (auto e = buffer.PopReady()) {
+    released.push_back(e->start_time.seconds_since_epoch());
+  }
+  // Everything up to 10:20 is now safe, and comes out in start order.
+  ASSERT_EQ(released.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(released.begin(), released.end()));
+  EXPECT_EQ(buffer.released_count(), 4u);
+}
+
+TEST(ReorderBufferTest, TiesReleaseInRentalIdOrder) {
+  ReorderBufferOptions options;
+  options.max_lateness_seconds = 600;
+  ReorderBuffer buffer(options);
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 9)).ok());
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 3)).ok());
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 7)).ok());
+  buffer.Flush();
+  std::vector<int64_t> ids;
+  while (auto e = buffer.PopReady()) ids.push_back(e->rental_id);
+  EXPECT_EQ(ids, (std::vector<int64_t>{3, 7, 9}));
+}
+
+TEST(ReorderBufferTest, TiesReleaseInRentalIdOrderThroughTheDirectSlot) {
+  // Strict mode: both events are releasable on arrival, so the first
+  // occupies the direct slot. The smaller rental id arriving second must
+  // still come out first.
+  ReorderBuffer buffer;  // max_lateness 0
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 9)).ok());
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 3)).ok());
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 7)).ok());
+  std::vector<int64_t> ids;
+  while (auto e = buffer.PopReady()) ids.push_back(e->rental_id);
+  EXPECT_EQ(ids, (std::vector<int64_t>{3, 7, 9}));
+}
+
+TEST(ReorderBufferTest, JitterModelHasBoundedNonDecreasingReportTimes) {
+  const auto ordered = testing::PlantedStream(12, 2, 3, 200, 5);
+  const int64_t lag = 1800;
+  const JitteredStream jittered = JitterArrivalOrder(ordered, lag, 42);
+  ASSERT_EQ(jittered.events.size(), ordered.size());
+  ASSERT_EQ(jittered.report_seconds.size(), ordered.size());
+  EXPECT_TRUE(std::is_sorted(jittered.report_seconds.begin(),
+                             jittered.report_seconds.end()));
+  for (size_t i = 0; i < jittered.events.size(); ++i) {
+    const int64_t delay =
+        jittered.report_seconds[i] -
+        jittered.events[i].start_time.seconds_since_epoch();
+    EXPECT_GE(delay, 0) << i;
+    EXPECT_LE(delay, lag) << i;
+  }
+}
+
+TEST(ReorderBufferTest, LateDropPolicyCountsAndDiscards) {
+  ReorderBufferOptions options;
+  options.max_lateness_seconds = 600;
+  options.late_policy = LateEventPolicy::kDrop;
+  ReorderBuffer buffer(options);
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), 1)).ok());
+  // 20 minutes behind a 10-minute horizon: dropped, not an error.
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 9, 40), 2)).ok());
+  EXPECT_EQ(buffer.late_dropped_count(), 1u);
+  buffer.Flush();
+  std::vector<int64_t> ids;
+  while (auto e = buffer.PopReady()) ids.push_back(e->rental_id);
+  EXPECT_EQ(ids, (std::vector<int64_t>{1}));  // the late event never releases
+}
+
+TEST(ReorderBufferTest, LateErrorPolicyRefuses) {
+  ReorderBufferOptions options;
+  options.max_lateness_seconds = 600;
+  options.late_policy = LateEventPolicy::kError;
+  ReorderBuffer buffer(options);
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), 1)).ok());
+  auto late = buffer.Push(Trip(0, 1, At(6, 9, 40), 2));
+  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(buffer.late_dropped_count(), 0u);
+  // An event exactly at the horizon is still admissible.
+  EXPECT_TRUE(buffer.Push(Trip(0, 1, At(6, 9, 50), 3)).ok());
+}
+
+TEST(ReorderBufferTest, DuplicateRentalIdsAreSuppressed) {
+  ReorderBufferOptions options;
+  options.max_lateness_seconds = 3600;
+  options.late_policy = LateEventPolicy::kDrop;
+  options.suppress_duplicates = true;
+  ReorderBuffer buffer(options);
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), 42)).ok());
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), 42)).ok());  // redelivery
+  EXPECT_EQ(buffer.duplicate_count(), 1u);
+  EXPECT_EQ(buffer.buffered_count(), 1u);
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10, 5), 43)).ok());
+  EXPECT_EQ(buffer.duplicate_count(), 1u);
+  EXPECT_EQ(buffer.buffered_count(), 2u);
+
+  // Once the id's start time leaves the horizon the redelivery is late
+  // instead (that bound is what keeps the id set finite).
+  buffer.AdvanceWatermark(At(6, 12));
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), 42)).ok());
+  EXPECT_EQ(buffer.duplicate_count(), 1u);
+  EXPECT_EQ(buffer.late_dropped_count(), 1u);
+}
+
+TEST(ReorderBufferTest, InvalidIdsAreNeverSuppressed) {
+  ReorderBufferOptions options;
+  options.max_lateness_seconds = 3600;
+  options.suppress_duplicates = true;
+  ReorderBuffer buffer(options);
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), data::kInvalidId)).ok());
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), data::kInvalidId)).ok());
+  EXPECT_EQ(buffer.duplicate_count(), 0u);
+  EXPECT_EQ(buffer.buffered_count(), 2u);
+}
+
+TEST(ReorderBufferTest, FlushDrainsAndSealsTheStream) {
+  ReorderBufferOptions options;
+  options.max_lateness_seconds = 7200;
+  ReorderBuffer buffer(options);
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), 2)).ok());
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 9), 1)).ok());
+  EXPECT_FALSE(buffer.HasReady());
+  buffer.Flush();
+  EXPECT_TRUE(buffer.HasReady());
+  EXPECT_EQ(buffer.PopReady()->rental_id, 1);
+  EXPECT_EQ(buffer.PopReady()->rental_id, 2);
+  EXPECT_FALSE(buffer.PopReady().has_value());
+  // End of stream means end of stream.
+  EXPECT_EQ(buffer.Push(Trip(0, 1, At(6, 11), 3)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ReorderBufferTest, NegativeLatenessIsRejected) {
+  ReorderBufferOptions options;
+  options.max_lateness_seconds = -1;
+  ReorderBuffer buffer(options);
+  EXPECT_EQ(buffer.Push(Trip(0, 1, At(6, 10), 1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// StreamEngine wiring.
+// ---------------------------------------------------------------------------
+
+using testing::PlantedStream;
+
+TEST(StreamEngineReorderTest, BufferedEventsBecomeVisibleOnRelease) {
+  StreamEngineConfig config;
+  config.station_count = 4;
+  config.window_seconds = 0;
+  config.max_lateness_seconds = 3600;
+  StreamEngine engine(config);
+
+  ASSERT_TRUE(engine.Ingest(Trip(0, 1, At(6, 10), 1)).ok());
+  // Held: the event could still be preceded by an admissible straggler.
+  EXPECT_EQ(engine.buffered_count(), 1u);
+  EXPECT_EQ(engine.window().trip_count(), 0u);
+
+  // An event an hour later makes the first one safe to release.
+  ASSERT_TRUE(engine.Ingest(Trip(2, 3, At(6, 11), 2)).ok());
+  EXPECT_EQ(engine.window().trip_count(), 1u);
+  EXPECT_EQ(engine.buffered_count(), 1u);
+
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_EQ(engine.window().trip_count(), 2u);
+  EXPECT_EQ(engine.buffered_count(), 0u);
+  // A flushed engine refuses further events rather than reordering them
+  // against an already-drained buffer.
+  EXPECT_FALSE(engine.Ingest(Trip(0, 1, At(6, 12), 3)).ok());
+}
+
+TEST(StreamEngineReorderTest, WatermarkNeverRegressesThroughAdvance) {
+  StreamEngineConfig config;
+  config.station_count = 2;
+  config.window_seconds = 3600;
+  config.max_lateness_seconds = 600;
+  config.late_policy = LateEventPolicy::kDrop;
+  StreamEngine engine(config);
+
+  ASSERT_TRUE(engine.Advance(At(6, 12)).ok());
+  EXPECT_EQ(engine.watermark(), At(6, 12));
+  // Advancing backwards is a no-op on both the window and the buffer.
+  ASSERT_TRUE(engine.Advance(At(6, 9)).ok());
+  EXPECT_EQ(engine.watermark(), At(6, 12));
+  EXPECT_EQ(engine.reorder().watermark(), At(6, 12));
+
+  // Lateness is judged against the non-regressed watermark: an event from
+  // 9:00 is three hours behind a 10-minute horizon.
+  ASSERT_TRUE(engine.Ingest(Trip(0, 1, At(6, 9), 1)).ok());
+  EXPECT_EQ(engine.late_dropped_count(), 1u);
+  EXPECT_EQ(engine.window().trip_count(), 0u);
+}
+
+TEST(StreamEngineReorderTest, LateAndDuplicateStatsSurface) {
+  StreamEngineConfig config;
+  config.station_count = 2;
+  config.window_seconds = 0;
+  config.max_lateness_seconds = 600;
+  config.late_policy = LateEventPolicy::kDrop;
+  config.suppress_duplicate_rentals = true;
+  StreamEngine engine(config);
+
+  ASSERT_TRUE(engine.Ingest(Trip(0, 1, At(6, 10), 1)).ok());
+  ASSERT_TRUE(engine.Ingest(Trip(0, 1, At(6, 10), 1)).ok());   // redelivery
+  ASSERT_TRUE(engine.Ingest(Trip(0, 1, At(6, 9), 2)).ok());    // too late
+  ASSERT_TRUE(engine.Ingest(Trip(0, 1, At(6, 10, 5), 3)).ok());
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_EQ(engine.duplicate_count(), 1u);
+  EXPECT_EQ(engine.late_dropped_count(), 1u);
+  EXPECT_EQ(engine.window().trip_count(), 2u);
+  // Out-of-range endpoints fail at arrival, not a horizon later.
+  StreamEngine fresh(config);
+  EXPECT_EQ(fresh.Ingest(Trip(0, 5, At(6, 10), 9)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+void ExpectGraphsIdentical(const graphdb::WeightedGraph& a,
+                           const graphdb::WeightedGraph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  ASSERT_EQ(a.self_loop_count(), b.self_loop_count());
+  EXPECT_EQ(a.total_weight(), b.total_weight());  // bitwise, not NEAR
+  for (size_t u = 0; u < a.node_count(); ++u) {
+    const auto ui = static_cast<int32_t>(u);
+    EXPECT_EQ(a.self_weight(ui), b.self_weight(ui)) << "node " << u;
+    EXPECT_EQ(a.strength(ui), b.strength(ui)) << "node " << u;
+    auto na = a.neighbors(ui);
+    auto nb = b.neighbors(ui);
+    ASSERT_EQ(na.size(), nb.size()) << "node " << u;
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].node, nb[i].node) << "node " << u << " nb " << i;
+      EXPECT_EQ(na[i].weight, nb[i].weight) << "node " << u << " nb " << i;
+    }
+  }
+}
+
+TEST(StreamEngineReorderTest, JitteredPlantedStreamMatchesOrdered) {
+  const size_t stations = 24;
+  const auto ordered = PlantedStream(stations, 3, 10, 300, 7);
+  const auto jittered = JitterOrder(ordered, /*lag_seconds=*/1800, 99);
+  ASSERT_FALSE(IsStartOrdered(jittered));
+
+  StreamEngineConfig config;
+  config.station_count = stations;
+  config.window_seconds = 3 * 86400;
+  StreamEngine ordered_engine(config);
+  config.max_lateness_seconds = 1800;
+  StreamEngine jittered_engine(config);
+
+  for (const TripEvent& e : ordered) {
+    ASSERT_TRUE(ordered_engine.Ingest(e).ok());
+  }
+  for (const TripEvent& e : jittered) {
+    ASSERT_TRUE(jittered_engine.Ingest(e).ok());
+  }
+  ASSERT_TRUE(ordered_engine.Flush().ok());
+  ASSERT_TRUE(jittered_engine.Flush().ok());
+  EXPECT_GT(jittered_engine.reordered_count(), 0u);
+  EXPECT_EQ(jittered_engine.late_dropped_count(), 0u);
+  EXPECT_EQ(jittered_engine.ingested_count(),
+            ordered_engine.ingested_count());
+  EXPECT_EQ(jittered_engine.watermark(), ordered_engine.watermark());
+
+  auto ordered_snap = ordered_engine.Snapshot();
+  auto jittered_snap = jittered_engine.Snapshot();
+  ASSERT_TRUE(ordered_snap.ok());
+  ASSERT_TRUE(jittered_snap.ok());
+  EXPECT_EQ((*jittered_snap)->trip_count, (*ordered_snap)->trip_count);
+  EXPECT_EQ((*jittered_snap)->window_start, (*ordered_snap)->window_start);
+  EXPECT_EQ((*jittered_snap)->profiles.day, (*ordered_snap)->profiles.day);
+  EXPECT_EQ((*jittered_snap)->profiles.hour, (*ordered_snap)->profiles.hour);
+  ExpectGraphsIdentical((*jittered_snap)->graph, (*ordered_snap)->graph);
+}
+
+// ---------------------------------------------------------------------------
+// Headline acceptance: jittered replay of the full synthetic dataset.
+// ---------------------------------------------------------------------------
+
+class JitteredReplayEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig synth;  // the full synthetic Moby dataset
+    auto raw = data::GenerateSyntheticMoby(synth);
+    ASSERT_TRUE(raw.ok());
+    auto pipeline = expansion::RunExpansionPipeline(*raw);
+    ASSERT_TRUE(pipeline.ok());
+    pipeline_ = new expansion::PipelineResult(std::move(*pipeline));
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+
+  static expansion::PipelineResult* pipeline_;
+};
+
+expansion::PipelineResult* JitteredReplayEquivalenceTest::pipeline_ = nullptr;
+
+/// Runs ordered and jittered replays of the whole cleaned dataset through
+/// two engines with the given window, then requires the final window
+/// graphs, snapshots, and Louvain partitions to match bit for bit.
+void ExpectJitteredReplayEquivalent(const expansion::PipelineResult& pipeline,
+                                    int64_t window_seconds) {
+  const expansion::FinalNetwork& net = pipeline.final_network;
+  const int64_t lag = 3600;  // an hour of report jitter, paper-trip scale
+
+  StreamEngineConfig config;
+  config.station_count = net.stations.size();
+  config.window_seconds = window_seconds;
+  StreamEngine ordered_engine(config);
+  config.max_lateness_seconds = lag;
+  StreamEngine jittered_engine(config);
+
+  ReplaySource ordered = ReplaySource::FromFinalNetwork(pipeline.cleaned, net);
+  ReplayOptions jitter;
+  jitter.shuffle_seconds = lag;
+  jitter.shuffle_seed = 2024;
+  ReplaySource jittered =
+      ReplaySource::FromFinalNetwork(pipeline.cleaned, net, jitter);
+
+  // The jittered stream really is out of start-time order, and is a
+  // permutation of the ordered one.
+  ASSERT_EQ(jittered.events().size(), ordered.events().size());
+  ASSERT_FALSE(IsStartOrdered(jittered.events()));
+
+  ASSERT_TRUE(ordered.ReplayInto(&ordered_engine).ok());
+  ASSERT_TRUE(jittered.ReplayInto(&jittered_engine).ok());
+  EXPECT_GT(jittered_engine.reordered_count(), 0u);
+  EXPECT_EQ(jittered_engine.late_dropped_count(), 0u);
+  EXPECT_EQ(jittered_engine.buffered_count(), 0u);
+  EXPECT_EQ(jittered_engine.ingested_count(), ordered.events().size());
+  EXPECT_EQ(jittered_engine.watermark(), ordered_engine.watermark());
+
+  auto ordered_snap = ordered_engine.Snapshot();
+  auto jittered_snap = jittered_engine.Snapshot();
+  ASSERT_TRUE(ordered_snap.ok());
+  ASSERT_TRUE(jittered_snap.ok());
+  EXPECT_EQ((*jittered_snap)->trip_count, (*ordered_snap)->trip_count);
+  EXPECT_EQ((*jittered_snap)->window_start, (*ordered_snap)->window_start);
+  EXPECT_EQ((*jittered_snap)->window_end, (*ordered_snap)->window_end);
+  EXPECT_EQ((*jittered_snap)->profiles.day, (*ordered_snap)->profiles.day);
+  EXPECT_EQ((*jittered_snap)->profiles.hour,
+            (*ordered_snap)->profiles.hour);
+  ExpectGraphsIdentical((*jittered_snap)->graph, (*ordered_snap)->graph);
+
+  auto ordered_detect = ordered_engine.DetectCurrent();
+  auto jittered_detect = jittered_engine.DetectCurrent();
+  ASSERT_TRUE(ordered_detect.ok());
+  ASSERT_TRUE(jittered_detect.ok());
+  EXPECT_EQ(jittered_detect->result.partition.assignment,
+            ordered_detect->result.partition.assignment);
+  EXPECT_EQ(jittered_detect->result.modularity,
+            ordered_detect->result.modularity);  // bitwise
+}
+
+TEST_F(JitteredReplayEquivalenceTest, SlidingWindowBitForBit) {
+  ExpectJitteredReplayEquivalent(*pipeline_, /*window_seconds=*/7 * 86400);
+}
+
+TEST_F(JitteredReplayEquivalenceTest, LandmarkWindowBitForBit) {
+  ExpectJitteredReplayEquivalent(*pipeline_, /*window_seconds=*/0);
+}
+
+}  // namespace
+}  // namespace bikegraph::stream

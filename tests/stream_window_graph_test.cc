@@ -13,6 +13,22 @@
 #include <gtest/gtest.h>
 
 namespace bikegraph::stream {
+
+/// Test-only backdoor (befriended by SlidingWindowGraph): forges the
+/// desync the ApplyDelta guard defends against — an expiry reversal for a
+/// pair the map has never seen — which the public API cannot produce.
+struct WindowGraphTestPeer {
+  static void ForceReverseUnknownPair(SlidingWindowGraph* w) {
+    SlidingWindowGraph::RingEntry entry;
+    entry.start_seconds = 0;
+    entry.from = 0;
+    entry.to = 1;
+    entry.day = 0;
+    entry.hour = 0;
+    w->ApplyDelta(entry, -1);
+  }
+};
+
 namespace {
 
 CivilTime At(int day, int hour, int minute = 0) {
@@ -121,6 +137,82 @@ TEST(SlidingWindowGraphTest, AdvanceNeverBlocksLaggingIngest) {
   EXPECT_FALSE(w.Ingest(Trip(0, 1, At(6, 10))).ok());
 }
 
+// Satellite regression (PR 4): the window is the half-open interval
+// (watermark - W, watermark] and window_start() is its *exclusive* lower
+// bound — an event starting exactly there is already outside. Locked at
+// the cutoff and one second to either side.
+TEST(SlidingWindowGraphTest, WindowBoundaryIsHalfOpenAtTheCutoff) {
+  const int64_t window = 3600;
+  const CivilTime mark = At(6, 12);
+  const CivilTime cutoff = mark.AddSeconds(-window);
+  struct Case {
+    int64_t offset;
+    bool inside;
+  };
+  for (const Case& c :
+       {Case{-1, false}, Case{0, false}, Case{1, true}}) {
+    SlidingWindowGraph w({2, window});
+    w.Advance(mark);
+    EXPECT_EQ(w.window_start(), cutoff);
+    const CivilTime start = cutoff.AddSeconds(c.offset);
+    ASSERT_TRUE(w.Ingest(Trip(0, 1, start)).ok()) << c.offset;
+    EXPECT_EQ(w.trip_count(), c.inside ? 1u : 0u) << c.offset;
+    EXPECT_EQ(w.Contains(start), c.inside) << c.offset;
+    EXPECT_EQ(w.EndpointCount(0), c.inside ? 1 : 0) << c.offset;
+  }
+}
+
+TEST(SlidingWindowGraphTest, ContainsMatchesTheWindowInterval) {
+  SlidingWindowGraph w({2, 3600});
+  // Before any event or Advance there is no window at all.
+  EXPECT_FALSE(w.Contains(At(6, 8)));
+  w.Advance(At(6, 12));
+  EXPECT_FALSE(w.Contains(w.window_start()));              // exclusive
+  EXPECT_TRUE(w.Contains(w.window_start().AddSeconds(1)))  // first inside
+      << "window must include the instant after its exclusive start";
+  EXPECT_TRUE(w.Contains(w.watermark()));                  // inclusive
+  EXPECT_FALSE(w.Contains(w.watermark().AddSeconds(1)));
+
+  // Landmark windows contain all of the past, none of the future.
+  SlidingWindowGraph landmark({2, 0});
+  ASSERT_TRUE(landmark.Ingest(Trip(0, 1, At(6, 8))).ok());
+  EXPECT_TRUE(landmark.Contains(At(1, 0)));
+  EXPECT_TRUE(landmark.Contains(At(6, 8)));
+  EXPECT_FALSE(landmark.Contains(At(6, 9)));
+}
+
+// Satellite regression (PR 4): a negative-delta reversal for a pair the
+// map has no record of must be a loud skip (counted, state untouched),
+// not a dereference of end() — pre-guard this was undefined behaviour
+// that ASan flagged as a container-overflow.
+TEST(SlidingWindowGraphTest, ExpiryDesyncIsLoudNotSilentCorruption) {
+  SlidingWindowGraph w({2, 3600});
+  EXPECT_EQ(w.delta_desync_count(), 0u);
+#ifdef NDEBUG
+  WindowGraphTestPeer::ForceReverseUnknownPair(&w);
+  EXPECT_EQ(w.delta_desync_count(), 1u);
+  // The skipped reversal touched nothing: no phantom negative counts.
+  EXPECT_EQ(w.TripsBetween(0, 1), 0);
+  EXPECT_EQ(w.EndpointCount(0), 0);
+  EXPECT_EQ(w.EndpointCount(1), 0);
+  EXPECT_EQ(w.pair_count(), 0u);
+#else
+  // With assertions enabled the guard aborts instead, which is just as
+  // loud.
+  EXPECT_DEATH(WindowGraphTestPeer::ForceReverseUnknownPair(&w),
+               "unknown station pair");
+#endif
+  // A healthy ingest/expiry cycle never trips the guard.
+  SlidingWindowGraph healthy({3, 1800});
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        healthy.Ingest(Trip(i % 3, (i + 1) % 3, At(6, 8).AddSeconds(i * 120),
+                            i))
+            .ok());
+  }
+  EXPECT_EQ(healthy.delta_desync_count(), 0u);
+}
+
 TEST(SlidingWindowGraphTest, LandmarkWindowNeverExpires) {
   SlidingWindowGraph w({2, /*window_seconds=*/0});
   ASSERT_TRUE(w.Ingest(Trip(0, 1, At(6, 8))).ok());
@@ -200,6 +292,9 @@ TEST(SlidingWindowGraphTest, RandomisedStreamMatchesBruteForce) {
     hours[e.to_station][e.hour()] += 1;
   }
   EXPECT_EQ(w.trip_count(), live);
+  // 2000 ingest/expiry cycles through a tiny ring: the ring and pair map
+  // never desynced (the ApplyDelta guard stayed silent).
+  EXPECT_EQ(w.delta_desync_count(), 0u);
   for (size_t u = 0; u < stations; ++u) {
     for (size_t v = u; v < stations; ++v) {
       EXPECT_EQ(w.TripsBetween(static_cast<int32_t>(u),
