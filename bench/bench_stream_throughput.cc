@@ -40,35 +40,47 @@ BENCHMARK(BM_StreamIngest)->Arg(64)->Arg(256);
 
 // Out-of-order ingestion: the same planted stream with up to an hour of
 // arrival jitter (the shared stream::JitterArrivalOrder model), pushed
-// through the reorder buffer in front of the window. Compare against
-// BM_StreamIngest to read the buffer's overhead; the measured numbers
-// are discussed in docs/STREAMING.md.
-void BM_StreamIngestOutOfOrder(benchmark::State& state) {
+// through the reorder buffer in front of the window — the engine's
+// Ingest/DrainReady shape (batch ForEachReady release, no per-event
+// optional). Compare against BM_StreamIngest to read the buffer's
+// overhead; the measured numbers are discussed in docs/STREAMING.md.
+void StreamIngestOutOfOrder(benchmark::State& state, ReorderBackend backend) {
   const auto stations = static_cast<size_t>(state.range(0));
   const auto events =
       JitterArrivalOrder(PlantedStream(stations, 4, 28, 4000, 17), 3600, 99)
           .events;
   ReorderBufferOptions options;
   options.max_lateness_seconds = 3600;
+  options.backend = backend;
   for (auto _ : state) {
     ReorderBuffer buffer(options);
     SlidingWindowGraph window({stations, 7 * 86400});
+    const auto ingest = [&window](const TripEvent& e) {
+      return window.Ingest(e);
+    };
     for (const TripEvent& e : events) {
       benchmark::DoNotOptimize(buffer.Push(e).ok());
-      while (auto released = buffer.PopReady()) {
-        benchmark::DoNotOptimize(window.Ingest(*released).ok());
-      }
+      benchmark::DoNotOptimize(buffer.ForEachReady(ingest).ok());
     }
     buffer.Flush();
-    while (auto released = buffer.PopReady()) {
-      benchmark::DoNotOptimize(window.Ingest(*released).ok());
-    }
+    benchmark::DoNotOptimize(buffer.ForEachReady(ingest).ok());
     benchmark::DoNotOptimize(window.trip_count());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(events.size()));
 }
+
+// The PR 4 min-heap backend, kept selectable for multi-month horizons.
+void BM_StreamIngestOutOfOrder(benchmark::State& state) {
+  StreamIngestOutOfOrder(state, ReorderBackend::kHeap);
+}
 BENCHMARK(BM_StreamIngestOutOfOrder)->Arg(64)->Arg(256);
+
+// The timing-wheel backend (the default): amortized O(1) release.
+void BM_StreamIngestWheel(benchmark::State& state) {
+  StreamIngestOutOfOrder(state, ReorderBackend::kWheel);
+}
+BENCHMARK(BM_StreamIngestWheel)->Arg(64)->Arg(256);
 
 // Freezing the live window into an immutable CSR snapshot (GBasic
 // projection), the read-side publication step.
@@ -86,6 +98,59 @@ void BM_SnapshotFreeze(benchmark::State& state) {
                           static_cast<int64_t>(window.trip_count()));
 }
 BENCHMARK(BM_SnapshotFreeze)->Arg(64)->Arg(256);
+
+// Per-epoch freeze cost at a small dirty fraction (~50 events against a
+// 7-day window), the live engine's minute-cadence publication shape:
+// warm up a sliding window (excluded from timing), then repeatedly
+// ingest one epoch's events and freeze. The two variants differ only in
+// the freeze call, so their per-item delta is the full-rebuild vs
+// copy-on-write-patch gap; bit-identity of the two paths is locked by
+// stream_snapshot_delta_test.cc.
+void SnapshotEpochFreeze(benchmark::State& state, bool use_delta) {
+  const auto stations = static_cast<size_t>(state.range(0));
+  constexpr int kEpochs = 64;
+  constexpr int kEventsPerEpoch = 50;
+  const auto events = PlantedStream(stations, 4, 8, 4000, 23);
+  const size_t warmup = events.size() - kEpochs * kEventsPerEpoch;
+  SnapshotDeltaPolicy policy;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SlidingWindowGraph window({stations, 7 * 86400});
+    for (size_t i = 0; i < warmup; ++i) (void)window.Ingest(events[i]);
+    (void)window.DrainDirty();  // arm tracking
+    WindowSnapshot previous = FreezeSnapshot(window).ValueOrDie();
+    size_t cursor = warmup;
+    state.ResumeTiming();
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      for (int i = 0; i < kEventsPerEpoch; ++i) {
+        (void)window.Ingest(events[cursor++]);
+      }
+      if (use_delta) {
+        const WindowDirtySet dirty = window.DrainDirty();
+        previous =
+            FreezeSnapshotDelta(window, previous, dirty, {}, nullptr, policy)
+                .ValueOrDie();
+      } else {
+        (void)window.DrainDirty();
+        previous = FreezeSnapshot(window).ValueOrDie();
+      }
+      benchmark::DoNotOptimize(previous.graph.total_weight());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kEpochs);
+}
+
+// Baseline: every epoch rebuilds the CSR and profiles from the window.
+void BM_SnapshotEpochFullFreeze(benchmark::State& state) {
+  SnapshotEpochFreeze(state, /*use_delta=*/false);
+}
+BENCHMARK(BM_SnapshotEpochFullFreeze)->Arg(64)->Arg(256);
+
+// Copy-on-write: only the epoch's dirty pairs/profiles are recomputed.
+void BM_SnapshotDeltaFreeze(benchmark::State& state) {
+  SnapshotEpochFreeze(state, /*use_delta=*/true);
+}
+BENCHMARK(BM_SnapshotDeltaFreeze)->Arg(64)->Arg(256);
 
 /// Consecutive window graphs for the refresh benchmarks: one frozen
 /// snapshot per day over a 7-day sliding window.

@@ -146,5 +146,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(engine.reordered_count()),
               static_cast<unsigned long long>(engine.late_dropped_count()),
               static_cast<unsigned long long>(engine.duplicate_count()));
+  std::printf("snapshots: %llu delta-frozen (copy-on-write), %llu full "
+              "rebuilds\n",
+              static_cast<unsigned long long>(engine.delta_freeze_count()),
+              static_cast<unsigned long long>(engine.full_freeze_count()));
   return 0;
 }

@@ -25,45 +25,16 @@ WeightedGraphBuilder::WeightedGraphBuilder(size_t node_count)
 
 namespace {
 
-/// One scattered adjacency entry: the key packs (neighbour, slot) so a
-/// plain key sort orders each row by neighbour id while keeping parallel
-/// edges in insertion order — weight accumulation then matches what an
-/// incremental map would have produced, bit for bit. The weight travels in
-/// the same 16 bytes, so neither the sort nor the merge scan touches a
-/// second array.
-struct RowEntry {
-  RowEntry() {}  // intentionally no init: buffers are fully overwritten
-  RowEntry(uint64_t k, double weight) : key(k), w(weight) {}
-  uint64_t key;
+/// One directed adjacency entry mid-radix: 16 bytes, so each scatter
+/// pass streams exactly one entry-sized store.
+struct DirectedEntry {
+  DirectedEntry() {}  // intentionally no init: buffers are fully overwritten
+  DirectedEntry(int32_t r, int32_t n, double weight)
+      : row(r), nbr(n), w(weight) {}
+  int32_t row;
+  int32_t nbr;
   double w;
-  bool operator<(const RowEntry& o) const { return key < o.key; }
 };
-
-/// `slot` may be any value ascending in insertion order within the row —
-/// the global scatter position qualifies.
-inline uint64_t PackRowKey(int32_t neighbor, uint32_t slot) {
-  return (static_cast<uint64_t>(static_cast<uint32_t>(neighbor)) << 32) |
-         slot;
-}
-
-/// Keys are unique, so plain insertion sort; rows are short, so the inline
-/// loop beats a std::sort dispatch per row.
-inline void SortRow(RowEntry* begin, RowEntry* end) {
-  if (end - begin > 32) {
-    std::sort(begin, end);
-    return;
-  }
-  for (RowEntry* i = begin + 1; i < end; ++i) {
-    if (i[-1].key <= i->key) continue;
-    RowEntry tmp = *i;
-    RowEntry* j = i;
-    do {
-      *j = j[-1];
-      --j;
-    } while (j > begin && j[-1].key > tmp.key);
-    *j = tmp;
-  }
-}
 
 }  // namespace
 
@@ -74,45 +45,70 @@ WeightedGraph WeightedGraphBuilder::Build() const {
   g.strength_.assign(n, 0.0);
   g.offsets_.assign(n + 1, 0);
 
-  // Single symmetric counting sort: scatter both directions of every edge
-  // into per-node rows, sort each short row by (neighbour, insertion
-  // order), then merge duplicates straight into the final CSR arrays.
+  // Two-pass stable LSD radix: scatter every directed entry by its
+  // NEIGHBOUR id, then re-scatter that order by ROW id. Afterwards each
+  // row is grouped and sorted by neighbour with parallel edges still in
+  // AddEdge call order (both passes are stable), so the merge is a plain
+  // linear accumulate-compact — no per-row comparison sort at all, which
+  // is where the previous builder spent most of its time. Both keys have
+  // the same histogram (every edge contributes u and v to each), so one
+  // counting pass serves both scatters.
   const size_t entries = 2 * edges_.size();
-  std::vector<uint32_t> start(n + 1, 0);
+  std::vector<uint32_t> cnt(n + 1, 0);
   for (const EdgeTriple& e : edges_) {
-    ++start[e.u + 1];
-    ++start[e.v + 1];
+    ++cnt[e.u + 1];
+    ++cnt[e.v + 1];
   }
-  for (size_t u = 0; u < n; ++u) start[u + 1] += start[u];
+  for (size_t u = 0; u < n; ++u) cnt[u + 1] += cnt[u];
 
-  // Scatter, using start[] itself as the cursor array — afterwards start[u]
-  // holds the END of row u, so row boundaries are still recoverable.
-  std::vector<RowEntry> rows(entries);
+  // Pass 1: order by neighbour id (the future within-row order).
+  std::vector<DirectedEntry> by_nbr(entries);
+  // Fresh cursor copies per pass keep cnt itself reusable as the row
+  // boundaries for the merge.
+  std::vector<uint32_t> cursor(cnt.begin(), cnt.end() - 1);
   for (const EdgeTriple& e : edges_) {
-    const uint32_t p = start[e.u]++;
-    rows[p] = RowEntry(PackRowKey(e.v, p), e.w);
-    const uint32_t q = start[e.v]++;
-    rows[q] = RowEntry(PackRowKey(e.u, q), e.w);
+    by_nbr[cursor[e.v]] = DirectedEntry(e.u, e.v, e.w);
+    ++cursor[e.v];
+    by_nbr[cursor[e.u]] = DirectedEntry(e.v, e.u, e.w);
+    ++cursor[e.u];
   }
 
+  // Pass 2: stable re-scatter by row with the duplicate merge fused in —
+  // a parallel edge arrives right after its twin (same row, same
+  // neighbour, insertion order), so it accumulates into the row's tail
+  // entry instead of appending. Row begin and write cursor live in one
+  // 8-byte struct so the append-or-accumulate decision costs a single
+  // random cache line per entry.
   g.adj_.resize(entries);  // upper bound; Neighbor() performs no init
+  WeightedGraph::Neighbor* adj = g.adj_.data();
+  struct RowCursor {
+    uint32_t beg;
+    uint32_t cur;
+  };
+  std::vector<RowCursor> row(n);
+  for (size_t u = 0; u < n; ++u) row[u] = RowCursor{cnt[u], cnt[u]};
+  for (const DirectedEntry& t : by_nbr) {
+    RowCursor& rc = row[t.row];
+    if (rc.cur != rc.beg && adj[rc.cur - 1].node == t.nbr) {
+      adj[rc.cur - 1].weight += t.w;
+    } else {
+      adj[rc.cur++] = WeightedGraph::Neighbor(t.nbr, t.w);
+    }
+  }
+
+  // Compact the merged rows forward and reduce strengths in one
+  // sequential pass.
   size_t out = 0;
   size_t pair_count = 0;
   g.offsets_[0] = 0;
   for (size_t u = 0; u < n; ++u) {
-    const uint32_t beg = u == 0 ? 0 : start[u - 1], end = start[u];
-    if (end - beg > 1) SortRow(rows.data() + beg, rows.data() + end);
+    const uint32_t beg = row[u].beg, end = row[u].cur;
     double strength = 0.0;
-    for (uint32_t i = beg; i < end;) {
-      const int32_t v = static_cast<int32_t>(rows[i].key >> 32);
-      double w = 0.0;
-      while (i < end && static_cast<int32_t>(rows[i].key >> 32) == v) {
-        w += rows[i].w;
-        ++i;
-      }
-      g.adj_[out++] = WeightedGraph::Neighbor(v, w);
-      strength += w;
-      if (v > static_cast<int32_t>(u)) ++pair_count;
+    for (uint32_t i = beg; i < end; ++i) {
+      const WeightedGraph::Neighbor nb = adj[i];
+      adj[out++] = nb;
+      strength += nb.weight;
+      if (nb.node > static_cast<int32_t>(u)) ++pair_count;
     }
     g.strength_[u] = strength;
     g.offsets_[u + 1] = out;
@@ -120,6 +116,154 @@ WeightedGraph WeightedGraphBuilder::Build() const {
   g.adj_.resize(out);
   if (g.adj_.capacity() > 2 * (out + 8)) g.adj_.shrink_to_fit();
   g.edge_count_ = pair_count;
+  double total = 0.0;
+  size_t loops = 0;
+  for (size_t u = 0; u < n; ++u) {
+    total += g.strength_[u];
+    if (g.self_weight_[u] > 0.0) ++loops;
+    g.strength_[u] += 2.0 * g.self_weight_[u];
+  }
+  total /= 2.0;
+  for (size_t u = 0; u < n; ++u) total += g.self_weight_[u];
+  g.total_weight_ = total;
+  g.self_loop_count_ = loops;
+  return g;
+}
+
+Result<WeightedGraph> WeightedGraphPatcher::Apply(
+    const WeightedGraph& base, std::vector<EdgeUpdate> updates) {
+  const size_t n = base.node_count();
+  for (EdgeUpdate& up : updates) {
+    if (up.u < 0 || up.v < 0 || static_cast<size_t>(up.u) >= n ||
+        static_cast<size_t>(up.v) >= n) {
+      return Status::InvalidArgument("edge update endpoint out of range");
+    }
+    if (!up.removed && (!std::isfinite(up.weight) || up.weight < 0.0)) {
+      return Status::InvalidArgument("edge weight must be finite and >= 0");
+    }
+    if (up.u > up.v) std::swap(up.u, up.v);
+  }
+  // One update per pair: stable sort, keep the last of each run.
+  std::stable_sort(updates.begin(), updates.end(),
+                   [](const EdgeUpdate& a, const EdgeUpdate& b) {
+                     return a.u != b.u ? a.u < b.u : a.v < b.v;
+                   });
+  size_t kept = 0;
+  for (size_t i = 0; i < updates.size(); ++i) {
+    if (i + 1 < updates.size() && updates[i].u == updates[i + 1].u &&
+        updates[i].v == updates[i + 1].v) {
+      continue;
+    }
+    updates[kept++] = updates[i];
+  }
+  updates.resize(kept);
+
+  WeightedGraph g;
+  g.self_weight_ = base.self_weight_;
+
+  // Self updates go straight to the weight array; proper edges become a
+  // (row, neighbour)-sorted directed list driving the row merges.
+  struct Directed {
+    int32_t row, nbr;
+    double weight;
+    bool removed;
+  };
+  std::vector<Directed> dir;
+  dir.reserve(2 * updates.size());
+  std::vector<uint8_t> row_touched(n, 0);
+  for (const EdgeUpdate& up : updates) {
+    if (up.u == up.v) {
+      g.self_weight_[up.u] = up.removed ? 0.0 : up.weight;
+      row_touched[up.u] = 1;
+      continue;
+    }
+    row_touched[up.u] = 1;
+    row_touched[up.v] = 1;
+    dir.push_back({up.u, up.v, up.weight, up.removed});
+    dir.push_back({up.v, up.u, up.weight, up.removed});
+  }
+  std::sort(dir.begin(), dir.end(),
+            [](const Directed& a, const Directed& b) {
+              return a.row != b.row ? a.row < b.row : a.nbr < b.nbr;
+            });
+
+  g.offsets_.assign(n + 1, 0);
+  g.adj_.reserve(base.adj_.size() + dir.size());
+  int64_t pair_delta = 0;
+  size_t cursor = 0;
+  size_t row = 0;
+  while (row < n) {
+    const size_t next_affected =
+        cursor < dir.size() ? static_cast<size_t>(dir[cursor].row) : n;
+    if (row < next_affected) {
+      // Untouched rows copy as one contiguous block; their offsets just
+      // shift by the net insert/remove count so far.
+      const size_t from = base.offsets_[row];
+      const size_t block_start = g.adj_.size();
+      g.adj_.insert(g.adj_.end(), base.adj_.begin() + from,
+                    base.adj_.begin() + base.offsets_[next_affected]);
+      for (; row < next_affected; ++row) {
+        g.offsets_[row + 1] = block_start + (base.offsets_[row + 1] - from);
+      }
+      continue;
+    }
+    // Sorted merge of the old row with its updates.
+    auto old_row = base.neighbors(static_cast<int32_t>(row));
+    size_t i = 0;
+    while (i < old_row.size() ||
+           (cursor < dir.size() &&
+            static_cast<size_t>(dir[cursor].row) == row)) {
+      const bool has_update =
+          cursor < dir.size() && static_cast<size_t>(dir[cursor].row) == row;
+      if (!has_update ||
+          (i < old_row.size() && old_row[i].node < dir[cursor].nbr)) {
+        g.adj_.push_back(old_row[i]);
+        ++i;
+        continue;
+      }
+      const Directed& up = dir[cursor];
+      if (i < old_row.size() && old_row[i].node == up.nbr) {
+        // Reweight or remove an existing edge.
+        if (!up.removed) {
+          g.adj_.push_back(WeightedGraph::Neighbor(up.nbr, up.weight));
+        } else if (static_cast<size_t>(up.nbr) > row) {
+          --pair_delta;  // each undirected pair is counted from u < v
+        }
+        ++i;
+        ++cursor;
+        continue;
+      }
+      // No existing edge: insert, or ignore a removal of an absent pair.
+      if (!up.removed) {
+        g.adj_.push_back(WeightedGraph::Neighbor(up.nbr, up.weight));
+        if (static_cast<size_t>(up.nbr) > row) ++pair_delta;
+      }
+      ++cursor;
+    }
+    g.offsets_[row + 1] = g.adj_.size();
+    ++row;
+  }
+
+  // Strength and total-weight reduction in exactly Build()'s order (row
+  // sums in ascending-neighbour order, then the same two global passes),
+  // so an unchanged row keeps bit-identical aggregates. Untouched rows
+  // skip the re-sum: with a zero (and untouched) self weight, the
+  // stored strength IS the row sum bitwise (x + 0.0 == x), so only
+  // touched rows and self-loop carriers pay the adjacency walk.
+  g.strength_.assign(n, 0.0);
+  for (size_t u = 0; u < n; ++u) {
+    if (row_touched[u] == 0 && g.self_weight_[u] == 0.0) {
+      g.strength_[u] = base.strength_[u];
+      continue;
+    }
+    double strength = 0.0;
+    for (size_t i = g.offsets_[u]; i < g.offsets_[u + 1]; ++i) {
+      strength += g.adj_[i].weight;
+    }
+    g.strength_[u] = strength;
+  }
+  g.edge_count_ =
+      static_cast<size_t>(static_cast<int64_t>(base.edge_count_) + pair_delta);
   double total = 0.0;
   size_t loops = 0;
   for (size_t u = 0; u < n; ++u) {

@@ -52,6 +52,7 @@ class WeightedGraph {
 
  private:
   friend class WeightedGraphBuilder;
+  friend class WeightedGraphPatcher;
   std::vector<size_t> offsets_;
   std::vector<Neighbor> adj_;
   std::vector<double> self_weight_;
@@ -117,6 +118,37 @@ class WeightedGraphBuilder {
   uint32_t check_limit_;  // min(node_count, 2^31): ids are int32
   std::vector<EdgeTriple> edges_;
   std::vector<double> self_weight_;
+};
+
+/// \brief Copy-on-write edge patching of an immutable WeightedGraph.
+///
+/// `Apply(base, updates)` returns the graph a WeightedGraphBuilder would
+/// produce from base's edge set with the updates applied — bit-identical,
+/// including float accumulation order of per-node strengths and the total
+/// weight — without re-sorting or re-merging the untouched rows: runs of
+/// unaffected adjacency rows are block-copied, affected rows are merged
+/// with their sorted updates, and the strength/total reduction is a single
+/// sequential pass. Cost is O(nodes + edges copied + updates log updates),
+/// with no hashing and no per-edge weight recomputation — the incremental
+/// backbone of the streaming snapshot delta freeze (stream/snapshot.h).
+class WeightedGraphPatcher {
+ public:
+  /// One absolute edge-state change: pair {u, v} now carries `weight`
+  /// (inserted if absent, reweighted if present), or no longer exists
+  /// (`removed`, `weight` ignored). u == v addresses the self-loop.
+  /// Duplicate pairs in one batch are allowed; the last wins.
+  struct EdgeUpdate {
+    int32_t u = 0;
+    int32_t v = 0;
+    double weight = 0.0;
+    bool removed = false;
+  };
+
+  /// Applies `updates` to `base`. InvalidArgument on out-of-range ids or
+  /// non-finite/negative weights (matching WeightedGraphBuilder::AddEdge);
+  /// removing an absent edge is a no-op.
+  static Result<WeightedGraph> Apply(const WeightedGraph& base,
+                                     std::vector<EdgeUpdate> updates);
 };
 
 /// \brief Options for projecting a PropertyGraph into a WeightedGraph.

@@ -6,7 +6,8 @@ StreamEngine::StreamEngine(StreamEngineConfig config)
     : config_(std::move(config)),
       reorder_(ReorderBufferOptions{config_.max_lateness_seconds,
                                     config_.late_policy,
-                                    config_.suppress_duplicate_rentals}),
+                                    config_.suppress_duplicate_rentals,
+                                    config_.reorder_backend}),
       window_(WindowGraphOptions{config_.station_count,
                                  config_.window_seconds}),
       tracker_(config_.refresh) {
@@ -61,11 +62,10 @@ Status StreamEngine::Flush() {
 }
 
 Status StreamEngine::DrainReady() {
-  while (std::optional<TripEvent> event = reorder_.PopReady()) {
-    BIKEGRAPH_RETURN_NOT_OK(window_.Ingest(*event));
+  return reorder_.ForEachReady([this](const TripEvent& event) {
     dirty_ = true;
-  }
-  return Status::OK();
+    return window_.Ingest(event);
+  });
 }
 
 Result<std::shared_ptr<const WindowSnapshot>> StreamEngine::Snapshot() {
@@ -78,11 +78,35 @@ Result<std::shared_ptr<const WindowSnapshot>> StreamEngine::Snapshot() {
     auto current = publisher_.Current();
     if (current) return current;
   }
-  BIKEGRAPH_ASSIGN_OR_RETURN(
-      WindowSnapshot snap,
-      FreezeSnapshot(window_, config_.projection, station_index_));
+  // The dirty set is drained (and tracking re-armed) on every freeze, so
+  // it describes exactly the changes since the previous published epoch —
+  // the delta freeze's baseline. The first freeze, an overflowed set, or
+  // a large dirty fraction all fall back to a full rebuild inside
+  // FreezeSnapshotDelta. With deltas disabled the window is never
+  // drained at all, so tracking stays unarmed and ingest keeps its
+  // zero-bookkeeping hot path.
+  WindowDirtySet changes;
+  if (config_.snapshot_delta.enabled) changes = window_.DrainDirty();
+  bool used_delta = false;
+  auto previous = publisher_.Current();
+  Result<WindowSnapshot> frozen =
+      config_.snapshot_delta.enabled && previous != nullptr
+          ? FreezeSnapshotDelta(window_, *previous, changes,
+                                config_.projection, station_index_,
+                                config_.snapshot_delta, &used_delta)
+          : FreezeSnapshot(window_, config_.projection, station_index_);
+  if (!frozen.ok()) {
+    if (config_.snapshot_delta.enabled) {
+      // The drained changes are lost to tracking; a later delta against
+      // the still-older published epoch would silently miss them, so
+      // the next freeze must take the full path.
+      window_.MarkDirtyTrackingIncomplete();
+    }
+    return frozen.status();
+  }
+  ++(used_delta ? delta_freeze_count_ : full_freeze_count_);
   dirty_ = false;
-  return publisher_.Publish(std::move(snap));
+  return publisher_.Publish(std::move(*frozen));
 }
 
 Result<RefreshOutcome> StreamEngine::DetectCurrent(

@@ -51,6 +51,16 @@ struct StreamEngineConfig {
   /// Suppress redelivered rental ids within the horizon (real feeds
   /// redeliver); suppressed events count in `duplicate_count()`.
   bool suppress_duplicate_rentals = false;
+  /// Data structure behind the reorder buffer: the timing wheel (default)
+  /// releases at amortized O(1) per event with memory O(max_lateness);
+  /// the min-heap costs O(log buffered) but stays lean on multi-month
+  /// horizons. Release order is identical either way.
+  ReorderBackend reorder_backend = ReorderBackend::kWheel;
+  /// Freeze snapshots by copy-on-write patching of the previous epoch's
+  /// CSR and profiles when only a small fraction of the window changed
+  /// (see SnapshotDeltaPolicy); disable to force a full rebuild per
+  /// epoch.
+  SnapshotDeltaPolicy snapshot_delta;
 };
 
 /// \brief The live-monitoring entry point: ingest a trip stream, maintain
@@ -132,6 +142,12 @@ class StreamEngine {
   uint64_t duplicate_count() const { return reorder_.duplicate_count(); }
   size_t buffered_count() const { return reorder_.buffered_count(); }
 
+  /// Snapshot-freeze stats: epochs frozen by copy-on-write delta
+  /// patching vs by a full window rebuild (the first epoch, large dirty
+  /// fractions, and dirty-set overflows all take the full path).
+  uint64_t delta_freeze_count() const { return delta_freeze_count_; }
+  uint64_t full_freeze_count() const { return full_freeze_count_; }
+
  private:
   /// Moves every releasable buffered event into the window.
   Status DrainReady();
@@ -146,6 +162,8 @@ class StreamEngine {
   std::shared_ptr<const geo::GridIndex> station_index_;
   /// True when the live window changed after the last publish.
   bool dirty_ = true;
+  uint64_t delta_freeze_count_ = 0;
+  uint64_t full_freeze_count_ = 0;
 };
 
 }  // namespace bikegraph::stream

@@ -1,13 +1,39 @@
 #include "stream/reorder_buffer.h"
 
+#include <cassert>
+
 namespace bikegraph::stream {
 
+namespace {
+
+/// Wheel memory is one bucket per horizon second; past ~48 days of
+/// horizon that is >100 MB of (mostly empty) buckets, and the heap is
+/// the honest choice.
+constexpr int64_t kMaxWheelHorizonSeconds = int64_t{1} << 22;
+
+}  // namespace
+
 ReorderBuffer::ReorderBuffer(const ReorderBufferOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  if (options_.backend == ReorderBackend::kWheel &&
+      options_.max_lateness_seconds > 0 &&
+      options_.max_lateness_seconds <= kMaxWheelHorizonSeconds) {
+    EnsureWheel();
+  }
+}
 
 Status ReorderBuffer::Push(const TripEvent& event) {
   if (options_.max_lateness_seconds < 0) {
     return Status::InvalidArgument("max_lateness_seconds must be >= 0");
+  }
+  if (options_.backend == ReorderBackend::kWheel &&
+      options_.max_lateness_seconds > kMaxWheelHorizonSeconds) {
+    return Status::InvalidArgument(
+        "max_lateness_seconds " +
+        std::to_string(options_.max_lateness_seconds) +
+        " exceeds the wheel backend's horizon limit (" +
+        std::to_string(kMaxWheelHorizonSeconds) +
+        "s); use ReorderBackend::kHeap for multi-month horizons");
   }
   if (flushed_) {
     return Status::FailedPrecondition(
@@ -40,18 +66,30 @@ Status ReorderBuffer::Push(const TripEvent& event) {
   // Releasable on arrival? Only when the (possibly just-advanced)
   // watermark is already max_lateness past the start: every in-order
   // event in strict mode (max_lateness 0), or an exact-boundary straggler
-  // otherwise. Such an event may bypass the heap when nothing could
-  // precede it — the heap is empty (its top is always younger than the
-  // cutoff by then) and the direct slot is free.
+  // otherwise.
   const bool releasable =
       start <= (advances ? start : watermark_seconds_) -
                    options_.max_lateness_seconds;
   if (advances) {
     watermark_seconds_ = start;
     if (!seen_expiry_.empty()) EvictExpiredIds(HorizonCutoff());
+    if (options_.backend == ReorderBackend::kWheel && wheel_count_ > 0 &&
+        watermark_seconds_ - drained_upto_ >=
+            static_cast<int64_t>(primary_.size())) {
+      // A watermark jump of a whole revolution would let a new second
+      // collide with a not-yet-walked older one in the same bucket;
+      // spilling the releasable seconds to the FIFO first keeps every
+      // bucket single-second. Rare — ordinary advances stay well within
+      // one revolution.
+      DrainWheelUpTo(HorizonCutoff());
+    }
   }
   if (releasable) {
-    if (heap_.empty() && !has_direct_) {
+    const bool pending_release =
+        options_.backend == ReorderBackend::kWheel
+            ? ready_head_ < ready_.size() || wheel_count_ > 0
+            : !heap_.empty();
+    if (!pending_release && !has_direct_) {
       direct_ = event;
       has_direct_ = true;
       return Status::OK();
@@ -60,36 +98,218 @@ Status ReorderBuffer::Push(const TripEvent& event) {
       // Two releasable events pending: keep the smaller (start, rental
       // id) key in the direct slot so ties still release in rental-id
       // order — the direct slot is always popped first. The displaced
-      // event goes to the heap, where it is immediately releasable. A
-      // new arrival can never be *older* than the direct event (both
-      // are >= the cutoff the direct event was <= of), so only the tie
+      // event is parked where it is immediately releasable. A new
+      // arrival can never be *older* than the direct event (both are
+      // >= the cutoff the direct event was <= of), so only the tie
       // case ever swaps.
       const int64_t direct_start = direct_.start_time.seconds_since_epoch();
       if (start < direct_start ||
           (start == direct_start && event.rental_id < direct_.rental_id)) {
         const TripEvent displaced = direct_;
         direct_ = event;
-        PushToHeap(displaced);
+        if (options_.backend == ReorderBackend::kWheel) {
+          ParkWheelReleasable(displaced);
+        } else {
+          PushToHeap(displaced);
+        }
         return Status::OK();
       }
     }
+    if (options_.backend == ReorderBackend::kWheel) {
+      ParkWheelReleasable(event);
+    } else {
+      PushToHeap(event);
+    }
+    return Status::OK();
   }
-  PushToHeap(event);
+  if (options_.backend == ReorderBackend::kWheel) {
+    PushToWheel(event);
+  } else {
+    PushToHeap(event);
+  }
   return Status::OK();
 }
 
-void ReorderBuffer::PushToHeap(const TripEvent& event) {
-  uint32_t slot;
+uint32_t ReorderBuffer::AllocSlot(const TripEvent& event) {
   if (free_slots_.empty()) {
-    slot = static_cast<uint32_t>(slots_.size());
+    const auto slot = static_cast<uint32_t>(slots_.size());
     slots_.push_back(event);
-  } else {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-    slots_[slot] = event;
+    return slot;
   }
+  const uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  slots_[slot] = event;
+  return slot;
+}
+
+void ReorderBuffer::PushToHeap(const TripEvent& event) {
   heap_.push(HeapKey{event.start_time.seconds_since_epoch(),
-                     event.rental_id, slot});
+                     event.rental_id, AllocSlot(event)});
+}
+
+void ReorderBuffer::EnsureWheel() {
+  if (!primary_.empty()) return;
+  // Held events span at most the max_lateness seconds in
+  // (cutoff, watermark] plus the current walk second, so the next power
+  // of two above that guarantees no two live seconds ever share a
+  // bucket — each bucket is one second's events, sortable by rental id
+  // alone. At least 64 so the wheel is whole occupancy words: a release
+  // walk then maps one word's bits onto 64 consecutive seconds with no
+  // mid-word wrap.
+  size_t size = 64;
+  const auto span =
+      static_cast<uint64_t>(options_.max_lateness_seconds) + 2;
+  while (size < span) size <<= 1;
+  primary_.resize(size);
+  occupancy_.assign(size / 64, 0);
+  overflow_occupancy_.assign(size / 64, 0);
+}
+
+void ReorderBuffer::PushToWheel(const TripEvent& event) {
+  EnsureWheel();
+  const int64_t start = event.start_time.seconds_since_epoch();
+  if (wheel_count_ == 0) {
+    // Nothing is parked below this event, so fast-forward the walk
+    // cursor: release walks never re-scan the gap. Never past the
+    // event itself (it may already be releasable) and never past the
+    // cutoff (future admissible arrivals start at or after it).
+    const int64_t cutoff = HorizonCutoff();
+    const int64_t upto = start - 1 < cutoff ? start - 1 : cutoff;
+    if (upto > drained_upto_) drained_upto_ = upto;
+  }
+  assert(start > drained_upto_ && "wheel insert into a walked second");
+  const size_t bucket = WheelBucket(start);
+  const uint64_t bit = uint64_t{1} << (bucket & 63);
+  if ((occupancy_[bucket >> 6] & bit) == 0) {
+    occupancy_[bucket >> 6] |= bit;
+    primary_[bucket] = event;
+  } else {
+    // Second event of this second: chain it onto the bucket's overflow
+    // list (newest first; the gather restores arrival order).
+    if (overflow_head_.empty()) {
+      overflow_head_.assign(primary_.size(), kNilNode);
+    }
+    overflow_occupancy_[bucket >> 6] |= bit;
+    uint32_t node;
+    if (overflow_free_.empty()) {
+      node = static_cast<uint32_t>(overflow_.size());
+      overflow_.push_back(event);
+      overflow_next_.push_back(overflow_head_[bucket]);
+    } else {
+      node = overflow_free_.back();
+      overflow_free_.pop_back();
+      overflow_[node] = event;
+      overflow_next_[node] = overflow_head_[bucket];
+    }
+    overflow_head_[bucket] = node;
+    ++overflow_count_;
+  }
+  ++wheel_count_;
+}
+
+void ReorderBuffer::GatherOverflowBucket(int64_t second, size_t bucket) {
+  (void)second;  // one bucket == one second; only asserts need it
+  // Arrival order is the primary slot first, then the chain reversed
+  // (it is linked newest-first); the stable sort then makes rental id
+  // the tie-break while same-id redeliveries keep arrival order.
+  scratch_.clear();
+  scratch_.push_back(primary_[bucket]);
+  const size_t chain_begin = scratch_.size();
+  for (uint32_t node = overflow_head_[bucket]; node != kNilNode;) {
+    assert(overflow_[node].start_time.seconds_since_epoch() == second);
+    scratch_.push_back(overflow_[node]);
+    const uint32_t next = overflow_next_[node];
+    overflow_free_.push_back(node);
+    node = next;
+  }
+  overflow_count_ -= scratch_.size() - chain_begin;
+  overflow_head_[bucket] = kNilNode;
+  std::reverse(scratch_.begin() + static_cast<ptrdiff_t>(chain_begin),
+               scratch_.end());
+  std::stable_sort(scratch_.begin(), scratch_.end(),
+                   [](const TripEvent& a, const TripEvent& b) {
+                     return a.rental_id < b.rental_id;
+                   });
+  const uint64_t bit = uint64_t{1} << (bucket & 63);
+  occupancy_[bucket >> 6] &= ~bit;
+  overflow_occupancy_[bucket >> 6] &= ~bit;
+}
+
+void ReorderBuffer::DrainBucketToReady(int64_t second, size_t bucket) {
+  const uint64_t bit = uint64_t{1} << (bucket & 63);
+  if ((overflow_occupancy_[bucket >> 6] & bit) == 0) {
+    ready_.push_back(primary_[bucket]);
+    occupancy_[bucket >> 6] &= ~bit;
+    --wheel_count_;
+    return;
+  }
+  GatherOverflowBucket(second, bucket);
+  for (const TripEvent& e : scratch_) ready_.push_back(e);
+  wheel_count_ -= scratch_.size();
+}
+
+void ReorderBuffer::ParkWheelReleasable(const TripEvent& event) {
+  if (event.start_time.seconds_since_epoch() > drained_upto_) {
+    // Its second has not been walked yet: the normal bucket path keeps
+    // it ordered against the other parked events for free.
+    PushToWheel(event);
+  } else {
+    FifoInsertSorted(event);
+  }
+}
+
+void ReorderBuffer::DrainWheelUpTo(int64_t upto) {
+  if (upto <= drained_upto_) return;
+  if (wheel_count_ == 0) {
+    drained_upto_ = upto;
+    return;
+  }
+  // Same walk as WalkWheel, but spilling into the ready FIFO instead of
+  // a visitor — the big-jump and PopReady fallbacks.
+  ForEachOccupiedSecond(occupancy_, primary_.size(), drained_upto_, upto,
+                        [&](int64_t second, size_t bucket) {
+                          DrainBucketToReady(second, bucket);
+                          return wheel_count_ > 0;
+                        });
+  drained_upto_ = upto;
+}
+
+bool ReorderBuffer::DrainWheelNextSecond(int64_t limit) {
+  bool found = false;
+  ForEachOccupiedSecond(occupancy_, primary_.size(), drained_upto_, limit,
+                        [&](int64_t second, size_t bucket) {
+                          DrainBucketToReady(second, bucket);
+                          drained_upto_ = second;
+                          found = true;
+                          return false;  // one second only
+                        });
+  if (!found) drained_upto_ = limit;
+  return found;
+}
+
+bool ReorderBuffer::HasOccupiedSecondUpTo(int64_t limit) const {
+  bool found = false;
+  ForEachOccupiedSecond(occupancy_, primary_.size(), drained_upto_, limit,
+                        [&](int64_t, size_t) {
+                          found = true;
+                          return false;
+                        });
+  return found;
+}
+
+void ReorderBuffer::FifoInsertSorted(const TripEvent& event) {
+  const int64_t start = event.start_time.seconds_since_epoch();
+  size_t pos = ready_.size();
+  while (pos > ready_head_) {
+    const TripEvent& prev = ready_[pos - 1];
+    const int64_t prev_start = prev.start_time.seconds_since_epoch();
+    if (prev_start < start ||
+        (prev_start == start && prev.rental_id <= event.rental_id)) {
+      break;
+    }
+    --pos;
+  }
+  ready_.insert(ready_.begin() + static_cast<ptrdiff_t>(pos), event);
 }
 
 void ReorderBuffer::AdvanceWatermark(CivilTime watermark) {
@@ -97,9 +317,18 @@ void ReorderBuffer::AdvanceWatermark(CivilTime watermark) {
   if (seconds <= watermark_seconds_) return;
   watermark_seconds_ = seconds;
   if (!seen_expiry_.empty()) EvictExpiredIds(HorizonCutoff());
+  if (options_.backend == ReorderBackend::kWheel && wheel_count_ > 0 &&
+      watermark_seconds_ - drained_upto_ >=
+          static_cast<int64_t>(primary_.size())) {
+    DrainWheelUpTo(HorizonCutoff());  // see Push: keeps buckets one-second
+  }
 }
 
-void ReorderBuffer::Flush() { flushed_ = true; }
+void ReorderBuffer::Flush() {
+  // Raises WheelReleaseLimit() to the watermark; the next release walk
+  // or pop hands the remaining events out in order.
+  flushed_ = true;
+}
 
 void ReorderBuffer::EvictExpiredIds(int64_t cutoff) {
   // Ids whose event start has fallen strictly below the horizon can never

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -27,6 +29,23 @@ enum class LateEventPolicy {
   kError,
 };
 
+/// \brief Which data structure holds the buffered (not-yet-releasable)
+/// events. Both backends release the exact same sequence — (start time,
+/// rental id) ascending — so the choice is purely a performance trade.
+enum class ReorderBackend {
+  /// Min-heap keyed by (start, rental id): O(log buffered) per event,
+  /// memory O(buffered events). The right choice for very long horizons
+  /// (days+) on sparse feeds, where a second-granularity wheel would
+  /// waste memory on empty buckets.
+  kHeap,
+  /// Hashed timing wheel (Varghese & Lauck): one flat bucket per second
+  /// of the horizon, amortized O(1) insert and release, memory
+  /// O(max_lateness_seconds) buckets plus the buffered events. The
+  /// default — on horizons up to a few hours it releases at nearly the
+  /// ordered-ingest cost (see docs/STREAMING.md).
+  kWheel,
+};
+
 /// \brief Options for a ReorderBuffer.
 struct ReorderBufferOptions {
   /// The reorder horizon: an arriving event may start at most this many
@@ -44,28 +63,33 @@ struct ReorderBufferOptions {
   /// handled by the late policy instead, which is the only reason the
   /// id set stays bounded.
   bool suppress_duplicates = false;
+  /// Buffer data structure; see ReorderBackend.
+  ReorderBackend backend = ReorderBackend::kWheel;
 };
 
-/// \brief A bounded min-heap that re-sorts a nearly-ordered TripEvent
+/// \brief A bounded buffer that re-sorts a nearly-ordered TripEvent
 /// stream back into non-decreasing start-time order.
 ///
 /// The paper's temporal graphs key trips by *start* time, but a live feed
 /// reports a trip when it *ends* — so arrivals are start-time-ordered only
 /// up to the longest trip duration. The buffer absorbs that: events are
-/// held in a min-heap keyed by (start time, rental id) and released once
-/// the watermark (the newest start time seen, or an explicit
-/// `AdvanceWatermark`) has moved at least `max_lateness_seconds` past
-/// them — at that point no admissible future arrival can precede them, so
-/// the released order equals the fully sorted order. Ties release in
-/// rental-id order, keeping a jittered replay deterministic.
+/// held (in a min-heap or a second-granularity timing wheel, see
+/// ReorderBackend) and released once the watermark (the newest start time
+/// seen, or an explicit `AdvanceWatermark`) has moved at least
+/// `max_lateness_seconds` past them — at that point no admissible future
+/// arrival can precede them, so the released order equals the fully
+/// sorted order. Ties release in rental-id order, keeping a jittered
+/// replay deterministic.
 ///
 /// An event older than the horizon at arrival is late: depending on
 /// `LateEventPolicy` it is dropped-and-counted or refused. `Flush()`
 /// marks end-of-stream and makes every held event releasable.
 ///
 /// The buffer holds at most the events of one horizon (plus, with
-/// duplicate suppression, one id per event in the horizon), so memory is
-/// bounded by the feed rate times `max_lateness_seconds`.
+/// duplicate suppression, one id per event in the horizon), so event
+/// memory is bounded by the feed rate times `max_lateness_seconds`; the
+/// wheel backend additionally keeps one (mostly empty) bucket per horizon
+/// second.
 class ReorderBuffer {
  public:
   explicit ReorderBuffer(const ReorderBufferOptions& options = {});
@@ -94,6 +118,20 @@ class ReorderBuffer {
       ++released_count_;
       return direct_;
     }
+    if (options_.backend == ReorderBackend::kWheel) {
+      if (ready_head_ == ready_.size()) {
+        ready_.clear();  // keeps capacity: steady state never reallocates
+        ready_head_ = 0;
+        // Pull the next releasable second's bucket (if any) into the
+        // FIFO; ForEachReady is the copy-free batch path.
+        if (wheel_count_ == 0 ||
+            !DrainWheelNextSecond(WheelReleaseLimit())) {
+          return std::nullopt;
+        }
+      }
+      ++released_count_;
+      return ready_[ready_head_++];
+    }
     if (heap_.empty() ||
         (!flushed_ && heap_.top().start_seconds > HorizonCutoff())) {
       return std::nullopt;
@@ -105,16 +143,72 @@ class ReorderBuffer {
     return slots_[slot];
   }
 
+  /// Releases every currently-releasable event in release order without
+  /// per-event copies: `visit(const TripEvent&)` is called with a
+  /// reference into the buffer's storage and must return a Status (and
+  /// must not re-enter the buffer). Iteration stops at the first non-OK
+  /// status (that event is already consumed) and returns it; the
+  /// remaining events stay buffered. The batch equivalent of a PopReady
+  /// loop — the engine's ingest drain uses it so a released event is
+  /// moved exactly once (into the window), never through an optional.
+  /// For the wheel backend this IS the release walk: Push only parks
+  /// events in their second's bucket, and this walk visits the
+  /// releasable seconds straight out of the buckets.
+  template <typename Visitor>
+  Status ForEachReady(Visitor&& visit) {
+    if (has_direct_) {
+      has_direct_ = false;
+      ++released_count_;
+      Status status = visit(static_cast<const TripEvent&>(direct_));
+      if (!status.ok()) return status;
+    }
+    if (options_.backend == ReorderBackend::kWheel) {
+      // Leftover stragglers first (they predate every bucketed second),
+      // then the bucket walk.
+      while (ready_head_ < ready_.size()) {
+        ++released_count_;
+        Status status =
+            visit(static_cast<const TripEvent&>(ready_[ready_head_++]));
+        if (!status.ok()) return status;
+      }
+      ready_.clear();
+      ready_head_ = 0;
+      if (wheel_count_ > 0) {
+        const int64_t limit = WheelReleaseLimit();
+        if (limit > drained_upto_) {
+          return WalkWheel(limit, std::forward<Visitor>(visit));
+        }
+      }
+      return Status::OK();
+    }
+    while (!heap_.empty() &&
+           (flushed_ || heap_.top().start_seconds <= HorizonCutoff())) {
+      const uint32_t slot = heap_.top().slot;
+      heap_.pop();
+      free_slots_.push_back(slot);
+      ++released_count_;
+      Status status = visit(static_cast<const TripEvent&>(slots_[slot]));
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+
   /// True when PopReady would return an event.
   bool HasReady() const {
     if (has_direct_) return true;
+    if (options_.backend == ReorderBackend::kWheel) {
+      if (ready_head_ < ready_.size()) return true;
+      return wheel_count_ > 0 &&
+             HasOccupiedSecondUpTo(WheelReleaseLimit());
+    }
     if (heap_.empty()) return false;
     return flushed_ || heap_.top().start_seconds <= HorizonCutoff();
   }
 
   /// Events currently held (admitted but not yet handed out).
   size_t buffered_count() const {
-    return heap_.size() + (has_direct_ ? 1 : 0);
+    return heap_.size() + wheel_count_ + (ready_.size() - ready_head_) +
+           (has_direct_ ? 1 : 0);
   }
 
   /// Newest start time seen (or explicit advance); CivilTime(INT64_MIN)
@@ -134,6 +228,9 @@ class ReorderBuffer {
   uint64_t released_count() const { return released_count_; }
 
  private:
+  /// End-of-chain marker for the overflow node links.
+  static constexpr uint32_t kNilNode = 0xFFFFFFFFu;
+
   /// Heap key: (start_seconds, rental_id) ascending — the release order.
   /// The TripEvent itself lives in the slot pool, so sift operations move
   /// 24-byte keys instead of whole events.
@@ -162,8 +259,135 @@ class ReorderBuffer {
     return watermark_seconds_ - options_.max_lateness_seconds;
   }
   void EvictExpiredIds(int64_t cutoff);
+  /// Parks `event` in the heap's slot pool, so heap sifts move 24-byte
+  /// keys instead of whole events.
+  uint32_t AllocSlot(const TripEvent& event);
   /// Parks `event` in the slot pool and pushes its key onto the heap.
   void PushToHeap(const TripEvent& event);
+
+  // --- wheel backend ---
+  size_t WheelBucket(int64_t second) const {
+    // Power-of-two mask; two's-complement & handles negative seconds.
+    return static_cast<size_t>(static_cast<uint64_t>(second) &
+                               (primary_.size() - 1));
+  }
+  /// The newest second the wheel may release: everything after Flush,
+  /// otherwise the horizon cutoff.
+  int64_t WheelReleaseLimit() const {
+    return flushed_ ? watermark_seconds_ : HorizonCutoff();
+  }
+  /// Allocates the bucket array.
+  void EnsureWheel();
+  /// Parks an event in its second's bucket.
+  void PushToWheel(const TripEvent& event);
+  /// Parks a releasable-on-arrival event: in its bucket when that second
+  /// has not been walked yet, otherwise into the ready FIFO at its
+  /// sorted position.
+  void ParkWheelReleasable(const TripEvent& event);
+  /// Collects an *overflowing* bucket's events into scratch_ in release
+  /// order (one bucket == one second, so rental id is the whole
+  /// tie-break; stable, so same-id redeliveries keep arrival order) and
+  /// clears the bucket.
+  void GatherOverflowBucket(int64_t second, size_t bucket);
+  /// Moves one bucket's events into the ready FIFO in release order and
+  /// clears it.
+  void DrainBucketToReady(int64_t second, size_t bucket);
+  /// Moves every bucket with second <= `upto` (inclusive) into the ready
+  /// FIFO in second order — the rare big-jump fallback that keeps held
+  /// seconds within one wheel revolution; releases normally happen
+  /// straight off the buckets in WalkWheel.
+  void DrainWheelUpTo(int64_t upto);
+  /// Moves the single oldest occupied second in (drained_upto_, limit]
+  /// into the ready FIFO; false when there is none (the PopReady path).
+  bool DrainWheelNextSecond(int64_t limit);
+  /// True when some bucket holds a second in (drained_upto_, limit].
+  bool HasOccupiedSecondUpTo(int64_t limit) const;
+  /// Inserts an immediately-releasable event into the ready FIFO at its
+  /// sorted position (only same-second ties at the tail ever shift).
+  void FifoInsertSorted(const TripEvent& event);
+
+  /// The one occupied-second iteration all wheel walks share: calls
+  /// `fn(second, bucket)` for each occupied second in
+  /// (from_exclusive, limit] in ascending order, advancing one occupancy
+  /// word (64 seconds) per probe and iterating only the set bits inside
+  /// it. `fn` returns false to stop early. The wheel is whole words, so
+  /// one word's bits map onto 64 consecutive seconds with no mid-word
+  /// wrap. Static over a caller-chosen bitmap so const and mutating
+  /// walks share the exact same bit-window arithmetic.
+  template <typename Fn>
+  static void ForEachOccupiedSecond(const std::vector<uint64_t>& occupancy,
+                                    size_t bucket_count,
+                                    int64_t from_exclusive, int64_t limit,
+                                    Fn&& fn) {
+    int64_t second = from_exclusive + 1;
+    while (second <= limit) {
+      const auto bucket = static_cast<size_t>(
+          static_cast<uint64_t>(second) & (bucket_count - 1));
+      const auto bit = static_cast<unsigned>(bucket & 63);
+      const int64_t word_last = second + (63 - static_cast<int64_t>(bit));
+      const int64_t span_last = word_last < limit ? word_last : limit;
+      uint64_t bits = occupancy[bucket >> 6] >> bit;
+      const auto nbits = static_cast<unsigned>(span_last - second + 1);
+      if (nbits < 64) bits &= (uint64_t{1} << nbits) - 1;
+      while (bits != 0) {
+        const auto offset = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (!fn(second + static_cast<int64_t>(offset), bucket + offset)) {
+          return;
+        }
+      }
+      second = span_last + 1;
+    }
+  }
+
+  /// The hot release path: visits every bucketed event with second in
+  /// (drained_upto_, limit] in (second, rental id) order, consuming
+  /// them in place — no FIFO round trip. On visitor error the
+  /// unconsumed remainder stays parked and the walk stops.
+  template <typename Visitor>
+  Status WalkWheel(int64_t limit, Visitor&& visit) {
+    Status status = Status::OK();
+    ForEachOccupiedSecond(
+        occupancy_, primary_.size(), drained_upto_, limit,
+        [&](int64_t second, size_t bucket) {
+          const uint64_t occ_bit = uint64_t{1} << (bucket & 63);
+          if (overflow_count_ == 0 ||
+              (overflow_occupancy_[bucket >> 6] & occ_bit) == 0) {
+            // The overwhelmingly common one-event second: visit straight
+            // out of the flat primary slot.
+            occupancy_[bucket >> 6] &= ~occ_bit;
+            --wheel_count_;
+            ++released_count_;
+            status = visit(static_cast<const TripEvent&>(primary_[bucket]));
+            if (!status.ok()) {
+              drained_upto_ = second;
+              return false;
+            }
+            return wheel_count_ > 0;
+          }
+          GatherOverflowBucket(second, bucket);
+          for (size_t i = 0; i < scratch_.size(); ++i) {
+            ++released_count_;
+            --wheel_count_;
+            status = visit(static_cast<const TripEvent&>(scratch_[i]));
+            if (!status.ok()) {
+              // The unconsumed tail is already in release order; it
+              // goes to the FIFO (empty by now — ForEachReady drained
+              // it before walking), which the next release reads first.
+              for (size_t j = i + 1; j < scratch_.size(); ++j) {
+                ready_.push_back(scratch_[j]);
+              }
+              wheel_count_ -= scratch_.size() - i - 1;
+              drained_upto_ = second;
+              return false;
+            }
+          }
+          return wheel_count_ > 0;
+        });
+    if (!status.ok()) return status;
+    drained_upto_ = limit;
+    return Status::OK();
+  }
 
   ReorderBufferOptions options_;
   int64_t watermark_seconds_ = INT64_MIN;
@@ -175,10 +399,50 @@ class ReorderBuffer {
   std::vector<TripEvent> slots_;
   std::vector<uint32_t> free_slots_;
 
+  /// Wheel state, sized for the common one-event-per-second case: one
+  /// flat inline event slot per horizon second (`primary_`), occupancy
+  /// bitmaps so release walks skip 64 empty buckets per word, and a
+  /// small shared `overflow_` list for the rare seconds carrying more
+  /// than one event (`overflow_occupancy_` marks them). The flat layout
+  /// keeps the buffer's cache footprint to the slots actually touched —
+  /// per-bucket vectors measurably slowed the *window's* delta
+  /// bookkeeping through cache pressure. All vectors keep their
+  /// capacity across drains, so the steady state allocates nothing.
+  std::vector<TripEvent> primary_;
+  std::vector<uint64_t> occupancy_;
+  std::vector<uint64_t> overflow_occupancy_;
+  /// Overflow storage: a node pool (`overflow_` events, `overflow_next_`
+  /// links, `overflow_free_` recycling) of per-bucket chains headed by
+  /// `overflow_head_` (allocated on the first overflow ever), newest
+  /// first. A gather touches only its own second's chain, so release
+  /// stays O(that second's events) no matter how many other seconds
+  /// overflow.
+  std::vector<TripEvent> overflow_;
+  std::vector<uint32_t> overflow_next_;
+  std::vector<uint32_t> overflow_head_;
+  std::vector<uint32_t> overflow_free_;
+  size_t overflow_count_ = 0;
+  /// Reused gather buffer for overflowing seconds.
+  std::vector<TripEvent> scratch_;
+  size_t wheel_count_ = 0;
+  /// The release walk's cursor: every second <= this has been released
+  /// (or spilled to the ready FIFO), so buckets only hold seconds in
+  /// (drained_upto_, watermark] — less than one wheel revolution, which
+  /// is what makes one bucket one second. Never beyond the release
+  /// limit, so a releasable-on-arrival straggler at an already-walked
+  /// second takes the FIFO path instead of stranding in a bucket.
+  int64_t drained_upto_ = INT64_MIN;
+  /// Already-released events awaiting PopReady, in release order; all
+  /// at seconds <= drained_upto_. Normally empty — ForEachReady visits
+  /// buckets directly — it carries PopReady pulls, emergency spills,
+  /// and boundary stragglers.
+  std::vector<TripEvent> ready_;
+  size_t ready_head_ = 0;
+
   /// One-event bypass: an event that is releasable the moment it arrives
   /// (every in-order event in strict max_lateness = 0 mode) skips the
-  /// heap entirely and is handed straight to the next PopReady, keeping
-  /// the strict configuration pass-through-cheap.
+  /// heap/wheel entirely and is handed straight to the next PopReady,
+  /// keeping the strict configuration pass-through-cheap.
   TripEvent direct_;
   bool has_direct_ = false;
 

@@ -14,6 +14,38 @@ double RepeatedSum(double w, int64_t count) {
   return total;
 }
 
+/// The one per-pair edge weight formula both freeze paths share — the
+/// delta path's bit-identity to the full path holds by construction,
+/// not by keeping two copies in sync. Trip count for kNull; otherwise
+/// the batch builder's repeated per-trip sum.
+double PairWeight(const analysis::StationProfiles& profiles, int32_t u,
+                  int32_t v, const analysis::TemporalGraphOptions& projection,
+                  int64_t trips) {
+  if (projection.granularity == analysis::TemporalGranularity::kNull) {
+    return static_cast<double>(trips);
+  }
+  return RepeatedSum(
+      analysis::PerTripWeight(profiles, static_cast<size_t>(u),
+                              static_cast<size_t>(v), projection),
+      trips);
+}
+
+/// Input validation shared by both freeze paths.
+Status ValidateFreezeInputs(const analysis::TemporalGraphOptions& projection,
+                            const geo::GridIndex* station_index) {
+  if (projection.similarity_floor < 0.0 || projection.similarity_floor > 1.0) {
+    return Status::InvalidArgument("similarity_floor must be in [0, 1]");
+  }
+  // The snapshot contract is "immutable, share freely across threads";
+  // an unfrozen index would lazily mutate under const queries, so the
+  // frozen invariant is enforced here rather than left to convention.
+  if (station_index != nullptr && !station_index->frozen()) {
+    return Status::InvalidArgument(
+        "station_index must be frozen (see GridIndex::Freeze)");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::shared_ptr<const geo::GridIndex> BuildFrozenStationIndex(
@@ -31,16 +63,8 @@ Result<WindowSnapshot> FreezeSnapshot(
     const SlidingWindowGraph& window,
     const analysis::TemporalGraphOptions& projection,
     std::shared_ptr<const geo::GridIndex> station_index) {
-  if (projection.similarity_floor < 0.0 || projection.similarity_floor > 1.0) {
-    return Status::InvalidArgument("similarity_floor must be in [0, 1]");
-  }
-  // The snapshot contract is "immutable, share freely across threads";
-  // an unfrozen index would lazily mutate under const queries, so the
-  // frozen invariant is enforced here rather than left to convention.
-  if (station_index != nullptr && !station_index->frozen()) {
-    return Status::InvalidArgument(
-        "station_index must be frozen (see GridIndex::Freeze)");
-  }
+  BIKEGRAPH_RETURN_NOT_OK(
+      ValidateFreezeInputs(projection, station_index.get()));
 
   WindowSnapshot snap;
   snap.window_start = window.window_start();
@@ -52,22 +76,120 @@ Result<WindowSnapshot> FreezeSnapshot(
   graphdb::WeightedGraphBuilder builder(window.station_count());
   builder.Reserve(window.pair_count());
   Status status = Status::OK();
-  const bool temporal =
-      projection.granularity != analysis::TemporalGranularity::kNull;
   window.ForEachPair([&](int32_t u, int32_t v, int64_t trips) {
     if (!status.ok()) return;
-    double w = static_cast<double>(trips);
-    if (temporal) {
-      w = RepeatedSum(
-          analysis::PerTripWeight(snap.profiles, static_cast<size_t>(u),
-                                  static_cast<size_t>(v), projection),
-          trips);
-    }
-    status = builder.AddEdge(u, v, w);
+    status = builder.AddEdge(
+        u, v, PairWeight(snap.profiles, u, v, projection, trips));
   });
   BIKEGRAPH_RETURN_NOT_OK(status);
   snap.graph = builder.Build();
   snap.station_index = std::move(station_index);
+  return snap;
+}
+
+Result<WindowSnapshot> FreezeSnapshotDelta(
+    const SlidingWindowGraph& window, const WindowSnapshot& previous,
+    const WindowDirtySet& changes,
+    const analysis::TemporalGraphOptions& projection,
+    std::shared_ptr<const geo::GridIndex> station_index,
+    const SnapshotDeltaPolicy& policy, bool* used_delta) {
+  if (used_delta != nullptr) *used_delta = false;
+  const size_t n = window.station_count();
+  const bool temporal =
+      projection.granularity != analysis::TemporalGranularity::kNull;
+  bool delta_applicable = policy.enabled && changes.complete &&
+                          previous.graph.node_count() == n &&
+                          previous.profiles.day.size() == n &&
+                          previous.profiles.hour.size() == n &&
+                          previous.projection.granularity ==
+                              projection.granularity &&
+                          previous.projection.similarity_floor ==
+                              projection.similarity_floor &&
+                          previous.projection.contrast == projection.contrast;
+  if (delta_applicable) {
+    // Patched-edge estimate: every dirty pair, plus (temporal only —
+    // profile changes reweight whole rows) the previous edges incident
+    // to each profile-dirty station.
+    size_t affected = changes.pairs.size();
+    if (temporal) {
+      for (int32_t s : changes.stations) {
+        affected += previous.graph.degree(s) + 1;  // +1: the self-loop
+      }
+    }
+    const size_t base_edges =
+        previous.graph.edge_count() + previous.graph.self_loop_count() + 1;
+    if (static_cast<double>(affected) >
+        policy.max_dirty_fraction * static_cast<double>(base_edges)) {
+      delta_applicable = false;
+    }
+  }
+  if (!delta_applicable) {
+    return FreezeSnapshot(window, projection, std::move(station_index));
+  }
+  BIKEGRAPH_RETURN_NOT_OK(
+      ValidateFreezeInputs(projection, station_index.get()));
+
+  WindowSnapshot snap;
+  snap.window_start = window.window_start();
+  snap.window_end = window.watermark();
+  snap.trip_count = window.trip_count();
+  snap.projection = projection;
+
+  // Profiles: copy-on-write — block-copy the previous epoch's arrays,
+  // re-derive only the profile-dirty stations from the live counters.
+  snap.profiles = previous.profiles;
+  for (int32_t s : changes.stations) {
+    const auto& day = window.DayCounts(s);
+    const auto& hour = window.HourCounts(s);
+    for (size_t d = 0; d < 7; ++d) {
+      snap.profiles.day[s][d] = static_cast<double>(day[d]);
+    }
+    for (size_t h = 0; h < 24; ++h) {
+      snap.profiles.hour[s][h] = static_cast<double>(hour[h]);
+    }
+  }
+
+  // Edge updates: absolute new weights for every dirty pair (absence =
+  // removal), recomputed with the shared PairWeight formula so a patched
+  // edge is bit-identical to its rebuilt counterpart.
+  const auto weight_of = [&](int32_t u, int32_t v, int64_t trips) {
+    return PairWeight(snap.profiles, u, v, projection, trips);
+  };
+  std::vector<graphdb::WeightedGraphPatcher::EdgeUpdate> updates;
+  updates.reserve(changes.pairs.size());
+  for (uint64_t key : changes.pairs) {
+    const auto u = static_cast<int32_t>(key >> 32);
+    const auto v = static_cast<int32_t>(key & 0xFFFFFFFFu);
+    const int64_t trips = window.TripsBetween(u, v);
+    updates.push_back({u, v, trips == 0 ? 0.0 : weight_of(u, v, trips),
+                       trips == 0});
+  }
+  if (temporal) {
+    // A dirty profile reweights every surviving edge at that station,
+    // not just the pairs whose trip count moved. Pairs covered twice
+    // (both endpoints dirty, or also trip-dirty) are deduplicated by
+    // the patcher; the recomputed weights agree bit for bit.
+    for (int32_t s : changes.stations) {
+      for (const auto& nb : previous.graph.neighbors(s)) {
+        const int64_t trips = window.TripsBetween(s, nb.node);
+        updates.push_back(
+            {s, nb.node, trips == 0 ? 0.0 : weight_of(s, nb.node, trips),
+             trips == 0});
+      }
+      const int64_t self_trips = window.TripsBetween(s, s);
+      if (self_trips > 0 || previous.graph.self_weight(s) != 0.0) {
+        updates.push_back({s, s,
+                           self_trips == 0 ? 0.0 : weight_of(s, s, self_trips),
+                           self_trips == 0});
+      }
+    }
+  }
+  BIKEGRAPH_ASSIGN_OR_RETURN(
+      snap.graph,
+      graphdb::WeightedGraphPatcher::Apply(previous.graph,
+                                           std::move(updates)));
+  snap.station_index = std::move(station_index);
+  if (used_delta != nullptr) *used_delta = true;
   return snap;
 }
 

@@ -66,6 +66,38 @@ Result<WindowSnapshot> FreezeSnapshot(
     const analysis::TemporalGraphOptions& projection = {},
     std::shared_ptr<const geo::GridIndex> station_index = nullptr);
 
+/// \brief When FreezeSnapshotDelta patches instead of rebuilding.
+struct SnapshotDeltaPolicy {
+  /// False forces every freeze down the full-rebuild path.
+  bool enabled = true;
+  /// Full rebuild when the patched-edge estimate (dirty pairs, plus —
+  /// under a temporal projection — every previous edge incident to a
+  /// profile-dirty station) exceeds this fraction of the previous
+  /// graph's edges: past that point the patch writes most of the CSR
+  /// anyway and the O(E log E) rebuild's simplicity wins.
+  double max_dirty_fraction = 0.25;
+};
+
+/// \brief Freezes the live window by copy-on-write patching of the
+/// previous epoch's snapshot: only the station pairs and profiles in
+/// `changes` (drained from the window via
+/// `SlidingWindowGraph::DrainDirty`, covering exactly the epochs since
+/// `previous` was frozen) are recomputed; everything else is
+/// block-copied. The result is bit-identical to a full FreezeSnapshot of
+/// the same window — locked by stream_snapshot_delta_test.cc across
+/// randomized epoch sequences.
+///
+/// Falls back to a full freeze (reported via `used_delta`) when the
+/// change record is incomplete (first drain, overflow), the previous
+/// snapshot is incompatible (different station universe or projection),
+/// or the dirty fraction exceeds `policy.max_dirty_fraction`.
+Result<WindowSnapshot> FreezeSnapshotDelta(
+    const SlidingWindowGraph& window, const WindowSnapshot& previous,
+    const WindowDirtySet& changes,
+    const analysis::TemporalGraphOptions& projection = {},
+    std::shared_ptr<const geo::GridIndex> station_index = nullptr,
+    const SnapshotDeltaPolicy& policy = {}, bool* used_delta = nullptr);
+
 /// \brief Hands immutable snapshots from the ingestion side to readers.
 ///
 /// `Publish` stamps the next epoch and atomically replaces the current

@@ -13,6 +13,7 @@ SlidingWindowGraph::SlidingWindowGraph(const WindowGraphOptions& options)
   day_.assign(options_.station_count, {});
   hour_.assign(options_.station_count, {});
   endpoint_count_.assign(options_.station_count, 0);
+  station_dirty_epoch_.assign(options_.station_count, 0);
 }
 
 CivilTime SlidingWindowGraph::window_start() const {
@@ -93,7 +94,50 @@ void SlidingWindowGraph::Advance(CivilTime watermark) {
 
 int64_t SlidingWindowGraph::TripsBetween(int32_t u, int32_t v) const {
   auto it = pair_trips_.find(PairKey(u, v));
-  return it == pair_trips_.end() ? 0 : it->second;
+  return it == pair_trips_.end() ? 0 : it->second.trips;
+}
+
+void SlidingWindowGraph::MarkPairDirty(uint64_t key, PairState& state) {
+  if (state.dirty_epoch == dirty_epoch_) return;
+  state.dirty_epoch = dirty_epoch_;
+  if (dirty_pairs_overflowed_) return;
+  // A pair that dies and is re-created within one epoch re-enters the
+  // list (its fresh map entry carries a stale stamp), so the list is
+  // deduplicated at drain time; the cap bounds it against pathological
+  // churn loops in between.
+  if (dirty_pairs_.size() >=
+      std::max<size_t>(4096, 2 * pair_trips_.size())) {
+    dirty_pairs_overflowed_ = true;
+    return;
+  }
+  dirty_pairs_.push_back(key);
+}
+
+WindowDirtySet SlidingWindowGraph::DrainDirty() {
+  WindowDirtySet out;
+  out.complete = dirty_tracking_armed_ && !dirty_pairs_overflowed_;
+  if (out.complete) {
+    out.pairs = std::move(dirty_pairs_);
+    std::sort(out.pairs.begin(), out.pairs.end());
+    out.pairs.erase(std::unique(out.pairs.begin(), out.pairs.end()),
+                    out.pairs.end());
+    out.stations = std::move(dirty_stations_);
+    std::sort(out.stations.begin(), out.stations.end());
+  }
+  dirty_pairs_.clear();
+  dirty_stations_.clear();
+  dirty_pairs_overflowed_ = false;
+  dirty_tracking_armed_ = true;
+  ++dirty_epoch_;
+  if (dirty_epoch_ == 0) {
+    // 32-bit epoch wrapped: wipe every stamp so nothing from 2^32
+    // drains ago aliases the new epoch. Once per ~136 years of
+    // per-second freezes.
+    for (auto& [key, state] : pair_trips_) state.dirty_epoch = 0;
+    std::fill(station_dirty_epoch_.begin(), station_dirty_epoch_.end(), 0);
+    dirty_epoch_ = 1;
+  }
+  return out;
 }
 
 analysis::StationProfiles SlidingWindowGraph::Profiles() const {
@@ -115,9 +159,10 @@ analysis::StationProfiles SlidingWindowGraph::Profiles() const {
 void SlidingWindowGraph::ApplyDelta(const RingEntry& e, int64_t delta) {
   const uint64_t key = PairKey(e.from, e.to);
   if (delta > 0) {
-    auto [it, inserted] = pair_trips_.try_emplace(key, 0);
-    it->second += delta;
+    auto [it, inserted] = pair_trips_.try_emplace(key);
+    it->second.trips += delta;
     if (inserted) sorted_pairs_dirty_ = true;
+    if (dirty_tracking_armed_) MarkPairDirty(key, it->second);
   } else {
     auto it = pair_trips_.find(key);
     if (it == pair_trips_.end()) {
@@ -134,8 +179,9 @@ void SlidingWindowGraph::ApplyDelta(const RingEntry& e, int64_t delta) {
           << "(expiry ring desynced from the pair map)";
       return;
     }
-    it->second += delta;
-    if (it->second == 0) {
+    it->second.trips += delta;
+    if (dirty_tracking_armed_) MarkPairDirty(key, it->second);
+    if (it->second.trips == 0) {
       pair_trips_.erase(it);
       sorted_pairs_dirty_ = true;
     }
@@ -144,6 +190,11 @@ void SlidingWindowGraph::ApplyDelta(const RingEntry& e, int64_t delta) {
     day_[station][e.day] += delta;
     hour_[station][e.hour] += delta;
     endpoint_count_[station] += delta;
+    if (dirty_tracking_armed_ &&
+        station_dirty_epoch_[station] != dirty_epoch_) {
+      station_dirty_epoch_[station] = dirty_epoch_;
+      dirty_stations_.push_back(station);
+    }
   }
 }
 

@@ -23,6 +23,26 @@ struct WindowGraphOptions {
   int64_t window_seconds = 7 * 86400;
 };
 
+/// \brief Everything that changed in a SlidingWindowGraph since the last
+/// `DrainDirty()` call: the station pairs whose live trip count moved and
+/// the stations whose day/hour profile counters moved. The delta snapshot
+/// freeze patches exactly these entries of the previous epoch's CSR and
+/// profiles (see snapshot.h).
+struct WindowDirtySet {
+  /// True when the set is an exhaustive record of the changes since the
+  /// last drain. False on the first drain (tracking arms lazily, so
+  /// pure-ingest workloads that never freeze pay nothing) and after a
+  /// pathological epoch overflowed the pair list — both force the caller
+  /// back to a full freeze.
+  bool complete = false;
+  /// Touched pair keys, `SlidingWindowGraph::PairKey` packed
+  /// (u << 32 | v with u <= v; self pairs included), sorted ascending,
+  /// deduplicated.
+  std::vector<uint64_t> pairs;
+  /// Stations whose profile counters changed, sorted ascending.
+  std::vector<int32_t> stations;
+};
+
 /// \brief Maintains the weighted station graph of a sliding time window
 /// over a TripEvent stream, with O(1) amortized deltas per ingest/expiry.
 ///
@@ -116,13 +136,38 @@ class SlidingWindowGraph {
     for (uint64_t key : sorted_pairs_) {
       visit(static_cast<int32_t>(key >> 32),
             static_cast<int32_t>(key & 0xFFFFFFFFu),
-            pair_trips_.find(key)->second);
+            pair_trips_.find(key)->second.trips);
     }
+  }
+
+  /// The packed pair key used by WindowDirtySet::pairs:
+  /// (min(u,v) << 32) | max(u,v).
+  static uint64_t PairKey(int32_t u, int32_t v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+           static_cast<uint32_t>(v);
   }
 
   /// Number of distinct station pairs (self pairs included) with at least
   /// one live trip.
   size_t pair_count() const { return pair_trips_.size(); }
+
+  /// Drains the record of changes since the previous drain and starts a
+  /// new epoch. The first call arms change tracking (and therefore
+  /// returns `complete = false`): ingest-only consumers that never
+  /// freeze snapshots pay nothing for tracking they do not use. The
+  /// pair list is bounded — an epoch that touches more than
+  /// max(4096, 2 × live pairs) distinct pairs overflows and the drain
+  /// reports `complete = false`, forcing the next freeze down the full
+  /// path (stations are epoch-stamped and never overflow).
+  WindowDirtySet DrainDirty();
+
+  /// Forces the next DrainDirty() to report `complete = false` (one
+  /// drain only; tracking re-arms as usual). For callers whose freeze
+  /// failed *after* draining: those changes are gone from tracking, so
+  /// patching an older snapshot later would silently miss them — the
+  /// next freeze must rebuild instead.
+  void MarkDirtyTrackingIncomplete() { dirty_pairs_overflowed_ = true; }
 
   /// Times an expiry reversal referenced a station pair the pair map has
   /// no record of — always 0 unless the ring and the map desync (a
@@ -141,13 +186,21 @@ class SlidingWindowGraph {
     uint8_t day, hour;
   };
 
-  static uint64_t PairKey(int32_t u, int32_t v) {
-    if (u > v) std::swap(u, v);
-    return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
-           static_cast<uint32_t>(v);
-  }
+  /// Live trip count plus the epoch stamp that keeps the dirty-pair list
+  /// duplicate-free: a pair is appended to the list only when its stamp
+  /// trails the current epoch. Packed to 8 bytes so the pair map's node
+  /// (and malloc chunk) size is the same as a bare count's — the pair
+  /// map is the ingest hot path's biggest cache consumer. 32-bit epochs
+  /// wrap after 2^32 drains; DrainDirty re-zeroes every stamp at the
+  /// wrap so a stamp from 4 billion epochs ago can never alias the
+  /// current one.
+  struct PairState {
+    int32_t trips = 0;
+    uint32_t dirty_epoch = 0;
+  };
 
   void ApplyDelta(const RingEntry& e, int64_t delta);
+  void MarkPairDirty(uint64_t key, PairState& state);
   void ExpireOlderThan(int64_t cutoff_seconds);
   void PushRing(const RingEntry& e);
   void RebuildSortedPairs() const;
@@ -158,10 +211,20 @@ class SlidingWindowGraph {
   /// watermark can run ahead of it via Advance).
   int64_t last_event_seconds_ = INT64_MIN;
 
-  std::unordered_map<uint64_t, int64_t> pair_trips_;
+  std::unordered_map<uint64_t, PairState> pair_trips_;
   std::vector<std::array<int64_t, 7>> day_;
   std::vector<std::array<int64_t, 24>> hour_;
   std::vector<int64_t> endpoint_count_;
+
+  // Change tracking for delta snapshot freezes. Armed by the first
+  // DrainDirty(); until then ApplyDelta skips it entirely, so raw ingest
+  // throughput is unchanged for consumers that never freeze.
+  bool dirty_tracking_armed_ = false;
+  bool dirty_pairs_overflowed_ = false;
+  uint32_t dirty_epoch_ = 1;
+  std::vector<uint64_t> dirty_pairs_;
+  std::vector<int32_t> dirty_stations_;
+  std::vector<uint32_t> station_dirty_epoch_;
 
   // Expiry ring: a circular buffer of the live events in time order
   // (head = oldest). Grows by re-linearising into a larger buffer.

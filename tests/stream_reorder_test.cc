@@ -7,10 +7,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "community/detector.h"
 #include "core/civil_time.h"
+#include "core/rng.h"
 #include "data/synthetic.h"
 #include "expansion/pipeline.h"
 #include "stream/engine.h"
@@ -19,6 +21,8 @@
 #include "stream/testing.h"
 
 #include <gtest/gtest.h>
+
+#include "graph_test_util.h"
 
 namespace bikegraph::stream {
 namespace {
@@ -53,11 +57,31 @@ bool IsStartOrdered(const std::vector<TripEvent>& events) {
 }
 
 // ---------------------------------------------------------------------------
-// ReorderBuffer unit behaviour.
+// ReorderBuffer unit behaviour — identical for both backends, so every
+// test here runs against the heap AND the timing wheel.
 // ---------------------------------------------------------------------------
 
-TEST(ReorderBufferTest, StrictModeIsPassThrough) {
-  ReorderBuffer buffer;  // max_lateness 0, kError: the pre-buffer contract
+class ReorderBufferTest : public ::testing::TestWithParam<ReorderBackend> {
+ protected:
+  ReorderBufferOptions Opts(
+      int64_t max_lateness_seconds = 0,
+      LateEventPolicy late_policy = LateEventPolicy::kError,
+      bool suppress_duplicates = false) const {
+    return ReorderBufferOptions{max_lateness_seconds, late_policy,
+                                suppress_duplicates, GetParam()};
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ReorderBufferTest,
+    ::testing::Values(ReorderBackend::kHeap, ReorderBackend::kWheel),
+    [](const ::testing::TestParamInfo<ReorderBackend>& info) {
+      return info.param == ReorderBackend::kHeap ? "Heap" : "Wheel";
+    });
+
+TEST_P(ReorderBufferTest, StrictModeIsPassThrough) {
+  ReorderBuffer buffer(Opts());  // max_lateness 0, kError: the pre-buffer
+                                 // contract
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 1)).ok());
   auto released = buffer.PopReady();
   ASSERT_TRUE(released.has_value());
@@ -70,10 +94,8 @@ TEST(ReorderBufferTest, StrictModeIsPassThrough) {
   EXPECT_EQ(buffer.reordered_count(), 0u);
 }
 
-TEST(ReorderBufferTest, ReordersWithinHorizon) {
-  ReorderBufferOptions options;
-  options.max_lateness_seconds = 3600;
-  ReorderBuffer buffer(options);
+TEST_P(ReorderBufferTest, ReordersWithinHorizon) {
+  ReorderBuffer buffer(Opts(3600));
   // Arrival order 10:00, 9:30, 10:20, 9:40 — all within an hour of the
   // running watermark.
   for (const TripEvent& e :
@@ -96,10 +118,8 @@ TEST(ReorderBufferTest, ReordersWithinHorizon) {
   EXPECT_EQ(buffer.released_count(), 4u);
 }
 
-TEST(ReorderBufferTest, TiesReleaseInRentalIdOrder) {
-  ReorderBufferOptions options;
-  options.max_lateness_seconds = 600;
-  ReorderBuffer buffer(options);
+TEST_P(ReorderBufferTest, TiesReleaseInRentalIdOrder) {
+  ReorderBuffer buffer(Opts(600));
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 9)).ok());
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 3)).ok());
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 7)).ok());
@@ -109,11 +129,11 @@ TEST(ReorderBufferTest, TiesReleaseInRentalIdOrder) {
   EXPECT_EQ(ids, (std::vector<int64_t>{3, 7, 9}));
 }
 
-TEST(ReorderBufferTest, TiesReleaseInRentalIdOrderThroughTheDirectSlot) {
+TEST_P(ReorderBufferTest, TiesReleaseInRentalIdOrderThroughTheDirectSlot) {
   // Strict mode: both events are releasable on arrival, so the first
   // occupies the direct slot. The smaller rental id arriving second must
   // still come out first.
-  ReorderBuffer buffer;  // max_lateness 0
+  ReorderBuffer buffer(Opts());  // max_lateness 0
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 9)).ok());
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 3)).ok());
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 7)).ok());
@@ -122,7 +142,7 @@ TEST(ReorderBufferTest, TiesReleaseInRentalIdOrderThroughTheDirectSlot) {
   EXPECT_EQ(ids, (std::vector<int64_t>{3, 7, 9}));
 }
 
-TEST(ReorderBufferTest, JitterModelHasBoundedNonDecreasingReportTimes) {
+TEST(JitterModelTest, HasBoundedNonDecreasingReportTimes) {
   const auto ordered = testing::PlantedStream(12, 2, 3, 200, 5);
   const int64_t lag = 1800;
   const JitteredStream jittered = JitterArrivalOrder(ordered, lag, 42);
@@ -139,11 +159,8 @@ TEST(ReorderBufferTest, JitterModelHasBoundedNonDecreasingReportTimes) {
   }
 }
 
-TEST(ReorderBufferTest, LateDropPolicyCountsAndDiscards) {
-  ReorderBufferOptions options;
-  options.max_lateness_seconds = 600;
-  options.late_policy = LateEventPolicy::kDrop;
-  ReorderBuffer buffer(options);
+TEST_P(ReorderBufferTest, LateDropPolicyCountsAndDiscards) {
+  ReorderBuffer buffer(Opts(600, LateEventPolicy::kDrop));
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), 1)).ok());
   // 20 minutes behind a 10-minute horizon: dropped, not an error.
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 9, 40), 2)).ok());
@@ -154,11 +171,8 @@ TEST(ReorderBufferTest, LateDropPolicyCountsAndDiscards) {
   EXPECT_EQ(ids, (std::vector<int64_t>{1}));  // the late event never releases
 }
 
-TEST(ReorderBufferTest, LateErrorPolicyRefuses) {
-  ReorderBufferOptions options;
-  options.max_lateness_seconds = 600;
-  options.late_policy = LateEventPolicy::kError;
-  ReorderBuffer buffer(options);
+TEST_P(ReorderBufferTest, LateErrorPolicyRefuses) {
+  ReorderBuffer buffer(Opts(600, LateEventPolicy::kError));
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), 1)).ok());
   auto late = buffer.Push(Trip(0, 1, At(6, 9, 40), 2));
   EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
@@ -167,12 +181,8 @@ TEST(ReorderBufferTest, LateErrorPolicyRefuses) {
   EXPECT_TRUE(buffer.Push(Trip(0, 1, At(6, 9, 50), 3)).ok());
 }
 
-TEST(ReorderBufferTest, DuplicateRentalIdsAreSuppressed) {
-  ReorderBufferOptions options;
-  options.max_lateness_seconds = 3600;
-  options.late_policy = LateEventPolicy::kDrop;
-  options.suppress_duplicates = true;
-  ReorderBuffer buffer(options);
+TEST_P(ReorderBufferTest, DuplicateRentalIdsAreSuppressed) {
+  ReorderBuffer buffer(Opts(3600, LateEventPolicy::kDrop, true));
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), 42)).ok());
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), 42)).ok());  // redelivery
   EXPECT_EQ(buffer.duplicate_count(), 1u);
@@ -189,21 +199,16 @@ TEST(ReorderBufferTest, DuplicateRentalIdsAreSuppressed) {
   EXPECT_EQ(buffer.late_dropped_count(), 1u);
 }
 
-TEST(ReorderBufferTest, InvalidIdsAreNeverSuppressed) {
-  ReorderBufferOptions options;
-  options.max_lateness_seconds = 3600;
-  options.suppress_duplicates = true;
-  ReorderBuffer buffer(options);
+TEST_P(ReorderBufferTest, InvalidIdsAreNeverSuppressed) {
+  ReorderBuffer buffer(Opts(3600, LateEventPolicy::kError, true));
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), data::kInvalidId)).ok());
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), data::kInvalidId)).ok());
   EXPECT_EQ(buffer.duplicate_count(), 0u);
   EXPECT_EQ(buffer.buffered_count(), 2u);
 }
 
-TEST(ReorderBufferTest, FlushDrainsAndSealsTheStream) {
-  ReorderBufferOptions options;
-  options.max_lateness_seconds = 7200;
-  ReorderBuffer buffer(options);
+TEST_P(ReorderBufferTest, FlushDrainsAndSealsTheStream) {
+  ReorderBuffer buffer(Opts(7200));
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 10), 2)).ok());
   ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 9), 1)).ok());
   EXPECT_FALSE(buffer.HasReady());
@@ -217,12 +222,187 @@ TEST(ReorderBufferTest, FlushDrainsAndSealsTheStream) {
             StatusCode::kFailedPrecondition);
 }
 
-TEST(ReorderBufferTest, NegativeLatenessIsRejected) {
-  ReorderBufferOptions options;
-  options.max_lateness_seconds = -1;
-  ReorderBuffer buffer(options);
+TEST_P(ReorderBufferTest, NegativeLatenessIsRejected) {
+  ReorderBuffer buffer(Opts(-1));
   EXPECT_EQ(buffer.Push(Trip(0, 1, At(6, 10), 1)).code(),
             StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Wheel-specific behaviour: boundary stragglers after their second was
+// walked, and watermark jumps past a whole wheel revolution.
+// ---------------------------------------------------------------------------
+
+TEST(ReorderBufferWheelTest, BoundaryStragglerAfterWalkReleasesInOrder) {
+  ReorderBufferOptions options;
+  options.max_lateness_seconds = 600;
+  options.backend = ReorderBackend::kWheel;
+  ReorderBuffer buffer(options);
+  const CivilTime t0 = At(6, 10);
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, t0, 1)).ok());
+  // Watermark to t0+600: t0 hits the horizon exactly and releases.
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, t0.AddSeconds(600), 2)).ok());
+  EXPECT_EQ(buffer.PopReady()->rental_id, 1);  // walk passes second t0
+  // A straggler at exactly the cutoff (== t0) is still admissible and
+  // immediately releasable — its second was already walked, so it takes
+  // the FIFO path, and must still precede everything younger.
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, t0, 3)).ok());
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, t0.AddSeconds(1), 4)).ok());
+  EXPECT_EQ(buffer.PopReady()->rental_id, 3);
+  EXPECT_FALSE(buffer.PopReady().has_value());  // 4 and 2 still held
+  buffer.Flush();
+  EXPECT_EQ(buffer.PopReady()->rental_id, 4);
+  EXPECT_EQ(buffer.PopReady()->rental_id, 2);
+  EXPECT_FALSE(buffer.PopReady().has_value());
+}
+
+TEST(ReorderBufferWheelTest, WatermarkJumpPastOneRevolutionStaysOrdered) {
+  // Lateness 64 -> a 128-bucket wheel; an Advance of several thousand
+  // seconds crosses many revolutions and must spill-and-release every
+  // held second in order (the emergency drain path).
+  ReorderBufferOptions options;
+  options.max_lateness_seconds = 64;
+  options.backend = ReorderBackend::kWheel;
+  ReorderBuffer buffer(options);
+  const CivilTime t0 = At(6, 10);
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, t0.AddSeconds(30), 2)).ok());
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, t0, 1)).ok());
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, t0.AddSeconds(60), 3)).ok());
+  EXPECT_EQ(buffer.buffered_count(), 3u);
+  buffer.AdvanceWatermark(t0.AddSeconds(10000));
+  std::vector<int64_t> ids;
+  while (auto e = buffer.PopReady()) ids.push_back(e->rental_id);
+  EXPECT_EQ(ids, (std::vector<int64_t>{1, 2, 3}));
+  // New events deep into a later revolution still work (same buckets,
+  // new seconds), including one landing exactly on the new cutoff.
+  const CivilTime t1 = t0.AddSeconds(10000);
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, t1.AddSeconds(-64), 4)).ok());  // edge
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, t1.AddSeconds(-30), 5)).ok());
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, t1.AddSeconds(20), 6)).ok());
+  buffer.Flush();
+  ids.clear();
+  while (auto e = buffer.PopReady()) ids.push_back(e->rental_id);
+  EXPECT_EQ(ids, (std::vector<int64_t>{4, 5, 6}));
+  EXPECT_EQ(buffer.late_dropped_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized wheel-vs-heap equivalence: any admissible interleaving of
+// pushes (in-horizon jitter, exact-boundary stragglers, hopeless
+// latecomers, duplicate redeliveries), watermark advances (small and
+// multi-revolution), incremental pops, and batch releases must produce
+// the identical released (start, rental id) sequence, identical
+// counters, and identical buffered counts from both backends.
+// ---------------------------------------------------------------------------
+
+TEST(ReorderWheelVsHeapTest, RandomizedReleaseOrderEquivalence) {
+  Rng rng(0xC0FFEE);
+  const int64_t base = At(6, 0).seconds_since_epoch();
+  const int64_t lateness_choices[] = {0, 1, 7, 64, 600, 3600};
+  for (int trial = 0; trial < 24; ++trial) {
+    ReorderBufferOptions options;
+    options.max_lateness_seconds =
+        lateness_choices[rng.NextBounded(6)];
+    options.late_policy = LateEventPolicy::kDrop;
+    options.suppress_duplicates = rng.NextBounded(2) == 0;
+    options.backend = ReorderBackend::kHeap;
+    ReorderBuffer heap(options);
+    options.backend = ReorderBackend::kWheel;
+    ReorderBuffer wheel(options);
+    const int64_t lateness = options.max_lateness_seconds;
+
+    std::vector<std::pair<int64_t, int64_t>> released;
+    const auto pop_both = [&]() {
+      auto he = heap.PopReady();
+      auto we = wheel.PopReady();
+      EXPECT_EQ(he.has_value(), we.has_value());
+      if (!he.has_value() || !we.has_value()) return false;
+      EXPECT_EQ(he->start_time, we->start_time);
+      EXPECT_EQ(he->rental_id, we->rental_id);
+      released.emplace_back(he->start_time.seconds_since_epoch(),
+                            he->rental_id);
+      return true;
+    };
+
+    int64_t now = base;
+    for (int step = 0; step < 500; ++step) {
+      const uint64_t action = rng.NextBounded(100);
+      if (action < 70) {
+        now += static_cast<int64_t>(rng.NextBounded(40));
+        int64_t start;
+        const uint64_t kind = rng.NextBounded(12);
+        const int64_t mark = heap.watermark().seconds_since_epoch();
+        if (kind == 0 && mark != INT64_MIN) {
+          start = mark - lateness;  // exactly on the horizon edge
+        } else if (kind == 1) {
+          start = now - lateness - 1 -
+                  static_cast<int64_t>(rng.NextBounded(120));  // hopeless
+        } else {
+          start = now - static_cast<int64_t>(
+                            rng.NextBounded(
+                                static_cast<uint64_t>(lateness) + 2));
+        }
+        // A small id space under duplicate suppression produces real
+        // redeliveries.
+        const int64_t id = options.suppress_duplicates
+                               ? static_cast<int64_t>(rng.NextBounded(64))
+                               : step;
+        const TripEvent e = Trip(0, 1, CivilTime(start), id);
+        const Status hs = heap.Push(e);
+        const Status ws = wheel.Push(e);
+        EXPECT_EQ(hs.code(), ws.code());
+      } else if (action < 80) {
+        const int64_t jump =
+            static_cast<int64_t>(rng.NextBounded(5000));  // may cross
+                                                          // revolutions
+        const CivilTime to(now + jump);
+        heap.AdvanceWatermark(to);
+        wheel.AdvanceWatermark(to);
+        now = std::max(now, now + jump);
+      } else {
+        for (uint64_t k = rng.NextBounded(8); k > 0; --k) {
+          if (!pop_both()) break;
+        }
+      }
+      ASSERT_EQ(heap.buffered_count(), wheel.buffered_count())
+          << "trial " << trial << " step " << step;
+      ASSERT_EQ(heap.watermark(), wheel.watermark());
+    }
+    heap.Flush();
+    wheel.Flush();
+    // Batch release for the tail: ForEachReady on both must agree too.
+    std::vector<std::pair<int64_t, int64_t>> heap_tail, wheel_tail;
+    ASSERT_TRUE(heap.ForEachReady([&](const TripEvent& e) {
+                      heap_tail.emplace_back(
+                          e.start_time.seconds_since_epoch(), e.rental_id);
+                      return Status::OK();
+                    }).ok());
+    ASSERT_TRUE(wheel
+                    .ForEachReady([&](const TripEvent& e) {
+                      wheel_tail.emplace_back(
+                          e.start_time.seconds_since_epoch(), e.rental_id);
+                      return Status::OK();
+                    })
+                    .ok());
+    EXPECT_EQ(heap_tail, wheel_tail) << "trial " << trial;
+    released.insert(released.end(), heap_tail.begin(), heap_tail.end());
+    // Start times never regress. (Full (start, id) order is NOT asserted
+    // globally: an exact-boundary straggler may legitimately arrive
+    // after an earlier same-second event was already popped, and nothing
+    // can release before an already-released event — both backends
+    // handle that identically, which the element-wise comparison above
+    // locks.)
+    EXPECT_TRUE(std::is_sorted(
+        released.begin(), released.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; }))
+        << "trial " << trial;
+    EXPECT_EQ(heap.released_count(), wheel.released_count());
+    EXPECT_EQ(heap.reordered_count(), wheel.reordered_count());
+    EXPECT_EQ(heap.late_dropped_count(), wheel.late_dropped_count());
+    EXPECT_EQ(heap.duplicate_count(), wheel.duplicate_count());
+    EXPECT_EQ(heap.buffered_count(), 0u);
+    EXPECT_EQ(wheel.buffered_count(), 0u);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -301,25 +481,7 @@ TEST(StreamEngineReorderTest, LateAndDuplicateStatsSurface) {
             StatusCode::kInvalidArgument);
 }
 
-void ExpectGraphsIdentical(const graphdb::WeightedGraph& a,
-                           const graphdb::WeightedGraph& b) {
-  ASSERT_EQ(a.node_count(), b.node_count());
-  ASSERT_EQ(a.edge_count(), b.edge_count());
-  ASSERT_EQ(a.self_loop_count(), b.self_loop_count());
-  EXPECT_EQ(a.total_weight(), b.total_weight());  // bitwise, not NEAR
-  for (size_t u = 0; u < a.node_count(); ++u) {
-    const auto ui = static_cast<int32_t>(u);
-    EXPECT_EQ(a.self_weight(ui), b.self_weight(ui)) << "node " << u;
-    EXPECT_EQ(a.strength(ui), b.strength(ui)) << "node " << u;
-    auto na = a.neighbors(ui);
-    auto nb = b.neighbors(ui);
-    ASSERT_EQ(na.size(), nb.size()) << "node " << u;
-    for (size_t i = 0; i < na.size(); ++i) {
-      EXPECT_EQ(na[i].node, nb[i].node) << "node " << u << " nb " << i;
-      EXPECT_EQ(na[i].weight, nb[i].weight) << "node " << u << " nb " << i;
-    }
-  }
-}
+using bikegraph::ExpectGraphsIdentical;  // tests/graph_test_util.h
 
 TEST(StreamEngineReorderTest, JitteredPlantedStreamMatchesOrdered) {
   const size_t stations = 24;
@@ -357,6 +519,41 @@ TEST(StreamEngineReorderTest, JitteredPlantedStreamMatchesOrdered) {
   EXPECT_EQ((*jittered_snap)->profiles.day, (*ordered_snap)->profiles.day);
   EXPECT_EQ((*jittered_snap)->profiles.hour, (*ordered_snap)->profiles.hour);
   ExpectGraphsIdentical((*jittered_snap)->graph, (*ordered_snap)->graph);
+}
+
+TEST(StreamEngineReorderTest, WheelAndHeapBackendsProduceIdenticalResults) {
+  const size_t stations = 24;
+  const auto jittered =
+      JitterOrder(PlantedStream(stations, 3, 10, 300, 7), 1800, 42);
+
+  StreamEngineConfig config;
+  config.station_count = stations;
+  config.window_seconds = 3 * 86400;
+  config.max_lateness_seconds = 1800;
+  config.reorder_backend = ReorderBackend::kHeap;
+  StreamEngine heap_engine(config);
+  config.reorder_backend = ReorderBackend::kWheel;
+  StreamEngine wheel_engine(config);
+
+  for (const TripEvent& e : jittered) {
+    ASSERT_TRUE(heap_engine.Ingest(e).ok());
+    ASSERT_TRUE(wheel_engine.Ingest(e).ok());
+    ASSERT_EQ(heap_engine.buffered_count(), wheel_engine.buffered_count());
+    ASSERT_EQ(heap_engine.window().trip_count(),
+              wheel_engine.window().trip_count());
+  }
+  ASSERT_TRUE(heap_engine.Flush().ok());
+  ASSERT_TRUE(wheel_engine.Flush().ok());
+  EXPECT_EQ(heap_engine.reordered_count(), wheel_engine.reordered_count());
+  EXPECT_GT(wheel_engine.reordered_count(), 0u);
+
+  auto heap_snap = heap_engine.Snapshot();
+  auto wheel_snap = wheel_engine.Snapshot();
+  ASSERT_TRUE(heap_snap.ok());
+  ASSERT_TRUE(wheel_snap.ok());
+  EXPECT_EQ((*wheel_snap)->profiles.day, (*heap_snap)->profiles.day);
+  EXPECT_EQ((*wheel_snap)->profiles.hour, (*heap_snap)->profiles.hour);
+  ExpectGraphsIdentical((*wheel_snap)->graph, (*heap_snap)->graph);
 }
 
 // ---------------------------------------------------------------------------

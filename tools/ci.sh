@@ -17,6 +17,14 @@
 #   tools/ci.sh --sanitize-matrix                   # default subset
 #   tools/ci.sh --sanitize-matrix -R stream         # explicit subset
 #
+# Bench smoke (the flag must come first): after the test pass, run every
+# bench_stream_* binary once with a minimal measuring budget — a cheap
+# crash/assert canary for the benchmark code itself (it measures nothing
+# meaningful; use tools/run_benches.sh + tools/bench_diff.py to track
+# performance).
+#
+#   tools/ci.sh --bench-smoke
+#
 # The build directory defaults to build/ (build-asan/ or build-ubsan/ for
 # sanitized runs, so a sanitizer pass never clobbers the main tree).
 set -euo pipefail
@@ -25,13 +33,17 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SANITIZE="${BIKEGRAPH_SANITIZE:-}"
 
 MATRIX=0
-if [ "${1:-}" = "--sanitize-matrix" ]; then
-  MATRIX=1
-  shift
-fi
+BENCH_SMOKE=0
+while :; do
+  case "${1:-}" in
+    --sanitize-matrix) MATRIX=1; shift ;;
+    --bench-smoke)     BENCH_SMOKE=1; shift ;;
+    *) break ;;
+  esac
+done
 for arg in "$@"; do
-  if [ "$arg" = "--sanitize-matrix" ]; then
-    echo "--sanitize-matrix must be the first argument" >&2
+  if [ "$arg" = "--sanitize-matrix" ] || [ "$arg" = "--bench-smoke" ]; then
+    echo "$arg must come before any ctest arguments" >&2
     exit 2
   fi
 done
@@ -54,6 +66,21 @@ if [ "$MATRIX" = 1 ]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+fi
+
+if [ "$BENCH_SMOKE" = 1 ]; then
+  echo ">>> bench smoke: one minimal pass over the stream benches"
+  found=0
+  for bin in "$BUILD_DIR"/bench_stream_*; do
+    [ -x "$bin" ] || continue
+    found=1
+    echo ">>> $(basename "$bin")"
+    "$bin" --benchmark_min_time=0.01 >/dev/null
+  done
+  if [ "$found" = 0 ]; then
+    echo "no bench_stream_* binaries in $BUILD_DIR (benches disabled?)" >&2
+    exit 1
+  fi
 fi
 
 if [ "$MATRIX" = 1 ]; then
