@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "community/detector.h"
@@ -81,6 +83,57 @@ void BM_StreamIngestWheel(benchmark::State& state) {
   StreamIngestOutOfOrder(state, ReorderBackend::kWheel);
 }
 BENCHMARK(BM_StreamIngestWheel)->Arg(64)->Arg(256);
+
+// Full-engine ingestion with and without the write-ahead log. The two
+// variants differ only in config.durability, so their per-item delta is
+// the durability tax: record framing + CRC32C + buffered write() +
+// one group fsync per sync_interval_records (the default 512). The
+// disabled variant is also the "WAL off costs nothing" reference —
+// it must stay within noise of plain engine ingestion (the numbers are
+// discussed in docs/DURABILITY.md).
+void StreamEngineIngest(benchmark::State& state, bool durable) {
+  const auto stations = static_cast<size_t>(state.range(0));
+  const auto events = PlantedStream(stations, 4, 28, 4000, 17);
+  static int run = 0;
+  for (auto _ : state) {
+    StreamEngineConfig config;
+    config.station_count = stations;
+    config.window_seconds = 7 * 86400;
+    std::filesystem::path dir;
+    if (durable) {
+      dir = std::filesystem::temp_directory_path() /
+            ("bikegraph_bench_wal_" + std::to_string(++run));
+      std::filesystem::remove_all(dir);
+      config.durability.enabled = true;
+      config.durability.directory = dir.string();
+    }
+    StreamEngine engine(config);
+    for (const TripEvent& e : events) {
+      benchmark::DoNotOptimize(engine.Ingest(e).ok());
+    }
+    benchmark::DoNotOptimize(engine.window().trip_count());
+    if (durable) {
+      state.PauseTiming();
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+}
+
+// Baseline: the engine with durability disabled (the default).
+void BM_StreamEngineIngest(benchmark::State& state) {
+  StreamEngineIngest(state, /*durable=*/false);
+}
+BENCHMARK(BM_StreamEngineIngest)->Arg(64)->Arg(256);
+
+// Every event framed, CRC'd, and group-fsynced through the WAL.
+void BM_StreamIngestWithWal(benchmark::State& state) {
+  StreamEngineIngest(state, /*durable=*/true);
+}
+BENCHMARK(BM_StreamIngestWithWal)->Arg(64)->Arg(256);
 
 // Freezing the live window into an immutable CSR snapshot (GBasic
 // projection), the read-side publication step.

@@ -5,6 +5,16 @@
 //   $ ./build/example_live_monitoring 0          # as fast as possible
 //   $ ./build/example_live_monitoring 86400      # real day per wall second
 //   $ ./build/example_live_monitoring 0 0        # strictly ordered feed
+//   $ ./build/example_live_monitoring 0 900 --durable /tmp/moby-wal
+//                                                # WAL + checkpoint/restore
+//
+// With --durable <dir> the engine write-ahead-logs every call under
+// <dir> (cleared first — it is a scratch directory) and checkpoints
+// every couple of thousand events. At 60% of the feed the process
+// simulates a crash: the live engine is torn down mid-stream, rebuilt
+// with StreamEngine::Recover() — newest checkpoint plus WAL tail
+// replay — and the dashboard resumes where it left off, printing what
+// recovery actually did.
 //
 // The pipeline runs once in batch mode to fix the station universe (the
 // paper's expanded network), then a day of cleaned rentals streams
@@ -20,7 +30,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/civil_time.h"
@@ -32,12 +46,25 @@
 using namespace bikegraph;
 
 int main(int argc, char** argv) {
+  std::string durable_dir;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--durable") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--durable needs a directory argument\n";
+        return 2;
+      }
+      durable_dir = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
   // Event-time seconds replayed per wall-clock second (0 = no pacing).
   double speed = 86400.0 / 5.0;
-  if (argc > 1) speed = std::atof(argv[1]);
+  if (positional.size() > 0) speed = std::atof(positional[0]);
   // Arrival jitter in seconds (0 = ordered feed).
   int64_t shuffle_seconds = 15 * 60;
-  if (argc > 2) shuffle_seconds = std::atoll(argv[2]);
+  if (positional.size() > 1) shuffle_seconds = std::atoll(positional[1]);
 
   // ---- Batch bootstrap: dataset -> expansion pipeline ------------------
   data::SyntheticConfig synth;
@@ -77,7 +104,15 @@ int main(int argc, char** argv) {
   for (const auto& st : net.stations) {
     config.station_positions.push_back(st.position);
   }
-  stream::StreamEngine engine(config);
+  if (!durable_dir.empty()) {
+    // Scratch durability directory for the demo: clear any previous run
+    // so the fresh engine accepts it.
+    std::error_code ec;
+    std::filesystem::remove_all(durable_dir, ec);
+    config.durability.enabled = true;
+    config.durability.directory = durable_dir;
+  }
+  auto engine = std::make_unique<stream::StreamEngine>(config);
 
   stream::ReplayOptions replay_options;
   replay_options.speed = speed;
@@ -97,12 +132,12 @@ int main(int argc, char** argv) {
   int64_t next_refresh =
       day_start.seconds_since_epoch() + config.window_seconds;
   auto refresh_and_print = [&](CivilTime now) {
-    auto outcome = engine.DetectCurrent();
+    auto outcome = engine->DetectCurrent();
     if (!outcome.ok()) {
       std::cerr << "refresh failed: " << outcome.status() << "\n";
       return;
     }
-    const auto snapshot = engine.LatestSnapshot();
+    const auto snapshot = engine->LatestSnapshot();
     const char* mode = outcome->escalated
                            ? "full*"
                            : (outcome->warm_started ? "warm" : "full");
@@ -113,6 +148,14 @@ int main(int argc, char** argv) {
                 outcome->result.wall_time_ms);
   };
 
+  // Durable mode: checkpoint a few times before the simulated crash at
+  // 60% of the feed, so recovery demonstrates checkpoint + WAL tail
+  // replay rather than a pure log replay.
+  size_t fed = 0;
+  const size_t restart_at =
+      durable_dir.empty() ? 0 : replay.events().size() * 3 / 5;
+  const size_t checkpoint_every = restart_at == 0 ? 0 : restart_at / 4 + 1;
+
   while (auto event = replay.Next()) {
     if (event->start_time.seconds_since_epoch() >= next_refresh) {
       refresh_and_print(event->start_time);
@@ -122,14 +165,43 @@ int main(int argc, char** argv) {
         next_refresh += 3600;
       }
     }
-    if (auto status = engine.Ingest(*event); !status.ok()) {
+    if (auto status = engine->Ingest(*event); !status.ok()) {
       std::cerr << "ingest failed: " << status << "\n";
       return 1;
     }
+    ++fed;
+    if (checkpoint_every != 0 && fed % checkpoint_every == 0) {
+      if (auto status = engine->Checkpoint(); !status.ok()) {
+        std::cerr << "checkpoint failed: " << status << "\n";
+        return 1;
+      }
+    }
+    if (fed == restart_at) {
+      std::printf("-- simulated restart after %zu of %zu events --\n", fed,
+                  replay.events().size());
+      engine.reset();  // the "crash": the live engine is gone mid-stream
+      stream::StreamEngine::RecoveryStats rs;
+      auto recovered = stream::StreamEngine::Recover(config, &rs);
+      if (!recovered.ok()) {
+        std::cerr << "recovery failed: " << recovered.status() << "\n";
+        return 1;
+      }
+      engine = std::move(*recovered);
+      std::printf("-- recovered: checkpoint %s (seq %llu, %llu skipped), "
+                  "%llu WAL records replayed (%llu errors), resumed at "
+                  "seq %llu, %llu torn bytes dropped --\n",
+                  rs.used_checkpoint ? "used" : "none",
+                  static_cast<unsigned long long>(rs.checkpoint_seq),
+                  static_cast<unsigned long long>(rs.skipped_checkpoints),
+                  static_cast<unsigned long long>(rs.replayed_records),
+                  static_cast<unsigned long long>(rs.replay_errors),
+                  static_cast<unsigned long long>(rs.recovered_seq),
+                  static_cast<unsigned long long>(rs.truncated_bytes));
+    }
   }
   // End of feed: release the reorder buffer's tail, then close the day.
-  (void)engine.Advance(day_end);
-  if (auto status = engine.Flush(); !status.ok()) {
+  (void)engine->Advance(day_end);
+  if (auto status = engine->Flush(); !status.ok()) {
     std::cerr << "flush failed: " << status << "\n";
     return 1;
   }
@@ -137,18 +209,18 @@ int main(int argc, char** argv) {
 
   std::printf("\n%zu trips ingested, %zu expired from the window, "
               "%llu refreshes (%llu escalated to full re-detect)\n",
-              engine.ingested_count(), engine.window().expired_count(),
-              static_cast<unsigned long long>(engine.tracker().refresh_count()),
+              engine->ingested_count(), engine->window().expired_count(),
+              static_cast<unsigned long long>(engine->tracker().refresh_count()),
               static_cast<unsigned long long>(
-                  engine.tracker().escalation_count()));
+                  engine->tracker().escalation_count()));
   std::printf("reorder buffer: %llu events re-sorted, %llu dropped as "
               "too late, %llu duplicates suppressed\n",
-              static_cast<unsigned long long>(engine.reordered_count()),
-              static_cast<unsigned long long>(engine.late_dropped_count()),
-              static_cast<unsigned long long>(engine.duplicate_count()));
+              static_cast<unsigned long long>(engine->reordered_count()),
+              static_cast<unsigned long long>(engine->late_dropped_count()),
+              static_cast<unsigned long long>(engine->duplicate_count()));
   std::printf("snapshots: %llu delta-frozen (copy-on-write), %llu full "
               "rebuilds\n",
-              static_cast<unsigned long long>(engine.delta_freeze_count()),
-              static_cast<unsigned long long>(engine.full_freeze_count()));
+              static_cast<unsigned long long>(engine->delta_freeze_count()),
+              static_cast<unsigned long long>(engine->full_freeze_count()));
   return 0;
 }

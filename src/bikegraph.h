@@ -63,13 +63,18 @@
 #include "metrics/graph_stats.h"
 
 // Streaming ingestion: sliding-window graphs, immutable snapshots,
-// warm-start community refresh (see docs/STREAMING.md).
+// warm-start community refresh (see docs/STREAMING.md); durability —
+// write-ahead log, crash-consistent checkpoints, hostile-input chaos
+// streams (see docs/DURABILITY.md).
+#include "stream/chaos.h"
+#include "stream/checkpoint.h"
 #include "stream/engine.h"
 #include "stream/event.h"
 #include "stream/incremental_community.h"
 #include "stream/reorder_buffer.h"
 #include "stream/replay.h"
 #include "stream/snapshot.h"
+#include "stream/wal.h"
 #include "stream/window_graph.h"
 
 // Analysis & experiments.

@@ -1,0 +1,214 @@
+#include "stream/chaos.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace bikegraph::stream {
+
+namespace {
+
+/// Fraction of trips that stay inside their planted community block.
+constexpr double kIntraCommunityFraction = 0.85;
+/// Recent events eligible for duplicate-storm redelivery.
+constexpr size_t kRecentWindow = 512;
+
+}  // namespace
+
+ChaosStream GenerateChaosStream(const ChaosConfig& config) {
+  ChaosStream out;
+  ChaosStats& stats = out.stats;
+  if (config.station_count == 0 || config.duration_seconds <= 0) return out;
+  Rng rng(config.seed);
+
+  const auto n = static_cast<int64_t>(config.station_count);
+  const size_t blocks = std::max<size_t>(1, config.planted_communities);
+
+  // Station activation times: with additions enabled, every fourth
+  // station opens somewhere in the first half of the stream; everything
+  // else is live from the start.
+  std::vector<int64_t> activates_at(config.station_count,
+                                    config.start_seconds);
+  if (config.station_additions) {
+    for (size_t s = 3; s < config.station_count; s += 4) {
+      activates_at[s] =
+          config.start_seconds + rng.NextInt(1, config.duration_seconds / 2);
+      ++stats.additions;
+    }
+  }
+  // Outage intervals, one in flight at a time: [station, until_seconds).
+  int64_t outage_station = -1;
+  int64_t outage_until = 0;
+
+  // Surge / skew / storm segments, each one in flight at a time.
+  int64_t surge_until = 0;
+  double surge_multiplier = 1.0;
+  int64_t skew_until = 0;
+  int64_t skew_offset = 0;
+  int64_t storm_until = 0;
+
+  const auto active = [&](int32_t station, int64_t now) {
+    if (station == outage_station && now < outage_until) return false;
+    return now >= activates_at[static_cast<size_t>(station)];
+  };
+
+  // Pick a station uniformly from a planted block.
+  const auto pick_in_block = [&](size_t block) {
+    const int64_t block_size = (n + static_cast<int64_t>(blocks) - 1) /
+                               static_cast<int64_t>(blocks);
+    const int64_t lo = static_cast<int64_t>(block) * block_size;
+    const int64_t hi = std::min(n, lo + block_size) - 1;
+    return static_cast<int32_t>(rng.NextInt(lo, hi));
+  };
+
+  std::deque<TripEvent> recent;
+  // Start times of emitted events still above the admission horizon —
+  // pruned at each advance to track max_events_in_horizon.
+  std::priority_queue<int64_t, std::vector<int64_t>, std::greater<int64_t>>
+      in_horizon;
+  int64_t rental_id = 1;
+  int64_t watermark = config.start_seconds;
+  bool advanced_once = false;
+
+  const auto emit = [&](TripEvent event, bool duplicate) {
+    ChaosAction action;
+    action.kind = ChaosAction::Kind::kEvent;
+    action.event = event;
+    out.actions.push_back(action);
+    ++stats.events;
+    if (duplicate) {
+      ++stats.duplicate_redeliveries;
+    } else {
+      ++stats.fresh_events;
+      recent.push_back(event);
+      if (recent.size() > kRecentWindow) recent.pop_front();
+    }
+    const int64_t start = event.start_time.seconds_since_epoch();
+    const int64_t cutoff =
+        advanced_once ? watermark - config.max_lateness_seconds
+                      : INT64_MIN;
+    if (start < cutoff) {
+      ++stats.intended_late;
+    } else if (!duplicate) {
+      in_horizon.push(start);
+      stats.max_events_in_horizon =
+          std::max(stats.max_events_in_horizon,
+                   static_cast<uint64_t>(in_horizon.size()));
+    }
+  };
+
+  const auto fresh_event = [&](int64_t now) {
+    const size_t block = rng.NextBounded(blocks);
+    const int32_t from = pick_in_block(block);
+    const int32_t to = rng.NextDouble() < kIntraCommunityFraction
+                           ? pick_in_block(block)
+                           : pick_in_block(rng.NextBounded(blocks));
+    if (!active(from, now) || !active(to, now)) {
+      ++stats.outage_suppressed;
+      return;
+    }
+    TripEvent event;
+    event.rental_id = rental_id++;
+    event.from_station = from;
+    event.to_station = to;
+    // Small natural disorder: most trips start within the last two
+    // minutes, a tail reaches a quarter of the lateness budget back.
+    int64_t start = now - rng.NextInt(0, 120);
+    if (rng.NextDouble() < 0.05) {
+      start = now - rng.NextInt(0, std::max<int64_t>(
+                                       1, config.max_lateness_seconds / 4));
+    }
+    if (now < skew_until) {
+      start += skew_offset;
+      ++stats.skewed_events;
+    }
+    event.start_time = CivilTime(start);
+    event.end_time = CivilTime(start + rng.NextInt(120, 1800));
+    if (now < surge_until) ++stats.surge_events;
+    emit(event, /*duplicate=*/false);
+  };
+
+  for (int64_t sec = 0; sec < config.duration_seconds; ++sec) {
+    const int64_t now = config.start_seconds + sec;
+
+    // Scenario state machines: one coin per second each, tuned so a
+    // two-day run triggers every scenario a handful of times.
+    if (config.demand_surges && now >= surge_until &&
+        rng.NextDouble() < 1.0 / 7200.0) {
+      surge_until = now + rng.NextInt(300, 1200);
+      surge_multiplier = static_cast<double>(rng.NextInt(3, 6));
+      ++stats.surges;
+    }
+    if (config.station_outages && now >= outage_until &&
+        rng.NextDouble() < 1.0 / 10800.0) {
+      outage_station = rng.NextInt(0, n - 1);
+      outage_until = now + rng.NextInt(1800, 7200);
+      ++stats.outages;
+    }
+    if (config.clock_skew && now >= skew_until &&
+        rng.NextDouble() < 1.0 / 7200.0) {
+      skew_until = now + rng.NextInt(600, 1800);
+      skew_offset = rng.NextInt(-900, 900);
+      ++stats.skew_segments;
+    }
+    if (config.duplicate_storms && now >= storm_until &&
+        rng.NextDouble() < 1.0 / 7200.0) {
+      storm_until = now + rng.NextInt(60, 300);
+      ++stats.duplicate_storms;
+    }
+
+    const double rate = config.events_per_second *
+                        (now < surge_until ? surge_multiplier : 1.0);
+    const int count = rng.NextPoisson(rate);
+    for (int i = 0; i < count; ++i) fresh_event(now);
+
+    if (config.duplicate_storms && now < storm_until && !recent.empty()) {
+      const int dups = rng.NextPoisson(config.events_per_second);
+      for (int i = 0; i < dups; ++i) {
+        emit(recent[rng.NextBounded(recent.size())], /*duplicate=*/true);
+      }
+    }
+
+    if (config.late_floods && advanced_once &&
+        rng.NextDouble() < 1.0 / 10800.0) {
+      // Aim a burst at the admission horizon: ±2 seconds around the
+      // cutoff, so roughly half land just-late and half barely admit.
+      ++stats.late_floods;
+      const int64_t cutoff = watermark - config.max_lateness_seconds;
+      const int64_t burst = rng.NextInt(50, 200);
+      for (int64_t i = 0; i < burst; ++i) {
+        TripEvent event;
+        event.rental_id = rental_id++;
+        const size_t block = rng.NextBounded(blocks);
+        event.from_station = pick_in_block(block);
+        event.to_station = pick_in_block(block);
+        const int64_t start = cutoff + rng.NextInt(-2, 2);
+        event.start_time = CivilTime(start);
+        event.end_time = CivilTime(start + rng.NextInt(120, 1800));
+        ++stats.boundary_flood_events;
+        emit(event, /*duplicate=*/false);
+      }
+    }
+
+    if (config.advance_interval_seconds > 0 && sec > 0 &&
+        sec % config.advance_interval_seconds == 0) {
+      watermark = now;
+      advanced_once = true;
+      ChaosAction action;
+      action.kind = ChaosAction::Kind::kAdvance;
+      action.watermark = CivilTime(watermark);
+      out.actions.push_back(action);
+      ++stats.advances;
+      const int64_t cutoff = watermark - config.max_lateness_seconds;
+      while (!in_horizon.empty() && in_horizon.top() <= cutoff) {
+        in_horizon.pop();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bikegraph::stream

@@ -1,0 +1,387 @@
+#include "stream/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+namespace bikegraph::stream {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kCheckpointMagic[8] = {'B', 'G', 'C', 'K', 'P', 'T', '1', '\n'};
+/// File layout: magic(8) + u64 payload size + u32 CRC32C(payload) +
+/// payload.
+constexpr size_t kFileHeaderBytes = 20;
+
+std::string CheckpointName(uint64_t wal_seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "ckpt-%020" PRIu64 ".ckpt", wal_seq);
+  return buf;
+}
+
+bool ParseCheckpointName(const std::string& name, uint64_t* wal_seq) {
+  if (name.size() != 30 || name.rfind("ckpt-", 0) != 0 ||
+      name.compare(25, 5, ".ckpt") != 0) {
+    return false;
+  }
+  uint64_t seq = 0;
+  for (size_t i = 5; i < 25; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *wal_seq = seq;
+  return true;
+}
+
+Status IOError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+Status FsyncDirectory(const std::string& directory) {
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IOError("open directory", directory);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return IOError("fsync directory", directory);
+  return Status::OK();
+}
+
+void PutEvent(std::string* out, const TripEvent& event) {
+  wire::PutI64(out, event.rental_id);
+  wire::PutI32(out, event.from_station);
+  wire::PutI32(out, event.to_station);
+  wire::PutI64(out, event.start_time.seconds_since_epoch());
+  wire::PutI64(out, event.end_time.seconds_since_epoch());
+}
+
+TripEvent GetEvent(wire::Cursor* in) {
+  TripEvent event;
+  event.rental_id = in->I64();
+  event.from_station = in->I32();
+  event.to_station = in->I32();
+  event.start_time = CivilTime(in->I64());
+  event.end_time = CivilTime(in->I64());
+  return event;
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const EngineCheckpoint& c) {
+  std::string out;
+  wire::PutU64(&out, c.wal_seq);
+  wire::PutU64(&out, c.station_count);
+  wire::PutI64(&out, c.window_seconds);
+  wire::PutI64(&out, c.max_lateness_seconds);
+  wire::PutU8(&out, c.late_policy);
+  wire::PutU8(&out, c.suppress_duplicates);
+  wire::PutU8(&out, c.flushed);
+  wire::PutU8(&out, c.snapshot_clean);
+  wire::PutU64(&out, c.publisher_epoch);
+  wire::PutI64(&out, c.published_window_start_seconds);
+  wire::PutI64(&out, c.published_window_end_seconds);
+  wire::PutU64(&out, c.delta_freeze_count);
+  wire::PutU64(&out, c.full_freeze_count);
+  wire::PutU64(&out, c.desyncs_published);
+
+  // Reorder buffer.
+  wire::PutI64(&out, c.reorder.watermark_seconds);
+  wire::PutU8(&out, c.reorder.flushed ? 1 : 0);
+  wire::PutU64(&out, c.reorder.reordered_count);
+  wire::PutU64(&out, c.reorder.late_dropped_count);
+  wire::PutU64(&out, c.reorder.duplicate_count);
+  wire::PutU64(&out, c.reorder.released_count);
+  wire::PutU64(&out, c.reorder.duplicate_ids_high_water);
+  wire::PutU64(&out, c.reorder.duplicate_ids_evicted);
+  wire::PutU64(&out, c.reorder.buffered.size());
+  for (const TripEvent& event : c.reorder.buffered) PutEvent(&out, event);
+  wire::PutU64(&out, c.reorder.seen.size());
+  for (const auto& [start, id] : c.reorder.seen) {
+    wire::PutI64(&out, start);
+    wire::PutI64(&out, id);
+  }
+
+  // Window graph.
+  wire::PutI64(&out, c.window.watermark_seconds);
+  wire::PutI64(&out, c.window.last_event_seconds);
+  wire::PutU64(&out, c.window.ingested_count);
+  wire::PutU64(&out, c.window.delta_desync_count);
+  wire::PutU64(&out, c.window.live_count);
+  wire::PutU64(&out, c.window.ring.size());
+  for (const auto& e : c.window.ring) {
+    wire::PutI64(&out, e.start_seconds);
+    wire::PutI32(&out, e.from);
+    wire::PutI32(&out, e.to);
+  }
+  wire::PutU64(&out, c.window.pairs.size());
+  for (const auto& [key, trips] : c.window.pairs) {
+    wire::PutU64(&out, key);
+    wire::PutI64(&out, trips);
+  }
+  wire::PutU64(&out, c.window.day.size());
+  for (const auto& day : c.window.day) {
+    for (int64_t v : day) wire::PutI64(&out, v);
+  }
+  wire::PutU64(&out, c.window.hour.size());
+  for (const auto& hour : c.window.hour) {
+    for (int64_t v : hour) wire::PutI64(&out, v);
+  }
+  wire::PutU64(&out, c.window.endpoint_count.size());
+  for (int64_t v : c.window.endpoint_count) wire::PutI64(&out, v);
+
+  // Tracker.
+  wire::PutU64(&out, c.tracker.refresh_count);
+  wire::PutU64(&out, c.tracker.escalation_count);
+  wire::PutDouble(&out, c.tracker.previous_modularity);
+  wire::PutU8(&out, c.tracker.previous_partition.has_value() ? 1 : 0);
+  if (c.tracker.previous_partition.has_value()) {
+    const auto& assignment = c.tracker.previous_partition->assignment;
+    wire::PutU64(&out, assignment.size());
+    for (int32_t label : assignment) wire::PutI32(&out, label);
+  }
+  return out;
+}
+
+Result<EngineCheckpoint> ParseCheckpoint(const std::string& bytes) {
+  // A fuse against a corrupt count field asking for terabytes: no vector
+  // may claim more entries than bytes remaining.
+  wire::Cursor in(bytes.data(), bytes.size());
+  const auto bounded = [&in](uint64_t count) {
+    return in.ok && count <= in.remaining;
+  };
+  EngineCheckpoint c;
+  c.wal_seq = in.U64();
+  c.station_count = in.U64();
+  c.window_seconds = in.I64();
+  c.max_lateness_seconds = in.I64();
+  c.late_policy = in.U8();
+  c.suppress_duplicates = in.U8();
+  c.flushed = in.U8();
+  c.snapshot_clean = in.U8();
+  c.publisher_epoch = in.U64();
+  c.published_window_start_seconds = in.I64();
+  c.published_window_end_seconds = in.I64();
+  c.delta_freeze_count = in.U64();
+  c.full_freeze_count = in.U64();
+  c.desyncs_published = in.U64();
+
+  c.reorder.watermark_seconds = in.I64();
+  c.reorder.flushed = in.U8() != 0;
+  c.reorder.reordered_count = in.U64();
+  c.reorder.late_dropped_count = in.U64();
+  c.reorder.duplicate_count = in.U64();
+  c.reorder.released_count = in.U64();
+  c.reorder.duplicate_ids_high_water = in.U64();
+  c.reorder.duplicate_ids_evicted = in.U64();
+  uint64_t count = in.U64();
+  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
+  c.reorder.buffered.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    c.reorder.buffered.push_back(GetEvent(&in));
+  }
+  count = in.U64();
+  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
+  c.reorder.seen.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const int64_t start = in.I64();
+    const int64_t id = in.I64();
+    c.reorder.seen.emplace_back(start, id);
+  }
+
+  c.window.watermark_seconds = in.I64();
+  c.window.last_event_seconds = in.I64();
+  c.window.ingested_count = in.U64();
+  c.window.delta_desync_count = in.U64();
+  c.window.live_count = in.U64();
+  count = in.U64();
+  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
+  c.window.ring.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    WindowGraphState::RingEvent e;
+    e.start_seconds = in.I64();
+    e.from = in.I32();
+    e.to = in.I32();
+    c.window.ring.push_back(e);
+  }
+  count = in.U64();
+  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
+  c.window.pairs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t key = in.U64();
+    const int64_t trips = in.I64();
+    c.window.pairs.emplace_back(key, trips);
+  }
+  count = in.U64();
+  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
+  c.window.day.resize(count);
+  for (auto& day : c.window.day) {
+    for (int64_t& v : day) v = in.I64();
+  }
+  count = in.U64();
+  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
+  c.window.hour.resize(count);
+  for (auto& hour : c.window.hour) {
+    for (int64_t& v : hour) v = in.I64();
+  }
+  count = in.U64();
+  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
+  c.window.endpoint_count.resize(count);
+  for (int64_t& v : c.window.endpoint_count) v = in.I64();
+
+  c.tracker.refresh_count = in.U64();
+  c.tracker.escalation_count = in.U64();
+  c.tracker.previous_modularity = in.Double();
+  if (in.U8() != 0) {
+    count = in.U64();
+    if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
+    community::Partition partition;
+    partition.assignment.resize(count);
+    for (int32_t& label : partition.assignment) label = in.I32();
+    c.tracker.previous_partition = std::move(partition);
+  }
+  if (!in.ok || in.remaining != 0) {
+    return Status::DataLoss("corrupt checkpoint payload");
+  }
+  return c;
+}
+
+Status WriteCheckpoint(const std::string& directory,
+                       const EngineCheckpoint& checkpoint) {
+  const std::string payload = SerializeCheckpoint(checkpoint);
+  std::string file(kCheckpointMagic, sizeof(kCheckpointMagic));
+  wire::PutU64(&file, payload.size());
+  wire::PutU32(&file, Crc32c(payload.data(), payload.size()));
+  file.append(payload);
+
+  const std::string final_path =
+      (fs::path(directory) / CheckpointName(checkpoint.wal_seq)).string();
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IOError("create checkpoint", tmp_path);
+  const char* p = file.data();
+  size_t left = file.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return IOError("write checkpoint", tmp_path);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return IOError("fsync checkpoint", tmp_path);
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return IOError("rename checkpoint into place", final_path);
+  }
+  return FsyncDirectory(directory);
+}
+
+Result<CheckpointLoadResult> LoadNewestCheckpoint(
+    const std::string& directory) {
+  CheckpointLoadResult result;
+  std::error_code ec;
+  if (!fs::exists(directory, ec)) return result;
+  std::vector<std::pair<uint64_t, std::string>> candidates;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t seq = 0;
+    if (ParseCheckpointName(name, &seq)) {
+      candidates.emplace_back(seq, entry.path().string());
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0 &&
+               name.rfind("ckpt-", 0) == 0) {
+      // A crash mid-checkpoint: the half-written temp never became a
+      // .ckpt, so it carries no state anyone committed to. Clean it up.
+      fs::remove(entry.path(), ec);
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());
+  for (const auto& [seq, path] : candidates) {
+    std::string bytes;
+    {
+      const int fd = ::open(path.c_str(), O_RDONLY);
+      if (fd < 0) return IOError("open checkpoint", path);
+      char buf[1u << 16];
+      bool read_error = false;
+      for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          read_error = true;
+          break;
+        }
+        if (n == 0) break;
+        bytes.append(buf, static_cast<size_t>(n));
+      }
+      ::close(fd);
+      if (read_error) return IOError("read checkpoint", path);
+    }
+    bool valid = bytes.size() >= kFileHeaderBytes &&
+                 std::memcmp(bytes.data(), kCheckpointMagic,
+                             sizeof(kCheckpointMagic)) == 0;
+    if (valid) {
+      wire::Cursor header(bytes.data() + 8, kFileHeaderBytes - 8);
+      const uint64_t payload_size = header.U64();
+      const uint32_t crc = header.U32();
+      valid = payload_size == bytes.size() - kFileHeaderBytes &&
+              Crc32c(bytes.data() + kFileHeaderBytes, payload_size) == crc;
+    }
+    if (valid) {
+      auto parsed =
+          ParseCheckpoint(bytes.substr(kFileHeaderBytes));
+      if (parsed.ok() && parsed->wal_seq == seq) {
+        result.found = true;
+        result.checkpoint = std::move(*parsed);
+        result.path = path;
+        return result;
+      }
+    }
+    ++result.skipped;
+  }
+  return result;
+}
+
+Status PruneCheckpoints(const std::string& directory, size_t keep,
+                        uint64_t* oldest_kept_seq) {
+  if (oldest_kept_seq != nullptr) *oldest_kept_seq = 0;
+  if (keep == 0) keep = 1;  // never delete the checkpoint just written
+  std::vector<std::pair<uint64_t, std::string>> candidates;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    uint64_t seq = 0;
+    if (ParseCheckpointName(entry.path().filename().string(), &seq)) {
+      candidates.emplace_back(seq, entry.path().string());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  const size_t drop =
+      candidates.size() > keep ? candidates.size() - keep : 0;
+  for (size_t i = 0; i < drop; ++i) {
+    if (!fs::remove(candidates[i].second, ec) || ec) {
+      return Status::IOError("remove checkpoint '" + candidates[i].second +
+                             "': " + ec.message());
+    }
+  }
+  if (oldest_kept_seq != nullptr && drop < candidates.size()) {
+    *oldest_kept_seq = candidates[drop].first;
+  }
+  return Status::OK();
+}
+
+}  // namespace bikegraph::stream

@@ -1,13 +1,30 @@
 #include "stream/engine.h"
 
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
 namespace bikegraph::stream {
 
-StreamEngine::StreamEngine(StreamEngineConfig config)
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsWalSegmentName(const std::string& name) {
+  return name.size() == 28 && name.rfind("wal-", 0) == 0 &&
+         name.compare(24, 4, ".log") == 0;
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(RecoverTag, StreamEngineConfig config)
     : config_(std::move(config)),
       reorder_(ReorderBufferOptions{config_.max_lateness_seconds,
                                     config_.late_policy,
                                     config_.suppress_duplicate_rentals,
-                                    config_.reorder_backend}),
+                                    config_.reorder_backend,
+                                    config_.max_duplicate_rental_ids}),
       window_(WindowGraphOptions{config_.station_count,
                                  config_.window_seconds}),
       tracker_(config_.refresh) {
@@ -21,7 +38,60 @@ StreamEngine::StreamEngine(StreamEngineConfig config)
   }
 }
 
+StreamEngine::StreamEngine(StreamEngineConfig config)
+    : StreamEngine(RecoverTag{}, std::move(config)) {
+  InitDurability();
+}
+
+void StreamEngine::InitDurability() {
+  if (!config_.durability.enabled) return;
+  if (config_.durability.directory.empty()) {
+    durability_status_ =
+        Status::InvalidArgument("durability.directory must be set");
+    return;
+  }
+  std::error_code ec;
+  fs::create_directories(config_.durability.directory, ec);
+  if (ec) {
+    durability_status_ = Status::IOError(
+        "create durability directory '" + config_.durability.directory +
+        "': " + ec.message());
+    return;
+  }
+  if (DirectoryHasDurableState(config_.durability.directory)) {
+    durability_status_ = Status::FailedPrecondition(
+        "durability directory '" + config_.durability.directory +
+        "' already holds WAL/checkpoint state; use StreamEngine::Recover() "
+        "to resume it (or point a fresh engine at an empty directory)");
+    return;
+  }
+  auto writer = WalWriter::Open(config_.durability, /*next_seq=*/1);
+  if (!writer.ok()) {
+    durability_status_ = writer.status();
+    return;
+  }
+  wal_ = std::move(*writer);
+}
+
+Status StreamEngine::LogRecord(const WalRecord& record) {
+  if (!config_.durability.enabled) return Status::OK();
+  if (!durability_status_.ok()) return durability_status_;
+  const Status status = wal_->Append(record);
+  if (!status.ok()) {
+    // A failed append poisons the writer; every later durable call
+    // surfaces the same error instead of silently diverging from disk.
+    durability_status_ = status;
+    return status;
+  }
+  ++wal_seq_;
+  return Status::OK();
+}
+
 Status StreamEngine::Ingest(const TripEvent& event) {
+  if (flushed_) {
+    return Status::FailedPrecondition(
+        "Ingest after Flush: the stream was already finalized");
+  }
   // Fail fast on a truncated positions table instead of hours later at
   // the first Snapshot() of a live run.
   if (!config_.station_positions.empty() &&
@@ -31,17 +101,35 @@ Status StreamEngine::Ingest(const TripEvent& event) {
   }
   // Validate endpoints at arrival: an out-of-range event parked in the
   // reorder buffer would otherwise fail a horizon later, far from the
-  // caller that produced it.
+  // caller that produced it. Rejected events are never logged — the WAL
+  // records intent that passed admission, so replay cannot diverge on
+  // validation.
   const auto n = static_cast<int64_t>(config_.station_count);
   if (event.from_station < 0 || event.from_station >= n ||
       event.to_station < 0 || event.to_station >= n) {
     return Status::InvalidArgument("trip event endpoint out of range");
   }
+  WalRecord record;
+  record.type = WalRecordType::kEvent;
+  record.event = event;
+  BIKEGRAPH_RETURN_NOT_OK(LogRecord(record));
+  return IngestInternal(event);
+}
+
+Status StreamEngine::IngestInternal(const TripEvent& event) {
   BIKEGRAPH_RETURN_NOT_OK(reorder_.Push(event));
   return DrainReady();
 }
 
 Status StreamEngine::Advance(CivilTime watermark) {
+  WalRecord record;
+  record.type = WalRecordType::kAdvance;
+  record.watermark_seconds = watermark.seconds_since_epoch();
+  BIKEGRAPH_RETURN_NOT_OK(LogRecord(record));
+  return AdvanceInternal(watermark);
+}
+
+Status StreamEngine::AdvanceInternal(CivilTime watermark) {
   // Raise the reorder watermark first: events it makes releasable carry
   // start times <= watermark - max_lateness, so they enter the window
   // before it expires anything at the new watermark.
@@ -57,6 +145,15 @@ Status StreamEngine::Advance(CivilTime watermark) {
 }
 
 Status StreamEngine::Flush() {
+  if (flushed_) return Status::OK();
+  WalRecord record;
+  record.type = WalRecordType::kFlush;
+  BIKEGRAPH_RETURN_NOT_OK(LogRecord(record));
+  return FlushInternal();
+}
+
+Status StreamEngine::FlushInternal() {
+  flushed_ = true;
   reorder_.Flush();
   return DrainReady();
 }
@@ -74,10 +171,36 @@ Result<std::shared_ptr<const WindowSnapshot>> StreamEngine::Snapshot() {
     return Status::InvalidArgument(
         "station_positions must cover every station id");
   }
+  // The reuse path changes nothing, so it is not logged; replay reaches
+  // the same (dirty, published) state and skips it identically.
   if (!dirty_) {
     auto current = publisher_.Current();
     if (current) return current;
   }
+  WalRecord record;
+  record.type = WalRecordType::kSnapshot;
+  BIKEGRAPH_RETURN_NOT_OK(LogRecord(record));
+  return SnapshotInternal();
+}
+
+Result<std::shared_ptr<const WindowSnapshot>>
+StreamEngine::SnapshotInternal() {
+  if (!config_.station_positions.empty() &&
+      config_.station_positions.size() < config_.station_count) {
+    return Status::InvalidArgument(
+        "station_positions must cover every station id");
+  }
+  if (!dirty_) {
+    auto current = publisher_.Current();
+    if (current) return current;
+  }
+  // A delta desync (see delta_desync_count) means the live counters and
+  // the published graph may disagree; one full rebuild resynchronizes
+  // them. The dirty set is still drained so tracking re-arms against
+  // the new baseline.
+  const uint64_t desyncs =
+      static_cast<uint64_t>(window_.delta_desync_count());
+  const bool desynced = desyncs != desyncs_at_last_freeze_;
   // The dirty set is drained (and tracking re-armed) on every freeze, so
   // it describes exactly the changes since the previous published epoch —
   // the delta freeze's baseline. The first freeze, an overflowed set, or
@@ -90,7 +213,7 @@ Result<std::shared_ptr<const WindowSnapshot>> StreamEngine::Snapshot() {
   bool used_delta = false;
   auto previous = publisher_.Current();
   Result<WindowSnapshot> frozen =
-      config_.snapshot_delta.enabled && previous != nullptr
+      config_.snapshot_delta.enabled && previous != nullptr && !desynced
           ? FreezeSnapshotDelta(window_, *previous, changes,
                                 config_.projection, station_index_,
                                 config_.snapshot_delta, &used_delta)
@@ -105,15 +228,246 @@ Result<std::shared_ptr<const WindowSnapshot>> StreamEngine::Snapshot() {
     return frozen.status();
   }
   ++(used_delta ? delta_freeze_count_ : full_freeze_count_);
+  desyncs_at_last_freeze_ = desyncs;
   dirty_ = false;
   return publisher_.Publish(std::move(*frozen));
 }
 
+Result<RefreshOutcome> StreamEngine::DetectCurrent() {
+  // The default spec is logged as a flag, not serialized: replay reads
+  // it from the recovering engine's config, which the fingerprint check
+  // already pins to the original.
+  WalRecord record;
+  record.type = WalRecordType::kDetect;
+  record.default_spec = true;
+  BIKEGRAPH_RETURN_NOT_OK(LogRecord(record));
+  return DetectInternal(config_.detection);
+}
+
 Result<RefreshOutcome> StreamEngine::DetectCurrent(
     const community::DetectSpec& spec) {
+  WalRecord record;
+  record.type = WalRecordType::kDetect;
+  record.default_spec = false;
+  record.spec = spec;
+  BIKEGRAPH_RETURN_NOT_OK(LogRecord(record));
+  return DetectInternal(spec);
+}
+
+Result<RefreshOutcome> StreamEngine::DetectInternal(
+    const community::DetectSpec& spec) {
   BIKEGRAPH_ASSIGN_OR_RETURN(std::shared_ptr<const WindowSnapshot> snap,
-                             Snapshot());
+                             SnapshotInternal());
   return tracker_.Refresh(snap->graph, spec);
+}
+
+Status StreamEngine::SyncWal() {
+  if (!config_.durability.enabled) return Status::OK();
+  if (!durability_status_.ok()) return durability_status_;
+  return wal_->Sync();
+}
+
+EngineCheckpoint StreamEngine::CaptureState() const {
+  EngineCheckpoint c;
+  c.wal_seq = wal_seq_;
+  c.station_count = config_.station_count;
+  c.window_seconds = config_.window_seconds;
+  c.max_lateness_seconds = config_.max_lateness_seconds;
+  c.late_policy = static_cast<uint8_t>(config_.late_policy);
+  c.suppress_duplicates = config_.suppress_duplicate_rentals ? 1 : 0;
+  c.flushed = flushed_ ? 1 : 0;
+  const auto current = publisher_.Current();
+  c.snapshot_clean = (!dirty_ && current != nullptr) ? 1 : 0;
+  c.publisher_epoch = publisher_.epoch();
+  if (c.snapshot_clean != 0) {
+    c.published_window_start_seconds =
+        current->window_start.seconds_since_epoch();
+    c.published_window_end_seconds =
+        current->window_end.seconds_since_epoch();
+  }
+  c.delta_freeze_count = delta_freeze_count_;
+  c.full_freeze_count = full_freeze_count_;
+  c.desyncs_published = desyncs_at_last_freeze_;
+  c.reorder = reorder_.ExportState();
+  c.window = window_.ExportState();
+  c.tracker = tracker_.ExportState();
+  return c;
+}
+
+Status StreamEngine::Checkpoint() {
+  if (!config_.durability.enabled) {
+    return Status::FailedPrecondition(
+        "Checkpoint() requires durability.enabled");
+  }
+  if (!durability_status_.ok()) return durability_status_;
+  // Sync first: a checkpoint claiming wal_seq N with record N still in
+  // the write buffer would, after a crash, restore to a state the log
+  // cannot re-derive.
+  BIKEGRAPH_RETURN_NOT_OK(wal_->Sync());
+  BIKEGRAPH_RETURN_NOT_OK(
+      WriteCheckpoint(config_.durability.directory, CaptureState()));
+  uint64_t oldest_kept = 0;
+  BIKEGRAPH_RETURN_NOT_OK(PruneCheckpoints(config_.durability.directory,
+                                           config_.durability.checkpoints_kept,
+                                           &oldest_kept));
+  return PruneWalSegments(config_.durability.directory, oldest_kept);
+}
+
+Status StreamEngine::RestoreFromCheckpoint(
+    const EngineCheckpoint& checkpoint) {
+  BIKEGRAPH_RETURN_NOT_OK(reorder_.RestoreState(checkpoint.reorder));
+  BIKEGRAPH_RETURN_NOT_OK(window_.RestoreState(checkpoint.window));
+  tracker_.RestoreState(checkpoint.tracker);
+  flushed_ = checkpoint.flushed != 0;
+  delta_freeze_count_ = checkpoint.delta_freeze_count;
+  full_freeze_count_ = checkpoint.full_freeze_count;
+  desyncs_at_last_freeze_ = checkpoint.desyncs_published;
+  if (checkpoint.snapshot_clean != 0 && checkpoint.publisher_epoch > 0) {
+    // The published snapshot was current at checkpoint time. Rebuild it
+    // from the restored window (a full freeze is bit-identical to
+    // whatever path originally produced it), restamp its original epoch
+    // and window bounds, and republish — readers and the delta-freeze
+    // baseline resume exactly where the crashed run left them.
+    publisher_.RestoreEpoch(checkpoint.publisher_epoch - 1);
+    BIKEGRAPH_ASSIGN_OR_RETURN(
+        WindowSnapshot snap,
+        FreezeSnapshot(window_, config_.projection, station_index_));
+    snap.window_start = CivilTime(checkpoint.published_window_start_seconds);
+    snap.window_end = CivilTime(checkpoint.published_window_end_seconds);
+    publisher_.Publish(std::move(snap));
+    // Arm dirty tracking so replayed and resumed freezes can delta
+    // against the republished baseline (RestoreState leaves it unarmed).
+    if (config_.snapshot_delta.enabled) window_.DrainDirty();
+    dirty_ = false;
+  } else {
+    // Nothing published, or the window had moved past the publish: the
+    // next freeze takes the full path against an empty baseline.
+    publisher_.RestoreEpoch(checkpoint.publisher_epoch);
+    dirty_ = true;
+  }
+  return Status::OK();
+}
+
+Status StreamEngine::ApplyWalRecord(const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::kEvent: {
+      if (flushed_) {
+        return Status::FailedPrecondition(
+            "Ingest after Flush: the stream was already finalized");
+      }
+      const auto n = static_cast<int64_t>(config_.station_count);
+      if (record.event.from_station < 0 || record.event.from_station >= n ||
+          record.event.to_station < 0 || record.event.to_station >= n) {
+        return Status::InvalidArgument("trip event endpoint out of range");
+      }
+      return IngestInternal(record.event);
+    }
+    case WalRecordType::kAdvance:
+      return AdvanceInternal(CivilTime(record.watermark_seconds));
+    case WalRecordType::kFlush:
+      if (flushed_) return Status::OK();
+      return FlushInternal();
+    case WalRecordType::kSnapshot:
+      return SnapshotInternal().status();
+    case WalRecordType::kDetect:
+      return DetectInternal(record.default_spec ? config_.detection
+                                                : record.spec)
+          .status();
+  }
+  return Status::DataLoss("unknown WAL record type");
+}
+
+Result<std::unique_ptr<StreamEngine>> StreamEngine::Recover(
+    StreamEngineConfig config, RecoveryStats* stats) {
+  if (stats != nullptr) *stats = RecoveryStats{};
+  if (!config.durability.enabled || config.durability.directory.empty()) {
+    return Status::InvalidArgument(
+        "Recover() requires durability.enabled and a directory");
+  }
+  const std::string directory = config.durability.directory;
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("create durability directory '" + directory +
+                           "': " + ec.message());
+  }
+  BIKEGRAPH_ASSIGN_OR_RETURN(CheckpointLoadResult loaded,
+                             LoadNewestCheckpoint(directory));
+  BIKEGRAPH_ASSIGN_OR_RETURN(WalReadResult wal,
+                             ReadWal(directory, /*repair_torn_tail=*/true));
+
+  auto engine = std::unique_ptr<StreamEngine>(
+      new StreamEngine(RecoverTag{}, std::move(config)));
+  uint64_t base_seq = 0;
+  if (loaded.found) {
+    const EngineCheckpoint& c = loaded.checkpoint;
+    if (c.station_count != engine->config_.station_count ||
+        c.window_seconds != engine->config_.window_seconds ||
+        c.max_lateness_seconds != engine->config_.max_lateness_seconds ||
+        c.late_policy !=
+            static_cast<uint8_t>(engine->config_.late_policy) ||
+        c.suppress_duplicates !=
+            (engine->config_.suppress_duplicate_rentals ? 1 : 0)) {
+      return Status::FailedPrecondition(
+          "checkpoint '" + loaded.path +
+          "' was written under a different engine config (station count, "
+          "window, lateness, or policies differ)");
+    }
+    BIKEGRAPH_RETURN_NOT_OK(engine->RestoreFromCheckpoint(c));
+    base_seq = c.wal_seq;
+  }
+  // Records below the checkpoint are already folded into it; records
+  // above it must start exactly at base_seq + 1 or the log has a hole
+  // no replay can bridge.
+  if (!wal.records.empty() && wal.first_seq > base_seq + 1) {
+    return Status::DataLoss(
+        "WAL records missing between checkpoint and first surviving "
+        "segment");
+  }
+  uint64_t replayed = 0;
+  uint64_t replay_errors = 0;
+  uint64_t seq = wal.first_seq;
+  for (const WalRecord& record : wal.records) {
+    if (seq > base_seq) {
+      if (!engine->ApplyWalRecord(record).ok()) ++replay_errors;
+      ++replayed;
+    }
+    ++seq;
+  }
+  const uint64_t resume_seq = std::max(base_seq, wal.last_seq);
+  engine->wal_seq_ = resume_seq;
+
+  if (wal.last_seq >= base_seq && !wal.tail_segment_path.empty()) {
+    // The tail segment's surviving records run through resume_seq, so
+    // appending resume_seq + 1 at its (repaired) end keeps the in-file
+    // sequence contiguous.
+    BIKEGRAPH_ASSIGN_OR_RETURN(
+        engine->wal_,
+        WalWriter::Open(engine->config_.durability, resume_seq + 1,
+                        wal.tail_segment_path, wal.tail_segment_bytes));
+  } else {
+    // Every surviving record (if any) is at or below the checkpoint —
+    // appending to the tail would tear its sequence. The checkpoint
+    // carries all their state, so drop the segments and start fresh.
+    for (const auto& entry : fs::directory_iterator(directory, ec)) {
+      if (IsWalSegmentName(entry.path().filename().string())) {
+        fs::remove(entry.path(), ec);
+      }
+    }
+    BIKEGRAPH_ASSIGN_OR_RETURN(
+        engine->wal_,
+        WalWriter::Open(engine->config_.durability, resume_seq + 1));
+  }
+  if (stats != nullptr) {
+    stats->used_checkpoint = loaded.found;
+    stats->checkpoint_seq = base_seq;
+    stats->skipped_checkpoints = loaded.skipped;
+    stats->replayed_records = replayed;
+    stats->replay_errors = replay_errors;
+    stats->recovered_seq = resume_seq;
+    stats->truncated_bytes = wal.truncated_bytes;
+  }
+  return engine;
 }
 
 }  // namespace bikegraph::stream

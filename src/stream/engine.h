@@ -8,10 +8,12 @@
 #include "analysis/temporal_graph.h"
 #include "community/detector.h"
 #include "geo/latlon.h"
+#include "stream/checkpoint.h"
 #include "stream/event.h"
 #include "stream/incremental_community.h"
 #include "stream/reorder_buffer.h"
 #include "stream/snapshot.h"
+#include "stream/wal.h"
 #include "stream/window_graph.h"
 
 namespace bikegraph::stream {
@@ -51,6 +53,9 @@ struct StreamEngineConfig {
   /// Suppress redelivered rental ids within the horizon (real feeds
   /// redeliver); suppressed events count in `duplicate_count()`.
   bool suppress_duplicate_rentals = false;
+  /// Cap on the duplicate-suppression id set (0 = unbounded); see
+  /// ReorderBufferOptions::max_duplicate_ids for the eviction contract.
+  size_t max_duplicate_rental_ids = size_t{1} << 20;
   /// Data structure behind the reorder buffer: the timing wheel (default)
   /// releases at amortized O(1) per event with memory O(max_lateness);
   /// the min-heap costs O(log buffered) but stays lean on multi-month
@@ -61,6 +66,13 @@ struct StreamEngineConfig {
   /// (see SnapshotDeltaPolicy); disable to force a full rebuild per
   /// epoch.
   SnapshotDeltaPolicy snapshot_delta;
+  /// Durability: with `durability.enabled`, every state-changing call is
+  /// written to a write-ahead log under `durability.directory` before it
+  /// is applied, and `Checkpoint()` / `StreamEngine::Recover()` provide
+  /// crash-consistent save/restore (see docs/DURABILITY.md). Disabled
+  /// (the default) the engine touches no files and the ingest hot path
+  /// is unchanged.
+  DurabilityConfig durability;
 };
 
 /// \brief The live-monitoring entry point: ingest a trip stream, maintain
@@ -81,14 +93,55 @@ struct StreamEngineConfig {
 /// \endcode
 class StreamEngine {
  public:
+  /// Constructs a fresh engine. With durability enabled this creates the
+  /// WAL directory and refuses (FailedPrecondition, surfaced on the
+  /// first durable call) a directory that already holds durable state —
+  /// resuming an existing directory is `Recover()`'s job, and silently
+  /// logging a fresh run over an old one would orphan its records.
   explicit StreamEngine(StreamEngineConfig config);
+
+  /// \brief What `Recover` found and did.
+  struct RecoveryStats {
+    bool used_checkpoint = false;
+    /// WAL sequence the loaded checkpoint covered (0 = none).
+    uint64_t checkpoint_seq = 0;
+    /// Newer-but-corrupt checkpoint files skipped.
+    uint64_t skipped_checkpoints = 0;
+    /// WAL records replayed on top of the checkpoint.
+    uint64_t replayed_records = 0;
+    /// Replayed records that returned an error (counted, not fatal: a
+    /// record that failed in the original run fails identically here and
+    /// leaves the state unchanged either way).
+    uint64_t replay_errors = 0;
+    /// The sequence number recovery caught up to; the next durable call
+    /// logs `recovered_seq + 1`.
+    uint64_t recovered_seq = 0;
+    /// Torn bytes truncated from the WAL tail (a crash mid-append).
+    uint64_t truncated_bytes = 0;
+  };
+
+  /// Rebuilds an engine from `config.durability.directory`: loads the
+  /// newest valid checkpoint, replays the WAL records past it, repairs a
+  /// torn tail, and reattaches the writer so the run continues where the
+  /// crashed one stopped. The recovered engine is bit-identical to the
+  /// uninterrupted run at the same point — window contents, published
+  /// snapshot, tracker seed and counters (locked by
+  /// tests/stream_durability_test.cc at randomized kill points). An
+  /// empty or missing directory recovers to a fresh engine. Fails with
+  /// FailedPrecondition when the checkpoint's config fingerprint
+  /// (station count, window, lateness, policies) disagrees with
+  /// `config`, and DataLoss when WAL records are missing or corrupt
+  /// anywhere but the tail.
+  static Result<std::unique_ptr<StreamEngine>> Recover(
+      StreamEngineConfig config, RecoveryStats* stats = nullptr);
 
   /// Ingests one event. Arrivals may be out of start-time order by up to
   /// `config.max_lateness_seconds`; the reorder buffer re-sorts them, so
   /// an event becomes visible to the window (and to snapshots) only once
   /// the watermark has moved `max_lateness_seconds` past its start time.
   /// Events older than that horizon hit `config.late_policy`. Endpoints
-  /// out of `[0, station_count)` are InvalidArgument at arrival.
+  /// out of `[0, station_count)` are InvalidArgument at arrival, and
+  /// ingesting after Flush() is FailedPrecondition.
   Status Ingest(const TripEvent& event);
 
   /// Advances stream time without an event: releases buffered events the
@@ -100,12 +153,15 @@ class StreamEngine {
 
   /// Marks end-of-stream: drains every buffered event into the window in
   /// start-time order. Call before the final Snapshot()/DetectCurrent()
-  /// of a replay; afterwards further Ingest calls fail.
+  /// of a replay; afterwards further Ingest calls fail. Idempotent — a
+  /// second Flush is a no-op, not an error.
   Status Flush();
 
   /// Freezes the live window into an immutable snapshot, publishes it,
   /// and returns it. Reuses the latest snapshot when nothing changed
-  /// since it was published.
+  /// since it was published. After any ApplyDelta desync (see
+  /// `delta_desync_count()`) the freeze takes the full-rebuild path once,
+  /// which resynchronizes the published graph with the live counters.
   Result<std::shared_ptr<const WindowSnapshot>> Snapshot();
 
   /// The most recently published snapshot (nullptr before the first
@@ -116,7 +172,7 @@ class StreamEngine {
 
   /// Refreshes community structure on the current window with the
   /// configured default spec.
-  Result<RefreshOutcome> DetectCurrent() { return DetectCurrent(config_.detection); }
+  Result<RefreshOutcome> DetectCurrent();
 
   /// Refreshes community structure on the current window with an explicit
   /// spec (snapshots first if the window changed). The warm-start seed is
@@ -124,12 +180,33 @@ class StreamEngine {
   /// ignored.
   Result<RefreshOutcome> DetectCurrent(const community::DetectSpec& spec);
 
+  /// Durability only: fsyncs the WAL through the last appended record
+  /// (appends are group-synced every `sync_interval_records` otherwise).
+  /// No-op when durability is disabled.
+  Status SyncWal();
+
+  /// Durability only: syncs the WAL, writes a crash-consistent checkpoint
+  /// of the complete engine state, prunes old checkpoints down to
+  /// `checkpoints_kept`, and prunes WAL segments no kept checkpoint
+  /// needs. FailedPrecondition when durability is disabled.
+  Status Checkpoint();
+
+  /// Copies out the complete logical state (what `Checkpoint()` writes).
+  /// Exposed so tests can compare a recovered engine against an
+  /// uninterrupted one bit for bit via SerializeCheckpoint.
+  EngineCheckpoint CaptureState() const;
+
   const StreamEngineConfig& config() const { return config_; }
   const SlidingWindowGraph& window() const { return window_; }
   const IncrementalCommunityTracker& tracker() const { return tracker_; }
   const ReorderBuffer& reorder() const { return reorder_; }
   CivilTime watermark() const { return window_.watermark(); }
   size_t ingested_count() const { return window_.ingested_count(); }
+  /// True once Flush() has run (further Ingest calls fail).
+  bool flushed() const { return flushed_; }
+  /// Sequence number of the last WAL record appended (0 when durability
+  /// is disabled or nothing was logged yet).
+  uint64_t wal_seq() const { return wal_seq_; }
 
   /// Reorder-buffer stats, surfaced for dashboards: events re-sorted by
   /// the buffer, events dropped as too late (LateEventPolicy::kDrop),
@@ -141,14 +218,59 @@ class StreamEngine {
   }
   uint64_t duplicate_count() const { return reorder_.duplicate_count(); }
   size_t buffered_count() const { return reorder_.buffered_count(); }
+  /// Duplicate-suppression memory bound: peak id-set size, and ids
+  /// evicted by the `max_duplicate_rental_ids` cap.
+  uint64_t duplicate_ids_high_water() const {
+    return reorder_.duplicate_ids_high_water();
+  }
+  uint64_t duplicate_ids_evicted() const {
+    return reorder_.duplicate_ids_evicted();
+  }
 
   /// Snapshot-freeze stats: epochs frozen by copy-on-write delta
   /// patching vs by a full window rebuild (the first epoch, large dirty
   /// fractions, and dirty-set overflows all take the full path).
   uint64_t delta_freeze_count() const { return delta_freeze_count_; }
   uint64_t full_freeze_count() const { return full_freeze_count_; }
+  /// Delta applications the window graph refused because the stored pair
+  /// count disagreed (a would-have-been corruption, recovered by
+  /// skipping; see SlidingWindowGraph::delta_desync_count). Non-zero is
+  /// a bug worth reporting, but the engine stays correct: the next
+  /// Snapshot() forces a full freeze.
+  size_t delta_desync_count() const { return window_.delta_desync_count(); }
 
  private:
+  struct RecoverTag {};
+  /// Constructs components only; durability is attached afterwards by
+  /// InitDurability (fresh engine) or Recover (restore).
+  StreamEngine(RecoverTag, StreamEngineConfig config);
+
+  /// Fresh-engine durability setup: create the directory, refuse one
+  /// with existing durable state, open the writer at sequence 1. A
+  /// failure parks in durability_status_ (constructors cannot fail) and
+  /// surfaces on the first durable call.
+  void InitDurability();
+
+  /// Appends `record` (the intent of the current public call) to the WAL
+  /// before the call's state change is applied. No-op (OK) when
+  /// durability is disabled.
+  Status LogRecord(const WalRecord& record);
+
+  /// Replays one WAL record through the non-logging internals. Errors
+  /// mirror the original run's and leave state unchanged.
+  Status ApplyWalRecord(const WalRecord& record);
+
+  /// Restores the complete logical state from a parsed checkpoint.
+  Status RestoreFromCheckpoint(const EngineCheckpoint& checkpoint);
+
+  // The public entry points log intent, then call these; WAL replay
+  // calls them directly. Identical bytes in, identical state out.
+  Status IngestInternal(const TripEvent& event);
+  Status AdvanceInternal(CivilTime watermark);
+  Status FlushInternal();
+  Result<std::shared_ptr<const WindowSnapshot>> SnapshotInternal();
+  Result<RefreshOutcome> DetectInternal(const community::DetectSpec& spec);
+
   /// Moves every releasable buffered event into the window.
   Status DrainReady();
 
@@ -162,8 +284,19 @@ class StreamEngine {
   std::shared_ptr<const geo::GridIndex> station_index_;
   /// True when the live window changed after the last publish.
   bool dirty_ = true;
+  bool flushed_ = false;
   uint64_t delta_freeze_count_ = 0;
   uint64_t full_freeze_count_ = 0;
+  /// window_.delta_desync_count() as of the last successful freeze; a
+  /// newer desync forces the next freeze down the full path.
+  uint64_t desyncs_at_last_freeze_ = 0;
+
+  /// nullptr when durability is disabled.
+  std::unique_ptr<WalWriter> wal_;
+  /// Deferred durability failure (from construction or a poisoned
+  /// writer), surfaced on every durable call until resolved.
+  Status durability_status_ = Status::OK();
+  uint64_t wal_seq_ = 0;
 };
 
 }  // namespace bikegraph::stream

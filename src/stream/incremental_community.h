@@ -50,6 +50,16 @@ struct RefreshOutcome {
   uint64_t refresh_count = 0;
 };
 
+/// \brief An IncrementalCommunityTracker's complete state, for
+/// checkpointing: the remembered seed partition and the counters that
+/// phase the full_refresh_interval cadence.
+struct TrackerState {
+  uint64_t refresh_count = 0;
+  uint64_t escalation_count = 0;
+  double previous_modularity = 0.0;
+  std::optional<community::Partition> previous_partition;
+};
+
 /// \brief Warm-start community refresh across consecutive window
 /// snapshots.
 ///
@@ -87,6 +97,23 @@ class IncrementalCommunityTracker {
   }
   uint64_t refresh_count() const { return refresh_count_; }
   uint64_t escalation_count() const { return escalation_count_; }
+
+  /// Copies out the tracker's state (checkpointing).
+  TrackerState ExportState() const {
+    return TrackerState{refresh_count_, escalation_count_,
+                        previous_modularity_, previous_partition_};
+  }
+
+  /// Replaces the tracker's state (recovery): the next Refresh seeds
+  /// from the restored partition and continues the restored
+  /// full_refresh_interval phase, exactly as the uninterrupted run
+  /// would have.
+  void RestoreState(TrackerState state) {
+    refresh_count_ = state.refresh_count;
+    escalation_count_ = state.escalation_count;
+    previous_modularity_ = state.previous_modularity;
+    previous_partition_ = std::move(state.previous_partition);
+  }
 
  private:
   RefreshPolicy policy_;

@@ -55,11 +55,28 @@ Status ReorderBuffer::Push(const TripEvent& event) {
         std::to_string(options_.max_lateness_seconds) + "s)");
   }
   if (options_.suppress_duplicates && event.rental_id != data::kInvalidId) {
+    // Cap first, then insert: under a duplicate storm deeper than the
+    // cap, the oldest-started ids are dropped to make room (see the
+    // option's eviction contract), keeping the set — and its memory —
+    // at most max_duplicate_ids entries.
+    if (options_.max_duplicate_ids > 0 &&
+        seen_ids_.size() >= options_.max_duplicate_ids &&
+        seen_ids_.find(event.rental_id) == seen_ids_.end()) {
+      while (seen_ids_.size() >= options_.max_duplicate_ids &&
+             !seen_expiry_.empty()) {
+        seen_ids_.erase(seen_expiry_.top().second);
+        seen_expiry_.pop();
+        ++duplicate_ids_evicted_;
+      }
+    }
     if (!seen_ids_.insert(event.rental_id).second) {
       ++duplicate_count_;
       return Status::OK();
     }
     seen_expiry_.emplace(start, event.rental_id);
+    if (seen_ids_.size() > duplicate_ids_high_water_) {
+      duplicate_ids_high_water_ = seen_ids_.size();
+    }
   }
   if (start < watermark_seconds_) ++reordered_count_;
   const bool advances = start > watermark_seconds_;
@@ -328,6 +345,85 @@ void ReorderBuffer::Flush() {
   // Raises WheelReleaseLimit() to the watermark; the next release walk
   // or pop hands the remaining events out in order.
   flushed_ = true;
+}
+
+ReorderBufferState ReorderBuffer::ExportState() const {
+  ReorderBufferState state;
+  state.watermark_seconds = watermark_seconds_;
+  state.flushed = flushed_;
+  state.reordered_count = reordered_count_;
+  state.late_dropped_count = late_dropped_count_;
+  state.duplicate_count = duplicate_count_;
+  state.released_count = released_count_;
+  state.duplicate_ids_high_water = duplicate_ids_high_water_;
+  state.duplicate_ids_evicted = duplicate_ids_evicted_;
+  // The expiry heap and the id set always hold the same ids (inserts and
+  // evictions touch both together), so draining a copy of the heap
+  // exports the whole suppression state with the start times attached.
+  state.seen.reserve(seen_expiry_.size());
+  for (auto heap = seen_expiry_; !heap.empty(); heap.pop()) {
+    state.seen.push_back(heap.top());
+  }
+  // Release order without disturbing the live buffer: flush a *copy* and
+  // drain it. Checkpoints are seconds apart; the copy is the simple way
+  // to reuse the one authoritative ordering implementation.
+  ReorderBuffer drain(*this);
+  drain.flushed_ = true;
+  state.buffered.reserve(buffered_count());
+  while (auto event = drain.PopReady()) {
+    state.buffered.push_back(*event);
+  }
+  return state;
+}
+
+Status ReorderBuffer::RestoreState(const ReorderBufferState& state) {
+  *this = ReorderBuffer(ReorderBufferOptions(options_));
+  watermark_seconds_ = state.watermark_seconds;
+  flushed_ = state.flushed;
+  reordered_count_ = state.reordered_count;
+  late_dropped_count_ = state.late_dropped_count;
+  duplicate_count_ = state.duplicate_count;
+  released_count_ = state.released_count;
+  duplicate_ids_high_water_ = state.duplicate_ids_high_water;
+  duplicate_ids_evicted_ = state.duplicate_ids_evicted;
+  for (const auto& [start, id] : state.seen) {
+    if (!seen_ids_.insert(id).second) {
+      return Status::DataLoss(
+          "checkpointed duplicate-suppression set repeats rental id " +
+          std::to_string(id));
+    }
+    seen_expiry_.emplace(start, id);
+  }
+  // Re-park the held events. They are backend-neutral release order, so
+  // ascending (start, rental id) — exactly what the wheel's
+  // one-second-per-bucket invariant and the heap both accept.
+  const int64_t cutoff = HorizonCutoff();
+  int64_t prev_start = INT64_MIN;
+  int64_t prev_id = INT64_MIN;
+  for (const TripEvent& event : state.buffered) {
+    const int64_t start = event.start_time.seconds_since_epoch();
+    if (start < prev_start || (start == prev_start && event.rental_id < prev_id)) {
+      return Status::DataLoss(
+          "checkpointed reorder buffer is not in release order");
+    }
+    prev_start = start;
+    prev_id = event.rental_id;
+    if (start > watermark_seconds_ || start < cutoff) {
+      return Status::DataLoss(
+          "checkpointed buffered event at " + event.start_time.ToString() +
+          " lies outside (horizon, watermark]");
+    }
+    if (options_.backend == ReorderBackend::kHeap) {
+      PushToHeap(event);
+    } else if (flushed_ || start <= cutoff) {
+      // Already releasable: the FIFO drains before the bucket walk, and
+      // the events arrive here in release order.
+      ready_.push_back(event);
+    } else {
+      PushToWheel(event);
+    }
+  }
+  return Status::OK();
 }
 
 void ReorderBuffer::EvictExpiredIds(int64_t cutoff) {

@@ -65,6 +65,41 @@ struct ReorderBufferOptions {
   bool suppress_duplicates = false;
   /// Buffer data structure; see ReorderBackend.
   ReorderBackend backend = ReorderBackend::kWheel;
+  /// Hard cap on the duplicate-suppression id set (0 = unbounded).
+  ///
+  /// The eviction contract: watermark advance already evicts ids whose
+  /// start left the horizon, so the set normally holds one horizon of
+  /// events. But the horizon itself is unbounded in *events* — a
+  /// duplicate storm that floods distinct ids into one horizon would
+  /// grow the set (and its memory) without limit. When an insert would
+  /// exceed the cap, the ids with the *oldest start times* are evicted
+  /// first (they are the closest to aging out anyway, and a redelivery
+  /// of an old event is the most likely to be rejected as late
+  /// regardless). Consequence: under a storm deeper than the cap, a
+  /// redelivery of an evicted id is re-admitted instead of suppressed —
+  /// bounded memory is bought with exactness at the storm's tail.
+  /// `duplicate_ids_high_water()` and `duplicate_ids_evicted()` expose
+  /// when that trade actually happened.
+  size_t max_duplicate_ids = size_t{1} << 20;
+};
+
+/// \brief A ReorderBuffer's complete logical state, for checkpointing.
+/// Backend-neutral: `buffered` lists the held events in release order, so
+/// a state exported from a wheel restores into a heap bit-identically
+/// (release order is (start, rental id) ascending either way).
+struct ReorderBufferState {
+  int64_t watermark_seconds = INT64_MIN;
+  bool flushed = false;
+  uint64_t reordered_count = 0;
+  uint64_t late_dropped_count = 0;
+  uint64_t duplicate_count = 0;
+  uint64_t released_count = 0;
+  uint64_t duplicate_ids_high_water = 0;
+  uint64_t duplicate_ids_evicted = 0;
+  /// Held (admitted, unreleased) events in release order.
+  std::vector<TripEvent> buffered;
+  /// Duplicate-suppression set entries: (start_seconds, rental_id).
+  std::vector<std::pair<int64_t, int64_t>> seen;
 };
 
 /// \brief A bounded buffer that re-sorts a nearly-ordered TripEvent
@@ -226,6 +261,27 @@ class ReorderBuffer {
   uint64_t duplicate_count() const { return duplicate_count_; }
   /// Events released so far via PopReady.
   uint64_t released_count() const { return released_count_; }
+  /// Peak size the duplicate-suppression id set ever reached — the
+  /// memory high-water mark of the storm-exposed structure. Bounded by
+  /// `options().max_duplicate_ids` when that cap is set.
+  uint64_t duplicate_ids_high_water() const {
+    return duplicate_ids_high_water_;
+  }
+  /// Ids evicted by the `max_duplicate_ids` cap (not by ordinary horizon
+  /// aging). Non-zero means a storm was deep enough that some
+  /// redeliveries may have been re-admitted; see the cap's contract.
+  uint64_t duplicate_ids_evicted() const { return duplicate_ids_evicted_; }
+
+  /// Copies out the buffer's complete logical state (checkpointing).
+  /// The buffer itself is not disturbed.
+  ReorderBufferState ExportState() const;
+
+  /// Replaces this buffer's contents with `state` (recovery). The
+  /// options stay as constructed — state is backend-neutral, so a
+  /// checkpoint taken under one backend restores under the other.
+  /// Returns DataLoss for internally inconsistent state (unsorted or
+  /// beyond-watermark buffered events, duplicate seen ids).
+  Status RestoreState(const ReorderBufferState& state);
 
  private:
   /// End-of-chain marker for the overflow node links.
@@ -459,6 +515,8 @@ class ReorderBuffer {
   uint64_t late_dropped_count_ = 0;
   uint64_t duplicate_count_ = 0;
   uint64_t released_count_ = 0;
+  uint64_t duplicate_ids_high_water_ = 0;
+  uint64_t duplicate_ids_evicted_ = 0;
 };
 
 }  // namespace bikegraph::stream

@@ -211,4 +211,10 @@ uint64_t SnapshotPublisher::epoch() const {
   return epoch_;
 }
 
+void SnapshotPublisher::RestoreEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  epoch_ = epoch;
+  current_.reset();
+}
+
 }  // namespace bikegraph::stream

@@ -116,6 +116,12 @@ class SnapshotPublisher {
   /// Epoch of the latest published snapshot (0 before any publish).
   uint64_t epoch() const;
 
+  /// Recovery only: rewinds the epoch counter so the next Publish stamps
+  /// `epoch + 1`, and drops the current snapshot (a recovered engine
+  /// rebuilds and republishes it, or lets the next freeze do so). Epoch
+  /// numbering then continues exactly where the crashed run left off.
+  void RestoreEpoch(uint64_t epoch);
+
  private:
   mutable std::mutex mutex_;
   std::shared_ptr<const WindowSnapshot> current_;

@@ -1,0 +1,493 @@
+#include "stream/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+namespace bikegraph::stream {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Frame header: u32 payload length + u32 CRC32C(payload).
+constexpr size_t kFrameHeaderBytes = 8;
+/// Segment header: 8-byte magic + u64 first_seq + u32 CRC of the 16
+/// preceding bytes.
+constexpr char kSegmentMagic[8] = {'B', 'G', 'W', 'A', 'L', '1', '\n', '\0'};
+constexpr size_t kSegmentHeaderBytes = 20;
+/// Engine records are tens of bytes; an explicit-spec detect record tops
+/// out well under 1 KiB. Anything claiming more is framing garbage.
+constexpr uint32_t kMaxPayloadBytes = 1u << 16;
+/// User-space write-through threshold.
+constexpr size_t kWriteBufferBytes = 64u << 10;
+
+std::string SegmentName(uint64_t first_seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".log", first_seq);
+  return buf;
+}
+
+/// Parses "wal-<seq20>.log"; false for any other name.
+bool ParseSegmentName(const std::string& name, uint64_t* first_seq) {
+  if (name.size() != 28 || name.rfind("wal-", 0) != 0 ||
+      name.compare(24, 4, ".log") != 0) {
+    return false;
+  }
+  uint64_t seq = 0;
+  for (size_t i = 4; i < 24; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *first_seq = seq;
+  return true;
+}
+
+Status IOError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+Status FsyncDirectory(const std::string& directory) {
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IOError("open directory", directory);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return IOError("fsync directory", directory);
+  return Status::OK();
+}
+
+void EncodeSpec(const community::DetectSpec& spec, std::string* out) {
+  wire::PutI32(out, static_cast<int32_t>(spec.algorithm));
+  wire::PutU64(out, spec.options.seed);
+  wire::PutDouble(out, spec.options.resolution);
+  const auto put_opt_i32 = [out](const std::optional<int>& v) {
+    wire::PutU8(out, v.has_value() ? 1 : 0);
+    wire::PutI32(out, v.value_or(0));
+  };
+  const auto put_opt_double = [out](const std::optional<double>& v) {
+    wire::PutU8(out, v.has_value() ? 1 : 0);
+    wire::PutDouble(out, v.value_or(0.0));
+  };
+  put_opt_i32(spec.options.max_levels);
+  put_opt_i32(spec.options.max_sweeps_per_level);
+  put_opt_i32(spec.options.max_iterations);
+  wire::PutU64(out, spec.options.max_merges);
+  put_opt_double(spec.options.min_gain);
+  put_opt_double(spec.options.min_improvement);
+}
+
+void DecodeSpec(wire::Cursor* in, community::DetectSpec* spec) {
+  spec->algorithm = static_cast<community::AlgorithmId>(in->I32());
+  spec->options.seed = in->U64();
+  spec->options.resolution = in->Double();
+  const auto get_opt_i32 = [in](std::optional<int>* v) {
+    const bool has = in->U8() != 0;
+    const int32_t value = in->I32();
+    if (has) *v = value;
+  };
+  const auto get_opt_double = [in](std::optional<double>* v) {
+    const bool has = in->U8() != 0;
+    const double value = in->Double();
+    if (has) *v = value;
+  };
+  get_opt_i32(&spec->options.max_levels);
+  get_opt_i32(&spec->options.max_sweeps_per_level);
+  get_opt_i32(&spec->options.max_iterations);
+  spec->options.max_merges = in->U64();
+  get_opt_double(&spec->options.min_gain);
+  get_opt_double(&spec->options.min_improvement);
+}
+
+void EncodePayload(const WalRecord& record, std::string* out) {
+  wire::PutU8(out, static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case WalRecordType::kEvent:
+      wire::PutI64(out, record.event.rental_id);
+      wire::PutI32(out, record.event.from_station);
+      wire::PutI32(out, record.event.to_station);
+      wire::PutI64(out, record.event.start_time.seconds_since_epoch());
+      wire::PutI64(out, record.event.end_time.seconds_since_epoch());
+      break;
+    case WalRecordType::kAdvance:
+      wire::PutI64(out, record.watermark_seconds);
+      break;
+    case WalRecordType::kFlush:
+    case WalRecordType::kSnapshot:
+      break;
+    case WalRecordType::kDetect:
+      wire::PutU8(out, record.default_spec ? 1 : 0);
+      if (!record.default_spec) EncodeSpec(record.spec, out);
+      break;
+  }
+}
+
+/// False on any structural problem (unknown type, short or oversized
+/// payload) — the caller treats that like a CRC failure.
+bool DecodePayload(const void* data, size_t size, WalRecord* record) {
+  wire::Cursor in(data, size);
+  const auto type = static_cast<WalRecordType>(in.U8());
+  record->type = type;
+  switch (type) {
+    case WalRecordType::kEvent:
+      record->event.rental_id = in.I64();
+      record->event.from_station = in.I32();
+      record->event.to_station = in.I32();
+      record->event.start_time = CivilTime(in.I64());
+      record->event.end_time = CivilTime(in.I64());
+      break;
+    case WalRecordType::kAdvance:
+      record->watermark_seconds = in.I64();
+      break;
+    case WalRecordType::kFlush:
+    case WalRecordType::kSnapshot:
+      break;
+    case WalRecordType::kDetect:
+      record->default_spec = in.U8() != 0;
+      if (!record->default_spec) DecodeSpec(&in, &record->spec);
+      break;
+    default:
+      return false;
+  }
+  return in.ok && in.remaining == 0;
+}
+
+std::string EncodeSegmentHeader(uint64_t first_seq) {
+  std::string header(kSegmentMagic, sizeof(kSegmentMagic));
+  wire::PutU64(&header, first_seq);
+  wire::PutU32(&header, Crc32c(header.data(), header.size()));
+  return header;
+}
+
+/// Returns false (without touching `first_seq`) for a missing/corrupt
+/// header.
+bool DecodeSegmentHeader(const std::string& bytes, uint64_t* first_seq) {
+  if (bytes.size() < kSegmentHeaderBytes) return false;
+  if (std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return false;
+  }
+  wire::Cursor in(bytes.data() + 8, kSegmentHeaderBytes - 8);
+  const uint64_t seq = in.U64();
+  const uint32_t crc = in.U32();
+  if (crc != Crc32c(bytes.data(), 16)) return false;
+  *first_seq = seq;
+  return true;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IOError("open", path);
+  std::string out;
+  char buf[1u << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return IOError("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+/// Sorted (by first_seq) list of the WAL segments under `directory`.
+std::vector<std::pair<uint64_t, std::string>> ListSegments(
+    const std::string& directory) {
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    uint64_t first_seq = 0;
+    if (ParseSegmentName(entry.path().filename().string(), &first_seq)) {
+      segments.emplace_back(first_seq, entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  // Table built once, on first use (thread-safe under C++11 statics).
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const DurabilityConfig& config, uint64_t next_seq,
+    const std::string& tail_segment_path, uint64_t tail_segment_bytes) {
+  if (config.directory.empty()) {
+    return Status::InvalidArgument("DurabilityConfig.directory is empty");
+  }
+  if (next_seq == 0) {
+    return Status::InvalidArgument("WAL sequence numbers are 1-based");
+  }
+  auto writer = std::unique_ptr<WalWriter>(new WalWriter(config));
+  writer->next_seq_ = next_seq;
+  if (tail_segment_path.empty()) {
+    BIKEGRAPH_RETURN_NOT_OK(writer->OpenSegment(next_seq));
+  } else {
+    writer->fd_ = ::open(tail_segment_path.c_str(), O_WRONLY | O_APPEND);
+    if (writer->fd_ < 0) return IOError("open", tail_segment_path);
+    writer->segment_bytes_ = tail_segment_bytes;
+    writer->segment_empty_ = tail_segment_bytes <= kSegmentHeaderBytes;
+  }
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    // Best-effort flush of buffered records; a process exiting cleanly
+    // should not lose its own unsynced tail. Errors are unreportable
+    // here — recovery's torn-tail handling covers the loss.
+    (void)WriteBuffer();
+    ::close(fd_);
+  }
+}
+
+Status WalWriter::OpenSegment(uint64_t first_seq) {
+  const std::string path =
+      (fs::path(config_.directory) / SegmentName(first_seq)).string();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd_ < 0) return IOError("create segment", path);
+  buffer_ = EncodeSegmentHeader(first_seq);
+  segment_bytes_ = buffer_.size();
+  segment_empty_ = true;
+  ++segments_opened_;
+  BIKEGRAPH_RETURN_NOT_OK(WriteBuffer());
+  // The new name must itself survive a crash before any record in it is
+  // considered durable.
+  return FsyncDirectory(config_.directory);
+}
+
+Status WalWriter::WriteBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  const char* p = buffer_.data();
+  size_t left = buffer_.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      poisoned_ = IOError("write WAL segment", config_.directory);
+      return poisoned_;
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  BIKEGRAPH_RETURN_NOT_OK(poisoned_);
+  if (fd_ < 0) return Status::FailedPrecondition("WAL writer is closed");
+  // Rotate *before* the record so a segment's name (its first record's
+  // sequence number) stays truthful. An empty segment never rotates —
+  // its successor would carry the same first sequence (and name), and a
+  // segment under the size limit holding one oversized record is fine.
+  if (!segment_empty_ && segment_bytes_ >= config_.segment_bytes) {
+    BIKEGRAPH_RETURN_NOT_OK(Sync());
+    ::close(fd_);
+    fd_ = -1;
+    BIKEGRAPH_RETURN_NOT_OK(OpenSegment(next_seq_));
+  }
+  std::string payload;
+  EncodePayload(record, &payload);
+  wire::PutU32(&buffer_, static_cast<uint32_t>(payload.size()));
+  wire::PutU32(&buffer_, Crc32c(payload.data(), payload.size()));
+  buffer_.append(payload);
+  segment_bytes_ += kFrameHeaderBytes + payload.size();
+  segment_empty_ = false;
+  ++next_seq_;
+  ++records_since_sync_;
+  if (buffer_.size() >= kWriteBufferBytes) {
+    BIKEGRAPH_RETURN_NOT_OK(WriteBuffer());
+  }
+  if (config_.sync_interval_records > 0 &&
+      records_since_sync_ >= config_.sync_interval_records) {
+    return Sync();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  BIKEGRAPH_RETURN_NOT_OK(poisoned_);
+  if (fd_ < 0) return Status::FailedPrecondition("WAL writer is closed");
+  BIKEGRAPH_RETURN_NOT_OK(WriteBuffer());
+  if (records_since_sync_ == 0) return Status::OK();
+  if (::fsync(fd_) != 0) {
+    poisoned_ = IOError("fsync WAL segment", config_.directory);
+    return poisoned_;
+  }
+  records_since_sync_ = 0;
+  ++sync_count_;
+  return Status::OK();
+}
+
+Result<WalReadResult> ReadWal(const std::string& directory,
+                              bool repair_torn_tail) {
+  WalReadResult result;
+  std::error_code ec;
+  if (!fs::exists(directory, ec)) return result;  // empty log
+  auto segments = ListSegments(directory);
+
+  // A crash during rotation can leave a final segment whose header never
+  // hit the disk; it holds no valid record, so drop it and resume on the
+  // previous segment.
+  while (!segments.empty()) {
+    const std::string& path = segments.back().second;
+    BIKEGRAPH_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+    uint64_t header_seq = 0;
+    if (DecodeSegmentHeader(bytes, &header_seq)) break;
+    result.truncated_bytes += bytes.size();
+    if (repair_torn_tail) {
+      if (!fs::remove(path, ec) || ec) {
+        return Status::IOError("remove header-torn WAL segment '" + path +
+                               "': " + ec.message());
+      }
+    }
+    segments.pop_back();
+  }
+
+  uint64_t expected_seq = 0;  // 0 = not yet anchored
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const bool is_tail = i + 1 == segments.size();
+    const std::string& path = segments[i].second;
+    BIKEGRAPH_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+    uint64_t header_seq = 0;
+    if (!DecodeSegmentHeader(bytes, &header_seq)) {
+      // Only the tail may be header-torn, and those were peeled off
+      // above.
+      return Status::DataLoss("WAL segment '" + path +
+                              "' has a corrupt header");
+    }
+    if (header_seq != segments[i].first) {
+      return Status::DataLoss("WAL segment '" + path +
+                              "' header seq does not match its filename");
+    }
+    if (expected_seq != 0 && header_seq != expected_seq) {
+      return Status::DataLoss(
+          "WAL segment '" + path + "' starts at seq " +
+          std::to_string(header_seq) + " but seq " +
+          std::to_string(expected_seq) +
+          " was expected — a segment is missing or was truncated");
+    }
+
+    size_t valid_end = kSegmentHeaderBytes;
+    size_t offset = kSegmentHeaderBytes;
+    uint64_t seq = header_seq;
+    for (;;) {
+      valid_end = offset;
+      if (offset == bytes.size()) break;
+      bool valid = bytes.size() - offset >= kFrameHeaderBytes;
+      uint32_t len = 0;
+      uint32_t crc = 0;
+      WalRecord record;
+      if (valid) {
+        wire::Cursor frame(bytes.data() + offset, kFrameHeaderBytes);
+        len = frame.U32();
+        crc = frame.U32();
+        valid = len <= kMaxPayloadBytes &&
+                bytes.size() - offset - kFrameHeaderBytes >= len;
+      }
+      if (valid) {
+        const char* payload = bytes.data() + offset + kFrameHeaderBytes;
+        valid = Crc32c(payload, len) == crc &&
+                DecodePayload(payload, len, &record);
+      }
+      if (!valid) {
+        if (!is_tail) {
+          return Status::DataLoss(
+              "WAL segment '" + path + "' is corrupt at offset " +
+              std::to_string(offset) +
+              " but is not the tail segment — the records after it "
+              "cannot be trusted");
+        }
+        // Torn tail: keep the valid prefix, discard the rest.
+        result.truncated_bytes += bytes.size() - offset;
+        if (repair_torn_tail) {
+          const int fd = ::open(path.c_str(), O_WRONLY);
+          if (fd < 0) return IOError("open for repair", path);
+          const int rc = ::ftruncate(fd, static_cast<off_t>(offset));
+          const int sc = rc == 0 ? ::fsync(fd) : 0;
+          ::close(fd);
+          if (rc != 0 || sc != 0) return IOError("truncate torn tail", path);
+        }
+        break;
+      }
+      if (result.records.empty()) result.first_seq = seq;
+      result.records.push_back(std::move(record));
+      result.last_seq = seq;
+      ++seq;
+      offset += kFrameHeaderBytes + len;
+    }
+    expected_seq = seq;
+    ++result.segment_count;
+    result.tail_segment_path = path;
+    // The loop above stopped either at EOF or at the torn point; either
+    // way `valid_end` is the segment's valid byte length.
+    result.tail_segment_bytes = static_cast<uint64_t>(valid_end);
+  }
+  return result;
+}
+
+Status PruneWalSegments(const std::string& directory, uint64_t through_seq,
+                        uint64_t* pruned) {
+  if (pruned != nullptr) *pruned = 0;
+  auto segments = ListSegments(directory);
+  std::error_code ec;
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    // Segment i holds seqs [first_i, first_{i+1}); removable when they
+    // are all covered.
+    if (segments[i + 1].first <= through_seq + 1) {
+      if (!fs::remove(segments[i].second, ec) || ec) {
+        return Status::IOError("remove WAL segment '" + segments[i].second +
+                               "': " + ec.message());
+      }
+      if (pruned != nullptr) ++(*pruned);
+    }
+  }
+  return Status::OK();
+}
+
+bool DirectoryHasDurableState(const std::string& directory) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t seq = 0;
+    if (ParseSegmentName(name, &seq)) return true;
+    if (name.size() > 5 && name.rfind("ckpt-", 0) == 0 &&
+        name.compare(name.size() - 5, 5, ".ckpt") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bikegraph::stream

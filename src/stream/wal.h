@@ -1,0 +1,258 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "community/detector.h"
+#include "stream/event.h"
+
+namespace bikegraph::stream {
+
+/// \brief CRC32C (Castagnoli, the iSCSI/leveldb polynomial) of `size`
+/// bytes, optionally chained via `seed` (pass a previous return value to
+/// extend). Software slice-by-one table implementation — the WAL frames
+/// are tens of bytes, so table lookup is already memory-bound; no
+/// hardware intrinsics are assumed.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+/// \brief Durability knobs for a StreamEngine: write-ahead logging of
+/// every state-changing call plus periodic checkpoints, both under
+/// `directory`. Off by default — a disabled engine takes one untaken
+/// branch per call and allocates nothing.
+///
+/// File layout under `directory` (see docs/DURABILITY.md):
+///   wal-<seq20>.log    append-only segments; <seq20> is the sequence
+///                      number of the segment's first record
+///   ckpt-<seq20>.ckpt  checkpoints; <seq20> is the last WAL sequence
+///                      number the checkpointed state covers
+struct DurabilityConfig {
+  /// Master switch. When false every other field is ignored.
+  bool enabled = false;
+  /// Directory for WAL segments and checkpoints (created if missing).
+  /// A fresh engine refuses a directory that already holds durable
+  /// state — use StreamEngine::Recover() for those.
+  std::string directory;
+  /// Rotate to a new segment once the current one reaches this size.
+  uint64_t segment_bytes = uint64_t{64} << 20;
+  /// Group fsync: the log is fsynced after every N appended records
+  /// (and always by Checkpoint()/SyncWal()). 0 disables interval syncs
+  /// entirely — only explicit sync points make records crash-durable.
+  /// Smaller N shrinks the window of arrivals a crash can lose; larger
+  /// N amortizes the fsync latency over more events (measured in
+  /// docs/DURABILITY.md).
+  uint64_t sync_interval_records = 512;
+  /// Checkpoints retained after each successful Checkpoint(); older
+  /// ones — and the WAL segments only they needed — are pruned. At
+  /// least 2 keeps a fallback when the newest file is torn by a crash.
+  size_t checkpoints_kept = 2;
+};
+
+/// \brief What one WAL record reproduces. Every state-changing
+/// StreamEngine entry point appends exactly one record *before* applying
+/// it, so replaying the log in order reproduces the engine bit for bit —
+/// including derived state: snapshots and detection mutate the publisher
+/// epoch and the tracker seed, so they are logged too (as the intent, a
+/// few bytes; replay re-executes them deterministically).
+enum class WalRecordType : uint8_t {
+  kEvent = 1,     ///< Ingest(event) — logged pre-dedup/pre-late-check so
+                  ///< replay reproduces the drop/suppress counters too.
+  kAdvance = 2,   ///< Advance(watermark)
+  kFlush = 3,     ///< Flush()
+  kSnapshot = 4,  ///< Snapshot() that was not a published-epoch no-op
+  kDetect = 5,    ///< DetectCurrent(); `default_spec` distinguishes the
+                  ///< engine-default spec from an explicit one
+};
+
+/// \brief One log record. Only the fields of the active `type` are
+/// meaningful (and serialized).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kEvent;
+  TripEvent event{};                      // kEvent
+  int64_t watermark_seconds = 0;          // kAdvance
+  bool default_spec = true;               // kDetect
+  community::DetectSpec spec{};           // kDetect, default_spec == false
+                                          // (initial_partition not carried
+                                          // — DetectCurrent ignores it)
+};
+
+/// \brief Append side of the log: length-prefixed, CRC32C-framed records
+/// buffered in user space, written through on a 64 KiB high-water mark,
+/// and fsynced in groups of `sync_interval_records`. Rotates to a new
+/// segment at `segment_bytes`. Not thread-safe (the engine serializes).
+class WalWriter {
+ public:
+  /// Opens a writer that will append record `next_seq` first. With an
+  /// empty `tail_segment_path` a new segment named for `next_seq` is
+  /// created (the fresh-log and post-recovery-rotation cases); otherwise
+  /// appends to the given segment, which must currently be exactly
+  /// `tail_segment_bytes` long (ReadWal's repaired valid length).
+  static Result<std::unique_ptr<WalWriter>> Open(
+      const DurabilityConfig& config, uint64_t next_seq,
+      const std::string& tail_segment_path = {},
+      uint64_t tail_segment_bytes = 0);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Buffers one record (sequence number `next_seq()`), writing through
+  /// and group-fsyncing per the config. An I/O error poisons the writer:
+  /// every later call returns the same error (the log tail is suspect).
+  Status Append(const WalRecord& record);
+
+  /// Writes the buffer through and fsyncs — after this every appended
+  /// record survives a crash. No-op when nothing is pending.
+  Status Sync();
+
+  /// Sequence number the next Append will get (1-based).
+  uint64_t next_seq() const { return next_seq_; }
+  /// fsync calls issued (group syncs + explicit Sync).
+  uint64_t sync_count() const { return sync_count_; }
+  /// Segments created by this writer (rotation observability).
+  uint64_t segments_opened() const { return segments_opened_; }
+
+ private:
+  explicit WalWriter(const DurabilityConfig& config) : config_(config) {}
+  Status OpenSegment(uint64_t first_seq);
+  Status WriteBuffer();
+
+  DurabilityConfig config_;
+  int fd_ = -1;
+  std::string buffer_;
+  Status poisoned_ = Status::OK();
+  uint64_t next_seq_ = 1;
+  uint64_t segment_bytes_ = 0;  ///< current segment size incl. buffer
+  bool segment_empty_ = true;   ///< no record yet; must not rotate
+  uint64_t records_since_sync_ = 0;
+  uint64_t sync_count_ = 0;
+  uint64_t segments_opened_ = 0;
+};
+
+/// \brief Everything ReadWal recovered from a log directory.
+struct WalReadResult {
+  /// All valid records in sequence order; record i has sequence number
+  /// `first_seq + i`. Empty for an empty (or fully pruned) log.
+  std::vector<WalRecord> records;
+  uint64_t first_seq = 0;  ///< 0 when `records` is empty
+  uint64_t last_seq = 0;   ///< 0 when `records` is empty
+  /// Bytes dropped from a torn tail (a crash mid-append or mid-sync
+  /// leaves a partial or CRC-failing final frame; everything before it
+  /// is kept, everything from it on is discarded).
+  uint64_t truncated_bytes = 0;
+  uint64_t segment_count = 0;
+  /// The last surviving segment (append target for resumption); empty
+  /// when the directory holds no segments.
+  std::string tail_segment_path;
+  /// Valid byte length of that segment (its physical length after a
+  /// repair).
+  uint64_t tail_segment_bytes = 0;
+};
+
+/// \brief Reads every record under `directory` in sequence order. A torn
+/// *tail* (partial frame, bad CRC, or a header-less final segment from a
+/// crash mid-rotation) is truncated away and counted — with
+/// `repair_torn_tail` the file is physically truncated too, making the
+/// directory clean for a resumed writer. Corruption anywhere *before*
+/// the tail, or a sequence gap between segments, is unrecoverable and
+/// returns DataLoss naming the segment.
+Result<WalReadResult> ReadWal(const std::string& directory,
+                              bool repair_torn_tail);
+
+/// \brief Deletes WAL segments every record of which has sequence number
+/// <= `through_seq` (their state is covered by a checkpoint). The last
+/// segment is always kept — it is the append target. `pruned` (optional)
+/// receives the number of files removed.
+Status PruneWalSegments(const std::string& directory, uint64_t through_seq,
+                        uint64_t* pruned = nullptr);
+
+/// \brief True when `directory` holds WAL segments or checkpoints — the
+/// fresh-engine constructor refuses such a directory so a misconfigured
+/// restart cannot silently shadow recoverable state.
+bool DirectoryHasDurableState(const std::string& directory);
+
+/// Little-endian wire helpers shared by the WAL and checkpoint codecs.
+/// Writers append to a std::string; the reader is a bounds-checked cursor
+/// that goes (and stays) !ok() on any underflow, so decode loops can
+/// check once at the end instead of per field.
+namespace wire {
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(b, 4);
+}
+inline void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(b, 8);
+}
+inline void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+inline void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+struct Cursor {
+  const unsigned char* p = nullptr;
+  size_t remaining = 0;
+  bool ok = true;
+
+  Cursor(const void* data, size_t size)
+      : p(static_cast<const unsigned char*>(data)), remaining(size) {}
+
+  bool Take(size_t n) {
+    if (!ok || remaining < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint8_t U8() {
+    if (!Take(1)) return 0;
+    uint8_t v = p[0];
+    p += 1;
+    remaining -= 1;
+    return v;
+  }
+  uint32_t U32() {
+    if (!Take(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    remaining -= 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Take(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    remaining -= 8;
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double Double() {
+    uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+};
+
+}  // namespace wire
+
+}  // namespace bikegraph::stream

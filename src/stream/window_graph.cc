@@ -225,6 +225,95 @@ void SlidingWindowGraph::PushRing(const RingEntry& e) {
   ++ring_count_;
 }
 
+WindowGraphState SlidingWindowGraph::ExportState() const {
+  WindowGraphState state;
+  state.watermark_seconds = watermark_.seconds_since_epoch();
+  state.last_event_seconds = last_event_seconds_;
+  state.ingested_count = ingested_count_;
+  state.delta_desync_count = delta_desync_count_;
+  state.live_count = live_count_;
+  if (options_.window_seconds > 0) {
+    state.ring.reserve(ring_count_);
+    for (size_t i = 0; i < ring_count_; ++i) {
+      const RingEntry& e = ring_[(ring_head_ + i) & (ring_.size() - 1)];
+      state.ring.push_back({e.start_seconds, e.from, e.to});
+    }
+  } else {
+    state.pairs.reserve(pair_trips_.size());
+    for (const auto& [key, pair_state] : pair_trips_) {
+      state.pairs.emplace_back(key, pair_state.trips);
+    }
+    std::sort(state.pairs.begin(), state.pairs.end());
+    state.day = day_;
+    state.hour = hour_;
+    state.endpoint_count = endpoint_count_;
+  }
+  return state;
+}
+
+Status SlidingWindowGraph::RestoreState(const WindowGraphState& state) {
+  const auto n = static_cast<int64_t>(options_.station_count);
+  *this = SlidingWindowGraph(WindowGraphOptions(options_));
+  if (options_.window_seconds > 0) {
+    // Re-apply the live events: the counters are exactly the sum of
+    // their deltas (integral arithmetic, so bit-identical to the run
+    // that built them), and the ring regains the day/hour fields from
+    // calendar math on the start times.
+    int64_t prev = INT64_MIN;
+    for (const WindowGraphState::RingEvent& e : state.ring) {
+      if (e.start_seconds < prev) {
+        return Status::DataLoss(
+            "checkpointed window ring is not in start-time order");
+      }
+      prev = e.start_seconds;
+      if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n) {
+        return Status::DataLoss(
+            "checkpointed window ring holds an out-of-range station");
+      }
+      const CivilTime start(e.start_seconds);
+      RingEntry entry;
+      entry.start_seconds = e.start_seconds;
+      entry.from = e.from;
+      entry.to = e.to;
+      entry.day = static_cast<uint8_t>(start.weekday());
+      entry.hour = static_cast<uint8_t>(start.hour());
+      ApplyDelta(entry, +1);
+      PushRing(entry);
+      ++live_count_;
+    }
+  } else {
+    if (state.day.size() != options_.station_count ||
+        state.hour.size() != options_.station_count ||
+        state.endpoint_count.size() != options_.station_count) {
+      return Status::DataLoss(
+          "checkpointed window profiles do not cover the station universe");
+    }
+    for (const auto& [key, trips] : state.pairs) {
+      const auto u = static_cast<int32_t>(key >> 32);
+      const auto v = static_cast<int32_t>(key & 0xFFFFFFFFu);
+      if (u < 0 || u >= n || v < u || v >= n || trips <= 0) {
+        return Status::DataLoss(
+            "checkpointed window pair map holds an invalid entry");
+      }
+      pair_trips_[key] = PairState{static_cast<int32_t>(trips), 0};
+    }
+    day_ = state.day;
+    hour_ = state.hour;
+    endpoint_count_ = state.endpoint_count;
+    live_count_ = state.live_count;
+  }
+  if (live_count_ != state.live_count) {
+    return Status::DataLoss(
+        "checkpointed window live_count does not match its ring");
+  }
+  watermark_ = CivilTime(state.watermark_seconds);
+  last_event_seconds_ = state.last_event_seconds;
+  ingested_count_ = state.ingested_count;
+  delta_desync_count_ = state.delta_desync_count;
+  sorted_pairs_dirty_ = true;
+  return Status::OK();
+}
+
 void SlidingWindowGraph::RebuildSortedPairs() const {
   sorted_pairs_.clear();
   sorted_pairs_.reserve(pair_trips_.size());

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/civil_time.h"
@@ -41,6 +42,29 @@ struct WindowDirtySet {
   std::vector<uint64_t> pairs;
   /// Stations whose profile counters changed, sorted ascending.
   std::vector<int32_t> stations;
+};
+
+/// \brief A SlidingWindowGraph's complete logical state, for
+/// checkpointing. A sliding window serializes its expiry ring (the live
+/// events) and rebuilds counters by re-applying them; a landmark window
+/// has no ring, so it serializes the aggregates directly.
+struct WindowGraphState {
+  int64_t watermark_seconds = INT64_MIN;
+  int64_t last_event_seconds = INT64_MIN;
+  uint64_t ingested_count = 0;
+  uint64_t delta_desync_count = 0;
+  uint64_t live_count = 0;
+  /// One live event per entry, oldest first (sliding windows only).
+  struct RingEvent {
+    int64_t start_seconds;
+    int32_t from, to;
+  };
+  std::vector<RingEvent> ring;
+  /// Landmark windows only: the aggregates themselves.
+  std::vector<std::pair<uint64_t, int64_t>> pairs;  ///< (PairKey, trips)
+  std::vector<std::array<int64_t, 7>> day;
+  std::vector<std::array<int64_t, 24>> hour;
+  std::vector<int64_t> endpoint_count;
 };
 
 /// \brief Maintains the weighted station graph of a sliding time window
@@ -175,6 +199,17 @@ class SlidingWindowGraph {
   /// a missing entry; tests assert this stays 0 so any desync surfaces
   /// as a test failure rather than silent memory corruption.
   size_t delta_desync_count() const { return delta_desync_count_; }
+
+  /// Copies out the window's complete logical state (checkpointing).
+  WindowGraphState ExportState() const;
+
+  /// Replaces this window's contents with `state` (recovery): a sliding
+  /// window re-applies the serialized ring events (recomputing the
+  /// day/hour fields from their start times), a landmark window adopts
+  /// the serialized aggregates. Dirty tracking restarts unarmed, exactly
+  /// as on a fresh graph. Returns DataLoss for internally inconsistent
+  /// state (unsorted ring, out-of-range stations, counter mismatches).
+  Status RestoreState(const WindowGraphState& state);
 
  private:
   friend struct WindowGraphTestPeer;

@@ -1,0 +1,629 @@
+// Durability: WAL framing and torn-tail repair, crash-consistent
+// checkpoints, and the headline lock — an engine killed at a randomized
+// point and recovered (checkpoint + WAL replay) must be bit-identical to
+// the uninterrupted run, for sliding and landmark windows alike.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/civil_time.h"
+#include "core/rng.h"
+#include "stream/checkpoint.h"
+#include "stream/engine.h"
+#include "stream/replay.h"
+#include "stream/testing.h"
+#include "stream/wal.h"
+
+#include <gtest/gtest.h>
+
+namespace bikegraph::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path FreshDir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("bg_dur_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<fs::path> SortedFiles(const fs::path& dir,
+                                  const std::string& extension) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == extension) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void FlipByteAt(const fs::path& path, int64_t offset_from_end) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good());
+  file.seekg(0, std::ios::end);
+  const int64_t size = file.tellg();
+  ASSERT_GT(size, offset_from_end);
+  file.seekg(size - offset_from_end);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5A);
+  file.seekp(size - offset_from_end);
+  file.write(&byte, 1);
+}
+
+// ---------------------------------------------------------------------
+// CRC32C + WAL unit coverage.
+
+TEST(Crc32cTest, KnownAnswer) {
+  // RFC 3720 check value for the Castagnoli polynomial.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // Seed chaining: CRC of a split buffer equals CRC of the whole.
+  const uint32_t whole = Crc32c("123456789", 9);
+  EXPECT_EQ(Crc32c("6789", 4, Crc32c("12345", 5)), whole);
+}
+
+TEST(WalTest, RoundTripsEveryRecordType) {
+  const fs::path dir = FreshDir("roundtrip");
+  DurabilityConfig config;
+  config.enabled = true;
+  config.directory = dir.string();
+
+  TripEvent event;
+  event.rental_id = 77;
+  event.from_station = 3;
+  event.to_station = 9;
+  event.start_time = CivilTime(1'600'000'123);
+  event.end_time = CivilTime(1'600'000'999);
+  community::DetectSpec spec;
+  spec.options.seed = 42;
+  spec.options.resolution = 1.5;
+  spec.options.max_levels = 3;
+  spec.options.min_gain = 0.25;
+
+  {
+    auto writer = WalWriter::Open(config, /*next_seq=*/1);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    WalRecord record;
+    record.type = WalRecordType::kEvent;
+    record.event = event;
+    ASSERT_TRUE((*writer)->Append(record).ok());
+    record = WalRecord{};
+    record.type = WalRecordType::kAdvance;
+    record.watermark_seconds = 1'600'003'600;
+    ASSERT_TRUE((*writer)->Append(record).ok());
+    record = WalRecord{};
+    record.type = WalRecordType::kSnapshot;
+    ASSERT_TRUE((*writer)->Append(record).ok());
+    record = WalRecord{};
+    record.type = WalRecordType::kDetect;
+    record.default_spec = true;
+    ASSERT_TRUE((*writer)->Append(record).ok());
+    record = WalRecord{};
+    record.type = WalRecordType::kDetect;
+    record.default_spec = false;
+    record.spec = spec;
+    ASSERT_TRUE((*writer)->Append(record).ok());
+    record = WalRecord{};
+    record.type = WalRecordType::kFlush;
+    ASSERT_TRUE((*writer)->Append(record).ok());
+    ASSERT_TRUE((*writer)->Sync().ok());
+    EXPECT_EQ((*writer)->next_seq(), 7u);
+  }
+
+  auto read = ReadWal(dir.string(), /*repair_torn_tail=*/false);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->records.size(), 6u);
+  EXPECT_EQ(read->first_seq, 1u);
+  EXPECT_EQ(read->last_seq, 6u);
+  EXPECT_EQ(read->truncated_bytes, 0u);
+  const WalRecord& r0 = read->records[0];
+  EXPECT_EQ(r0.type, WalRecordType::kEvent);
+  EXPECT_EQ(r0.event.rental_id, event.rental_id);
+  EXPECT_EQ(r0.event.from_station, event.from_station);
+  EXPECT_EQ(r0.event.to_station, event.to_station);
+  EXPECT_EQ(r0.event.start_time, event.start_time);
+  EXPECT_EQ(r0.event.end_time, event.end_time);
+  EXPECT_EQ(read->records[1].type, WalRecordType::kAdvance);
+  EXPECT_EQ(read->records[1].watermark_seconds, 1'600'003'600);
+  EXPECT_EQ(read->records[2].type, WalRecordType::kSnapshot);
+  EXPECT_EQ(read->records[3].type, WalRecordType::kDetect);
+  EXPECT_TRUE(read->records[3].default_spec);
+  const WalRecord& r4 = read->records[4];
+  EXPECT_EQ(r4.type, WalRecordType::kDetect);
+  EXPECT_FALSE(r4.default_spec);
+  EXPECT_EQ(r4.spec.algorithm, spec.algorithm);
+  EXPECT_EQ(r4.spec.options.seed, spec.options.seed);
+  EXPECT_EQ(r4.spec.options.resolution, spec.options.resolution);
+  EXPECT_EQ(r4.spec.options.max_levels, spec.options.max_levels);
+  EXPECT_EQ(r4.spec.options.min_gain, spec.options.min_gain);
+  EXPECT_EQ(read->records[5].type, WalRecordType::kFlush);
+  fs::remove_all(dir);
+}
+
+TEST(WalTest, TornTailIsTruncatedNotFatal) {
+  const fs::path dir = FreshDir("torn");
+  DurabilityConfig config;
+  config.enabled = true;
+  config.directory = dir.string();
+  {
+    auto writer = WalWriter::Open(config, 1);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 5; ++i) {
+      WalRecord record;
+      record.type = WalRecordType::kAdvance;
+      record.watermark_seconds = 1000 + i;
+      ASSERT_TRUE((*writer)->Append(record).ok());
+    }
+  }
+  auto segments = SortedFiles(dir, ".log");
+  ASSERT_EQ(segments.size(), 1u);
+  // Tear three bytes off the tail — a crash mid-append.
+  fs::resize_file(segments[0], fs::file_size(segments[0]) - 3);
+
+  auto read = ReadWal(dir.string(), /*repair_torn_tail=*/true);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->records.size(), 4u);
+  EXPECT_EQ(read->last_seq, 4u);
+  EXPECT_GT(read->truncated_bytes, 0u);
+
+  // The repair ftruncated the torn bytes away: a second read is clean.
+  auto again = ReadWal(dir.string(), /*repair_torn_tail=*/false);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->records.size(), 4u);
+  EXPECT_EQ(again->truncated_bytes, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(WalTest, CorruptionAwayFromTailIsDataLoss) {
+  const fs::path dir = FreshDir("midrot");
+  DurabilityConfig config;
+  config.enabled = true;
+  config.directory = dir.string();
+  config.segment_bytes = 1;  // rotate before every append after the first
+  {
+    auto writer = WalWriter::Open(config, 1);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 4; ++i) {
+      WalRecord record;
+      record.type = WalRecordType::kAdvance;
+      record.watermark_seconds = i;
+      ASSERT_TRUE((*writer)->Append(record).ok());
+    }
+    EXPECT_EQ((*writer)->segments_opened(), 4u);
+  }
+  auto segments = SortedFiles(dir, ".log");
+  ASSERT_EQ(segments.size(), 4u);
+  FlipByteAt(segments[1], 1);  // corrupt a non-tail segment's payload
+  auto read = ReadWal(dir.string(), /*repair_torn_tail=*/true);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+  fs::remove_all(dir);
+}
+
+TEST(WalTest, RotationKeepsSequenceAndPruneRespectsBound) {
+  const fs::path dir = FreshDir("rotate");
+  DurabilityConfig config;
+  config.enabled = true;
+  config.directory = dir.string();
+  config.segment_bytes = 1;
+  {
+    auto writer = WalWriter::Open(config, 1);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 6; ++i) {
+      WalRecord record;
+      record.type = WalRecordType::kAdvance;
+      record.watermark_seconds = i;
+      ASSERT_TRUE((*writer)->Append(record).ok());
+    }
+  }
+  ASSERT_EQ(SortedFiles(dir, ".log").size(), 6u);
+  auto read = ReadWal(dir.string(), false);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->first_seq, 1u);
+  EXPECT_EQ(read->last_seq, 6u);
+  EXPECT_EQ(read->segment_count, 6u);
+
+  // Pruning through seq 3 keeps every segment a replay from 4 needs.
+  uint64_t pruned = 0;
+  ASSERT_TRUE(PruneWalSegments(dir.string(), 3, &pruned).ok());
+  EXPECT_EQ(pruned, 3u);
+  auto tail = ReadWal(dir.string(), false);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->first_seq, 4u);
+  EXPECT_EQ(tail->last_seq, 6u);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint unit coverage.
+
+EngineCheckpoint SampleCheckpoint() {
+  EngineCheckpoint c;
+  c.wal_seq = 41;
+  c.station_count = 4;
+  c.window_seconds = 3600;
+  c.max_lateness_seconds = 60;
+  c.late_policy = 1;
+  c.suppress_duplicates = 1;
+  c.flushed = 0;
+  c.snapshot_clean = 1;
+  c.publisher_epoch = 3;
+  c.published_window_start_seconds = 100;
+  c.published_window_end_seconds = 4200;
+  c.delta_freeze_count = 2;
+  c.full_freeze_count = 1;
+  c.desyncs_published = 0;
+  c.reorder.watermark_seconds = 4200;
+  c.reorder.reordered_count = 5;
+  c.reorder.released_count = 11;
+  TripEvent buffered;
+  buffered.rental_id = 9;
+  buffered.from_station = 1;
+  buffered.to_station = 2;
+  buffered.start_time = CivilTime(4199);
+  buffered.end_time = CivilTime(4300);
+  c.reorder.buffered.push_back(buffered);
+  c.reorder.seen.emplace_back(4199, 9);
+  c.window.watermark_seconds = 4200;
+  c.window.last_event_seconds = 4190;
+  c.window.ingested_count = 11;
+  c.window.live_count = 1;
+  c.window.ring.push_back({4190, 1, 2});
+  c.tracker.refresh_count = 2;
+  c.tracker.previous_modularity = 0.4375;
+  community::Partition partition;
+  partition.assignment = {0, 0, 1, 1};
+  c.tracker.previous_partition = std::move(partition);
+  return c;
+}
+
+TEST(CheckpointTest, SerializeParseRoundTrip) {
+  const EngineCheckpoint original = SampleCheckpoint();
+  const std::string bytes = SerializeCheckpoint(original);
+  auto parsed = ParseCheckpoint(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SerializeCheckpoint(*parsed), bytes);
+
+  // Truncation and trailing garbage are both DataLoss, not UB.
+  EXPECT_FALSE(ParseCheckpoint(bytes.substr(0, bytes.size() - 1)).ok());
+  EXPECT_FALSE(ParseCheckpoint(bytes + 'x').ok());
+  EXPECT_FALSE(ParseCheckpoint("").ok());
+}
+
+TEST(CheckpointTest, NewestCorruptFallsBackToOlderAndTmpIsSwept) {
+  const fs::path dir = FreshDir("ckpt_fallback");
+  EngineCheckpoint older = SampleCheckpoint();
+  older.wal_seq = 5;
+  EngineCheckpoint newer = SampleCheckpoint();
+  newer.wal_seq = 9;
+  ASSERT_TRUE(WriteCheckpoint(dir.string(), older).ok());
+  ASSERT_TRUE(WriteCheckpoint(dir.string(), newer).ok());
+  auto files = SortedFiles(dir, ".ckpt");
+  ASSERT_EQ(files.size(), 2u);
+  FlipByteAt(files[1], 4);  // bit-rot the newest
+  { std::ofstream stray(dir / "ckpt-junk.ckpt.tmp"); stray << "half"; }
+
+  auto loaded = LoadNewestCheckpoint(dir.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->found);
+  EXPECT_EQ(loaded->checkpoint.wal_seq, 5u);
+  EXPECT_EQ(loaded->skipped, 1u);
+  EXPECT_FALSE(fs::exists(dir / "ckpt-junk.ckpt.tmp"));
+
+  // Prune keeps the newest (corrupt or not — pruning is by name).
+  uint64_t oldest_kept = 0;
+  ASSERT_TRUE(PruneCheckpoints(dir.string(), 1, &oldest_kept).ok());
+  EXPECT_EQ(oldest_kept, 9u);
+  EXPECT_EQ(SortedFiles(dir, ".ckpt").size(), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTest, MissingDirectoryIsNotFoundNotError) {
+  auto loaded = LoadNewestCheckpoint(
+      (fs::path(::testing::TempDir()) / "bg_dur_never_created").string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->found);
+}
+
+// ---------------------------------------------------------------------
+// Engine-level durability plumbing.
+
+TEST(StreamEngineDurabilityTest, FreshEngineRefusesDirectoryWithState) {
+  const fs::path dir = FreshDir("refuse");
+  StreamEngineConfig config;
+  config.station_count = 4;
+  config.durability.enabled = true;
+  config.durability.directory = dir.string();
+  {
+    StreamEngine engine(config);
+    TripEvent event;
+    event.rental_id = 1;
+    event.from_station = 0;
+    event.to_station = 1;
+    event.start_time = CivilTime(1000);
+    event.end_time = CivilTime(1100);
+    ASSERT_TRUE(engine.Ingest(event).ok());
+    EXPECT_EQ(engine.wal_seq(), 1u);
+  }
+  StreamEngine second(config);
+  TripEvent event;
+  event.rental_id = 2;
+  event.from_station = 0;
+  event.to_station = 1;
+  event.start_time = CivilTime(2000);
+  event.end_time = CivilTime(2100);
+  const Status status = second.Ingest(event);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  fs::remove_all(dir);
+}
+
+TEST(StreamEngineDurabilityTest, DisabledDurabilityHasNoDurableSurface) {
+  StreamEngine engine(StreamEngineConfig{.station_count = 4});
+  EXPECT_EQ(engine.wal_seq(), 0u);
+  EXPECT_TRUE(engine.SyncWal().ok());
+  const Status status = engine.Checkpoint();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamEngineDurabilityTest, RecoverEmptyDirectoryIsAFreshEngine) {
+  const fs::path dir = FreshDir("recover_empty");
+  StreamEngineConfig config;
+  config.station_count = 4;
+  config.durability.enabled = true;
+  config.durability.directory = dir.string();
+  StreamEngine::RecoveryStats stats;
+  auto engine = StreamEngine::Recover(config, &stats);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_FALSE(stats.used_checkpoint);
+  EXPECT_EQ(stats.replayed_records, 0u);
+  EXPECT_EQ(stats.recovered_seq, 0u);
+  TripEvent event;
+  event.rental_id = 1;
+  event.from_station = 0;
+  event.to_station = 1;
+  event.start_time = CivilTime(1000);
+  event.end_time = CivilTime(1100);
+  ASSERT_TRUE((*engine)->Ingest(event).ok());
+  EXPECT_EQ((*engine)->wal_seq(), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(StreamEngineDurabilityTest, RecoverRejectsConfigFingerprintMismatch) {
+  const fs::path dir = FreshDir("fingerprint");
+  StreamEngineConfig config;
+  config.station_count = 4;
+  config.durability.enabled = true;
+  config.durability.directory = dir.string();
+  {
+    StreamEngine engine(config);
+    ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+  StreamEngineConfig other = config;
+  other.station_count = 8;
+  auto recovered = StreamEngine::Recover(other);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// The headline lock: randomized kill-point recovery, bit for bit.
+
+struct Op {
+  enum Kind : uint8_t { kIngest, kAdvance, kSnapshot, kDetect, kFlush };
+  Kind kind = kIngest;
+  TripEvent event{};
+  int64_t watermark = 0;
+};
+
+/// An operation script where, by construction, every op appends exactly
+/// one WAL record (Snapshot ops always directly follow a strictly-forward
+/// Advance, so they never hit the unlogged reuse path; Flush appears
+/// once). That makes `ops[i]` ↔ WAL seq `i + 1`, which is how the kill
+/// test knows where to resume.
+std::vector<Op> BuildOpScript(int64_t lateness, uint64_t seed) {
+  auto jittered = JitterArrivalOrder(
+      testing::PlantedStream(24, 3, /*days=*/3, /*trips_per_day=*/400, seed),
+      /*shuffle_seconds=*/lateness, seed);
+  std::vector<Op> ops;
+  ops.reserve(jittered.events.size() + jittered.events.size() / 40 + 8);
+  int64_t last_advance = INT64_MIN;
+  for (size_t i = 0; i < jittered.events.size(); ++i) {
+    Op op;
+    op.kind = Op::kIngest;
+    op.event = jittered.events[i];
+    ops.push_back(op);
+    if ((i + 1) % 60 == 0) {
+      last_advance = std::max(last_advance + 1, jittered.report_seconds[i]);
+      ops.push_back({Op::kAdvance, {}, last_advance});
+      if ((i + 1) % 120 == 0) ops.push_back({Op::kSnapshot, {}, 0});
+      if ((i + 1) % 360 == 0) ops.push_back({Op::kDetect, {}, 0});
+    }
+  }
+  last_advance = std::max(last_advance + 1,
+                          jittered.report_seconds.back() + lateness + 1);
+  ops.push_back({Op::kAdvance, {}, last_advance});
+  ops.push_back({Op::kFlush, {}, 0});
+  ops.push_back({Op::kDetect, {}, 0});
+  return ops;
+}
+
+void ApplyOp(StreamEngine& engine, const Op& op) {
+  switch (op.kind) {
+    case Op::kIngest: {
+      const Status status = engine.Ingest(op.event);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      break;
+    }
+    case Op::kAdvance: {
+      const Status status = engine.Advance(CivilTime(op.watermark));
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      break;
+    }
+    case Op::kSnapshot: {
+      auto snapshot = engine.Snapshot();
+      ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+      break;
+    }
+    case Op::kDetect: {
+      auto outcome = engine.DetectCurrent();
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      break;
+    }
+    case Op::kFlush: {
+      const Status status = engine.Flush();
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      break;
+    }
+  }
+}
+
+/// The bit-lock comparator: everything in the checkpoint except the WAL
+/// position and the freeze-path counters (a recovered engine's first
+/// post-recovery freeze may legitimately take the full path where the
+/// uninterrupted run used a delta — the *results* are still identical,
+/// which is exactly what the delta lock guarantees).
+std::string ComparableState(const StreamEngine& engine) {
+  EngineCheckpoint c = engine.CaptureState();
+  c.wal_seq = 0;
+  c.delta_freeze_count = 0;
+  c.full_freeze_count = 0;
+  return SerializeCheckpoint(c);
+}
+
+void ExpectGraphsIdentical(const graphdb::WeightedGraph& a,
+                           const graphdb::WeightedGraph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  ASSERT_EQ(a.self_loop_count(), b.self_loop_count());
+  EXPECT_EQ(a.total_weight(), b.total_weight());  // bitwise, not NEAR
+  for (size_t u = 0; u < a.node_count(); ++u) {
+    const auto ui = static_cast<int32_t>(u);
+    EXPECT_EQ(a.self_weight(ui), b.self_weight(ui)) << "node " << u;
+    auto na = a.neighbors(ui);
+    auto nb = b.neighbors(ui);
+    ASSERT_EQ(na.size(), nb.size()) << "node " << u;
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].node, nb[i].node) << "node " << u << " nb " << i;
+      EXPECT_EQ(na[i].weight, nb[i].weight) << "node " << u << " nb " << i;
+    }
+  }
+}
+
+void RunKillPointLock(int64_t window_seconds, uint64_t seed,
+                      const std::string& tag) {
+  const int64_t lateness = 900;
+  const std::vector<Op> ops = BuildOpScript(lateness, seed);
+
+  StreamEngineConfig base;
+  base.station_count = 24;
+  base.window_seconds = window_seconds;
+  base.max_lateness_seconds = lateness;
+  base.suppress_duplicate_rentals = true;
+  base.detection.options.seed = 7;
+
+  // The uninterrupted reference run, no durability.
+  StreamEngine reference(base);
+  for (const Op& op : ops) {
+    ApplyOp(reference, op);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  }
+
+  Rng rng(seed * 1000003 + 17);
+  for (int trial = 0; trial < 4; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const fs::path dir = FreshDir(tag + "_" + std::to_string(trial));
+    StreamEngineConfig durable = base;
+    durable.durability.enabled = true;
+    durable.durability.directory = dir.string();
+    durable.durability.segment_bytes = 1 << 14;  // force rotations
+    durable.durability.sync_interval_records = 64;
+
+    const auto kill = static_cast<size_t>(rng.NextBounded(ops.size() + 1));
+    const size_t checkpoint_every = 150 + rng.NextBounded(200);
+    size_t checkpoints = 0;
+    {
+      StreamEngine engine(durable);
+      for (size_t i = 0; i < kill; ++i) {
+        ApplyOp(engine, ops[i]);
+        ASSERT_FALSE(::testing::Test::HasFatalFailure());
+        ASSERT_EQ(engine.wal_seq(), i + 1) << "op/seq mapping drifted";
+        if ((i + 1) % checkpoint_every == 0) {
+          ASSERT_TRUE(engine.Checkpoint().ok());
+          ++checkpoints;
+        }
+      }
+    }  // "crash" — the writer flushed its buffer, nothing else ran
+
+    // Maybe tear the WAL tail: a crash mid-append leaves a half frame.
+    if (rng.NextDouble() < 0.5) {
+      auto segments = SortedFiles(dir, ".log");
+      if (!segments.empty()) {
+        const fs::path& tail = segments.back();
+        const auto size = static_cast<int64_t>(fs::file_size(tail));
+        const int64_t tear =
+            std::min<int64_t>(size, 1 + rng.NextInt(0, 39));
+        fs::resize_file(tail, static_cast<uint64_t>(size - tear));
+      }
+    }
+    // Maybe bit-rot the newest checkpoint — only when an older one
+    // survives to fall back to (with one checkpoint, rotting it can
+    // legitimately strand pruned WAL history; that is real data loss,
+    // not a recovery bug).
+    if (checkpoints >= 2 && rng.NextDouble() < 0.5) {
+      auto files = SortedFiles(dir, ".ckpt");
+      if (files.size() >= 2) FlipByteAt(files.back(), 6);
+    }
+
+    StreamEngine::RecoveryStats stats;
+    auto recovered = StreamEngine::Recover(durable, &stats);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    ASSERT_LE(stats.recovered_seq, kill);
+    EXPECT_EQ(stats.replay_errors, 0u);
+    EXPECT_EQ((*recovered)->wal_seq(), stats.recovered_seq);
+
+    // Resume exactly where the log left off and finish the script.
+    for (size_t i = stats.recovered_seq; i < ops.size(); ++i) {
+      ApplyOp(**recovered, ops[i]);
+      ASSERT_FALSE(::testing::Test::HasFatalFailure());
+      ASSERT_EQ((*recovered)->wal_seq(), i + 1);
+    }
+
+    EXPECT_EQ(ComparableState(**recovered), ComparableState(reference))
+        << "recovered state diverged from the uninterrupted run";
+    auto snap_a = (*recovered)->LatestSnapshot();
+    auto snap_b = reference.LatestSnapshot();
+    ASSERT_NE(snap_a, nullptr);
+    ASSERT_NE(snap_b, nullptr);
+    EXPECT_EQ(snap_a->epoch, snap_b->epoch);
+    EXPECT_EQ(snap_a->window_start, snap_b->window_start);
+    EXPECT_EQ(snap_a->window_end, snap_b->window_end);
+    EXPECT_EQ(snap_a->trip_count, snap_b->trip_count);
+    ExpectGraphsIdentical(snap_a->graph, snap_b->graph);
+    EXPECT_EQ(snap_a->profiles.day, snap_b->profiles.day);
+    EXPECT_EQ(snap_a->profiles.hour, snap_b->profiles.hour);
+    fs::remove_all(dir);
+  }
+}
+
+TEST(StreamDurabilityLockTest, KillPointRecoveryIsBitIdenticalSliding) {
+  RunKillPointLock(/*window_seconds=*/86400, /*seed=*/11, "kill_sliding");
+}
+
+TEST(StreamDurabilityLockTest, KillPointRecoveryIsBitIdenticalLandmark) {
+  RunKillPointLock(/*window_seconds=*/0, /*seed=*/12, "kill_landmark");
+}
+
+}  // namespace
+}  // namespace bikegraph::stream

@@ -444,4 +444,117 @@ TEST(StreamEngineTest, ExtraStationPositionsAreNotIndexed) {
 }
 
 }  // namespace
+
+// Friend of SlidingWindowGraph (must live at namespace scope): forges a
+// −1 delta for a pair the live graph never saw, the bookkeeping bug that
+// delta_desync_count() exists to surface.
+struct WindowGraphTestPeer {
+  static void ForceDesync(StreamEngine* engine) {
+    SlidingWindowGraph::RingEntry entry;
+    entry.start_seconds = 0;
+    entry.from = 0;
+    entry.to = 1;
+    entry.day = 0;
+    entry.hour = 0;
+    const_cast<SlidingWindowGraph&>(engine->window()).ApplyDelta(entry, -1);
+  }
+};
+
+namespace {
+
+TripEvent TripAt(int32_t from, int32_t to, CivilTime start) {
+  TripEvent e;
+  e.from_station = from;
+  e.to_station = to;
+  e.start_time = start;
+  e.end_time = start.AddSeconds(300);
+  return e;
+}
+
+TEST(StreamEngineTest, FlushIsIdempotent) {
+  StreamEngineConfig config;
+  config.station_count = 4;
+  config.window_seconds = 0;
+  StreamEngine engine(config);
+  const CivilTime t0 = CivilTime::FromCalendar(2020, 5, 4, 9).ValueOrDie();
+  ASSERT_TRUE(engine.Ingest(TripAt(0, 1, t0)).ok());
+
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_TRUE(engine.flushed());
+  EXPECT_EQ(engine.buffered_count(), 0u);
+  const size_t ingested = engine.ingested_count();
+  const CivilTime watermark = engine.watermark();
+
+  // A second Flush is a no-op, not an error — and moves nothing.
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_TRUE(engine.flushed());
+  EXPECT_EQ(engine.ingested_count(), ingested);
+  EXPECT_EQ(engine.watermark(), watermark);
+}
+
+TEST(StreamEngineTest, IngestAfterFlushFailsLoudly) {
+  StreamEngineConfig config;
+  config.station_count = 4;
+  config.window_seconds = 0;
+  StreamEngine engine(config);
+  const CivilTime t0 = CivilTime::FromCalendar(2020, 5, 4, 9).ValueOrDie();
+  ASSERT_TRUE(engine.Ingest(TripAt(0, 1, t0)).ok());
+  ASSERT_TRUE(engine.Flush().ok());
+
+  Status s = engine.Ingest(TripAt(1, 2, t0.AddSeconds(60)));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.ingested_count(), 1u);
+}
+
+// A delta/live desync must (a) surface through the engine's stats and
+// (b) force the next freeze down the full-rebuild path, after which
+// delta freezing re-arms.
+TEST(StreamEngineTest, DesyncForcesFullFreeze) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "debug builds assert inside ApplyDelta instead of "
+                  "counting; the release counter path is what ships";
+#else
+  StreamEngineConfig config;
+  config.station_count = 12;
+  config.window_seconds = 0;  // landmark: nothing expires mid-test
+  StreamEngine engine(config);
+  const CivilTime t0 = CivilTime::FromCalendar(2020, 5, 4, 9).ValueOrDie();
+
+  // Every u<v pair except (0,1): 65 edges, so one dirty pair is 1/66 of
+  // the previous graph — comfortably under the 0.25 delta fallback.
+  int64_t offset = 0;
+  for (int32_t u = 0; u < 12; ++u) {
+    for (int32_t v = u + 1; v < 12; ++v) {
+      if (u == 0 && v == 1) continue;
+      ASSERT_TRUE(engine.Ingest(TripAt(u, v, t0.AddSeconds(offset++))).ok());
+    }
+  }
+  ASSERT_TRUE(engine.Snapshot().ok());  // first freeze is always full
+  EXPECT_EQ(engine.full_freeze_count(), 1u);
+  EXPECT_EQ(engine.delta_freeze_count(), 0u);
+
+  ASSERT_TRUE(engine.Ingest(TripAt(2, 3, t0.AddSeconds(offset++))).ok());
+  ASSERT_TRUE(engine.Snapshot().ok());
+  EXPECT_EQ(engine.delta_freeze_count(), 1u);  // the delta path works
+
+  EXPECT_EQ(engine.delta_desync_count(), 0u);
+  WindowGraphTestPeer::ForceDesync(&engine);
+  EXPECT_EQ(engine.delta_desync_count(), 1u);
+
+  // The freeze after a desync must not trust the dirty set: full rebuild.
+  ASSERT_TRUE(engine.Ingest(TripAt(2, 3, t0.AddSeconds(offset++))).ok());
+  ASSERT_TRUE(engine.Snapshot().ok());
+  EXPECT_EQ(engine.full_freeze_count(), 2u);
+  EXPECT_EQ(engine.delta_freeze_count(), 1u);
+
+  // With the desync acknowledged, delta freezing re-arms.
+  ASSERT_TRUE(engine.Ingest(TripAt(2, 3, t0.AddSeconds(offset++))).ok());
+  ASSERT_TRUE(engine.Snapshot().ok());
+  EXPECT_EQ(engine.delta_freeze_count(), 2u);
+  EXPECT_EQ(engine.delta_desync_count(), 1u);  // counted once, kept
+#endif
+}
+
+}  // namespace
 }  // namespace bikegraph::stream

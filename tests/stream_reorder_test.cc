@@ -645,5 +645,54 @@ TEST_F(JitteredReplayEquivalenceTest, LandmarkWindowBitForBit) {
   ExpectJitteredReplayEquivalent(*pipeline_, /*window_seconds=*/0);
 }
 
+// ---------------------------------------------------------------------------
+// Duplicate-suppression memory bound (max_duplicate_ids).
+// ---------------------------------------------------------------------------
+
+// The pre-fix failure mode: with the cap disabled, a long-lateness stream
+// of distinct rental ids grows the suppression set without bound — the
+// high-water mark tracks the stream length, not any horizon.
+TEST_P(ReorderBufferTest, DuplicateIdSetGrowsUnboundedWithoutCap) {
+  ReorderBufferOptions options =
+      Opts(/*max_lateness_seconds=*/86400, LateEventPolicy::kDrop,
+           /*suppress_duplicates=*/true);
+  options.max_duplicate_ids = 0;  // unbounded (the pre-fix behaviour)
+  ReorderBuffer buffer(options);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        buffer.Push(Trip(0, 1, At(6, 8).AddSeconds(i), 1000 + i)).ok());
+  }
+  // One live set entry per distinct id: nothing aged out (the horizon is
+  // a day) and nothing was evicted (no cap).
+  EXPECT_EQ(buffer.duplicate_ids_high_water(), 500u);
+  EXPECT_EQ(buffer.duplicate_ids_evicted(), 0u);
+}
+
+TEST_P(ReorderBufferTest, DuplicateIdCapEvictsOldestStartsFirst) {
+  ReorderBufferOptions options =
+      Opts(/*max_lateness_seconds=*/86400, LateEventPolicy::kDrop,
+           /*suppress_duplicates=*/true);
+  options.max_duplicate_ids = 64;
+  ReorderBuffer buffer(options);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        buffer.Push(Trip(0, 1, At(6, 8).AddSeconds(i), 1000 + i)).ok());
+  }
+  // Eviction happens before insertion, so the set never exceeds the cap.
+  EXPECT_EQ(buffer.duplicate_ids_high_water(), 64u);
+  EXPECT_EQ(buffer.duplicate_ids_evicted(), 436u);
+
+  // A redelivery of a *recent* id is still suppressed...
+  const uint64_t duplicates_before = buffer.duplicate_count();
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8).AddSeconds(499), 1499)).ok());
+  EXPECT_EQ(buffer.duplicate_count(), duplicates_before + 1);
+
+  // ...but a redelivery of an *evicted* id (oldest start, well inside the
+  // lateness horizon) is re-admitted — the documented price of the bound.
+  ASSERT_TRUE(buffer.Push(Trip(0, 1, At(6, 8), 1000)).ok());
+  EXPECT_EQ(buffer.duplicate_count(), duplicates_before + 1);
+  EXPECT_EQ(buffer.late_dropped_count(), 0u);
+}
+
 }  // namespace
 }  // namespace bikegraph::stream

@@ -25,6 +25,15 @@
 #
 #   tools/ci.sh --bench-smoke
 #
+# Durability/chaos gate (the flag must come first): after the regular
+# run, re-run the crash-recovery and hostile-input suites
+# (stream_durability_test: randomized kill-point recovery, torn tails,
+# corrupt checkpoints; stream_chaos_test: demand surges, outages, clock
+# skew, duplicate storms, boundary floods) under ASan and UBSan — the
+# memory- and UB-sensitive paths ISSUE durability acceptance names.
+#
+#   tools/ci.sh --chaos
+#
 # The build directory defaults to build/ (build-asan/ or build-ubsan/ for
 # sanitized runs, so a sanitizer pass never clobbers the main tree).
 set -euo pipefail
@@ -34,15 +43,18 @@ SANITIZE="${BIKEGRAPH_SANITIZE:-}"
 
 MATRIX=0
 BENCH_SMOKE=0
+CHAOS=0
 while :; do
   case "${1:-}" in
     --sanitize-matrix) MATRIX=1; shift ;;
     --bench-smoke)     BENCH_SMOKE=1; shift ;;
+    --chaos)           CHAOS=1; shift ;;
     *) break ;;
   esac
 done
 for arg in "$@"; do
-  if [ "$arg" = "--sanitize-matrix" ] || [ "$arg" = "--bench-smoke" ]; then
+  if [ "$arg" = "--sanitize-matrix" ] || [ "$arg" = "--bench-smoke" ] ||
+     [ "$arg" = "--chaos" ]; then
     echo "$arg must come before any ctest arguments" >&2
     exit 2
   fi
@@ -81,6 +93,16 @@ if [ "$BENCH_SMOKE" = 1 ]; then
     echo "no bench_stream_* binaries in $BUILD_DIR (benches disabled?)" >&2
     exit 1
   fi
+fi
+
+if [ "$CHAOS" = 1 ]; then
+  # The plain-build pass already ran above (the suites are part of the
+  # full ctest); what --chaos adds is the sanitized re-runs.
+  for san in address undefined; do
+    echo ">>> chaos gate: $san"
+    env -u BUILD_DIR BIKEGRAPH_SANITIZE="$san" \
+        "${BASH_SOURCE[0]}" -R 'stream_durability|stream_chaos'
+  done
 fi
 
 if [ "$MATRIX" = 1 ]; then
