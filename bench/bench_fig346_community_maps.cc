@@ -7,6 +7,8 @@
 #include "geo/haversine.h"
 #include "viz/map_export.h"
 
+#include "core/checked_cast.h"
+
 using namespace bikegraph;
 using namespace bikegraph::bench;
 
@@ -47,22 +49,22 @@ int main() {
   const geo::LatLon centre(53.3478, -6.2597);
   for (size_t s = 0; s < net.stations.size(); ++s) {
     const int32_t c = partition.assignment[s];
-    lat[c] += net.stations[s].position.lat;
-    lon[c] += net.stations[s].position.lon;
-    dist[c] += geo::HaversineMeters(net.stations[s].position, centre);
-    if (net.stations[s].position.lat < 53.3468) ++south[c];
-    ++count[c];
+    lat[AsIndex(c)] += net.stations[s].position.lat;
+    lon[AsIndex(c)] += net.stations[s].position.lon;
+    dist[AsIndex(c)] += geo::HaversineMeters(net.stations[s].position, centre);
+    if (net.stations[s].position.lat < 53.3468) ++south[AsIndex(c)];
+    ++count[AsIndex(c)];
   }
   viz::AsciiTable t({"Community", "Stations", "Centroid", "Mean dist to centre",
                      "South of Liffey"});
   for (size_t c = 0; c < k; ++c) {
     char centroid[48], mean_d[24];
-    std::snprintf(centroid, sizeof(centroid), "(%.4f, %.4f)",
-                  lat[c] / count[c], lon[c] / count[c]);
-    std::snprintf(mean_d, sizeof(mean_d), "%.1f km",
-                  dist[c] / count[c] / 1000.0);
+    const double cnt = static_cast<double>(count[c]);
+    std::snprintf(centroid, sizeof(centroid), "(%.4f, %.4f)", lat[c] / cnt,
+                  lon[c] / cnt);
+    std::snprintf(mean_d, sizeof(mean_d), "%.1f km", dist[c] / cnt / 1000.0);
     t.AddRow({std::to_string(c + 1), Fmt(count[c]), centroid, mean_d,
-              Pct(static_cast<double>(south[c]) / count[c])});
+              Pct(static_cast<double>(south[c]) / cnt)});
   }
   std::fputs(t.ToString().c_str(), stdout);
   std::printf("\nPaper reading of Fig. 3: one community exclusively "

@@ -7,6 +7,8 @@
 #include "bench_common.h"
 #include "core/civil_time.h"
 
+#include "core/checked_cast.h"
+
 using namespace bikegraph;
 using namespace bikegraph::bench;
 
@@ -57,7 +59,7 @@ int main() {
     if (pattern == analysis::DayPattern::kWeekdayCommute) ++commute;
     if (pattern == analysis::DayPattern::kWeekendLeisure) ++leisure;
     std::vector<std::string> cells = {std::to_string(c + 1)};
-    for (int d = 0; d < 7; ++d) cells.push_back(Pct(row[d]));
+    for (int d = 0; d < 7; ++d) cells.push_back(Pct(row[AsIndex(d)]));
     cells.push_back(Sparkline(row));
     cells.push_back(PatternName(pattern));
     t.AddRow(cells);

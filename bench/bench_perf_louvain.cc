@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "community/fast_greedy.h"
+#include "core/checked_cast.h"
 #include "community/infomap.h"
 #include "community/label_propagation.h"
 #include "community/louvain.h"
@@ -15,7 +16,7 @@ namespace bikegraph::community {
 namespace {
 
 graphdb::WeightedGraph CliqueRing(int cliques, int size, uint64_t seed = 5) {
-  graphdb::WeightedGraphBuilder b(cliques * size);
+  graphdb::WeightedGraphBuilder b(AsIndex(cliques * size));
   Rng rng(seed);
   for (int q = 0; q < cliques; ++q) {
     for (int i = 0; i < size; ++i) {
@@ -54,7 +55,7 @@ void BM_WeightedGraphBuild(benchmark::State& state) {
   const size_t base = edges.size();
   for (size_t i = 0; i < base; i += 3) edges.push_back(edges[i]);
   for (auto _ : state) {
-    graphdb::WeightedGraphBuilder b(n);
+    graphdb::WeightedGraphBuilder b(AsIndex(n));
     for (const Edge& e : edges) (void)b.AddEdge(e.u, e.v, e.w);
     auto g = b.Build();
     benchmark::DoNotOptimize(g);

@@ -14,6 +14,8 @@
 #include "metrics/centrality.h"
 #include "viz/ascii_table.h"
 
+#include "core/checked_cast.h"
+
 using namespace bikegraph;
 
 int main() {
@@ -47,7 +49,7 @@ int main() {
   for (size_t c = 0; c < day_shares->size(); ++c) {
     const auto& shares = (*day_shares)[c];
     double weekday = 0.0, weekend = 0.0;
-    for (int d = 0; d < 5; ++d) weekday += shares[d];
+    for (int d = 0; d < 5; ++d) weekday += shares[AsIndex(d)];
     weekend = shares[5] + shares[6];
     // Normalise to per-day rates before differencing.
     const double shift = weekend / 2.0 - weekday / 5.0;

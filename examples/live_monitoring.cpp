@@ -200,7 +200,13 @@ int main(int argc, char** argv) {
     }
   }
   // End of feed: release the reorder buffer's tail, then close the day.
-  (void)engine->Advance(day_end);
+  // In durable mode Advance write-ahead-logs the watermark move, so a
+  // dropped Status here is a silently lost WAL record: the recovered
+  // engine would re-deliver already-released events.
+  if (auto status = engine->Advance(day_end); !status.ok()) {
+    std::cerr << "final advance failed: " << status << "\n";
+    return 1;
+  }
   if (auto status = engine->Flush(); !status.ok()) {
     std::cerr << "flush failed: " << status << "\n";
     return 1;

@@ -19,6 +19,8 @@
 #include "viz/ascii_table.h"
 #include "viz/map_export.h"
 
+#include "core/checked_cast.h"
+
 using namespace bikegraph;
 
 int main(int argc, char** argv) {
@@ -64,7 +66,7 @@ int main(int argc, char** argv) {
   viz::AsciiTable t({"Rank", "Lat", "Lon", "Degree (trips)", "Locations merged"});
   const size_t show = std::min<size_t>(15, sel.selected.size());
   for (size_t rank = 0; rank < show; ++rank) {
-    const auto& cand = cands[sel.selected[rank]];
+    const auto& cand = cands[AsIndex(sel.selected[rank])];
     t.AddRow({std::to_string(rank + 1), FormatDouble(cand.centroid.lat, 5),
               FormatDouble(cand.centroid.lon, 5), std::to_string(cand.degree()),
               std::to_string(cand.location_ids.size())});

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::analysis {
 
 double CommunityTripStats::SelfContainedFraction() const {
@@ -45,7 +47,7 @@ Result<CommunityTripStats> ComputeCommunityTripStats(
   stats.rows.assign(partition.CommunityCount(), {});
 
   for (size_t s = 0; s < network.stations.size(); ++s) {
-    auto& row = stats.rows[partition.assignment[s]];
+    auto& row = stats.rows[AsIndex(partition.assignment[s])];
     if (network.stations[s].pre_existing) {
       ++row.old_stations;
     } else {
@@ -55,13 +57,13 @@ Result<CommunityTripStats> ComputeCommunityTripStats(
 
   Status status = Status::OK();
   network.graph.ForEachEdge("TRIP", [&](graphdb::EdgeId e) {
-    const int32_t cf = partition.assignment[network.graph.EdgeFrom(e)];
-    const int32_t ct = partition.assignment[network.graph.EdgeTo(e)];
+    const int32_t cf = partition.assignment[AsIndex(network.graph.EdgeFrom(e))];
+    const int32_t ct = partition.assignment[AsIndex(network.graph.EdgeTo(e))];
     if (cf == ct) {
-      ++stats.rows[cf].within;
+      ++stats.rows[AsIndex(cf)].within;
     } else {
-      ++stats.rows[cf].out;
-      ++stats.rows[ct].in;
+      ++stats.rows[AsIndex(cf)].out;
+      ++stats.rows[AsIndex(ct)].in;
     }
   });
   BIKEGRAPH_RETURN_NOT_OK(status);
@@ -89,8 +91,8 @@ Result<std::vector<std::array<double, N>>> CommunityShares(
           "' property");
       return;
     }
-    const int32_t c = partition.assignment[network.graph.EdgeFrom(e)];
-    shares[c][value.ValueOrDie()] += 1.0;
+    const int32_t c = partition.assignment[AsIndex(network.graph.EdgeFrom(e))];
+    shares[AsIndex(c)][AsIndex(value.ValueOrDie())] += 1.0;
   });
   BIKEGRAPH_RETURN_NOT_OK(status);
   for (auto& arr : shares) {
@@ -135,7 +137,7 @@ HourPattern ClassifyHourPattern(const std::array<double, 24>& shares) {
   // (11-14) windows, normalised per-hour.
   auto mean_over = [&](int lo, int hi) {
     double acc = 0.0;
-    for (int h = lo; h <= hi; ++h) acc += shares[h];
+    for (int h = lo; h <= hi; ++h) acc += shares[AsIndex(h)];
     return acc / static_cast<double>(hi - lo + 1);
   };
   const double am = mean_over(7, 9);

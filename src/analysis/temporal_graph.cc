@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::analysis {
 
 namespace {
@@ -80,8 +82,8 @@ Result<StationProfiles> ExtractStationProfiles(
       return;
     }
     for (graphdb::NodeId node : {trips.EdgeFrom(e), trips.EdgeTo(e)}) {
-      profiles.day[node][d] += 1.0;
-      profiles.hour[node][h] += 1.0;
+      profiles.day[AsIndex(node)][AsIndex(d)] += 1.0;
+      profiles.hour[AsIndex(node)][AsIndex(h)] += 1.0;
     }
   });
   BIKEGRAPH_RETURN_NOT_OK(status);

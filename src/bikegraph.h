@@ -8,6 +8,7 @@
 /// their own for finer-grained dependencies.
 
 // Core substrate: error handling, RNG, time.
+#include "core/checked_cast.h"
 #include "core/civil_time.h"
 #include "core/logging.h"
 #include "core/result.h"

@@ -6,6 +6,8 @@
 #include "geo/grid_index.h"
 #include "geo/haversine.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::cluster {
 
 size_t GeoClusteringResult::station_group_count() const {
@@ -73,7 +75,7 @@ Result<GeoClusteringResult> ClusterLocations(
       if (nearest.id >= 0 &&
           nearest.distance_m <= params.station_absorption_m) {
         const int32_t group = static_cast<int32_t>(nearest.id);
-        result.clusters[group].member_indices.push_back(
+        result.clusters[AsIndex(group)].member_indices.push_back(
             static_cast<int32_t>(i));
         result.assignment[i] = group;
         ++result.absorbed_count;
@@ -98,13 +100,13 @@ Result<GeoClusteringResult> ClusterLocations(
     for (size_t k = 0; k < labels.size(); ++k) {
       const size_t group = base + static_cast<size_t>(labels[k]);
       result.clusters[group].member_indices.push_back(free_indices[k]);
-      result.assignment[free_indices[k]] = static_cast<int32_t>(group);
+      result.assignment[AsIndex(free_indices[k])] = static_cast<int32_t>(group);
     }
     for (size_t g = base; g < result.clusters.size(); ++g) {
       std::vector<geo::LatLon> members;
       members.reserve(result.clusters[g].member_indices.size());
       for (int32_t idx : result.clusters[g].member_indices) {
-        members.push_back(locations[idx]);
+        members.push_back(locations[AsIndex(idx)]);
       }
       result.clusters[g].centroid = Centroid(members);
     }

@@ -8,6 +8,8 @@
 #include "geo/grid_index.h"
 #include "geo/haversine.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::cluster {
 
 namespace {
@@ -21,13 +23,13 @@ class UnionFind {
     for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int32_t>(i);
   }
   int32_t Find(int32_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
+    while (parent_[AsIndex(x)] != x) {
+      parent_[AsIndex(x)] = parent_[AsIndex(parent_[AsIndex(x)])];
+      x = parent_[AsIndex(x)];
     }
     return x;
   }
-  void Union(int32_t a, int32_t b) { parent_[Find(a)] = Find(b); }
+  void Union(int32_t a, int32_t b) { parent_[AsIndex(Find(a))] = Find(b); }
 
  private:
   std::vector<int32_t> parent_;
@@ -45,7 +47,7 @@ std::vector<int32_t> Dendrogram::CutAt(double threshold) const {
   for (size_t i = 0; i < merges.size(); ++i) {
     const MergeStep& m = merges[i];
     const size_t new_id = n + i;
-    if (m.distance <= threshold && intact[m.left] && intact[m.right]) {
+    if (m.distance <= threshold && intact[AsIndex(m.left)] && intact[AsIndex(m.right)]) {
       uf.Union(m.left, static_cast<int32_t>(new_id));
       uf.Union(m.right, static_cast<int32_t>(new_id));
     } else {
@@ -59,8 +61,8 @@ std::vector<int32_t> Dendrogram::CutAt(double threshold) const {
   int32_t next = 0;
   for (size_t i = 0; i < n; ++i) {
     int32_t root = uf.Find(static_cast<int32_t>(i));
-    if (remap[root] < 0) remap[root] = next++;
-    labels[i] = remap[root];
+    if (remap[AsIndex(root)] < 0) remap[AsIndex(root)] = next++;
+    labels[i] = remap[AsIndex(root)];
   }
   return labels;
 }
@@ -244,8 +246,8 @@ Result<std::vector<int32_t>> ThresholdCompleteLinkage(
       threshold_m, [&](int64_t a64, int64_t b64, double dist) {
         const int32_t i = static_cast<int32_t>(std::min(a64, b64));
         const int32_t j = static_cast<int32_t>(std::max(a64, b64));
-        nbrs[i].push_back(Entry{j, dist});
-        nbrs[j].push_back(Entry{i, dist});
+        nbrs[AsIndex(i)].push_back(Entry{j, dist});
+        nbrs[AsIndex(j)].push_back(Entry{i, dist});
         initial.push_back(HeapEntry{dist, i, j});
       });
   std::sort(initial.begin(), initial.end());
@@ -258,9 +260,9 @@ Result<std::vector<int32_t>> ThresholdCompleteLinkage(
   parent.reserve(max_slots);
   for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int32_t>(i);
   auto find = [&parent](int32_t x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
+    while (parent[AsIndex(x)] != x) {
+      parent[AsIndex(x)] = parent[AsIndex(parent[AsIndex(x)])];
+      x = parent[AsIndex(x)];
     }
     return x;
   };
@@ -273,12 +275,12 @@ Result<std::vector<int32_t>> ThresholdCompleteLinkage(
   while (true) {
     // Drop stale candidates from both streams, then take the global min.
     while (next_initial < initial.size() &&
-           (!active[initial[next_initial].a] ||
-            !active[initial[next_initial].b])) {
+           (!active[AsIndex(initial[next_initial].a)] ||
+            !active[AsIndex(initial[next_initial].b)])) {
       ++next_initial;
     }
-    while (!generated.empty() && (!active[generated.top().a] ||
-                                  !active[generated.top().b])) {
+    while (!generated.empty() && (!active[AsIndex(generated.top().a)] ||
+                                  !active[AsIndex(generated.top().b)])) {
       generated.pop();
     }
     HeapEntry top;
@@ -295,11 +297,11 @@ Result<std::vector<int32_t>> ThresholdCompleteLinkage(
     // Merge slots a and b into new slot c.
     const int32_t a = top.a, b = top.b;
     const int32_t c = static_cast<int32_t>(nbrs.size());
-    active[a] = active[b] = false;
+    active[AsIndex(a)] = active[AsIndex(b)] = false;
     parent.push_back(c);
     active.push_back(true);
-    parent[find(a)] = c;
-    parent[find(b)] = c;
+    parent[AsIndex(find(a))] = c;
+    parent[AsIndex(find(b))] = c;
 
     // Complete linkage: d(c,k) = max(d(a,k), d(b,k)); k must be a
     // within-threshold neighbour of BOTH a and b, otherwise d(c,k) exceeds
@@ -307,31 +309,31 @@ Result<std::vector<int32_t>> ThresholdCompleteLinkage(
     // over the flat lists via the mark scratch — no hashing. Marks are only
     // ever set for active slots, so the second scan needs no active check.
     merged.clear();
-    for (const Entry& e : nbrs[a]) {
-      if (!active[e.slot]) continue;
-      mark[e.slot] = 1;
-      dist_to[e.slot] = e.dist;
+    for (const Entry& e : nbrs[AsIndex(a)]) {
+      if (!active[AsIndex(e.slot)]) continue;
+      mark[AsIndex(e.slot)] = 1;
+      dist_to[AsIndex(e.slot)] = e.dist;
     }
-    for (const Entry& e : nbrs[b]) {
-      if (!mark[e.slot]) continue;
-      mark[e.slot] = 0;  // consume so nothing can match twice
-      const double dck = std::max(dist_to[e.slot], e.dist);
+    for (const Entry& e : nbrs[AsIndex(b)]) {
+      if (!mark[AsIndex(e.slot)]) continue;
+      mark[AsIndex(e.slot)] = 0;  // consume so nothing can match twice
+      const double dck = std::max(dist_to[AsIndex(e.slot)], e.dist);
       if (dck > threshold_m) continue;
       merged.push_back(Entry{e.slot, dck});
     }
-    for (const Entry& e : nbrs[a]) mark[e.slot] = 0;
+    for (const Entry& e : nbrs[AsIndex(a)]) mark[AsIndex(e.slot)] = 0;
     nbrs.emplace_back(merged.begin(), merged.end());
     // Tell the surviving neighbours about c and push fresh heap entries;
     // their stale a/b entries are skipped lazily via the active flags.
-    for (const Entry& e : nbrs[c]) {
-      nbrs[e.slot].push_back(Entry{c, e.dist});
+    for (const Entry& e : nbrs[AsIndex(c)]) {
+      nbrs[AsIndex(e.slot)].push_back(Entry{c, e.dist});
       generated.push(
           HeapEntry{e.dist, std::min(c, e.slot), std::max(c, e.slot)});
     }
-    nbrs[a].clear();
-    nbrs[a].shrink_to_fit();
-    nbrs[b].clear();
-    nbrs[b].shrink_to_fit();
+    nbrs[AsIndex(a)].clear();
+    nbrs[AsIndex(a)].shrink_to_fit();
+    nbrs[AsIndex(b)].clear();
+    nbrs[AsIndex(b)].shrink_to_fit();
   }
 
   // Dense labels for the points; roots are slot ids, so the remap is flat.
@@ -340,8 +342,8 @@ Result<std::vector<int32_t>> ThresholdCompleteLinkage(
   int32_t next = 0;
   for (size_t i = 0; i < n; ++i) {
     int32_t root = find(static_cast<int32_t>(i));
-    if (remap[root] < 0) remap[root] = next++;
-    labels[i] = remap[root];
+    if (remap[AsIndex(root)] < 0) remap[AsIndex(root)] = next++;
+    labels[i] = remap[AsIndex(root)];
   }
   return labels;
 }

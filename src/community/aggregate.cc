@@ -1,5 +1,7 @@
 #include "community/aggregate.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::community {
 
 graphdb::WeightedGraph AggregateByPartition(
@@ -15,7 +17,7 @@ graphdb::WeightedGraph AggregateByPartition(
     }
     for (const auto& nb : graph.neighbors(static_cast<int32_t>(u))) {
       if (nb.node < static_cast<int32_t>(u)) continue;  // each pair once
-      (void)builder.AddEdge(cu, partition.assignment[nb.node], nb.weight);
+      (void)builder.AddEdge(cu, partition.assignment[AsIndex(nb.node)], nb.weight);
     }
   }
   return builder.Build();
@@ -25,7 +27,7 @@ Partition ComposePartitions(const Partition& fine, const Partition& coarse) {
   Partition out;
   out.assignment.resize(fine.assignment.size());
   for (size_t u = 0; u < fine.assignment.size(); ++u) {
-    out.assignment[u] = coarse.assignment[fine.assignment[u]];
+    out.assignment[u] = coarse.assignment[AsIndex(fine.assignment[u])];
   }
   return out;
 }

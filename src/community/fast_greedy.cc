@@ -6,6 +6,8 @@
 #include "community/detector.h"
 #include "community/modularity.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::community {
 
 namespace internal {
@@ -70,7 +72,7 @@ Result<CommunityResult> DetectFastGreedy(const graphdb::WeightedGraph& graph,
   };
   std::priority_queue<Candidate> heap;
   auto delta_q = [&](int32_t i, int32_t j, double eij) {
-    return 2.0 * (eij - a[i] * a[j]);
+    return 2.0 * (eij - a[AsIndex(i)] * a[AsIndex(j)]);
   };
   for (size_t u = 0; u < n; ++u) {
     for (const auto& [v, euv] : e[u]) {
@@ -85,9 +87,9 @@ Result<CommunityResult> DetectFastGreedy(const graphdb::WeightedGraph& graph,
   parent.reserve(max_slots);
   for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int32_t>(i);
   auto find = [&](int32_t x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
+    while (parent[AsIndex(x)] != x) {
+      parent[AsIndex(x)] = parent[AsIndex(parent[AsIndex(x)])];
+      x = parent[AsIndex(x)];
     }
     return x;
   };
@@ -101,7 +103,7 @@ Result<CommunityResult> DetectFastGreedy(const graphdb::WeightedGraph& graph,
   while (!heap.empty()) {
     Candidate top = heap.top();
     heap.pop();
-    if (!active[top.a] || !active[top.b]) continue;
+    if (!active[AsIndex(top.a)] || !active[AsIndex(top.b)]) continue;
     // Gains of surviving pairs never change (e_ij and a_i are only touched
     // by merges that deactivate a slot), so an entry is fresh iff both
     // slots are active.
@@ -115,43 +117,43 @@ Result<CommunityResult> DetectFastGreedy(const graphdb::WeightedGraph& graph,
 
     const int32_t i = top.a, j = top.b;
     const int32_t c = static_cast<int32_t>(e.size());
-    active[i] = active[j] = false;
+    active[AsIndex(i)] = active[AsIndex(j)] = false;
     active.push_back(true);
     parent.push_back(c);
-    parent[find(i)] = c;
-    parent[find(j)] = c;
+    parent[AsIndex(find(i))] = c;
+    parent[AsIndex(find(j))] = c;
     ++result.merges;
 
     touched.clear();
     for (const auto& src : {i, j}) {
-      for (const auto& [k, eik] : e[src]) {
+      for (const auto& [k, eik] : e[AsIndex(src)]) {
         if (k == i || k == j) continue;
-        if (!active[k]) continue;
-        if (!seen[k]) {
-          seen[k] = 1;
+        if (!active[AsIndex(k)]) continue;
+        if (!seen[AsIndex(k)]) {
+          seen[AsIndex(k)] = 1;
           touched.push_back(k);
         }
-        acc[k] += eik;
+        acc[AsIndex(k)] += eik;
       }
     }
-    a.push_back(a[i] + a[j]);
+    a.push_back(a[AsIndex(i)] + a[AsIndex(j)]);
     std::vector<Entry> merged;
     merged.reserve(touched.size());
     for (int32_t k : touched) {
-      merged.push_back(Entry{k, acc[k]});
-      acc[k] = 0.0;
-      seen[k] = 0;
+      merged.push_back(Entry{k, acc[AsIndex(k)]});
+      acc[AsIndex(k)] = 0.0;
+      seen[AsIndex(k)] = 0;
     }
     e.push_back(std::move(merged));
-    for (const auto& [k, eck] : e[c]) {
-      e[k].push_back(Entry{c, eck});  // i/j leftovers are skipped lazily
+    for (const auto& [k, eck] : e[AsIndex(c)]) {
+      e[AsIndex(k)].push_back(Entry{c, eck});  // i/j leftovers are skipped lazily
       heap.push(Candidate{delta_q(std::min(c, k), std::max(c, k), eck),
                           std::min(c, k), std::max(c, k)});
     }
-    e[i].clear();
-    e[i].shrink_to_fit();
-    e[j].clear();
-    e[j].shrink_to_fit();
+    e[AsIndex(i)].clear();
+    e[AsIndex(i)].shrink_to_fit();
+    e[AsIndex(j)].clear();
+    e[AsIndex(j)].shrink_to_fit();
   }
 
   // Labels for original nodes.

@@ -7,6 +7,8 @@
 #include "community/aggregate.h"
 #include "community/detector.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::community {
 
 namespace {
@@ -30,9 +32,9 @@ Flows ComputeFlows(const WeightedGraph& g, const std::vector<int32_t>& comm,
   const double two_m = 2.0 * g.total_weight();
   for (size_t u = 0; u < g.node_count(); ++u) {
     const int32_t cu = comm[u];
-    f.pm[cu] += g.strength(static_cast<int32_t>(u)) / two_m;
+    f.pm[AsIndex(cu)] += g.strength(static_cast<int32_t>(u)) / two_m;
     for (const auto& nb : g.neighbors(static_cast<int32_t>(u))) {
-      if (comm[nb.node] != cu) f.q[cu] += nb.weight / two_m;
+      if (comm[AsIndex(nb.node)] != cu) f.q[AsIndex(cu)] += nb.weight / two_m;
     }
   }
   for (double v : f.q) f.sum_q += v;
@@ -83,32 +85,37 @@ LocalMoveOutcome LocalMoving(const WeightedGraph& g, int max_sweeps,
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     bool moved = false;
     for (int32_t u : order) {
-      const int32_t cu = comm[u];
+      const int32_t cu = comm[AsIndex(u)];
       const double p_u = g.strength(u) / two_m;
       const double omega_total =
           (g.strength(u) - 2.0 * g.self_weight(u)) / two_m;
 
       w_to_comm.clear();
       for (const auto& nb : g.neighbors(u)) {
-        w_to_comm[comm[nb.node]] += nb.weight / two_m;
+        w_to_comm[comm[AsIndex(nb.node)]] += nb.weight / two_m;
       }
       const double omega_to_cu = w_to_comm.count(cu) ? w_to_comm[cu] : 0.0;
 
       // Candidate evaluation: ΔL of moving u from cu to c.
-      const double q_cu_removed = f.q[cu] - omega_total + 2.0 * omega_to_cu;
+      const double q_cu_removed = f.q[AsIndex(cu)] - omega_total + 2.0 * omega_to_cu;
       int32_t best_comm = cu;
       double best_delta = 0.0;
+      // lint: unordered-iter-ok: visit order can break exact ΔL
+      // ties; deterministic for a fixed stdlib and locked
+      // bit-identical against the legacy backend by
+      // community_detector_test. Sorted-candidate iteration is a
+      // behavior-changing ROADMAP item.
       for (const auto& [c, omega_to_c] : w_to_comm) {
         if (c == cu) continue;
-        const double q_c_added = f.q[c] + omega_total - 2.0 * omega_to_c;
+        const double q_c_added = f.q[AsIndex(c)] + omega_total - 2.0 * omega_to_c;
         const double sum_q2 =
-            f.sum_q - f.q[cu] - f.q[c] + q_cu_removed + q_c_added;
+            f.sum_q - f.q[AsIndex(cu)] - f.q[AsIndex(c)] + q_cu_removed + q_c_added;
         double delta = PLogP(sum_q2) - PLogP(f.sum_q);
         delta += -2.0 * (PLogP(q_cu_removed) + PLogP(q_c_added) -
-                         PLogP(f.q[cu]) - PLogP(f.q[c]));
-        delta += PLogP(q_cu_removed + f.pm[cu] - p_u) +
-                 PLogP(q_c_added + f.pm[c] + p_u) -
-                 PLogP(f.q[cu] + f.pm[cu]) - PLogP(f.q[c] + f.pm[c]);
+                         PLogP(f.q[AsIndex(cu)]) - PLogP(f.q[AsIndex(c)]));
+        delta += PLogP(q_cu_removed + f.pm[AsIndex(cu)] - p_u) +
+                 PLogP(q_c_added + f.pm[AsIndex(c)] + p_u) -
+                 PLogP(f.q[AsIndex(cu)] + f.pm[AsIndex(cu)]) - PLogP(f.q[AsIndex(c)] + f.pm[AsIndex(c)]);
         if (delta < best_delta - 1e-12 ||
             (delta < best_delta + 1e-12 && delta < -1e-12 &&
              c < best_comm)) {
@@ -118,13 +125,13 @@ LocalMoveOutcome LocalMoving(const WeightedGraph& g, int max_sweeps,
       }
       if (best_comm != cu) {
         const double omega_to_best = w_to_comm[best_comm];
-        f.sum_q += -f.q[cu] - f.q[best_comm] + q_cu_removed +
-                   (f.q[best_comm] + omega_total - 2.0 * omega_to_best);
-        f.q[best_comm] += omega_total - 2.0 * omega_to_best;
-        f.q[cu] = q_cu_removed;
-        f.pm[cu] -= p_u;
-        f.pm[best_comm] += p_u;
-        comm[u] = best_comm;
+        f.sum_q += -f.q[AsIndex(cu)] - f.q[AsIndex(best_comm)] + q_cu_removed +
+                   (f.q[AsIndex(best_comm)] + omega_total - 2.0 * omega_to_best);
+        f.q[AsIndex(best_comm)] += omega_total - 2.0 * omega_to_best;
+        f.q[AsIndex(cu)] = q_cu_removed;
+        f.pm[AsIndex(cu)] -= p_u;
+        f.pm[AsIndex(best_comm)] += p_u;
+        comm[AsIndex(u)] = best_comm;
         moved = true;
         out.improved = true;
       }

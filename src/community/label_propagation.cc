@@ -3,6 +3,8 @@
 #include "core/rng.h"
 #include "community/detector.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::community {
 
 namespace internal {
@@ -53,29 +55,29 @@ Result<CommunityResult> DetectLabelPropagation(
       auto nbs = graph.neighbors(u);
       if (nbs.empty()) continue;
       for (const auto& nb : nbs) {
-        const int32_t l = labels[nb.node];
-        if (!seen[l]) {
-          seen[l] = 1;
+        const int32_t l = labels[AsIndex(nb.node)];
+        if (!seen[AsIndex(l)]) {
+          seen[AsIndex(l)] = 1;
           touched.push_back(l);
         }
-        votes[l] += nb.weight;
+        votes[AsIndex(l)] += nb.weight;
       }
       // Exact argmax of (weight, -label): order-independent, so the touched
       // list needs no sorting; scratch reset is fused into the scan.
-      int32_t best = labels[u];
+      int32_t best = labels[AsIndex(u)];
       double best_w = -1.0;
       for (int32_t label : touched) {
-        const double w = votes[label];
-        votes[label] = 0.0;
-        seen[label] = 0;
+        const double w = votes[AsIndex(label)];
+        votes[AsIndex(label)] = 0.0;
+        seen[AsIndex(label)] = 0;
         if (w > best_w || (w == best_w && label < best)) {
           best_w = w;
           best = label;
         }
       }
       touched.clear();
-      if (best != labels[u]) {
-        labels[u] = best;
+      if (best != labels[AsIndex(u)]) {
+        labels[AsIndex(u)] = best;
         changed = true;
       }
     }

@@ -7,6 +7,8 @@
 #include "community/detector.h"
 #include "community/modularity.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::community {
 
 namespace {
@@ -44,7 +46,7 @@ LocalMoveOutcome LocalMoving(const WeightedGraph& g, int max_sweeps,
     comm = *seed_assignment;
     std::fill(sigma_tot.begin(), sigma_tot.end(), 0.0);
     for (size_t u = 0; u < n; ++u) {
-      sigma_tot[comm[u]] += g.strength(static_cast<int32_t>(u));
+      sigma_tot[AsIndex(comm[u])] += g.strength(static_cast<int32_t>(u));
     }
   }
 
@@ -80,24 +82,24 @@ LocalMoveOutcome LocalMoving(const WeightedGraph& g, int max_sweeps,
       queue.erase(queue.begin(), queue.begin() + static_cast<long>(head));
       head = 0;
     }
-    in_queue[u] = 0;
+    in_queue[AsIndex(u)] = 0;
 
-    const int32_t cu = comm[u];
+    const int32_t cu = comm[AsIndex(u)];
     const double k_u = g.strength(u);
 
-    comm_seen[cu] = 1;  // ensure current community is a candidate
+    comm_seen[AsIndex(cu)] = 1;  // ensure current community is a candidate
     touched.push_back(cu);
     for (const auto& nb : g.neighbors(u)) {
-      const int32_t c = comm[nb.node];
-      if (!comm_seen[c]) {
-        comm_seen[c] = 1;
+      const int32_t c = comm[AsIndex(nb.node)];
+      if (!comm_seen[AsIndex(c)]) {
+        comm_seen[AsIndex(c)] = 1;
         touched.push_back(c);
       }
-      w_to_comm[c] += nb.weight;
+      w_to_comm[AsIndex(c)] += nb.weight;
     }
 
     // Remove u from its community.
-    sigma_tot[cu] -= k_u;
+    sigma_tot[AsIndex(cu)] -= k_u;
 
     // Gain of joining community c:
     //   ΔQ ∝ w(u→c) − γ · k_u · Σ_tot(c) / 2m
@@ -106,15 +108,15 @@ LocalMoveOutcome LocalMoving(const WeightedGraph& g, int max_sweeps,
     // strictly better than staying — an order-independent rule, so the
     // touched list needs no sorting. Scratch reset is fused into the scan.
     const double ku_res = resolution * k_u * inv_two_m;
-    const double stay_gain = w_to_comm[cu] - ku_res * sigma_tot[cu];
+    const double stay_gain = w_to_comm[AsIndex(cu)] - ku_res * sigma_tot[AsIndex(cu)];
     int32_t best_comm = cu;
     double best_gain = stay_gain;
     for (int32_t c : touched) {
-      const double w_uc = w_to_comm[c];
-      w_to_comm[c] = 0.0;
-      comm_seen[c] = 0;
+      const double w_uc = w_to_comm[AsIndex(c)];
+      w_to_comm[AsIndex(c)] = 0.0;
+      comm_seen[AsIndex(c)] = 0;
       if (c == cu) continue;
-      const double gain = w_uc - ku_res * sigma_tot[c];
+      const double gain = w_uc - ku_res * sigma_tot[AsIndex(c)];
       if (gain > best_gain ||
           (gain == best_gain && gain > stay_gain && c < best_comm)) {
         best_gain = gain;
@@ -123,16 +125,16 @@ LocalMoveOutcome LocalMoving(const WeightedGraph& g, int max_sweeps,
     }
     touched.clear();
 
-    sigma_tot[best_comm] += k_u;
+    sigma_tot[AsIndex(best_comm)] += k_u;
     if (best_comm != cu) {
-      comm[u] = best_comm;
+      comm[AsIndex(u)] = best_comm;
       any_move_ever = true;
       // Re-evaluate neighbours outside the destination community — members
       // of best_comm only gained an ally, so they have no new reason to
       // leave (the standard Louvain pruning rule).
       for (const auto& nb : g.neighbors(u)) {
-        if (comm[nb.node] != best_comm && !in_queue[nb.node]) {
-          in_queue[nb.node] = 1;
+        if (comm[AsIndex(nb.node)] != best_comm && !in_queue[AsIndex(nb.node)]) {
+          in_queue[AsIndex(nb.node)] = 1;
           queue.push_back(nb.node);
         }
       }

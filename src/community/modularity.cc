@@ -1,5 +1,7 @@
 #include "community/modularity.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::community {
 
 double Modularity(const graphdb::WeightedGraph& graph,
@@ -15,11 +17,11 @@ double Modularity(const graphdb::WeightedGraph& graph,
 
   for (size_t u = 0; u < n; ++u) {
     const int32_t cu = partition.assignment[u];
-    sigma_tot[cu] += graph.strength(static_cast<int32_t>(u));
-    sigma_in[cu] += 2.0 * graph.self_weight(static_cast<int32_t>(u));
+    sigma_tot[AsIndex(cu)] += graph.strength(static_cast<int32_t>(u));
+    sigma_in[AsIndex(cu)] += 2.0 * graph.self_weight(static_cast<int32_t>(u));
     for (const auto& nb : graph.neighbors(static_cast<int32_t>(u))) {
-      if (partition.assignment[nb.node] == cu) {
-        sigma_in[cu] += nb.weight;  // each internal edge visited from both ends
+      if (partition.assignment[AsIndex(nb.node)] == cu) {
+        sigma_in[AsIndex(cu)] += nb.weight;  // each internal edge visited from both ends
       }
     }
   }

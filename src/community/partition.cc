@@ -4,6 +4,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::community {
 
 size_t Partition::CommunityCount() const {
@@ -31,8 +33,8 @@ void Partition::Renumber() {
     std::vector<int32_t> remap(static_cast<size_t>(max_label) + 1, -1);
     int32_t next = 0;
     for (int32_t& c : assignment) {
-      if (remap[c] < 0) remap[c] = next++;
-      c = remap[c];
+      if (remap[AsIndex(c)] < 0) remap[AsIndex(c)] = next++;
+      c = remap[AsIndex(c)];
     }
     return;
   }
@@ -46,14 +48,14 @@ void Partition::Renumber() {
 
 std::vector<size_t> Partition::CommunitySizes() const {
   std::vector<size_t> sizes(CommunityCount(), 0);
-  for (int32_t c : assignment) ++sizes[c];
+  for (int32_t c : assignment) ++sizes[AsIndex(c)];
   return sizes;
 }
 
 std::vector<std::vector<int32_t>> Partition::CommunityMembers() const {
   std::vector<std::vector<int32_t>> members(CommunityCount());
   for (size_t u = 0; u < assignment.size(); ++u) {
-    members[assignment[u]].push_back(static_cast<int32_t>(u));
+    members[AsIndex(assignment[u])].push_back(static_cast<int32_t>(u));
   }
   return members;
 }
@@ -90,11 +92,16 @@ double NormalizedMutualInformation(const Partition& a, const Partition& b) {
     mi += pxy * std::log(pxy / (px * py));
   }
   double ha = 0.0, hb = 0.0;
+  // lint: unordered-iter-ok: entropy sum is commutative; visit
+  // order only perturbs FP rounding across stdlib implementations,
+  // and NMI consumers compare against drift thresholds, not bits.
   for (const auto& [label, count] : pa) {
     double p = count / dn;
     ha -= p * std::log(p);
     (void)label;
   }
+  // lint: unordered-iter-ok: same commutative entropy sum as the
+  // pa loop above.
   for (const auto& [label, count] : pb) {
     double p = count / dn;
     hb -= p * std::log(p);

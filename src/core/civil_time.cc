@@ -20,7 +20,7 @@ int64_t DaysFromCivil(int y, int m, int d) {
   y -= m <= 2;
   const int64_t era = (y >= 0 ? y : y - 399) / 400;
   const unsigned yoe = static_cast<unsigned>(y - era * 400);          // [0,399]
-  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0,365]
+  const unsigned doy = static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);  // [0,365]
   const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0,146096]
   return era * 146097 + static_cast<int64_t>(doe) - 719468;
 }
@@ -35,7 +35,7 @@ void CivilFromDays(int64_t z, int* year, int* month, int* day) {
   const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0,365]
   const unsigned mp = (5 * doy + 2) / 153;                       // [0,11]
   const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1,31]
-  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1,12]
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;                  // [1,12]
   *year = static_cast<int>(y + (m <= 2));
   *month = static_cast<int>(m);
   *day = static_cast<int>(d);

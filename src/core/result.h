@@ -20,8 +20,11 @@ namespace bikegraph {
 ///   if (!r.ok()) return r.status();
 ///   Dataset ds = std::move(r).ValueOrDie();
 /// \endcode
+///
+/// Like `Status`, the class is `[[nodiscard]]`: a `Result` returned by
+/// value must be examined — discarding one silently discards the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs an errored result. `status` must be non-OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT implicit

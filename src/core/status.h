@@ -42,7 +42,12 @@ const char* StatusCodeToString(StatusCode code);
 ///   Status s = dataset.Validate();
 ///   if (!s.ok()) return s;
 /// \endcode
-class Status {
+///
+/// The class itself is `[[nodiscard]]`: any call returning a `Status` by
+/// value must be checked (or explicitly voided with a comment saying why).
+/// A silently dropped Status in the WAL/checkpoint path is a latent
+/// data-loss bug; the compiler now refuses to let one through.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -27,10 +27,10 @@ class CsvReader {
  public:
   /// Parses an in-memory CSV document. The first row is the header.
   /// Rows whose field count differs from the header are a kDataLoss error.
-  static Result<CsvTable> ParseString(const std::string& text);
+  [[nodiscard]] static Result<CsvTable> ParseString(const std::string& text);
 
   /// Reads and parses a CSV file.
-  static Result<CsvTable> ReadFile(const std::string& path);
+  [[nodiscard]] static Result<CsvTable> ReadFile(const std::string& path);
 };
 
 /// \brief CSV writer with minimal quoting (fields containing a comma,
@@ -40,13 +40,13 @@ class CsvWriter {
   explicit CsvWriter(std::vector<std::string> header);
 
   /// Appends one row; must match the header width.
-  Status AddRow(std::vector<std::string> row);
+  [[nodiscard]] Status AddRow(std::vector<std::string> row);
 
   /// Serialises header + rows.
   std::string ToString() const;
 
   /// Writes to a file.
-  Status WriteToFile(const std::string& path) const;
+  [[nodiscard]] Status WriteToFile(const std::string& path) const;
 
   size_t row_count() const { return rows_.size(); }
 

@@ -7,6 +7,8 @@
 #include "core/string_util.h"
 #include "data/csv.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::data {
 
 Dataset::Dataset(std::vector<LocationRecord> locations,
@@ -131,13 +133,13 @@ Result<std::vector<LocationRecord>> ParseLocations(const CsvTable& table) {
   out.reserve(table.rows.size());
   for (const auto& row : table.rows) {
     LocationRecord loc;
-    BIKEGRAPH_ASSIGN_OR_RETURN(loc.id, ParseInt(row[id_col]));
-    if (!row[lat_col].empty() && !row[lon_col].empty()) {
-      BIKEGRAPH_ASSIGN_OR_RETURN(loc.position.lat, ParseDouble(row[lat_col]));
-      BIKEGRAPH_ASSIGN_OR_RETURN(loc.position.lon, ParseDouble(row[lon_col]));
+    BIKEGRAPH_ASSIGN_OR_RETURN(loc.id, ParseInt(row[AsIndex(id_col)]));
+    if (!row[AsIndex(lat_col)].empty() && !row[AsIndex(lon_col)].empty()) {
+      BIKEGRAPH_ASSIGN_OR_RETURN(loc.position.lat, ParseDouble(row[AsIndex(lat_col)]));
+      BIKEGRAPH_ASSIGN_OR_RETURN(loc.position.lon, ParseDouble(row[AsIndex(lon_col)]));
     }
-    loc.is_station = row[station_col] == "1";
-    loc.name = row[name_col];
+    loc.is_station = row[AsIndex(station_col)] == "1";
+    loc.name = row[AsIndex(name_col)];
     out.push_back(std::move(loc));
   }
   return out;
@@ -158,16 +160,16 @@ Result<std::vector<RentalRecord>> ParseRentals(const CsvTable& table) {
   out.reserve(table.rows.size());
   for (const auto& row : table.rows) {
     RentalRecord r;
-    BIKEGRAPH_ASSIGN_OR_RETURN(r.id, ParseInt(row[id_col]));
-    BIKEGRAPH_ASSIGN_OR_RETURN(r.bike_id, ParseInt(row[bike_col]));
-    BIKEGRAPH_ASSIGN_OR_RETURN(r.start_time, CivilTime::Parse(row[start_col]));
-    BIKEGRAPH_ASSIGN_OR_RETURN(r.end_time, CivilTime::Parse(row[end_col]));
-    if (!row[rent_col].empty()) {
+    BIKEGRAPH_ASSIGN_OR_RETURN(r.id, ParseInt(row[AsIndex(id_col)]));
+    BIKEGRAPH_ASSIGN_OR_RETURN(r.bike_id, ParseInt(row[AsIndex(bike_col)]));
+    BIKEGRAPH_ASSIGN_OR_RETURN(r.start_time, CivilTime::Parse(row[AsIndex(start_col)]));
+    BIKEGRAPH_ASSIGN_OR_RETURN(r.end_time, CivilTime::Parse(row[AsIndex(end_col)]));
+    if (!row[AsIndex(rent_col)].empty()) {
       BIKEGRAPH_ASSIGN_OR_RETURN(r.rental_location_id,
-                                 ParseInt(row[rent_col]));
+                                 ParseInt(row[AsIndex(rent_col)]));
     }
-    if (!row[ret_col].empty()) {
-      BIKEGRAPH_ASSIGN_OR_RETURN(r.return_location_id, ParseInt(row[ret_col]));
+    if (!row[AsIndex(ret_col)].empty()) {
+      BIKEGRAPH_ASSIGN_OR_RETURN(r.return_location_id, ParseInt(row[AsIndex(ret_col)]));
     }
     out.push_back(std::move(r));
   }

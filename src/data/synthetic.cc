@@ -7,6 +7,8 @@
 #include "geo/grid_index.h"
 #include "geo/haversine.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::data {
 
 std::array<double, 24> HourProfile(geo::Hotspot::Kind kind, bool weekend) {
@@ -15,14 +17,14 @@ std::array<double, 24> HourProfile(geo::Hotspot::Kind kind, bool weekend) {
   auto bump = [&w](double center, double sigma, double height) {
     for (int h = 0; h < 24; ++h) {
       double d = h - center;
-      w[h] += height * std::exp(-(d * d) / (2.0 * sigma * sigma));
+      w[AsIndex(h)] += height * std::exp(-(d * d) / (2.0 * sigma * sigma));
     }
   };
   // Base activity: quiet nights. The three kinds form three separable
   // hourly classes: commute (AM+PM rush), leisure (midday), mixed
   // (evening social/errands) — the classes the paper's Fig. 7 surfaces.
   for (int h = 0; h < 24; ++h) {
-    w[h] = (h >= 7 && h <= 22) ? 0.15 : 0.02;
+    w[AsIndex(h)] = (h >= 7 && h <= 22) ? 0.15 : 0.02;
   }
   switch (kind) {
     case Kind::kCommute:
@@ -179,7 +181,7 @@ void PlaceStations(GenState* state) {
   int guard = 0;
   while (made < cfg.station_count && guard++ < 100000) {
     int h = static_cast<int>(state->rng.NextWeighted(weights));
-    const Hotspot& hot = state->hotspots[h];
+    const Hotspot& hot = state->hotspots[AsIndex(h)];
     LatLon p = SamplePointNear(hot.center, hot.spread_m * 1.1, state->land,
                                &state->rng);
     if (!placed.empty()) {
@@ -213,7 +215,7 @@ struct Endpoint {
 /// ones). `hour < 0` disables the modulation.
 double HourAffinity(Hotspot::Kind kind, bool weekend, int hour) {
   if (hour < 0) return 1.0;
-  return 0.05 + HourProfile(kind, weekend)[hour];
+  return 0.05 + HourProfile(kind, weekend)[AsIndex(hour)];
 }
 
 /// Chooses (or creates) the dockless location for an endpoint near
@@ -227,9 +229,9 @@ Endpoint SampleDocklessLocation(GenState* state, int h, int hour = -1,
   Rng& rng = state->rng;
 
   // Level 1: micro-centre CRP within the hotspot.
-  auto& pool = state->hotspot_micros[h];
+  auto& pool = state->hotspot_micros[AsIndex(h)];
   const double micro_alpha =
-      state->micro_alpha_unit * std::max(0.2, state->hotspots[h].weight);
+      state->micro_alpha_unit * std::max(0.2, state->hotspots[AsIndex(h)].weight);
   double total_mass = micro_alpha;
   for (size_t mid : pool) {
     total_mass += state->micros[mid].popularity *
@@ -247,7 +249,7 @@ Endpoint SampleDocklessLocation(GenState* state, int h, int hour = -1,
     }
   }
   if (micro_id == SIZE_MAX) {
-    const Hotspot& hot = state->hotspots[h];
+    const Hotspot& hot = state->hotspots[AsIndex(h)];
     MicroCenter micro;
     micro.position =
         SamplePointNear(hot.center, hot.spread_m, state->land, &rng);
@@ -331,10 +333,10 @@ void PrecomputeDestinationWeights(GenState* state) {
 
 /// Per-day sampling weights across the study window.
 std::vector<double> BuildDayWeights(CivilTime start, int n_days) {
-  std::vector<double> w(n_days);
+  std::vector<double> w(AsIndex(n_days));
   for (int i = 0; i < n_days; ++i) {
     CivilTime day = start.AddDays(i);
-    w[i] = SeasonalFactor(day.year(), day.month());
+    w[AsIndex(i)] = SeasonalFactor(day.year(), day.month());
   }
   return w;
 }
@@ -402,7 +404,7 @@ Result<Dataset> GenerateSyntheticMoby(const SyntheticConfig& config) {
   // hotspot, popularity heavy-tailed.
   std::vector<std::vector<int>> hotspot_stations(state.hotspots.size());
   for (size_t s = 0; s < state.station_sites.size(); ++s) {
-    hotspot_stations[state.station_hotspot[s]].push_back(static_cast<int>(s));
+    hotspot_stations[AsIndex(state.station_hotspot[s])].push_back(static_cast<int>(s));
   }
   std::vector<double> station_popularity(state.station_sites.size());
   for (auto& p : station_popularity) {
@@ -413,20 +415,20 @@ Result<Dataset> GenerateSyntheticMoby(const SyntheticConfig& config) {
                                bool weekend) -> Endpoint {
     // Prefer stations of the hotspot (hour-weighted when the trip's start
     // time is already known); fall back to the nearest station.
-    const auto& owned = hotspot_stations[h];
+    const auto& owned = hotspot_stations[AsIndex(h)];
     int s;
     if (!owned.empty()) {
       std::vector<double> w;
       w.reserve(owned.size());
       for (int idx : owned) {
-        w.push_back(station_popularity[idx] *
-                    HourAffinity(state.station_kind[idx], weekend, hour));
+        w.push_back(station_popularity[AsIndex(idx)] *
+                    HourAffinity(state.station_kind[AsIndex(idx)], weekend, hour));
       }
       s = owned[state.rng.NextWeighted(w)];
     } else {
       s = static_cast<int>(state.station_index.Nearest(fallback).id);
     }
-    return {state.station_location_ids[s], state.station_kind[s]};
+    return {state.station_location_ids[AsIndex(s)], state.station_kind[AsIndex(s)]};
   };
 
   // Per-kind day distributions: seasonal weight x the kind's day-of-week
@@ -436,11 +438,11 @@ Result<Dataset> GenerateSyntheticMoby(const SyntheticConfig& config) {
   std::array<std::vector<double>, 3> kind_day_weights;
   for (int k = 0; k < 3; ++k) {
     auto profile = DayProfile(static_cast<Hotspot::Kind>(k));
-    kind_day_weights[k].resize(n_days);
+    kind_day_weights[AsIndex(k)].resize(AsIndex(n_days));
     for (int i = 0; i < n_days; ++i) {
       const int dow =
           static_cast<int>(window_start.AddDays(i).weekday());
-      kind_day_weights[k][i] = day_weights[i] * profile[dow];
+      kind_day_weights[AsIndex(k)][AsIndex(i)] = day_weights[AsIndex(i)] * profile[AsIndex(dow)];
     }
   }
 
@@ -452,7 +454,7 @@ Result<Dataset> GenerateSyntheticMoby(const SyntheticConfig& config) {
     const int oh = static_cast<int>(state.rng.NextWeighted(hotspot_weights));
     Endpoint origin;
     if (state.rng.NextDouble() < config.station_endpoint_prob) {
-      origin = pick_station_near(oh, state.hotspots[oh].center, /*hour=*/-1,
+      origin = pick_station_near(oh, state.hotspots[AsIndex(oh)].center, /*hour=*/-1,
                                  /*weekend=*/false);
     } else {
       origin = SampleDocklessLocation(&state, oh);
@@ -462,7 +464,7 @@ Result<Dataset> GenerateSyntheticMoby(const SyntheticConfig& config) {
     // Calendar day and start hour from the origin's kind (seasonal x
     // weekly profile; kind-specific hourly profile).
     const int day_idx = static_cast<int>(
-        state.rng.NextWeighted(kind_day_weights[kind_idx]));
+        state.rng.NextWeighted(kind_day_weights[AsIndex(kind_idx)]));
     const CivilTime day = window_start.AddDays(day_idx);
     const bool weekend = IsWeekend(day.weekday());
     const int dow = static_cast<int>(day.weekday());
@@ -473,14 +475,14 @@ Result<Dataset> GenerateSyntheticMoby(const SyntheticConfig& config) {
     // trips towards leisure ones).
     std::vector<double> dest_w(state.hotspots.size());
     for (size_t h = 0; h < state.hotspots.size(); ++h) {
-      dest_w[h] = state.dest_weights[oh][h] *
-                  DayProfile(state.hotspots[h].kind)[dow] *
+      dest_w[h] = state.dest_weights[AsIndex(oh)][h] *
+                  DayProfile(state.hotspots[h].kind)[AsIndex(dow)] *
                   HourAffinity(state.hotspots[h].kind, weekend, hour);
     }
     const int dh = static_cast<int>(state.rng.NextWeighted(dest_w));
     Endpoint dest;
     if (state.rng.NextDouble() < config.station_endpoint_prob) {
-      dest = pick_station_near(dh, state.hotspots[dh].center, hour, weekend);
+      dest = pick_station_near(dh, state.hotspots[AsIndex(dh)].center, hour, weekend);
     } else {
       dest = SampleDocklessLocation(&state, dh, hour, weekend);
     }
@@ -492,8 +494,8 @@ Result<Dataset> GenerateSyntheticMoby(const SyntheticConfig& config) {
                                      minute * 60 + second);
 
     // Duration from straight-line distance at riding speed, plus overhead.
-    const LatLon origin_pos = state.locations[origin_loc - 1].position;
-    const LatLon dest_pos = state.locations[dest_loc - 1].position;
+    const LatLon origin_pos = state.locations[AsIndex(origin_loc - 1)].position;
+    const LatLon dest_pos = state.locations[AsIndex(dest_loc - 1)].position;
     double dist = geo::HaversineMeters(origin_pos, dest_pos);
     double detour = 1.25 + 0.15 * state.rng.NextDouble();
     double ride_s = dist * detour / config.ride_speed_mps;
@@ -535,7 +537,8 @@ Result<Dataset> GenerateSyntheticMoby(const SyntheticConfig& config) {
       r.bike_id = 1 + static_cast<int64_t>(
                           rng.NextBounded(static_cast<uint64_t>(config.bike_count)));
       r.start_time = random_time();
-      r.end_time = r.start_time.AddSeconds(300 + rng.NextBounded(3600));
+      r.end_time = r.start_time.AddSeconds(
+          300 + static_cast<int64_t>(rng.NextBounded(3600)));
       if (rng.NextDouble() < 0.5) {
         r.rental_location_id = bad_loc;
         r.return_location_id = random_clean_location();
@@ -632,8 +635,8 @@ Result<Dataset> GenerateSyntheticMoby(const SyntheticConfig& config) {
   // Rule-6 fodder: locations never referenced by any rental.
   for (int i = 0; i < config.dirty_unreferenced_locations; ++i) {
     int h = static_cast<int>(rng.NextWeighted(hotspot_weights));
-    LatLon p = SamplePointNear(state.hotspots[h].center,
-                               state.hotspots[h].spread_m, state.land, &rng);
+    LatLon p = SamplePointNear(state.hotspots[AsIndex(h)].center,
+                               state.hotspots[AsIndex(h)].spread_m, state.land, &rng);
     NewLocation(&state, p, false, "");
   }
 

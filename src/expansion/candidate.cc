@@ -1,5 +1,7 @@
 #include "expansion/candidate.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::expansion {
 
 Result<CandidateNetwork> BuildCandidateNetwork(
@@ -38,14 +40,14 @@ Result<CandidateNetwork> BuildCandidateNetwork(
     cand.centroid = group.centroid;
     cand.station_index = group.station_index;
     if (group.is_station_group()) {
-      const auto* st = stations[group.station_index];
+      const auto* st = stations[AsIndex(group.station_index)];
       cand.name = st->name;
       cand.location_ids.push_back(st->id);
       net.location_to_candidate[st->id] = static_cast<int32_t>(g);
     }
     for (int32_t member : group.member_indices) {
-      cand.location_ids.push_back(dockless[member]->id);
-      net.location_to_candidate[dockless[member]->id] =
+      cand.location_ids.push_back(dockless[AsIndex(member)]->id);
+      net.location_to_candidate[dockless[AsIndex(member)]->id] =
           static_cast<int32_t>(g);
     }
   }
@@ -80,8 +82,8 @@ Result<CandidateNetwork> BuildCandidateNetwork(
         edge, "day", static_cast<int64_t>(rental.start_time.weekday()));
     (void)net.graph.SetEdgeProperty(
         edge, "hour", static_cast<int64_t>(rental.start_time.hour()));
-    ++net.candidates[from].trips_from;
-    ++net.candidates[to].trips_to;
+    ++net.candidates[AsIndex(from)].trips_from;
+    ++net.candidates[AsIndex(to)].trips_to;
   }
   return net;
 }

@@ -4,6 +4,8 @@
 
 #include "geo/grid_index.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::expansion {
 
 SelectedGraphStats FinalNetwork::ComputeStats() const {
@@ -12,7 +14,7 @@ SelectedGraphStats FinalNetwork::ComputeStats() const {
   stats.selected.stations = selected_count();
 
   auto row_of = [&](int32_t station) -> SelectedGraphStats::Row& {
-    return stations[station].pre_existing ? stats.pre_existing
+    return stations[AsIndex(station)].pre_existing ? stats.pre_existing
                                           : stats.selected;
   };
 
@@ -26,6 +28,8 @@ SelectedGraphStats FinalNetwork::ComputeStats() const {
     directed_pairs.insert((static_cast<uint64_t>(from) << 32) |
                           static_cast<uint64_t>(to));
   });
+  // lint: unordered-iter-ok: order-independent integer counting;
+  // per-endpoint edge-count increments commute.
   for (uint64_t key : directed_pairs) {
     const int32_t from = static_cast<int32_t>(key >> 32);
     const int32_t to = static_cast<int32_t>(key & 0xFFFFFFFFULL);
@@ -58,13 +62,13 @@ Result<FinalNetwork> BuildFinalNetwork(const data::Dataset& cleaned,
   net.pre_existing_count = net.stations.size();
   for (size_t rank = 0; rank < selection.selected.size(); ++rank) {
     const int32_t c = selection.selected[rank];
-    const CandidateStation& cand = network.candidates[c];
+    const CandidateStation& cand = network.candidates[AsIndex(c)];
     FinalStation st;
     st.position = cand.centroid;
     st.pre_existing = false;
     st.name = "New Stn #" + std::to_string(rank + 1);
     st.candidate_index = c;
-    candidate_to_station[c] = static_cast<int32_t>(net.stations.size());
+    candidate_to_station[AsIndex(c)] = static_cast<int32_t>(net.stations.size());
     net.stations.push_back(std::move(st));
   }
 
@@ -86,7 +90,7 @@ Result<FinalNetwork> BuildFinalNetwork(const data::Dataset& cleaned,
           " is not part of the candidate network");
     }
     const int32_t candidate = it->second;
-    int32_t station = candidate_to_station[candidate];
+    int32_t station = candidate_to_station[AsIndex(candidate)];
     if (station < 0) {
       auto nearest = station_index.Nearest(loc.position);
       if (nearest.id < 0) {

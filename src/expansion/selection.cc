@@ -6,6 +6,8 @@
 #include "geo/grid_index.h"
 #include "geo/haversine.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::expansion {
 
 size_t SelectionResult::RejectedCount(RejectionReason reason) const {
@@ -98,28 +100,28 @@ Result<SelectionResult> SelectStations(const CandidateNetwork& network,
     // was never a contract — the sort below pins it).
     survivor_index.Freeze();
     for (int32_t i : survivors) {
-      if (result.scores[i] == 0) continue;  // suppressed earlier this round
+      if (result.scores[AsIndex(i)] == 0) continue;  // suppressed earlier this round
       // Ascending-id order keeps the loser choice deterministic, so the
       // visitor fills a reusable buffer that is sorted before use.
       in_range.clear();
       survivor_index.ForEachWithinRadius(
-          network.candidates[i].centroid, params.secondary_distance_m,
+          network.candidates[AsIndex(i)].centroid, params.secondary_distance_m,
           [&](int64_t j, double) { in_range.push_back(j); });
       std::sort(in_range.begin(), in_range.end());
       for (int64_t j : in_range) {
-        if (j == i || result.scores[j] == 0 || result.scores[i] == 0) continue;
+        if (j == i || result.scores[AsIndex(j)] == 0 || result.scores[AsIndex(i)] == 0) continue;
         // Zero the lower-degree member (ties: the higher index loses, so
         // the earlier/denser cluster survives deterministically).
-        const int64_t di = network.candidates[i].degree();
-        const int64_t dj = network.candidates[j].degree();
+        const int64_t di = network.candidates[AsIndex(i)].degree();
+        const int64_t dj = network.candidates[AsIndex(j)].degree();
         int32_t loser;
         if (di != dj) {
           loser = di < dj ? i : static_cast<int32_t>(j);
         } else {
           loser = std::max(i, static_cast<int32_t>(j));
         }
-        result.scores[loser] = 0;
-        result.reasons[loser] = RejectionReason::kSuppressedByPeer;
+        result.scores[AsIndex(loser)] = 0;
+        result.reasons[AsIndex(loser)] = RejectionReason::kSuppressedByPeer;
         changed = true;
       }
     }
@@ -131,8 +133,8 @@ Result<SelectionResult> SelectStations(const CandidateNetwork& network,
   }
   std::sort(result.selected.begin(), result.selected.end(),
             [&](int32_t a, int32_t b) {
-              if (result.scores[a] != result.scores[b]) {
-                return result.scores[a] > result.scores[b];
+              if (result.scores[AsIndex(a)] != result.scores[AsIndex(b)]) {
+                return result.scores[AsIndex(a)] > result.scores[AsIndex(b)];
               }
               return a < b;
             });

@@ -6,6 +6,8 @@
 
 #include "geo/haversine.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::geo {
 
 GridIndex::GridIndex(double cell_size_m, double reference_lat) {
@@ -78,14 +80,14 @@ void GridIndex::Freeze() {
   for (size_t i = 0; i < n; ++i) order[i] = static_cast<int32_t>(i);
   std::stable_sort(order.begin(), order.end(),
                    [&](int32_t a, int32_t b) {
-                     return slot_keys_[a] < slot_keys_[b];
+                     return slot_keys_[AsIndex(a)] < slot_keys_[AsIndex(b)];
                    });
   frozen_keys_.clear();
   frozen_offsets_.clear();
   frozen_slots_.clear();
   frozen_slots_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    const CellKey key = slot_keys_[order[i]];
+    const CellKey key = slot_keys_[AsIndex(order[i])];
     if (frozen_keys_.empty() || !(frozen_keys_.back() == key)) {
       frozen_keys_.push_back(key);
       frozen_offsets_.push_back(i);
@@ -134,12 +136,12 @@ GridIndex::Neighbor GridIndex::Nearest(const LatLon& query,
         }
         for (int32_t slot : CellSlots(CellKey{row, col})) {
           ++visited;
-          if (ids_[slot] == exclude_id) continue;
-          double d = HaversineMetersWithCos(points_[slot], query,
-                                            cos_lat_[slot], cos_query);
+          if (ids_[AsIndex(slot)] == exclude_id) continue;
+          double d = HaversineMetersWithCos(points_[AsIndex(slot)], query,
+                                            cos_lat_[AsIndex(slot)], cos_query);
           if (d < best.distance_m ||
-              (d == best.distance_m && ids_[slot] < best.id)) {
-            best.id = ids_[slot];
+              (d == best.distance_m && ids_[AsIndex(slot)] < best.id)) {
+            best.id = ids_[AsIndex(slot)];
             best.distance_m = d;
           }
         }
@@ -188,9 +190,9 @@ std::vector<GridIndex::Neighbor> GridIndex::KNearest(const LatLon& query,
   const CellKey origin = KeyFor(query);
   const double cos_query = std::cos(DegToRad(query.lat));
   auto consider = [&](int32_t slot) {
-    if (ids_[slot] == exclude_id) return;
-    Neighbor cand{ids_[slot],
-                  HaversineMetersWithCos(points_[slot], query, cos_lat_[slot],
+    if (ids_[AsIndex(slot)] == exclude_id) return;
+    Neighbor cand{ids_[AsIndex(slot)],
+                  HaversineMetersWithCos(points_[AsIndex(slot)], query, cos_lat_[AsIndex(slot)],
                                          cos_query)};
     if (heap.size() < k) {
       heap.push_back(cand);
@@ -239,7 +241,7 @@ std::vector<GridIndex::Neighbor> GridIndex::KNearest(const LatLon& query,
 LatLon GridIndex::PointOf(int64_t id) const {
   auto it = id_to_slot_.find(id);
   if (it == id_to_slot_.end()) return LatLon(std::nan(""), std::nan(""));
-  return points_[it->second];
+  return points_[AsIndex(it->second)];
 }
 
 }  // namespace bikegraph::geo

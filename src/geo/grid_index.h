@@ -11,6 +11,8 @@
 #include "geo/haversine.h"
 #include "geo/latlon.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::geo {
 
 /// \brief A spatial hash grid over lat/lon points supporting radius queries
@@ -87,7 +89,7 @@ class GridIndex {
     for (int32_t row = lo.row; row <= hi.row; ++row) {
       for (int32_t col = lo.col; col <= hi.col; ++col) {
         for (int32_t slot : CellSlots(CellKey{row, col})) {
-          const LatLon& p = points_[slot];
+          const LatLon& p = points_[AsIndex(slot)];
           if (std::abs(p.lat - center.lat) > dlat_pad) continue;
           // Inlined haversine kernel of (p, center) — identical operations
           // to HaversineMetersWithCos, split so rejected candidates skip
@@ -95,12 +97,12 @@ class GridIndex {
           const double sin_dphi = std::sin(DegToRad(center.lat - p.lat) / 2.0);
           const double sin_dlambda =
               std::sin(DegToRad(center.lon - p.lon) / 2.0);
-          const double h = sin_dphi * sin_dphi + cos_lat_[slot] * cos_center *
+          const double h = sin_dphi * sin_dphi + cos_lat_[AsIndex(slot)] * cos_center *
                                                      sin_dlambda * sin_dlambda;
           if (h > h_max) continue;
           const double d = 2.0 * kEarthRadiusMeters *
                            std::asin(std::min(1.0, std::sqrt(h)));
-          if (d <= radius_m) visit(ids_[slot], d);
+          if (d <= radius_m) visit(ids_[AsIndex(slot)], d);
         }
       }
     }
@@ -126,17 +128,17 @@ class GridIndex {
     const int32_t row_span =
         static_cast<int32_t>(dlat_pad / cell_lat_deg_) + 1;
     auto pair_kernel = [&](int32_t sa, int32_t sb) {
-      const LatLon& pa = points_[sa];
-      const LatLon& pb = points_[sb];
+      const LatLon& pa = points_[AsIndex(sa)];
+      const LatLon& pb = points_[AsIndex(sb)];
       if (std::abs(pa.lat - pb.lat) > dlat_pad) return;
       const double sin_dphi = std::sin(DegToRad(pb.lat - pa.lat) / 2.0);
       const double sin_dlambda = std::sin(DegToRad(pb.lon - pa.lon) / 2.0);
-      const double h = sin_dphi * sin_dphi + cos_lat_[sa] * cos_lat_[sb] *
+      const double h = sin_dphi * sin_dphi + cos_lat_[AsIndex(sa)] * cos_lat_[AsIndex(sb)] *
                                                  sin_dlambda * sin_dlambda;
       if (h > h_max) return;
       const double d =
           2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
-      if (d <= radius_m) visit(ids_[sa], ids_[sb], d);
+      if (d <= radius_m) visit(ids_[AsIndex(sa)], ids_[AsIndex(sb)], d);
     };
     ForEachCell([&](const CellKey& key, std::span<const int32_t> slots) {
       // Intra-cell pairs.
@@ -269,6 +271,9 @@ class GridIndex {
       return;
     }
     EnsureHashed();
+    // lint: unordered-iter-ok: unordered enumeration is the lazy
+    // path's documented contract; ordered consumers must Freeze()
+    // first and take the sorted frozen branch above.
     for (const auto& [key, slots] : cells_) {
       fn(key, std::span<const int32_t>(slots.data(), slots.size()));
     }

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::graphdb {
 
 NodeId PropertyGraph::AddNode(std::string label) {
@@ -25,50 +27,50 @@ Result<EdgeId> PropertyGraph::AddEdge(NodeId from, NodeId to,
   edge_to_.push_back(to);
   edge_types_.push_back(std::move(type));
   edge_props_.emplace_back();
-  out_edges_[from].push_back(id);
-  in_edges_[to].push_back(id);
+  out_edges_[AsIndex(from)].push_back(id);
+  in_edges_[AsIndex(to)].push_back(id);
   return id;
 }
 
 Status PropertyGraph::SetNodeProperty(NodeId id, const std::string& key,
                                       PropertyValue v) {
   if (!HasNode(id)) return Status::NotFound("no such node");
-  node_props_[id][key] = std::move(v);
+  node_props_[AsIndex(id)][key] = std::move(v);
   return Status::OK();
 }
 
 Status PropertyGraph::SetEdgeProperty(EdgeId id, const std::string& key,
                                       PropertyValue v) {
   if (!HasEdge(id)) return Status::NotFound("no such edge");
-  edge_props_[id][key] = std::move(v);
+  edge_props_[AsIndex(id)][key] = std::move(v);
   return Status::OK();
 }
 
 PropertyValue PropertyGraph::GetNodeProperty(NodeId id,
                                              const std::string& key) const {
   if (!HasNode(id)) return PropertyValue();
-  auto it = node_props_[id].find(key);
-  return it == node_props_[id].end() ? PropertyValue() : it->second;
+  auto it = node_props_[AsIndex(id)].find(key);
+  return it == node_props_[AsIndex(id)].end() ? PropertyValue() : it->second;
 }
 
 PropertyValue PropertyGraph::GetEdgeProperty(EdgeId id,
                                              const std::string& key) const {
   if (!HasEdge(id)) return PropertyValue();
-  auto it = edge_props_[id].find(key);
-  return it == edge_props_[id].end() ? PropertyValue() : it->second;
+  auto it = edge_props_[AsIndex(id)].find(key);
+  return it == edge_props_[AsIndex(id)].end() ? PropertyValue() : it->second;
 }
 
 void PropertyGraph::ForEachNode(const std::string& label,
                                 const std::function<void(NodeId)>& fn) const {
   for (NodeId id = 0; id < static_cast<NodeId>(NodeCount()); ++id) {
-    if (label.empty() || node_labels_[id] == label) fn(id);
+    if (label.empty() || node_labels_[AsIndex(id)] == label) fn(id);
   }
 }
 
 void PropertyGraph::ForEachEdge(const std::string& type,
                                 const std::function<void(EdgeId)>& fn) const {
   for (EdgeId id = 0; id < static_cast<EdgeId>(EdgeCount()); ++id) {
-    if (type.empty() || edge_types_[id] == type) fn(id);
+    if (type.empty() || edge_types_[AsIndex(id)] == type) fn(id);
   }
 }
 

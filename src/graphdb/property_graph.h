@@ -9,6 +9,8 @@
 #include "core/result.h"
 #include "graphdb/property_value.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::graphdb {
 
 using NodeId = int64_t;
@@ -46,10 +48,10 @@ class PropertyGraph {
     return id >= 0 && static_cast<size_t>(id) < EdgeCount();
   }
 
-  const std::string& NodeLabel(NodeId id) const { return node_labels_[id]; }
-  const std::string& EdgeType(EdgeId id) const { return edge_types_[id]; }
-  NodeId EdgeFrom(EdgeId id) const { return edge_from_[id]; }
-  NodeId EdgeTo(EdgeId id) const { return edge_to_[id]; }
+  const std::string& NodeLabel(NodeId id) const { return node_labels_[AsIndex(id)]; }
+  const std::string& EdgeType(EdgeId id) const { return edge_types_[AsIndex(id)]; }
+  NodeId EdgeFrom(EdgeId id) const { return edge_from_[AsIndex(id)]; }
+  NodeId EdgeTo(EdgeId id) const { return edge_to_[AsIndex(id)]; }
 
   /// Property access. Setting overwrites; getting a missing key returns a
   /// null PropertyValue.
@@ -59,13 +61,13 @@ class PropertyGraph {
   PropertyValue GetEdgeProperty(EdgeId id, const std::string& key) const;
 
   /// Outgoing / incoming relationship ids of a node.
-  const std::vector<EdgeId>& OutEdges(NodeId id) const { return out_edges_[id]; }
-  const std::vector<EdgeId>& InEdges(NodeId id) const { return in_edges_[id]; }
+  const std::vector<EdgeId>& OutEdges(NodeId id) const { return out_edges_[AsIndex(id)]; }
+  const std::vector<EdgeId>& InEdges(NodeId id) const { return in_edges_[AsIndex(id)]; }
 
   /// Degree counts on the multigraph (parallel edges counted separately;
   /// self-loops counted once in each direction).
-  size_t OutDegree(NodeId id) const { return out_edges_[id].size(); }
-  size_t InDegree(NodeId id) const { return in_edges_[id].size(); }
+  size_t OutDegree(NodeId id) const { return out_edges_[AsIndex(id)].size(); }
+  size_t InDegree(NodeId id) const { return in_edges_[AsIndex(id)].size(); }
   size_t Degree(NodeId id) const { return OutDegree(id) + InDegree(id); }
 
   /// Calls `fn` for every node id with the given label ("" = all).

@@ -5,10 +5,12 @@
 
 #include "graphdb/property_graph.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::graphdb {
 
 double WeightedGraph::WeightBetween(int32_t u, int32_t v) const {
-  if (u == v) return self_weight_[u];
+  if (u == v) return self_weight_[AsIndex(u)];
   auto row = neighbors(u);
   auto it = std::lower_bound(
       row.begin(), row.end(), v,
@@ -56,8 +58,8 @@ WeightedGraph WeightedGraphBuilder::Build() const {
   const size_t entries = 2 * edges_.size();
   std::vector<uint32_t> cnt(n + 1, 0);
   for (const EdgeTriple& e : edges_) {
-    ++cnt[e.u + 1];
-    ++cnt[e.v + 1];
+    ++cnt[AsIndex(e.u + 1)];
+    ++cnt[AsIndex(e.v + 1)];
   }
   for (size_t u = 0; u < n; ++u) cnt[u + 1] += cnt[u];
 
@@ -67,10 +69,10 @@ WeightedGraph WeightedGraphBuilder::Build() const {
   // boundaries for the merge.
   std::vector<uint32_t> cursor(cnt.begin(), cnt.end() - 1);
   for (const EdgeTriple& e : edges_) {
-    by_nbr[cursor[e.v]] = DirectedEntry(e.u, e.v, e.w);
-    ++cursor[e.v];
-    by_nbr[cursor[e.u]] = DirectedEntry(e.v, e.u, e.w);
-    ++cursor[e.u];
+    by_nbr[cursor[AsIndex(e.v)]] = DirectedEntry(e.u, e.v, e.w);
+    ++cursor[AsIndex(e.v)];
+    by_nbr[cursor[AsIndex(e.u)]] = DirectedEntry(e.v, e.u, e.w);
+    ++cursor[AsIndex(e.u)];
   }
 
   // Pass 2: stable re-scatter by row with the duplicate merge fused in —
@@ -88,7 +90,7 @@ WeightedGraph WeightedGraphBuilder::Build() const {
   std::vector<RowCursor> row(n);
   for (size_t u = 0; u < n; ++u) row[u] = RowCursor{cnt[u], cnt[u]};
   for (const DirectedEntry& t : by_nbr) {
-    RowCursor& rc = row[t.row];
+    RowCursor& rc = row[AsIndex(t.row)];
     if (rc.cur != rc.beg && adj[rc.cur - 1].node == t.nbr) {
       adj[rc.cur - 1].weight += t.w;
     } else {
@@ -173,12 +175,12 @@ Result<WeightedGraph> WeightedGraphPatcher::Apply(
   std::vector<uint8_t> row_touched(n, 0);
   for (const EdgeUpdate& up : updates) {
     if (up.u == up.v) {
-      g.self_weight_[up.u] = up.removed ? 0.0 : up.weight;
-      row_touched[up.u] = 1;
+      g.self_weight_[AsIndex(up.u)] = up.removed ? 0.0 : up.weight;
+      row_touched[AsIndex(up.u)] = 1;
       continue;
     }
-    row_touched[up.u] = 1;
-    row_touched[up.v] = 1;
+    row_touched[AsIndex(up.u)] = 1;
+    row_touched[AsIndex(up.v)] = 1;
     dir.push_back({up.u, up.v, up.weight, up.removed});
     dir.push_back({up.v, up.u, up.weight, up.removed});
   }
@@ -200,8 +202,10 @@ Result<WeightedGraph> WeightedGraphPatcher::Apply(
       // shift by the net insert/remove count so far.
       const size_t from = base.offsets_[row];
       const size_t block_start = g.adj_.size();
-      g.adj_.insert(g.adj_.end(), base.adj_.begin() + from,
-                    base.adj_.begin() + base.offsets_[next_affected]);
+      g.adj_.insert(
+          g.adj_.end(), base.adj_.begin() + static_cast<std::ptrdiff_t>(from),
+          base.adj_.begin() +
+              static_cast<std::ptrdiff_t>(base.offsets_[next_affected]));
       for (; row < next_affected; ++row) {
         g.offsets_[row + 1] = block_start + (base.offsets_[row + 1] - from);
       }
@@ -252,6 +256,9 @@ Result<WeightedGraph> WeightedGraphPatcher::Apply(
   // touched rows and self-loop carriers pay the adjacency walk.
   g.strength_.assign(n, 0.0);
   for (size_t u = 0; u < n; ++u) {
+    // lint: float-eq-ok: 0.0 self weight is an exact untouched
+    // sentinel (assigned, never computed); the x + 0.0 == x
+    // identity above depends on it being exactly zero.
     if (row_touched[u] == 0 && g.self_weight_[u] == 0.0) {
       g.strength_[u] = base.strength_[u];
       continue;
@@ -312,12 +319,12 @@ Digraph DigraphBuilder::Build() const {
   // as the undirected builder; the in-adjacency is derived from the merged
   // out-rows afterwards.
   std::vector<uint32_t> start(n + 1, 0);
-  for (const EdgeTriple& e : edges_) ++start[e.from + 1];
+  for (const EdgeTriple& e : edges_) ++start[AsIndex(e.from + 1)];
   for (size_t u = 0; u < n; ++u) start[u + 1] += start[u];
   g.out_adj_.resize(edges_.size());
   Digraph::Neighbor* adj = g.out_adj_.data();
   for (const EdgeTriple& e : edges_) {
-    adj[start[e.from]++] = Digraph::Neighbor(e.to, e.w);
+    adj[start[AsIndex(e.from)]++] = Digraph::Neighbor(e.to, e.w);
   }
   size_t out = 0;
   for (size_t u = 0; u < n; ++u) {
@@ -360,7 +367,7 @@ Digraph DigraphBuilder::Build() const {
       const Digraph::Neighbor nb = adj[beg + i];
       adj[out + i] = nb;
       strength += nb.weight;
-      ++g.in_offsets_[nb.node + 1];  // in-degree count over merged edges
+      ++g.in_offsets_[AsIndex(nb.node + 1)];  // in-degree count over merged edges
     }
     out += len;
     g.out_strength_[u] = strength;
@@ -375,9 +382,9 @@ Digraph DigraphBuilder::Build() const {
   for (size_t u = 0; u < n; ++u) {
     for (size_t i = g.out_offsets_[u]; i < g.out_offsets_[u + 1]; ++i) {
       const Digraph::Neighbor& nb = g.out_adj_[i];
-      g.in_adj_[in_cursor[nb.node]++] =
+      g.in_adj_[in_cursor[AsIndex(nb.node)]++] =
           Digraph::Neighbor(static_cast<int32_t>(u), nb.weight);
-      g.in_strength_[nb.node] += nb.weight;
+      g.in_strength_[AsIndex(nb.node)] += nb.weight;
     }
   }
   return g;

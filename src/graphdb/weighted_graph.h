@@ -8,6 +8,8 @@
 
 #include "core/result.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::graphdb {
 
 class PropertyGraph;
@@ -39,11 +41,11 @@ class WeightedGraph {
 
   /// Neighbors of `u`, sorted ascending by node id (a Build() invariant).
   std::span<const Neighbor> neighbors(int32_t u) const {
-    return {adj_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+    return {adj_.data() + offsets_[AsIndex(u)], offsets_[AsIndex(u + 1)] - offsets_[AsIndex(u)]};
   }
-  double self_weight(int32_t u) const { return self_weight_[u]; }
-  double strength(int32_t u) const { return strength_[u]; }
-  size_t degree(int32_t u) const { return offsets_[u + 1] - offsets_[u]; }
+  double self_weight(int32_t u) const { return self_weight_[AsIndex(u)]; }
+  double strength(int32_t u) const { return strength_[AsIndex(u)]; }
+  size_t degree(int32_t u) const { return offsets_[AsIndex(u + 1)] - offsets_[AsIndex(u)]; }
   double total_weight() const { return total_weight_; }
 
   /// Weight of edge {u,v}; 0 when absent. O(log degree(u)) binary search
@@ -89,7 +91,7 @@ class WeightedGraphBuilder {
       return Status::InvalidArgument("edge weight must be finite and >= 0");
     }
     if (u == v) {
-      self_weight_[u] += weight;
+      self_weight_[AsIndex(u)] += weight;
       return Status::OK();
     }
     if (u > v) std::swap(u, v);
@@ -182,15 +184,15 @@ class Digraph {
   size_t edge_count() const { return out_adj_.size(); }
 
   std::span<const Neighbor> out_neighbors(int32_t u) const {
-    return {out_adj_.data() + out_offsets_[u],
-            out_offsets_[u + 1] - out_offsets_[u]};
+    return {out_adj_.data() + out_offsets_[AsIndex(u)],
+            out_offsets_[AsIndex(u + 1)] - out_offsets_[AsIndex(u)]};
   }
   std::span<const Neighbor> in_neighbors(int32_t u) const {
-    return {in_adj_.data() + in_offsets_[u],
-            in_offsets_[u + 1] - in_offsets_[u]};
+    return {in_adj_.data() + in_offsets_[AsIndex(u)],
+            in_offsets_[AsIndex(u + 1)] - in_offsets_[AsIndex(u)]};
   }
-  double out_strength(int32_t u) const { return out_strength_[u]; }
-  double in_strength(int32_t u) const { return in_strength_[u]; }
+  double out_strength(int32_t u) const { return out_strength_[AsIndex(u)]; }
+  double in_strength(int32_t u) const { return in_strength_[AsIndex(u)]; }
 
  private:
   friend class DigraphBuilder;

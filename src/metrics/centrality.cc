@@ -7,6 +7,8 @@
 #include <stack>
 #include <unordered_set>
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::metrics {
 
 namespace {
@@ -31,8 +33,8 @@ SsspResult Sssp(const graphdb::WeightedGraph& g, int32_t source,
   r.preds.assign(n, {});
   r.sigma.assign(n, 0.0);
   r.order.reserve(n);
-  r.dist[source] = 0.0;
-  r.sigma[source] = 1.0;
+  r.dist[AsIndex(source)] = 0.0;
+  r.sigma[AsIndex(source)] = 1.0;
 
   if (!weighted) {
     std::queue<int32_t> q;
@@ -43,13 +45,13 @@ SsspResult Sssp(const graphdb::WeightedGraph& g, int32_t source,
       r.order.push_back(u);
       for (const auto& nb : g.neighbors(u)) {
         int32_t v = nb.node;
-        if (r.dist[v] == kInf) {
-          r.dist[v] = r.dist[u] + 1.0;
+        if (r.dist[AsIndex(v)] == kInf) {
+          r.dist[AsIndex(v)] = r.dist[AsIndex(u)] + 1.0;
           q.push(v);
         }
-        if (r.dist[v] == r.dist[u] + 1.0) {
-          r.sigma[v] += r.sigma[u];
-          r.preds[v].push_back(u);
+        if (r.dist[AsIndex(v)] == r.dist[AsIndex(u)] + 1.0) {
+          r.sigma[AsIndex(v)] += r.sigma[AsIndex(u)];
+          r.preds[AsIndex(v)].push_back(u);
         }
       }
     }
@@ -64,22 +66,22 @@ SsspResult Sssp(const graphdb::WeightedGraph& g, int32_t source,
   while (!pq.empty()) {
     auto [d, u] = pq.top();
     pq.pop();
-    if (settled[u]) continue;
-    settled[u] = true;
+    if (settled[AsIndex(u)]) continue;
+    settled[AsIndex(u)] = true;
     r.order.push_back(u);
     for (const auto& nb : g.neighbors(u)) {
       if (nb.weight <= 0.0) continue;
       const double len = 1.0 / nb.weight;
       const int32_t v = nb.node;
       const double nd = d + len;
-      if (nd < r.dist[v] - 1e-12) {
-        r.dist[v] = nd;
-        r.sigma[v] = r.sigma[u];
-        r.preds[v].assign(1, u);
+      if (nd < r.dist[AsIndex(v)] - 1e-12) {
+        r.dist[AsIndex(v)] = nd;
+        r.sigma[AsIndex(v)] = r.sigma[AsIndex(u)];
+        r.preds[AsIndex(v)].assign(1, u);
         pq.push({nd, v});
-      } else if (std::abs(nd - r.dist[v]) <= 1e-12 && !settled[v]) {
-        r.sigma[v] += r.sigma[u];
-        r.preds[v].push_back(u);
+      } else if (std::abs(nd - r.dist[AsIndex(v)]) <= 1e-12 && !settled[AsIndex(v)]) {
+        r.sigma[AsIndex(v)] += r.sigma[AsIndex(u)];
+        r.preds[AsIndex(v)].push_back(u);
       }
     }
   }
@@ -109,7 +111,7 @@ Result<std::vector<double>> PageRank(const graphdb::Digraph& graph,
         continue;
       }
       for (const auto& nb : graph.out_neighbors(static_cast<int32_t>(u))) {
-        next[nb.node] += rank[u] * nb.weight / out;
+        next[AsIndex(nb.node)] += rank[u] * nb.weight / out;
       }
     }
     double delta = 0.0;
@@ -134,10 +136,10 @@ Result<std::vector<double>> Betweenness(const graphdb::WeightedGraph& graph,
     std::vector<double> delta(n, 0.0);
     for (auto it = r.order.rbegin(); it != r.order.rend(); ++it) {
       const int32_t w = *it;
-      for (int32_t v : r.preds[w]) {
-        delta[v] += r.sigma[v] / r.sigma[w] * (1.0 + delta[w]);
+      for (int32_t v : r.preds[AsIndex(w)]) {
+        delta[AsIndex(v)] += r.sigma[AsIndex(v)] / r.sigma[AsIndex(w)] * (1.0 + delta[AsIndex(w)]);
       }
-      if (w != static_cast<int32_t>(s)) bc[w] += delta[w];
+      if (w != static_cast<int32_t>(s)) bc[AsIndex(w)] += delta[AsIndex(w)];
     }
   }
   // Each unordered pair was counted twice (once per endpoint as source).
@@ -179,7 +181,7 @@ std::vector<double> LocalClusteringCoefficients(
     const auto span = graph.neighbors(static_cast<int32_t>(u));
     for (size_t i = 0; i < span.size(); ++i) {
       for (size_t j = i + 1; j < span.size(); ++j) {
-        if (adj[span[i].node].count(span[j].node) > 0) ++links;
+        if (adj[AsIndex(span[i].node)].count(span[j].node) > 0) ++links;
       }
     }
     cc[u] = 2.0 * static_cast<double>(links) /
@@ -205,7 +207,7 @@ double GlobalClusteringCoefficient(const graphdb::WeightedGraph& graph) {
     const auto span = graph.neighbors(static_cast<int32_t>(u));
     for (size_t i = 0; i < span.size(); ++i) {
       for (size_t j = i + 1; j < span.size(); ++j) {
-        if (adj[span[i].node].count(span[j].node) > 0) ++closed;
+        if (adj[AsIndex(span[i].node)].count(span[j].node) > 0) ++closed;
       }
     }
   }

@@ -35,9 +35,13 @@ GraphCounts CountGraph(const graphdb::PropertyGraph& graph,
     const uint64_t lo = std::min(from, to), hi = std::max(from, to);
     undirected.insert((lo << 32) | hi);
   });
+  // lint: unordered-iter-ok: order-independent integer counting
+  // (self-loop detection); increments commute.
   for (uint64_t key : directed) {
     if ((key >> 32) == (key & 0xFFFFFFFFULL)) ++directed_loops;
   }
+  // lint: unordered-iter-ok: same order-independent counting as
+  // the directed loop above.
   for (uint64_t key : undirected) {
     if ((key >> 32) == (key & 0xFFFFFFFFULL)) ++undirected_loops;
   }

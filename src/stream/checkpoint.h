@@ -63,15 +63,16 @@ struct EngineCheckpoint {
 std::string SerializeCheckpoint(const EngineCheckpoint& checkpoint);
 
 /// \brief Inverse of SerializeCheckpoint; DataLoss on malformed bytes.
-Result<EngineCheckpoint> ParseCheckpoint(const std::string& bytes);
+[[nodiscard]] Result<EngineCheckpoint> ParseCheckpoint(
+    const std::string& bytes);
 
 /// \brief Writes `checkpoint` under `directory` crash-consistently:
 /// serialize to `ckpt-<wal_seq>.ckpt.tmp`, fsync, rename over the final
 /// name, fsync the directory. A crash at any instant leaves either the
 /// previous checkpoint set intact or the new file complete — never a
 /// half-written `.ckpt`.
-Status WriteCheckpoint(const std::string& directory,
-                       const EngineCheckpoint& checkpoint);
+[[nodiscard]] Status WriteCheckpoint(const std::string& directory,
+                                     const EngineCheckpoint& checkpoint);
 
 /// \brief What LoadNewestCheckpoint found.
 struct CheckpointLoadResult {
@@ -88,7 +89,7 @@ struct CheckpointLoadResult {
 /// (and counting) corrupt ones. Stray `.tmp` files from a crash mid-
 /// checkpoint are deleted. `found == false` (not an error) when the
 /// directory holds no usable checkpoint.
-Result<CheckpointLoadResult> LoadNewestCheckpoint(
+[[nodiscard]] Result<CheckpointLoadResult> LoadNewestCheckpoint(
     const std::string& directory);
 
 /// \brief Deletes all but the newest `keep` checkpoint files.
@@ -96,7 +97,8 @@ Result<CheckpointLoadResult> LoadNewestCheckpoint(
 /// surviving checkpoint (0 when none) — the prune-through bound for
 /// PruneWalSegments, so the WAL always retains every record any kept
 /// checkpoint might need.
-Status PruneCheckpoints(const std::string& directory, size_t keep,
-                        uint64_t* oldest_kept_seq = nullptr);
+[[nodiscard]] Status PruneCheckpoints(const std::string& directory,
+                                      size_t keep,
+                                      uint64_t* oldest_kept_seq = nullptr);
 
 }  // namespace bikegraph::stream

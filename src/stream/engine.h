@@ -132,7 +132,7 @@ class StreamEngine {
   /// (station count, window, lateness, policies) disagrees with
   /// `config`, and DataLoss when WAL records are missing or corrupt
   /// anywhere but the tail.
-  static Result<std::unique_ptr<StreamEngine>> Recover(
+  [[nodiscard]] static Result<std::unique_ptr<StreamEngine>> Recover(
       StreamEngineConfig config, RecoveryStats* stats = nullptr);
 
   /// Ingests one event. Arrivals may be out of start-time order by up to
@@ -142,27 +142,27 @@ class StreamEngine {
   /// Events older than that horizon hit `config.late_policy`. Endpoints
   /// out of `[0, station_count)` are InvalidArgument at arrival, and
   /// ingesting after Flush() is FailedPrecondition.
-  Status Ingest(const TripEvent& event);
+  [[nodiscard]] Status Ingest(const TripEvent& event);
 
   /// Advances stream time without an event: releases buffered events the
   /// new watermark makes safe, then expires stale trips. The watermark is
   /// also the reorder buffer's lateness bound, so advancing declares
   /// "events starting before watermark - max_lateness are now late".
   /// Watermarks in the past are a no-op.
-  Status Advance(CivilTime watermark);
+  [[nodiscard]] Status Advance(CivilTime watermark);
 
   /// Marks end-of-stream: drains every buffered event into the window in
   /// start-time order. Call before the final Snapshot()/DetectCurrent()
   /// of a replay; afterwards further Ingest calls fail. Idempotent — a
   /// second Flush is a no-op, not an error.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   /// Freezes the live window into an immutable snapshot, publishes it,
   /// and returns it. Reuses the latest snapshot when nothing changed
   /// since it was published. After any ApplyDelta desync (see
   /// `delta_desync_count()`) the freeze takes the full-rebuild path once,
   /// which resynchronizes the published graph with the live counters.
-  Result<std::shared_ptr<const WindowSnapshot>> Snapshot();
+  [[nodiscard]] Result<std::shared_ptr<const WindowSnapshot>> Snapshot();
 
   /// The most recently published snapshot (nullptr before the first
   /// Snapshot()/DetectCurrent() call). Never blocks ingestion.
@@ -172,24 +172,25 @@ class StreamEngine {
 
   /// Refreshes community structure on the current window with the
   /// configured default spec.
-  Result<RefreshOutcome> DetectCurrent();
+  [[nodiscard]] Result<RefreshOutcome> DetectCurrent();
 
   /// Refreshes community structure on the current window with an explicit
   /// spec (snapshots first if the window changed). The warm-start seed is
   /// managed by the engine's tracker; `spec.options.initial_partition` is
   /// ignored.
-  Result<RefreshOutcome> DetectCurrent(const community::DetectSpec& spec);
+  [[nodiscard]] Result<RefreshOutcome> DetectCurrent(
+      const community::DetectSpec& spec);
 
   /// Durability only: fsyncs the WAL through the last appended record
   /// (appends are group-synced every `sync_interval_records` otherwise).
   /// No-op when durability is disabled.
-  Status SyncWal();
+  [[nodiscard]] Status SyncWal();
 
   /// Durability only: syncs the WAL, writes a crash-consistent checkpoint
   /// of the complete engine state, prunes old checkpoints down to
   /// `checkpoints_kept`, and prunes WAL segments no kept checkpoint
   /// needs. FailedPrecondition when durability is disabled.
-  Status Checkpoint();
+  [[nodiscard]] Status Checkpoint();
 
   /// Copies out the complete logical state (what `Checkpoint()` writes).
   /// Exposed so tests can compare a recovered engine against an

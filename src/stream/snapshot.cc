@@ -1,5 +1,7 @@
 #include "stream/snapshot.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::stream {
 
 namespace {
@@ -142,10 +144,10 @@ Result<WindowSnapshot> FreezeSnapshotDelta(
     const auto& day = window.DayCounts(s);
     const auto& hour = window.HourCounts(s);
     for (size_t d = 0; d < 7; ++d) {
-      snap.profiles.day[s][d] = static_cast<double>(day[d]);
+      snap.profiles.day[AsIndex(s)][d] = static_cast<double>(day[d]);
     }
     for (size_t h = 0; h < 24; ++h) {
-      snap.profiles.hour[s][h] = static_cast<double>(hour[h]);
+      snap.profiles.hour[AsIndex(s)][h] = static_cast<double>(hour[h]);
     }
   }
 
@@ -177,6 +179,9 @@ Result<WindowSnapshot> FreezeSnapshotDelta(
              trips == 0});
       }
       const int64_t self_trips = window.TripsBetween(s, s);
+      // lint: float-eq-ok: a station with no self trips has an
+      // exactly-0.0 self weight by construction; this detects a
+      // stale nonzero entry that must be patched away.
       if (self_trips > 0 || previous.graph.self_weight(s) != 0.0) {
         updates.push_back({s, s,
                            self_trips == 0 ? 0.0 : weight_of(s, s, self_trips),

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/checked_cast.h"
 #include "core/civil_time.h"
 #include "core/rng.h"
 #include "stream/event.h"
@@ -24,9 +25,9 @@ inline std::vector<TripEvent> PlantedStream(size_t stations, int communities,
                                             uint64_t seed) {
   Rng rng(seed);
   std::vector<TripEvent> events;
-  events.reserve(static_cast<size_t>(days) * trips_per_day);
+  events.reserve(static_cast<size_t>(days) * AsIndex(trips_per_day));
   const CivilTime start = CivilTime::FromCalendar(2020, 3, 2).ValueOrDie();
-  const size_t per_group = stations / communities;
+  const size_t per_group = stations / AsIndex(communities);
   // Clamp so >86400 trips/day never feeds NextBounded a zero bound.
   const auto gap =
       static_cast<uint64_t>(std::max<int64_t>(1, 86400 / trips_per_day));
@@ -35,17 +36,20 @@ inline std::vector<TripEvent> PlantedStream(size_t stations, int communities,
     int64_t second = 0;
     for (int t = 0; t < trips_per_day; ++t) {
       second += static_cast<int64_t>(rng.NextBounded(gap));
-      const int g = static_cast<int>(rng.NextBounded(communities));
+      const int g = static_cast<int>(
+          rng.NextBounded(static_cast<uint64_t>(communities)));
       const auto pick = [&](int group) {
-        return static_cast<int32_t>(group * per_group +
+        return static_cast<int32_t>(AsIndex(group) * per_group +
                                     rng.NextBounded(per_group));
       };
       TripEvent e;
       e.rental_id = rental_id++;
       e.from_station = pick(g);
-      e.to_station = pick(rng.NextDouble() < 0.85
-                              ? g
-                              : static_cast<int>(rng.NextBounded(communities)));
+      e.to_station =
+          pick(rng.NextDouble() < 0.85
+                   ? g
+                   : static_cast<int>(rng.NextBounded(
+                         static_cast<uint64_t>(communities))));
       e.start_time = start.AddDays(d).AddSeconds(second);
       e.end_time = e.start_time.AddSeconds(500);
       events.push_back(e);

@@ -90,7 +90,7 @@ class WalWriter {
   /// created (the fresh-log and post-recovery-rotation cases); otherwise
   /// appends to the given segment, which must currently be exactly
   /// `tail_segment_bytes` long (ReadWal's repaired valid length).
-  static Result<std::unique_ptr<WalWriter>> Open(
+  [[nodiscard]] static Result<std::unique_ptr<WalWriter>> Open(
       const DurabilityConfig& config, uint64_t next_seq,
       const std::string& tail_segment_path = {},
       uint64_t tail_segment_bytes = 0);
@@ -102,11 +102,11 @@ class WalWriter {
   /// Buffers one record (sequence number `next_seq()`), writing through
   /// and group-fsyncing per the config. An I/O error poisons the writer:
   /// every later call returns the same error (the log tail is suspect).
-  Status Append(const WalRecord& record);
+  [[nodiscard]] Status Append(const WalRecord& record);
 
   /// Writes the buffer through and fsyncs — after this every appended
   /// record survives a crash. No-op when nothing is pending.
-  Status Sync();
+  [[nodiscard]] Status Sync();
 
   /// Sequence number the next Append will get (1-based).
   uint64_t next_seq() const { return next_seq_; }
@@ -159,20 +159,21 @@ struct WalReadResult {
 /// directory clean for a resumed writer. Corruption anywhere *before*
 /// the tail, or a sequence gap between segments, is unrecoverable and
 /// returns DataLoss naming the segment.
-Result<WalReadResult> ReadWal(const std::string& directory,
-                              bool repair_torn_tail);
+[[nodiscard]] Result<WalReadResult> ReadWal(const std::string& directory,
+                                            bool repair_torn_tail);
 
 /// \brief Deletes WAL segments every record of which has sequence number
 /// <= `through_seq` (their state is covered by a checkpoint). The last
 /// segment is always kept — it is the append target. `pruned` (optional)
 /// receives the number of files removed.
-Status PruneWalSegments(const std::string& directory, uint64_t through_seq,
-                        uint64_t* pruned = nullptr);
+[[nodiscard]] Status PruneWalSegments(const std::string& directory,
+                                      uint64_t through_seq,
+                                      uint64_t* pruned = nullptr);
 
 /// \brief True when `directory` holds WAL segments or checkpoints — the
 /// fresh-engine constructor refuses such a directory so a misconfigured
 /// restart cannot silently shadow recoverable state.
-bool DirectoryHasDurableState(const std::string& directory);
+[[nodiscard]] bool DirectoryHasDurableState(const std::string& directory);
 
 /// Little-endian wire helpers shared by the WAL and checkpoint codecs.
 /// Writers append to a std::string; the reader is a bounds-checked cursor

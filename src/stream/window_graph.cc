@@ -6,6 +6,8 @@
 
 #include "core/logging.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::stream {
 
 SlidingWindowGraph::SlidingWindowGraph(const WindowGraphOptions& options)
@@ -156,7 +158,7 @@ analysis::StationProfiles SlidingWindowGraph::Profiles() const {
   return profiles;
 }
 
-void SlidingWindowGraph::ApplyDelta(const RingEntry& e, int64_t delta) {
+void SlidingWindowGraph::ApplyDelta(const RingEntry& e, int32_t delta) {
   const uint64_t key = PairKey(e.from, e.to);
   if (delta > 0) {
     auto [it, inserted] = pair_trips_.try_emplace(key);
@@ -187,12 +189,12 @@ void SlidingWindowGraph::ApplyDelta(const RingEntry& e, int64_t delta) {
     }
   }
   for (int32_t station : {e.from, e.to}) {
-    day_[station][e.day] += delta;
-    hour_[station][e.hour] += delta;
-    endpoint_count_[station] += delta;
+    day_[AsIndex(station)][e.day] += delta;
+    hour_[AsIndex(station)][e.hour] += delta;
+    endpoint_count_[AsIndex(station)] += delta;
     if (dirty_tracking_armed_ &&
-        station_dirty_epoch_[station] != dirty_epoch_) {
-      station_dirty_epoch_[station] = dirty_epoch_;
+        station_dirty_epoch_[AsIndex(station)] != dirty_epoch_) {
+      station_dirty_epoch_[AsIndex(station)] = dirty_epoch_;
       dirty_stations_.push_back(station);
     }
   }
@@ -291,7 +293,11 @@ Status SlidingWindowGraph::RestoreState(const WindowGraphState& state) {
     for (const auto& [key, trips] : state.pairs) {
       const auto u = static_cast<int32_t>(key >> 32);
       const auto v = static_cast<int32_t>(key & 0xFFFFFFFFu);
-      if (u < 0 || u >= n || v < u || v >= n || trips <= 0) {
+      if (u < 0 || u >= n || v < u || v >= n || trips <= 0 ||
+          trips > std::numeric_limits<int32_t>::max()) {
+        // The trips bound matters: PairState::trips is int32_t, so a
+        // corrupt (or malicious) checkpoint holding e.g. 2^32 + 1 would
+        // otherwise restore silently as 1 trip.
         return Status::DataLoss(
             "checkpointed window pair map holds an invalid entry");
       }

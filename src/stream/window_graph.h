@@ -11,6 +11,8 @@
 #include "analysis/temporal_graph.h"
 #include "stream/event.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::stream {
 
 /// \brief Options for a sliding-window graph maintainer.
@@ -137,14 +139,14 @@ class SlidingWindowGraph {
   /// Live per-station endpoint counters at the two temporal
   /// granularities (integral; see class comment for the convention).
   const std::array<int64_t, 7>& DayCounts(int32_t station) const {
-    return day_[station];
+    return day_[AsIndex(station)];
   }
   const std::array<int64_t, 24>& HourCounts(int32_t station) const {
-    return hour_[station];
+    return hour_[AsIndex(station)];
   }
   /// Trip endpoints currently touching `station` (2x for loop trips).
   int64_t EndpointCount(int32_t station) const {
-    return endpoint_count_[station];
+    return endpoint_count_[AsIndex(station)];
   }
 
   /// The window's per-station profiles in the batch pipeline's format
@@ -234,7 +236,10 @@ class SlidingWindowGraph {
     uint32_t dirty_epoch = 0;
   };
 
-  void ApplyDelta(const RingEntry& e, int64_t delta);
+  // delta is exactly +1 (ingest) or -1 (expiry); the narrow type keeps
+  // the pair-counter arithmetic inside int32_t by construction instead
+  // of narrowing an int64_t at the accumulation site.
+  void ApplyDelta(const RingEntry& e, int32_t delta);
   void MarkPairDirty(uint64_t key, PairState& state);
   void ExpireOlderThan(int64_t cutoff_seconds);
   void PushRing(const RingEntry& e);

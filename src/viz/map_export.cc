@@ -8,6 +8,8 @@
 #include "core/string_util.h"
 #include "geo/geojson.h"
 
+#include "core/checked_cast.h"
+
 namespace bikegraph::viz {
 
 namespace {
@@ -42,8 +44,8 @@ Status WriteCandidateMap(const expansion::CandidateNetwork& network,
   }
   for (const auto& [pair, count] : AggregateTrips(network.graph)) {
     if (pair.first == pair.second) continue;
-    w.AddLine(network.candidates[pair.first].centroid,
-              network.candidates[pair.second].centroid,
+    w.AddLine(network.candidates[AsIndex(pair.first)].centroid,
+              network.candidates[AsIndex(pair.second)].centroid,
               {{"trips", std::to_string(count)}});
   }
   return w.WriteToFile(path);
@@ -90,8 +92,8 @@ Status WriteSelectedMap(const expansion::FinalNetwork& network,
   }
   for (const auto& [pair, count] : counts) {
     if (pair.first == pair.second || count < cutoff) continue;
-    w.AddLine(network.stations[pair.first].position,
-              network.stations[pair.second].position,
+    w.AddLine(network.stations[AsIndex(pair.first)].position,
+              network.stations[AsIndex(pair.second)].position,
               {{"trips", std::to_string(count)}});
   }
   return w.WriteToFile(path);
@@ -131,7 +133,9 @@ Status WriteDot(const expansion::FinalNetwork& network,
   for (const auto& [pair, count] : counts) {
     if (static_cast<double>(count) < min_weight) continue;
     out << "  n" << pair.first << " -> n" << pair.second << " [weight="
-        << count << ", penwidth=" << FormatDouble(std::min(6.0, 0.5 + count / 200.0), 2)
+        << count << ", penwidth="
+        << FormatDouble(
+               std::min(6.0, 0.5 + static_cast<double>(count) / 200.0), 2)
         << "];\n";
   }
   out << "}\n";

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checked_cast.h"
+
+using bikegraph::AsIndex;
+
 namespace bikegraph::cluster {
 namespace {
 
@@ -105,7 +109,7 @@ TEST(GeoClusterTest, EveryLocationAssignedExactlyOnce) {
     for (int32_t member : cluster.member_indices) {
       ASSERT_GE(member, 0);
       ASSERT_LT(static_cast<size_t>(member), locations.size());
-      ++seen[member];
+      ++seen[AsIndex(member)];
     }
   }
   for (size_t i = 0; i < locations.size(); ++i) {

@@ -6,6 +6,8 @@
 
 #include "community/detector.h"
 
+#include "core/checked_cast.h"
+
 #include "community/fast_greedy.h"
 #include "community/infomap.h"
 #include "community/label_propagation.h"
@@ -19,6 +21,8 @@
 #include <gtest/gtest.h>
 
 namespace bikegraph::community {
+
+using bikegraph::AsIndex;
 namespace {
 
 using graphdb::WeightedGraph;
@@ -28,7 +32,7 @@ using graphdb::WeightedGraphBuilder;
 /// weights in (0, 4]; occasionally a self-loop. Deterministic in `seed`.
 WeightedGraph RandomGraph(uint64_t seed, int n, double p) {
   Rng rng(seed);
-  WeightedGraphBuilder b(n);
+  WeightedGraphBuilder b(AsIndex(n));
   for (int u = 0; u < n; ++u) {
     for (int v = u + 1; v < n; ++v) {
       if (rng.NextDouble() < p) {
@@ -43,7 +47,7 @@ WeightedGraph RandomGraph(uint64_t seed, int n, double p) {
 /// Two cliques of size k with a weak bridge — planted structure for the
 /// behavioral checks.
 WeightedGraph TwoCliques(int k) {
-  WeightedGraphBuilder b(2 * k);
+  WeightedGraphBuilder b(AsIndex(2 * k));
   for (int i = 0; i < k; ++i) {
     for (int j = i + 1; j < k; ++j) {
       (void)b.AddEdge(i, j, 1.0);

@@ -11,6 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checked_cast.h"
+
+using bikegraph::AsIndex;
+
 namespace bikegraph::community {
 namespace {
 
@@ -19,7 +23,7 @@ using graphdb::WeightedGraphBuilder;
 
 /// Two dense cliques of size `k` connected by a single weak bridge.
 WeightedGraph TwoCliques(int k, double bridge_weight = 0.5) {
-  WeightedGraphBuilder b(2 * k);
+  WeightedGraphBuilder b(AsIndex(2 * k));
   for (int i = 0; i < k; ++i) {
     for (int j = i + 1; j < k; ++j) {
       (void)b.AddEdge(i, j, 1.0);
@@ -32,7 +36,7 @@ WeightedGraph TwoCliques(int k, double bridge_weight = 0.5) {
 
 /// Ring of `c` cliques, each of size `k`, adjacent cliques bridged.
 WeightedGraph CliqueRing(int c, int k) {
-  WeightedGraphBuilder b(c * k);
+  WeightedGraphBuilder b(AsIndex(c * k));
   for (int q = 0; q < c; ++q) {
     for (int i = 0; i < k; ++i) {
       for (int j = i + 1; j < k; ++j) {
@@ -88,7 +92,7 @@ TEST(ModularityTest, PlantedPartitionBeatsTrivialAndRandom) {
   WeightedGraph g = TwoCliques(6);
   Partition planted;
   planted.assignment.assign(12, 0);
-  for (int i = 6; i < 12; ++i) planted.assignment[i] = 1;
+  for (int i = 6; i < 12; ++i) planted.assignment[AsIndex(i)] = 1;
   const double planted_q = Modularity(g, planted);
   EXPECT_GT(planted_q, 0.4);
 
@@ -120,7 +124,7 @@ TEST(ModularityTest, ResolutionShiftsBalance) {
   WeightedGraph g = TwoCliques(5);
   Partition planted;
   planted.assignment.assign(10, 0);
-  for (int i = 5; i < 10; ++i) planted.assignment[i] = 1;
+  for (int i = 5; i < 10; ++i) planted.assignment[AsIndex(i)] = 1;
   EXPECT_GT(Modularity(g, planted, 0.5), Modularity(g, planted, 2.0));
 }
 
@@ -128,7 +132,7 @@ TEST(AggregateTest, PreservesTotalWeight) {
   WeightedGraph g = TwoCliques(5);
   Partition p;
   p.assignment.assign(10, 0);
-  for (int i = 5; i < 10; ++i) p.assignment[i] = 1;
+  for (int i = 5; i < 10; ++i) p.assignment[AsIndex(i)] = 1;
   WeightedGraph coarse = AggregateByPartition(g, p);
   EXPECT_EQ(coarse.node_count(), 2u);
   EXPECT_DOUBLE_EQ(coarse.total_weight(), g.total_weight());
@@ -168,8 +172,8 @@ TEST(LouvainTest, RecoversTwoCliques) {
   EXPECT_GT(result->modularity, 0.45);
   // All of clique 1 in one community.
   for (int i = 1; i < 8; ++i) {
-    EXPECT_EQ(result->partition.assignment[i], result->partition.assignment[0]);
-    EXPECT_EQ(result->partition.assignment[8 + i],
+    EXPECT_EQ(result->partition.assignment[AsIndex(i)], result->partition.assignment[0]);
+    EXPECT_EQ(result->partition.assignment[AsIndex(8 + i)],
               result->partition.assignment[8]);
   }
 }
@@ -321,7 +325,7 @@ TEST(InfomapTest, PlantedPartitionShortensCodelength) {
   WeightedGraph g = TwoCliques(8);
   Partition planted;
   planted.assignment.assign(16, 0);
-  for (int i = 8; i < 16; ++i) planted.assignment[i] = 1;
+  for (int i = 8; i < 16; ++i) planted.assignment[AsIndex(i)] = 1;
   EXPECT_LT(MapEquationCodelength(g, planted),
             MapEquationCodelength(g, Partition::Singletons(16)));
 }
@@ -360,7 +364,7 @@ TEST_P(AlgorithmComparisonTest, AllAlgorithmsFindStructure) {
   Partition planted;
   planted.assignment.resize(g.node_count());
   for (size_t i = 0; i < g.node_count(); ++i) {
-    planted.assignment[i] = static_cast<int32_t>(i / size);
+    planted.assignment[i] = static_cast<int32_t>(i / AsIndex(size));
   }
   const double planted_q = Modularity(g, planted);
 

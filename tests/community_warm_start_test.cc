@@ -14,6 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checked_cast.h"
+
+using bikegraph::AsIndex;
+
 namespace bikegraph::community {
 namespace {
 
@@ -23,7 +27,7 @@ using graphdb::WeightedGraphBuilder;
 /// A planted-partition graph: `k` cliques of `size` nodes with random
 /// intra-clique weights and a sparse ring of weak inter-clique edges.
 WeightedGraph CliqueRing(int k, int size, uint64_t seed) {
-  WeightedGraphBuilder b(static_cast<size_t>(k) * size);
+  WeightedGraphBuilder b(static_cast<size_t>(k) * AsIndex(size));
   Rng rng(seed);
   for (int q = 0; q < k; ++q) {
     for (int i = 0; i < size; ++i) {
@@ -39,9 +43,9 @@ WeightedGraph CliqueRing(int k, int size, uint64_t seed) {
 /// The planted ground truth of CliqueRing.
 Partition PlantedPartition(int k, int size) {
   Partition p;
-  p.assignment.resize(static_cast<size_t>(k) * size);
+  p.assignment.resize(static_cast<size_t>(k) * AsIndex(size));
   for (int q = 0; q < k; ++q) {
-    for (int i = 0; i < size; ++i) p.assignment[q * size + i] = q;
+    for (int i = 0; i < size; ++i) p.assignment[AsIndex(q * size + i)] = q;
   }
   return p;
 }
@@ -131,8 +135,9 @@ TEST_P(WarmStartAlgorithms, NonDenseSeedLabelsAccepted) {
 INSTANTIATE_TEST_SUITE_P(LouvainAndLabelProp, WarmStartAlgorithms,
                          ::testing::Values(AlgorithmId::kLouvain,
                                            AlgorithmId::kLabelPropagation),
-                         [](const auto& info) {
-                           return std::string(AlgorithmName(info.param));
+                         [](const auto& param_info) {
+                           return std::string(
+                               AlgorithmName(param_info.param));
                          });
 
 // Label propagation seeded with its own converged labels has nothing to

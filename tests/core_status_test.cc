@@ -78,6 +78,19 @@ TEST(ResultTest, ValueOrReturnsValueWhenOk) {
   EXPECT_EQ(r.ValueOr(7), 3);
 }
 
+// Satellite regression (PR 7): tools/calibrate.cc dereferenced
+// RunCommunityExperiment results without checking ok() — the dropped
+// Status meant any experiment failure walked straight into this abort.
+// Pins that the abort really is the failure mode being defended against.
+TEST(ResultTest, ErrorDerefDiesInDebugBuilds) {
+#ifndef NDEBUG
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_DEATH((void)r.ValueOrDie(), "");
+#else
+  GTEST_SKIP() << "assert(ok()) compiles out under NDEBUG";
+#endif
+}
+
 TEST(ResultTest, MoveOutValue) {
   Result<std::string> r(std::string("hello"));
   std::string v = std::move(r).ValueOrDie();

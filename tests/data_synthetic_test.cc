@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checked_cast.h"
+
+using bikegraph::AsIndex;
+
 namespace bikegraph::data {
 namespace {
 
@@ -161,7 +165,7 @@ TEST(ProfileTest, LeisurePeaksMidday) {
   auto p = HourProfile(geo::Hotspot::Kind::kLeisure, /*weekend=*/true);
   int argmax = 0;
   for (int h = 1; h < 24; ++h) {
-    if (p[h] > p[argmax]) argmax = h;
+    if (p[AsIndex(h)] > p[AsIndex(argmax)]) argmax = h;
   }
   EXPECT_GE(argmax, 11);
   EXPECT_LE(argmax, 16);

@@ -12,6 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checked_cast.h"
+
+using bikegraph::AsIndex;
+
 namespace bikegraph::expansion {
 namespace {
 
@@ -92,9 +96,9 @@ TEST(CandidateTest, DegreesCountTripEndpoints) {
   auto net = BuildCandidateNetwork(Fixture());
   ASSERT_TRUE(net.ok());
   const int32_t cluster = net->location_to_candidate.at(10);
-  EXPECT_EQ(net->candidates[cluster].trips_from, 11);  // 10 from 10 + 1 from 12
-  EXPECT_EQ(net->candidates[cluster].trips_to, 6);
-  EXPECT_EQ(net->candidates[cluster].degree(), 17);
+  EXPECT_EQ(net->candidates[AsIndex(cluster)].trips_from, 11);  // 10 from 10 + 1 from 12
+  EXPECT_EQ(net->candidates[AsIndex(cluster)].trips_to, 6);
+  EXPECT_EQ(net->candidates[AsIndex(cluster)].degree(), 17);
 }
 
 TEST(CandidateTest, EdgePropertiesCarryTime) {
@@ -136,7 +140,7 @@ TEST(SelectionTest, ThresholdFromWeakestStation) {
   const int32_t lone = net->location_to_candidate.at(20);
   EXPECT_EQ(sel->selected.size(), 1u);
   EXPECT_EQ(sel->selected[0], cluster);
-  EXPECT_EQ(sel->reasons[lone], RejectionReason::kBelowDegree);
+  EXPECT_EQ(sel->reasons[AsIndex(lone)], RejectionReason::kBelowDegree);
   EXPECT_GT(sel->degree_threshold, 0);
 }
 
@@ -149,7 +153,7 @@ TEST(SelectionTest, SecondaryDistanceRejectsNearStation) {
   ASSERT_TRUE(sel.ok());
   EXPECT_TRUE(sel->selected.empty());
   const int32_t cluster = net->location_to_candidate.at(10);
-  EXPECT_EQ(sel->reasons[cluster], RejectionReason::kNearFixedStation);
+  EXPECT_EQ(sel->reasons[AsIndex(cluster)], RejectionReason::kNearFixedStation);
 }
 
 TEST(SelectionTest, ThresholdOverride) {
@@ -163,7 +167,7 @@ TEST(SelectionTest, ThresholdOverride) {
   EXPECT_EQ(sel->selected.size(), 2u);
   EXPECT_EQ(sel->degree_threshold, 1);
   // Ranked by degree descending.
-  EXPECT_GE(sel->scores[sel->selected[0]], sel->scores[sel->selected[1]]);
+  EXPECT_GE(sel->scores[AsIndex(sel->selected[0])], sel->scores[AsIndex(sel->selected[1])]);
 }
 
 TEST(SelectionTest, PairwiseSuppressionKeepsHigherDegree) {
@@ -188,7 +192,7 @@ TEST(SelectionTest, PairwiseSuppressionKeepsHigherDegree) {
   ASSERT_TRUE(sel.ok());
   ASSERT_EQ(sel->selected.size(), 1u);
   EXPECT_EQ(sel->selected[0], net->location_to_candidate.at(10));
-  EXPECT_EQ(sel->reasons[net->location_to_candidate.at(11)],
+  EXPECT_EQ(sel->reasons[AsIndex(net->location_to_candidate.at(11))],
             RejectionReason::kSuppressedByPeer);
   EXPECT_GE(sel->suppression_rounds, 1);
 }
@@ -203,8 +207,8 @@ TEST(SelectionTest, SelectedCandidatesAreMutuallyDistant) {
   for (size_t i = 0; i < sel->selected.size(); ++i) {
     for (size_t j = i + 1; j < sel->selected.size(); ++j) {
       EXPECT_GT(geo::HaversineMeters(
-                    net->candidates[sel->selected[i]].centroid,
-                    net->candidates[sel->selected[j]].centroid),
+                    net->candidates[AsIndex(sel->selected[i])].centroid,
+                    net->candidates[AsIndex(sel->selected[j])].centroid),
                 params.secondary_distance_m);
     }
   }
@@ -314,7 +318,7 @@ TEST(GridFreezeParityTest, FrozenIndexAnswersPipelineQueriesIdentically) {
     ASSERT_TRUE(frozen.frozen());
     ASSERT_FALSE(lazy.frozen());
     for (int q = 0; q < 400; ++q) {
-      const LatLon& at = points[q];
+      const LatLon& at = points[AsIndex(q)];
       // SelectStations' Rule-4 shape: nearest fixed station.
       const auto near_lazy = lazy.Nearest(at);
       const auto near_frozen = frozen.Nearest(at);

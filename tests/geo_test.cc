@@ -109,7 +109,10 @@ TEST(BBoxTest, ExtendAndContain) {
 
 TEST(BBoxTest, AroundPoints) {
   BBox box = BBox::Around({{53.1, -6.5}, {53.2, -6.1}, {53.5, -6.3}});
+  // lint: float-eq-ok: Around() copies the input literal through
+  // min/max untouched — exact propagation, no arithmetic.
   EXPECT_EQ(box.min_corner().lat, 53.1);
+  // lint: float-eq-ok: same literal pass-through as above.
   EXPECT_EQ(box.max_corner().lon, -6.1);
 }
 

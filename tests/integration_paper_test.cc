@@ -11,6 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checked_cast.h"
+
+using bikegraph::AsIndex;
+
 namespace bikegraph {
 namespace {
 
@@ -74,7 +78,7 @@ TEST(PaperIntegrationTest, SelectionObeysAllRules) {
   const auto& sel = pipeline.selection;
   // Rule 3: every selected candidate clears the threshold.
   for (int32_t c : sel.selected) {
-    EXPECT_GE(net.candidates[c].degree(), sel.degree_threshold);
+    EXPECT_GE(net.candidates[AsIndex(c)].degree(), sel.degree_threshold);
   }
   // Rule 4: >=250 m from every fixed station and from each other.
   std::vector<geo::LatLon> fixed;
@@ -82,13 +86,13 @@ TEST(PaperIntegrationTest, SelectionObeysAllRules) {
     if (cand.is_fixed()) fixed.push_back(cand.centroid);
   }
   for (size_t i = 0; i < sel.selected.size(); ++i) {
-    const auto& pos = net.candidates[sel.selected[i]].centroid;
+    const auto& pos = net.candidates[AsIndex(sel.selected[i])].centroid;
     for (const auto& st : fixed) {
       EXPECT_GT(geo::HaversineMeters(pos, st), 250.0);
     }
     for (size_t j = i + 1; j < sel.selected.size(); ++j) {
       EXPECT_GT(geo::HaversineMeters(
-                    pos, net.candidates[sel.selected[j]].centroid),
+                    pos, net.candidates[AsIndex(sel.selected[j])].centroid),
                 250.0);
     }
   }
@@ -154,7 +158,7 @@ TEST(PaperIntegrationTest, FigFiveDayPatternsSplit) {
       case analysis::DayPattern::kWeekendLeisure:
         ++leisure;
         break;
-      default:
+      case analysis::DayPattern::kFlat:
         break;
     }
   }
@@ -178,7 +182,7 @@ TEST(PaperIntegrationTest, FigSevenHourPatternsSplit) {
       case analysis::HourPattern::kMiddayLeisure:
         ++midday;
         break;
-      default:
+      case analysis::HourPattern::kOther:
         break;
     }
   }

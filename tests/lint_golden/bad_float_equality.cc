@@ -1,0 +1,12 @@
+// Golden-bad: exact ==/!= against floating-point literals outside the
+// locked bit-identity suites and without a `lint: float-eq-ok:`
+// justification. The float-equality check must flag both compares.
+
+namespace bikegraph {
+
+bool ConvergedExactly(double modularity_gain, float weight) {
+  if (modularity_gain == 0.5) return true;
+  return weight != 1.25f;
+}
+
+}  // namespace bikegraph

@@ -1,0 +1,13 @@
+#ifndef BIKEGRAPH_LINT_GOLDEN_BAD_MISSING_PRAGMA_ONCE_H_
+#define BIKEGRAPH_LINT_GOLDEN_BAD_MISSING_PRAGMA_ONCE_H_
+
+// Golden-bad: classic include-guard macros instead of the repo's
+// `#pragma once` convention. The pragma-once check must flag it (the
+// repo standardizes on the pragma so the self-containment matrix can
+// assert double inclusion uniformly).
+
+namespace bikegraph {
+int GuardedTheOldWay();
+}  // namespace bikegraph
+
+#endif  // BIKEGRAPH_LINT_GOLDEN_BAD_MISSING_PRAGMA_ONCE_H_

@@ -1,0 +1,18 @@
+// Golden-bad: raw fsync + rename outside src/stream/{wal,checkpoint}.cc.
+// Crash consistency is a protocol, not a sprinkle: a lone fsync with no
+// directory sync, or a rename with no tmp-file discipline, gives none of
+// the guarantees docs/DURABILITY.md promises. The naked-fsync-rename
+// check must flag both calls here (and accept this same file when it is
+// placed at src/stream/wal.cc in the selftest's scratch tree).
+
+#include <cstdio>
+#include <unistd.h>
+
+namespace bikegraph {
+
+void CasualDurability(int fd, const char* from, const char* to) {
+  fsync(fd);
+  rename(from, to);
+}
+
+}  // namespace bikegraph

@@ -1,0 +1,9 @@
+#pragma once
+
+// Golden-bad: a public header under src/ that the scratch umbrella header
+// does not #include and that is not registered in INTERNAL_HEADERS.
+// The umbrella-export check must flag it.
+
+namespace bikegraph {
+int OrphanedApi();
+}  // namespace bikegraph

@@ -1,0 +1,27 @@
+// Golden-bad: range-for over an unordered_map whose visit order leaks
+// straight into "ordered" output — the seed's community tie-break bug
+// class. The unordered-iteration check must flag the loop (no
+// `lint: unordered-iter-ok:` justification present).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace bikegraph {
+
+std::vector<int32_t> RankedCommunities(
+    const std::unordered_map<int32_t, double>& score_by_comm) {
+  std::vector<int32_t> ranked;
+  int32_t best = -1;
+  double best_score = -1.0;
+  for (const auto& [comm, score] : score_by_comm) {
+    if (score > best_score) {  // ties resolved by hash-map order: bug
+      best_score = score;
+      best = comm;
+    }
+  }
+  ranked.push_back(best);
+  return ranked;
+}
+
+}  // namespace bikegraph

@@ -1,0 +1,19 @@
+// Golden-bad: platform randomness outside src/core/rng. Every stochastic
+// choice in the library must flow through the seeded bikegraph::Rng so
+// whole runs (and their WAL replays) are bit-replayable; rand() and
+// std::random_device are unseedable from a config. The unseeded-rng
+// check must flag all three lines (and accept this same file when placed
+// at src/core/rng.cc, where wrapping the primitives is the job).
+
+#include <cstdlib>
+#include <random>
+
+namespace bikegraph {
+
+int UnreplayableChoice() {
+  std::srand(42);
+  std::random_device entropy;
+  return std::rand() + static_cast<int>(entropy() % 7);
+}
+
+}  // namespace bikegraph

@@ -1,0 +1,33 @@
+// Golden-good: the same risky shapes as the bad_* snippets, but every
+// site carries the justification annotation the checks require. The
+// selftest asserts this file produces ZERO violations — i.e. the escape
+// hatches keep working, so real annotated sites in the tree don't start
+// failing the gate.
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace bikegraph {
+
+std::vector<int32_t> SortedKeys(
+    const std::unordered_map<int32_t, double>& score_by_comm) {
+  std::vector<int32_t> keys;
+  keys.reserve(score_by_comm.size());
+  // lint: unordered-iter-ok: keys are sorted immediately below, so map
+  // order cannot reach the output.
+  for (const auto& [comm, score] : score_by_comm) {
+    keys.push_back(comm);
+    (void)score;
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+bool IsUntouchedWeight(double w) {
+  // lint: float-eq-ok: 0.0 is an exact sentinel assigned, never computed.
+  return w == 0.0;
+}
+
+}  // namespace bikegraph

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checked_cast.h"
+
+using bikegraph::AsIndex;
+
 namespace bikegraph::metrics {
 namespace {
 
@@ -17,14 +21,14 @@ using graphdb::WeightedGraphBuilder;
 
 /// Path graph 0-1-2-...-(n-1).
 WeightedGraph Path(int n) {
-  WeightedGraphBuilder b(n);
+  WeightedGraphBuilder b(AsIndex(n));
   for (int i = 0; i + 1 < n; ++i) (void)b.AddEdge(i, i + 1, 1.0);
   return b.Build();
 }
 
 /// Star with `leaves` leaves around node 0.
 WeightedGraph Star(int leaves) {
-  WeightedGraphBuilder b(leaves + 1);
+  WeightedGraphBuilder b(AsIndex(leaves + 1));
   for (int i = 1; i <= leaves; ++i) (void)b.AddEdge(0, i, 1.0);
   return b.Build();
 }
@@ -94,7 +98,7 @@ TEST(BetweennessTest, StarCenterTakesAll) {
   ASSERT_TRUE(bc.ok());
   // Center on all C(6,2) = 15 leaf pairs.
   EXPECT_DOUBLE_EQ((*bc)[0], 15.0);
-  for (int i = 1; i <= leaves; ++i) EXPECT_DOUBLE_EQ((*bc)[i], 0.0);
+  for (int i = 1; i <= leaves; ++i) EXPECT_DOUBLE_EQ((*bc)[AsIndex(i)], 0.0);
 }
 
 TEST(BetweennessTest, SplitsAcrossEqualPaths) {
@@ -104,7 +108,7 @@ TEST(BetweennessTest, SplitsAcrossEqualPaths) {
   for (int i = 0; i < 4; ++i) (void)b.AddEdge(i, (i + 1) % 4, 1.0);
   auto bc = Betweenness(b.Build());
   ASSERT_TRUE(bc.ok());
-  for (int i = 0; i < 4; ++i) EXPECT_NEAR((*bc)[i], 0.5, 1e-9);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR((*bc)[AsIndex(i)], 0.5, 1e-9);
 }
 
 TEST(BetweennessTest, WeightedShortestPathsDiffer) {

@@ -21,6 +21,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checked_cast.h"
+
+using bikegraph::AsIndex;
+
 namespace bikegraph {
 namespace {
 
@@ -57,11 +61,11 @@ RefGraph ReferenceBuild(size_t n,
     int32_t u = static_cast<int32_t>(e[0]), v = static_cast<int32_t>(e[1]);
     double w = e[2];
     if (u == v) {
-      g.self_weight[u] += w;
+      g.self_weight[AsIndex(u)] += w;
       continue;
     }
     if (u > v) std::swap(u, v);
-    pw[u][v] += w;
+    pw[AsIndex(u)][v] += w;
   }
   g.strength.assign(n, 0.0);
   g.offsets.assign(n + 1, 0);
@@ -69,7 +73,7 @@ RefGraph ReferenceBuild(size_t n,
   for (size_t u = 0; u < n; ++u) {
     for (const auto& [v, w] : pw[u]) {
       ++deg[u];
-      ++deg[v];
+      ++deg[AsIndex(v)];
       ++g.edge_count;
       (void)w;
     }
@@ -80,9 +84,9 @@ RefGraph ReferenceBuild(size_t n,
   for (size_t u = 0; u < n; ++u) {
     for (const auto& [v, w] : pw[u]) {
       g.adj[cur[u]++] = {v, w};
-      g.adj[cur[v]++] = {static_cast<int32_t>(u), w};
+      g.adj[cur[AsIndex(v)]++] = {static_cast<int32_t>(u), w};
       g.strength[u] += w;
-      g.strength[v] += w;
+      g.strength[AsIndex(v)] += w;
     }
   }
   double total = 0.0;
@@ -134,7 +138,9 @@ TEST(FlatCsrBuilderTest, MatchesMapReferenceOnRandomMultigraphs) {
         EXPECT_EQ(row[i].weight, expect.weight);  // merge order preserved
         // Sorted-adjacency invariant that WeightBetween's binary search
         // relies on.
-        if (i > 0) EXPECT_LT(row[i - 1].node, row[i].node);
+        if (i > 0) {
+          EXPECT_LT(row[i - 1].node, row[i].node);
+        }
         EXPECT_EQ(g.WeightBetween(ui, expect.node), expect.weight);
       }
     }
@@ -195,35 +201,35 @@ RefLocalMoveOutcome RefLocalMoving(const WeightedGraph& g,
     --budget;
     const int32_t u = queue.front();
     queue.pop_front();
-    in_queue[u] = 0;
-    const int32_t cu = comm[u];
+    in_queue[AsIndex(u)] = 0;
+    const int32_t cu = comm[AsIndex(u)];
     const double k_u = g.strength(u);
 
     std::map<int32_t, double> w_to_comm;
     w_to_comm[cu];
-    for (const auto& nb : g.neighbors(u)) w_to_comm[comm[nb.node]] += nb.weight;
+    for (const auto& nb : g.neighbors(u)) w_to_comm[comm[AsIndex(nb.node)]] += nb.weight;
 
-    sigma_tot[cu] -= k_u;
+    sigma_tot[AsIndex(cu)] -= k_u;
     const double ku_res = options.resolution * k_u * inv_two_m;
-    const double stay_gain = w_to_comm[cu] - ku_res * sigma_tot[cu];
+    const double stay_gain = w_to_comm[cu] - ku_res * sigma_tot[AsIndex(cu)];
     int32_t best_comm = cu;
     double best_gain = stay_gain;
     for (const auto& [c, w_uc] : w_to_comm) {
       if (c == cu) continue;
-      const double gain = w_uc - ku_res * sigma_tot[c];
+      const double gain = w_uc - ku_res * sigma_tot[AsIndex(c)];
       if (gain > best_gain ||
           (gain == best_gain && gain > stay_gain && c < best_comm)) {
         best_gain = gain;
         best_comm = c;
       }
     }
-    sigma_tot[best_comm] += k_u;
+    sigma_tot[AsIndex(best_comm)] += k_u;
     if (best_comm != cu) {
-      comm[u] = best_comm;
+      comm[AsIndex(u)] = best_comm;
       any_move = true;
       for (const auto& nb : g.neighbors(u)) {
-        if (comm[nb.node] != best_comm && !in_queue[nb.node]) {
-          in_queue[nb.node] = 1;
+        if (comm[AsIndex(nb.node)] != best_comm && !in_queue[AsIndex(nb.node)]) {
+          in_queue[AsIndex(nb.node)] = 1;
           queue.push_back(nb.node);
         }
       }

@@ -252,7 +252,9 @@ TEST(ChaosDurabilityTest, KillAndRecoverUnderHostileStream) {
       for (size_t i = 0; i < kill; ++i) {
         ApplyAction(engine, stream.actions[i]);
         ASSERT_FALSE(::testing::Test::HasFatalFailure());
-        if ((i + 1) % 5000 == 0) ASSERT_TRUE(engine.Checkpoint().ok());
+        if ((i + 1) % 5000 == 0) {
+          ASSERT_TRUE(engine.Checkpoint().ok());
+        }
       }
     }
     StreamEngine::RecoveryStats stats;

@@ -368,12 +368,49 @@ TEST(StreamEngineDurabilityTest, FreshEngineRefusesDirectoryWithState) {
 }
 
 TEST(StreamEngineDurabilityTest, DisabledDurabilityHasNoDurableSurface) {
-  StreamEngine engine(StreamEngineConfig{.station_count = 4});
+  StreamEngineConfig config;
+  config.station_count = 4;
+  StreamEngine engine(config);
   EXPECT_EQ(engine.wal_seq(), 0u);
   EXPECT_TRUE(engine.SyncWal().ok());
   const Status status = engine.Checkpoint();
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+// Satellite regression (PR 7): in durable mode Advance write-ahead-logs
+// the watermark move, so its Status can carry a real WAL I/O failure.
+// examples/live_monitoring.cpp used to `(void)` that Status; this pins
+// the engine behaviour the example (and every caller) must respect: the
+// failed append surfaces at Advance, and poisons later durable calls
+// rather than letting the log silently diverge from memory.
+TEST(StreamEngineDurabilityTest, AdvanceSurfacesWalFailureAndPoisons) {
+  const fs::path dir = FreshDir("advance_fail");
+  StreamEngineConfig config;
+  config.station_count = 4;
+  config.durability.enabled = true;
+  config.durability.directory = dir.string();
+  // One record per segment: every append after the first rotates, and
+  // rotation must create a file — which fails once the directory is gone.
+  config.durability.segment_bytes = 1;
+  StreamEngine engine(config);
+  TripEvent event;
+  event.rental_id = 1;
+  event.from_station = 0;
+  event.to_station = 1;
+  event.start_time = CivilTime(1000);
+  event.end_time = CivilTime(1100);
+  ASSERT_TRUE(engine.Ingest(event).ok());
+  fs::remove_all(dir);
+
+  const Status status = engine.Advance(CivilTime(2000));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  // The writer is poisoned: the next durable call reports the same
+  // failure instead of pretending the log is healthy.
+  const Status again = engine.Advance(CivilTime(3000));
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kIOError);
 }
 
 TEST(StreamEngineDurabilityTest, RecoverEmptyDirectoryIsAFreshEngine) {

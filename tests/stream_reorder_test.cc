@@ -75,8 +75,8 @@ class ReorderBufferTest : public ::testing::TestWithParam<ReorderBackend> {
 INSTANTIATE_TEST_SUITE_P(
     Backends, ReorderBufferTest,
     ::testing::Values(ReorderBackend::kHeap, ReorderBackend::kWheel),
-    [](const ::testing::TestParamInfo<ReorderBackend>& info) {
-      return info.param == ReorderBackend::kHeap ? "Heap" : "Wheel";
+    [](const ::testing::TestParamInfo<ReorderBackend>& param_info) {
+      return param_info.param == ReorderBackend::kHeap ? "Heap" : "Wheel";
     });
 
 TEST_P(ReorderBufferTest, StrictModeIsPassThrough) {

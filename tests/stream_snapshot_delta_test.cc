@@ -55,6 +55,8 @@ TEST(WeightedGraphPatcherTest, RandomizedPatchMatchesRebuild) {
     const auto build = [&](const std::unordered_map<uint64_t, double>& w) {
       WeightedGraphBuilder b(n);
       std::vector<uint64_t> keys;
+      // lint: unordered-iter-ok: keys are collected then sorted
+      // immediately below; map order cannot reach the builder.
       for (const auto& [k, weight] : w) keys.push_back(k);
       std::sort(keys.begin(), keys.end());
       for (uint64_t k : keys) {

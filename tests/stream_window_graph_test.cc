@@ -12,6 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checked_cast.h"
+
+using bikegraph::AsIndex;
+
 namespace bikegraph::stream {
 
 /// Test-only backdoor (befriended by SlidingWindowGraph): forges the
@@ -101,10 +105,10 @@ TEST(SlidingWindowGraphTest, SingleTripWindowEmptiesOnExpiry) {
   EXPECT_EQ(w.TripsBetween(0, 1), 0);
   // Profiles emptied out with it — no floating-point residue.
   for (int d = 0; d < 7; ++d) {
-    EXPECT_EQ(w.DayCounts(0)[d], 0);
-    EXPECT_EQ(w.DayCounts(1)[d], 0);
+    EXPECT_EQ(w.DayCounts(0)[AsIndex(d)], 0);
+    EXPECT_EQ(w.DayCounts(1)[AsIndex(d)], 0);
   }
-  for (int h = 0; h < 24; ++h) EXPECT_EQ(w.HourCounts(0)[h], 0);
+  for (int h = 0; h < 24; ++h) EXPECT_EQ(w.HourCounts(0)[AsIndex(h)], 0);
   EXPECT_EQ(w.EndpointCount(0), 0);
   // Monotonic counters keep the history.
   EXPECT_EQ(w.ingested_count(), 1u);
@@ -234,7 +238,7 @@ TEST(SlidingWindowGraphTest, ProfilesMatchCountersAndZeroActivity) {
   EXPECT_DOUBLE_EQ(p.hour[1][17], 1.0);
   // Zero-activity station: all-zero profile, and the similarity
   // convention treats it as "no evidence of dissimilarity".
-  for (int d = 0; d < 7; ++d) EXPECT_DOUBLE_EQ(p.day[2][d], 0.0);
+  for (int d = 0; d < 7; ++d) EXPECT_DOUBLE_EQ(p.day[2][AsIndex(d)], 0.0);
   EXPECT_DOUBLE_EQ(
       p.Similarity(2, 0, analysis::TemporalGranularity::kDay), 1.0);
   EXPECT_DOUBLE_EQ(
@@ -287,9 +291,9 @@ TEST(SlidingWindowGraphTest, RandomisedStreamMatchesBruteForce) {
     ++live;
     int32_t u = std::min(e.from_station, e.to_station);
     int32_t v = std::max(e.from_station, e.to_station);
-    counts[u][v] += 1;
-    hours[e.from_station][e.hour()] += 1;
-    hours[e.to_station][e.hour()] += 1;
+    counts[AsIndex(u)][AsIndex(v)] += 1;
+    hours[AsIndex(e.from_station)][AsIndex(e.hour())] += 1;
+    hours[AsIndex(e.to_station)][AsIndex(e.hour())] += 1;
   }
   EXPECT_EQ(w.trip_count(), live);
   // 2000 ingest/expiry cycles through a tiny ring: the ring and pair map
@@ -305,6 +309,28 @@ TEST(SlidingWindowGraphTest, RandomisedStreamMatchesBruteForce) {
     EXPECT_EQ(w.HourCounts(static_cast<int32_t>(u)),
               hours[u]);
   }
+}
+
+// Satellite regression (PR 7): PairState::trips is int32_t, but a
+// checkpointed landmark state carries int64_t counts. Pre-fix, restore
+// narrowed with a bare static_cast, so a corrupt count of 2^32 + 1 came
+// back as 1 trip — silently. It must be rejected as DataLoss instead.
+TEST(SlidingWindowGraphTest, RestoreRejectsPairCountOverflowingInt32) {
+  SlidingWindowGraph w({2, /*window_seconds=*/0});
+  ASSERT_TRUE(w.Ingest(Trip(0, 1, At(6, 8))).ok());
+  WindowGraphState state = w.ExportState();
+  ASSERT_EQ(state.pairs.size(), 1u);
+
+  // Round trip of the untampered state still works.
+  SlidingWindowGraph restored({2, 0});
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_EQ(restored.TripsBetween(0, 1), 1);
+
+  state.pairs[0].second = (int64_t{1} << 32) + 1;  // truncates to 1
+  SlidingWindowGraph tampered({2, 0});
+  const Status status = tampered.RestoreState(state);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
 }
 
 }  // namespace

@@ -81,10 +81,14 @@ TEST(UmbrellaHeaderTest, StreamingEngineReachable) {
 TEST(UmbrellaHeaderTest, PipelineEntryPointsReachable) {
   // Type-level smoke: the experiment config composes all module configs.
   bikegraph::analysis::ExperimentConfig config;
+  // lint: float-eq-ok: config defaults are assigned literals,
+  // never computed.
   EXPECT_EQ(config.pipeline.clustering.cluster_boundary_m, 100.0);
+  // lint: float-eq-ok: assigned-literal default, as above.
   EXPECT_EQ(config.pipeline.selection.secondary_distance_m, 250.0);
   EXPECT_EQ(config.detection.algorithm,
             bikegraph::community::AlgorithmId::kLouvain);
+  // lint: float-eq-ok: assigned-literal default, as above.
   EXPECT_EQ(config.detection.options.resolution, 1.0);
   bikegraph::analysis::PaperExpectations paper;
   EXPECT_EQ(paper.selected_total_stations, 238u);

@@ -16,6 +16,13 @@ int main() {
     community::DetectSpec lv;  // default: Louvain, paper options
     analysis::TemporalGraphOptions null_opt;
     auto gb = analysis::RunCommunityExperiment(net, null_opt, lv);
+    if (!gb.ok()) {
+      // Dereferencing an error Result aborts; the old code dropped this
+      // Status and did exactly that on any experiment failure.
+      std::printf("GBasic experiment failed: %s\n",
+                  gb.status().ToString().c_str());
+      return 1;
+    }
     std::printf("fidelity=%.2f selected=%zu GBasic k=%zu Q=%.2f self=%.0f%%\n",
                 fidelity, net.selected_count(),
                 gb->detection.partition.CommunityCount(), gb->detection.modularity,
@@ -26,6 +33,11 @@ int main() {
         for (double floor : {0.05, 0.01}) {
           analysis::TemporalGraphOptions o{gran, floor, contrast};
           auto e = analysis::RunCommunityExperiment(net, o, lv);
+          if (!e.ok()) {
+            std::printf("  %s c=%4.1f f=%.2f  FAILED: %s\n", name, contrast,
+                        floor, e.status().ToString().c_str());
+            return 1;
+          }
           std::printf("  %s c=%4.1f f=%.2f  k=%2zu Q=%.2f self=%.0f%%\n", name,
                       contrast, floor, e->detection.partition.CommunityCount(),
                       e->detection.modularity,

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Gate a GCC -fanalyzer build log against the suppression file.
+
+tools/ci.sh --analyze builds the tree with -fanalyzer (no -Werror — one
+finding must not hide the rest), captures the compiler output, and runs
+
+    check_analyzer.py --log <build.log> --suppressions tools/analyzer_suppressions.txt
+
+Exit status is nonzero when any analyzer finding is not matched by a
+suppression entry. Suppression entries each require a written
+justification (see the file's header for the format); an entry that
+matches nothing is reported as stale so the file cannot silently rot.
+"""
+
+import argparse
+import fnmatch
+import re
+import sys
+
+# "path:line:col: warning: ... [-Wanalyzer-xyz]" — the analyzer always
+# tags its findings with a -Wanalyzer-* group.
+FINDING = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?:\d+:)?\s+warning:.*"
+    r"\[(?P<flag>-Wanalyzer-[\w-]+)\]\s*$")
+# Locationless findings ("cc1plus: warning: ... [-Wanalyzer-xyz]"): GCC
+# emits these when the poisoned value's location was optimized away.
+# They are still findings — suppressable with the literal path 'cc1plus'.
+FINDING_NOLOC = re.compile(
+    r"^(?P<path>cc1plus):\s+warning:.*\[(?P<flag>-Wanalyzer-[\w-]+)\]\s*$")
+
+
+class Suppression:
+    def __init__(self, path_glob, flag, justification, lineno):
+        self.path_glob = path_glob
+        self.flag = flag
+        self.justification = justification
+        self.lineno = lineno
+        self.hits = 0
+
+    def matches(self, path, flag):
+        if self.flag != flag:
+            return False
+        return fnmatch.fnmatch(path, self.path_glob) or fnmatch.fnmatch(
+            path, "*/" + self.path_glob)
+
+
+def parse_suppressions(path):
+    entries = []
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                errors.append(
+                    f"{path}:{lineno}: entry needs "
+                    "'<path-glob> <-Wanalyzer-flag> <justification>'")
+                continue
+            glob, flag, justification = parts
+            if not flag.startswith("-Wanalyzer-"):
+                errors.append(
+                    f"{path}:{lineno}: second field must be a "
+                    f"-Wanalyzer-* flag, got '{flag}'")
+                continue
+            if len(justification.split()) < 3:
+                errors.append(
+                    f"{path}:{lineno}: justification must be a real "
+                    f"sentence, got '{justification}'")
+                continue
+            entries.append(Suppression(glob, flag, justification, lineno))
+    return entries, errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--log", required=True, help="captured build log")
+    parser.add_argument("--suppressions", required=True)
+    args = parser.parse_args(argv)
+
+    suppressions, errors = parse_suppressions(args.suppressions)
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 2
+
+    findings = []
+    with open(args.log, encoding="utf-8", errors="replace") as f:
+        for line in f:
+            stripped = line.rstrip()
+            m = FINDING.match(stripped)
+            if m:
+                findings.append(
+                    (m.group("path"), int(m.group("line")), m.group("flag"),
+                     line.strip()))
+                continue
+            m = FINDING_NOLOC.match(stripped)
+            if m:
+                findings.append(
+                    (m.group("path"), 0, m.group("flag"), line.strip()))
+
+    unsuppressed = []
+    for path, line, flag, text in findings:
+        for s in suppressions:
+            if s.matches(path, flag):
+                s.hits += 1
+                break
+        else:
+            unsuppressed.append(text)
+
+    for s in suppressions:
+        if s.hits == 0:
+            print(f"stale suppression ({args.suppressions}:{s.lineno}): "
+                  f"{s.path_glob} {s.flag} — matched no finding; delete it",
+                  file=sys.stderr)
+
+    if unsuppressed:
+        print(f"\n{len(unsuppressed)} unsuppressed analyzer finding(s):",
+              file=sys.stderr)
+        for text in unsuppressed:
+            print(f"  {text}", file=sys.stderr)
+        print("\nFix the code, or add a justified entry to "
+              f"{args.suppressions} (format in its header).",
+              file=sys.stderr)
+        return 1
+
+    print(f"analyzer gate: {len(findings)} finding(s), all suppressed with "
+          f"justification; {len(suppressions)} suppression(s) on file")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,10 +1,23 @@
 #!/usr/bin/env bash
-# Tier-1 gate in one command: configure + build + ctest.
+# Tier-1 gate in one command: lint + configure + build + ctest.
 #
 #   tools/ci.sh                         # release build, all tests
 #   BIKEGRAPH_SANITIZE=address tools/ci.sh          # ASan build
 #   BIKEGRAPH_SANITIZE=undefined tools/ci.sh        # UBSan build
+#   BIKEGRAPH_SANITIZE=thread tools/ci.sh           # TSan build (see note)
+#   BIKEGRAPH_SANITIZE=leak tools/ci.sh             # LSan build
 #   tools/ci.sh -R community_detector_test          # extra args go to ctest
+#
+# The default run starts with tools/lint.py (pure Python, no compiler —
+# fails in seconds on a repo-invariant violation) and builds with the full
+# diagnostic set promoted to errors (BIKEGRAPH_WERROR=ON is the CMake
+# default; set BIKEGRAPH_WERROR=OFF in the environment to triage new
+# warnings without the gate).
+#
+# TSan note: until the sharded engine (ROADMAP) adds real threads, the
+# whole tree is single-threaded, so BIKEGRAPH_SANITIZE=thread gates only
+# the (single-threaded) stream suites for early wiring validation — it is
+# expected to be quiet. It exists so PR 8 lands onto working plumbing.
 #
 # Opt-in sanitizer matrix (the flag must come first): after the regular
 # FULL run, build the tree into build-asan/ and build-ubsan/ and re-run
@@ -34,43 +47,89 @@
 #
 #   tools/ci.sh --chaos
 #
-# The build directory defaults to build/ (build-asan/ or build-ubsan/ for
-# sanitized runs, so a sanitizer pass never clobbers the main tree).
+# Deep-analysis gate (the flag must come first; takes no ctest args):
+# rebuild the whole tree — src, tests, benches, tools, examples — into
+# build-analyze/ under GCC's interprocedural -fanalyzer, capture the
+# compiler output, and gate every -Wanalyzer-* finding against
+# tools/analyzer_suppressions.txt via tools/check_analyzer.py. Exits
+# nonzero on any unsuppressed finding; every suppression entry carries a
+# written justification. Substantially slower than a normal build — run
+# it before merging analyzer-sensitive work, not on every edit.
+#
+#   tools/ci.sh --analyze
+#
+# The build directory defaults to build/ (build-asan/, build-ubsan/,
+# build-tsan/, build-lsan/ or build-analyze/ for the special modes, so
+# they never clobber the main tree).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SANITIZE="${BIKEGRAPH_SANITIZE:-}"
+WERROR="${BIKEGRAPH_WERROR:-ON}"
 
 MATRIX=0
 BENCH_SMOKE=0
 CHAOS=0
+ANALYZE=0
 while :; do
   case "${1:-}" in
     --sanitize-matrix) MATRIX=1; shift ;;
     --bench-smoke)     BENCH_SMOKE=1; shift ;;
     --chaos)           CHAOS=1; shift ;;
+    --analyze)         ANALYZE=1; shift ;;
     *) break ;;
   esac
 done
 for arg in "$@"; do
   if [ "$arg" = "--sanitize-matrix" ] || [ "$arg" = "--bench-smoke" ] ||
-     [ "$arg" = "--chaos" ]; then
+     [ "$arg" = "--chaos" ] || [ "$arg" = "--analyze" ]; then
     echo "$arg must come before any ctest arguments" >&2
     exit 2
   fi
 done
 
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [ "$ANALYZE" = 1 ]; then
+  BUILD_DIR="${BUILD_DIR:-$ROOT/build-analyze}"
+  LOG="$BUILD_DIR/analyze-build.log"
+  echo ">>> deep analysis: GCC -fanalyzer over the full tree"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DBIKEGRAPH_ANALYZE=ON \
+        -DBIKEGRAPH_WERROR=OFF -DBIKEGRAPH_SANITIZE=""
+  # No -Werror here: the gate must see every finding, not stop at the
+  # first. The log (stdout+stderr) is what check_analyzer.py parses.
+  mkdir -p "$BUILD_DIR"
+  cmake --build "$BUILD_DIR" -j "$JOBS" 2>&1 | tee "$LOG"
+  python3 "$ROOT/tools/check_analyzer.py" --log "$LOG" \
+          --suppressions "$ROOT/tools/analyzer_suppressions.txt"
+  exit 0
+fi
+
 case "$SANITIZE" in
   "")        BUILD_DIR="${BUILD_DIR:-$ROOT/build}" ;;
   address)   BUILD_DIR="${BUILD_DIR:-$ROOT/build-asan}" ;;
   undefined) BUILD_DIR="${BUILD_DIR:-$ROOT/build-ubsan}" ;;
-  *) echo "BIKEGRAPH_SANITIZE must be empty, 'address' or 'undefined'" >&2
+  thread)    BUILD_DIR="${BUILD_DIR:-$ROOT/build-tsan}" ;;
+  leak)      BUILD_DIR="${BUILD_DIR:-$ROOT/build-lsan}" ;;
+  *) echo "BIKEGRAPH_SANITIZE must be empty, 'address', 'undefined'," \
+          "'thread' or 'leak'" >&2
      exit 2 ;;
 esac
 
-JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+# Repo-invariant lint first: pure Python, fails in seconds, and the same
+# checks also run as the `lint` / `lint_golden_test` ctest targets.
+python3 "$ROOT/tools/lint.py" --root "$ROOT"
+python3 "$ROOT/tools/lint.py" --root "$ROOT" --selftest
 
-cmake -B "$BUILD_DIR" -S "$ROOT" -DBIKEGRAPH_SANITIZE="$SANITIZE"
+# Until the sharded engine adds real threads, a TSan run of the full tree
+# buys nothing over ASan; default the thread gate to the stream suites it
+# exists to pre-validate (explicit ctest args still override).
+if [ "$SANITIZE" = thread ] && [ "$#" -eq 0 ] && [ "$MATRIX" = 0 ]; then
+  set -- -R 'stream'
+fi
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DBIKEGRAPH_SANITIZE="$SANITIZE" \
+      -DBIKEGRAPH_WERROR="$WERROR"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 if [ "$MATRIX" = 1 ]; then
   # The tier-1 gate itself: matrix args select the sanitized subset
