@@ -7,6 +7,19 @@
 //   $ ./build/example_live_monitoring 0 0        # strictly ordered feed
 //   $ ./build/example_live_monitoring 0 900 --durable /tmp/moby-wal
 //                                                # WAL + checkpoint/restore
+//   $ ./build/example_live_monitoring 0 900 --serve 4
+//                                                # 4 concurrent query readers
+//
+// With --serve N the example becomes a two-sided serving demo: N reader
+// threads run mixed query batches (query/workload.h) against a
+// QueryService over the live engine while the replay keeps ingesting —
+// the concurrent-serving architecture docs/SERVING.md describes. When
+// the feed ends (and, combined with --durable, before the simulated
+// crash tears the engine down) the pool is drained and a per-epoch
+// serving report prints batch p50/p99 and overall queries/s alongside
+// the dashboard. Composing --serve with --durable shows the honest
+// crash story: the serving layer dies with its engine and re-attaches
+// to the recovered one as a second serving segment.
 //
 // With --durable <dir> the engine write-ahead-logs every call under
 // <dir> (cleared first — it is a scratch directory) and checkpoints
@@ -28,25 +41,159 @@
 // prints one row of the rolling dashboard: community count, modularity,
 // NMI drift, refresh mode.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <random>
 #include <string>
+// lint: thread-ok: the --serve mode races N query-reader threads against
+// the live replay writer — the concurrent-serving demo docs/SERVING.md
+// walks through.
+#include <thread>
 #include <vector>
 
 #include "core/civil_time.h"
 #include "data/synthetic.h"
 #include "expansion/pipeline.h"
+#include "query/service.h"
+#include "query/workload.h"
 #include "stream/engine.h"
 #include "stream/replay.h"
 
 using namespace bikegraph;
 
+namespace {
+
+double PercentileNs(const std::vector<int64_t>& sorted_samples, double pct) {
+  if (sorted_samples.empty()) return 0.0;
+  const auto rank = static_cast<size_t>(
+      static_cast<double>(sorted_samples.size() - 1) * pct / 100.0);
+  return static_cast<double>(sorted_samples[rank]);
+}
+
+/// N reader threads serving mixed query batches against a live engine.
+/// The pool binds the engine's publisher at construction and must be
+/// drained (StopAndReport) before that engine is destroyed — which is
+/// exactly what the --durable crash composition demonstrates.
+class ServingPool {
+ public:
+  ServingPool(const stream::StreamEngine& engine, size_t readers,
+              size_t station_count)
+      : service_(engine), locals_(readers),
+        started_(std::chrono::steady_clock::now()) {
+    threads_.reserve(readers);
+    for (size_t r = 0; r < readers; ++r) {
+      threads_.emplace_back([this, r, station_count] { Run(r, station_count); });
+    }
+  }
+
+  ~ServingPool() { StopAndReport("serving"); }
+
+  /// Drains the readers and prints the per-epoch serving report. Safe to
+  /// call more than once; only the first call reports.
+  void StopAndReport(const char* label) {
+    if (reported_) return;
+    reported_ = true;
+    done_.store(true, std::memory_order_release);
+    for (auto& t : threads_) t.join();
+    const double elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - started_).count();
+
+    std::map<uint64_t, std::vector<int64_t>> by_epoch;
+    uint64_t queries = 0, slot_errors = 0, pin_failures = 0;
+    for (const Local& local : locals_) {
+      for (const auto& [epoch, samples] : local.by_epoch) {
+        auto& cell = by_epoch[epoch];
+        cell.insert(cell.end(), samples.begin(), samples.end());
+      }
+      queries += local.queries;
+      slot_errors += local.slot_errors;
+      pin_failures += local.pin_failures;
+    }
+    std::printf("\n-- %s report: %zu readers, %llu queries in %.1fs "
+                "(%.0f queries/s, %llu slot errors, %llu pin failures) --\n",
+                label, threads_.size(),
+                static_cast<unsigned long long>(queries), elapsed,
+                elapsed > 0.0 ? static_cast<double>(queries) / elapsed : 0.0,
+                static_cast<unsigned long long>(slot_errors),
+                static_cast<unsigned long long>(pin_failures));
+    std::printf("%-8s %8s %12s %12s\n", "epoch", "batches", "p50(us)",
+                "p99(us)");
+    for (auto& [epoch, samples] : by_epoch) {
+      std::sort(samples.begin(), samples.end());
+      std::printf("%-8llu %8zu %12.1f %12.1f\n",
+                  static_cast<unsigned long long>(epoch), samples.size(),
+                  PercentileNs(samples, 50.0) / 1e3,
+                  PercentileNs(samples, 99.0) / 1e3);
+    }
+    const query::QueryServiceStats stats = service_.stats();
+    std::printf("memo: community %llu computed / %llu reused, top-pairs "
+                "%llu computed / %llu reused\n",
+                static_cast<unsigned long long>(stats.community_memo_misses),
+                static_cast<unsigned long long>(stats.community_memo_hits),
+                static_cast<unsigned long long>(stats.pairs_memo_misses),
+                static_cast<unsigned long long>(stats.pairs_memo_hits));
+  }
+
+ private:
+  struct Local {
+    std::map<uint64_t, std::vector<int64_t>> by_epoch;  // batch ns by epoch
+    uint64_t queries = 0;
+    uint64_t slot_errors = 0;
+    uint64_t pin_failures = 0;
+  };
+
+  void Run(size_t r, size_t station_count) {
+    std::mt19937_64 rng(1000003 * (r + 1));
+    query::WorkloadSpec spec;
+    spec.station_count = station_count;
+    spec.community_count = 2;
+    spec.batch_size = 8;
+    Local& local = locals_[r];
+    // do-while: every reader serves at least one batch even if the
+    // writer drains the whole feed before this thread first runs.
+    do {
+      const auto batch = query::MakeWorkloadBatch(spec, rng);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto outcome = service_.ExecuteBatch(batch);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!outcome.ok()) {
+        // Nothing published yet: back off briefly and keep polling.
+        ++local.pin_failures;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      local.by_epoch[outcome->epoch].push_back(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count());
+      local.queries += outcome->answers.size();
+      for (const auto& answer : outcome->answers) {
+        if (!answer.ok()) ++local.slot_errors;
+      }
+    } while (!done_.load(std::memory_order_acquire));
+  }
+
+  query::QueryService service_;
+  std::atomic<bool> done_{false};
+  bool reported_ = false;
+  std::vector<Local> locals_;
+  std::vector<std::thread> threads_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string durable_dir;
+  size_t serve_readers = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--durable") == 0) {
@@ -55,6 +202,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       durable_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--serve needs a reader count\n";
+        return 2;
+      }
+      serve_readers = static_cast<size_t>(std::atoll(argv[++i]));
     } else {
       positional.push_back(argv[i]);
     }
@@ -156,6 +309,15 @@ int main(int argc, char** argv) {
       durable_dir.empty() ? 0 : replay.events().size() * 3 / 5;
   const size_t checkpoint_every = restart_at == 0 ? 0 : restart_at / 4 + 1;
 
+  // Query serving side (--serve N): readers pin epochs off the engine's
+  // publisher while this thread keeps ingesting. The pool must not
+  // outlive its engine, so the crash path below drains it first.
+  std::unique_ptr<ServingPool> pool;
+  if (serve_readers > 0) {
+    pool = std::make_unique<ServingPool>(*engine, serve_readers,
+                                         net.stations.size());
+  }
+
   while (auto event = replay.Next()) {
     if (event->start_time.seconds_since_epoch() >= next_refresh) {
       refresh_and_print(event->start_time);
@@ -179,6 +341,12 @@ int main(int argc, char** argv) {
     if (fed == restart_at) {
       std::printf("-- simulated restart after %zu of %zu events --\n", fed,
                   replay.events().size());
+      if (pool) {
+        // The serving layer dies with its engine: drain the readers and
+        // report the pre-crash segment before tearing the publisher down.
+        pool->StopAndReport("pre-crash serving");
+        pool.reset();
+      }
       engine.reset();  // the "crash": the live engine is gone mid-stream
       stream::StreamEngine::RecoveryStats rs;
       auto recovered = stream::StreamEngine::Recover(config, &rs);
@@ -197,6 +365,12 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(rs.replay_errors),
                   static_cast<unsigned long long>(rs.recovered_seq),
                   static_cast<unsigned long long>(rs.truncated_bytes));
+      if (serve_readers > 0) {
+        // Second serving segment: re-attach the readers to the recovered
+        // engine's publisher and keep serving to the end of the feed.
+        pool = std::make_unique<ServingPool>(*engine, serve_readers,
+                                             net.stations.size());
+      }
     }
   }
   // End of feed: release the reorder buffer's tail, then close the day.
@@ -212,6 +386,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   refresh_and_print(day_end);
+  if (pool) {
+    pool->StopAndReport(durable_dir.empty() ? "serving"
+                                            : "post-recovery serving");
+    pool.reset();
+  }
 
   std::printf("\n%zu trips ingested, %zu expired from the window, "
               "%llu refreshes (%llu escalated to full re-detect)\n",

@@ -78,6 +78,13 @@
 #include "stream/wal.h"
 #include "stream/window_graph.h"
 
+// Query serving: epoch-pinned concurrent reads over published snapshots
+// with per-epoch memoization (see docs/SERVING.md).
+#include "query/epoch_memo.h"
+#include "query/query.h"
+#include "query/service.h"
+#include "query/workload.h"
+
 // Analysis & experiments.
 #include "analysis/community_stats.h"
 #include "analysis/experiment.h"

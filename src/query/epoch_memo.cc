@@ -1,0 +1,96 @@
+#include "query/epoch_memo.h"
+
+#include <algorithm>
+
+#include "core/checked_cast.h"
+
+namespace bikegraph::query {
+
+Result<CommunityArtifacts> ComputeCommunityArtifacts(
+    const stream::WindowSnapshot& snapshot,
+    const community::DetectSpec& spec) {
+  CommunityArtifacts art;
+  BIKEGRAPH_ASSIGN_OR_RETURN(art.detection,
+                             community::Detect(snapshot.graph, spec));
+  art.sizes = art.detection.partition.CommunitySizes();
+  art.community_count = art.sizes.size();
+
+  const auto& part = art.detection.partition.assignment;
+  const auto& graph = snapshot.graph;
+  const size_t c = art.community_count;
+  art.flow.assign(c * c, 0.0);
+  // Upper triangle first, in (u ascending, neighbor ascending) order —
+  // the accumulation order the bit-identity suite reproduces.
+  for (size_t u = 0; u < graph.node_count(); ++u) {
+    const auto iu = static_cast<int32_t>(u);
+    const size_t cu = AsIndex(part[u]);
+    art.flow[cu * c + cu] += graph.self_weight(iu);
+    for (const auto& nb : graph.neighbors(iu)) {
+      if (nb.node <= iu) continue;  // each unordered pair counted once
+      const size_t cv = AsIndex(part[AsIndex(nb.node)]);
+      art.flow[std::min(cu, cv) * c + std::max(cu, cv)] += nb.weight;
+    }
+  }
+  for (size_t a = 0; a < c; ++a) {
+    for (size_t b = a + 1; b < c; ++b) {
+      art.flow[b * c + a] = art.flow[a * c + b];
+    }
+  }
+  return art;
+}
+
+std::vector<TopPair> ComputeTopPairs(const graphdb::WeightedGraph& graph,
+                                     size_t limit) {
+  std::vector<TopPair> pairs;
+  pairs.reserve(graph.edge_count() + graph.self_loop_count());
+  for (size_t u = 0; u < graph.node_count(); ++u) {
+    const auto iu = static_cast<int32_t>(u);
+    const double self = graph.self_weight(iu);
+    if (self > 0.0) pairs.push_back({iu, iu, self});
+    for (const auto& nb : graph.neighbors(iu)) {
+      if (nb.node > iu) pairs.push_back({iu, nb.node, nb.weight});
+    }
+  }
+  const auto keep =
+      static_cast<std::ptrdiff_t>(std::min(limit, pairs.size()));
+  std::partial_sort(pairs.begin(), pairs.begin() + keep, pairs.end(),
+                    [](const TopPair& a, const TopPair& b) {
+                      if (a.weight > b.weight) return true;
+                      if (b.weight > a.weight) return false;
+                      if (a.u != b.u) return a.u < b.u;
+                      return a.v < b.v;
+                    });
+  pairs.resize(static_cast<size_t>(keep));
+  return pairs;
+}
+
+Result<const CommunityArtifacts*> EpochMemo::Communities(
+    const stream::WindowSnapshot& snapshot, const community::DetectSpec& spec,
+    bool* computed) {
+  bool did_compute = false;
+  std::call_once(community_once_, [&] {
+    did_compute = true;
+    auto result = ComputeCommunityArtifacts(snapshot, spec);
+    if (result.ok()) {
+      community_ = std::move(result).ValueOrDie();
+    } else {
+      community_status_ = result.status();
+    }
+  });
+  if (computed != nullptr) *computed = did_compute;
+  if (!community_status_.ok()) return community_status_;
+  return &*community_;
+}
+
+const std::vector<TopPair>& EpochMemo::TopPairs(
+    const stream::WindowSnapshot& snapshot, size_t limit, bool* computed) {
+  bool did_compute = false;
+  std::call_once(pairs_once_, [&] {
+    did_compute = true;
+    top_pairs_ = ComputeTopPairs(snapshot.graph, limit);
+  });
+  if (computed != nullptr) *computed = did_compute;
+  return top_pairs_;
+}
+
+}  // namespace bikegraph::query

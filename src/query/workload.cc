@@ -1,0 +1,36 @@
+#include "query/workload.h"
+
+#include <cstdint>
+
+namespace bikegraph::query {
+
+std::vector<Query> MakeWorkloadBatch(const WorkloadSpec& spec,
+                                     std::mt19937_64& rng) {
+  const auto station = [&]() -> int32_t {
+    if (spec.station_count == 0) return 0;
+    return static_cast<int32_t>(rng() % spec.station_count);
+  };
+  const auto community = [&]() -> int32_t {
+    if (spec.community_count == 0) return 0;
+    return static_cast<int32_t>(rng() % spec.community_count);
+  };
+  std::vector<Query> batch;
+  batch.reserve(spec.batch_size);
+  for (size_t i = 0; i < spec.batch_size; ++i) {
+    const uint64_t roll = rng() % 10;
+    if (roll < 4) {
+      batch.push_back(StationProfileQuery{station()});
+    } else if (roll < 6) {
+      batch.push_back(KNearestStationsQuery{station(), 1 + rng() % 8});
+    } else if (roll < 8) {
+      batch.push_back(CommunityOfStationQuery{station()});
+    } else if (roll < 9) {
+      batch.push_back(TopPairsQuery{1 + rng() % 20});
+    } else {
+      batch.push_back(InterCommunityFlowQuery{community(), community()});
+    }
+  }
+  return batch;
+}
+
+}  // namespace bikegraph::query

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "query/query.h"
+
+namespace bikegraph::query {
+
+/// \brief Shape of the synthetic mixed workload the serving bench and the
+/// live-monitoring example both drive: per batch slot, 40% station
+/// profiles, 20% k-nearest, 20% community-of-station, 10% top pairs,
+/// 10% inter-community flow — dashboard-style traffic, dominated by the
+/// cheap point lookups with a steady trickle of the memoized heavies.
+struct WorkloadSpec {
+  /// Stations to draw point queries from (ids 0..station_count-1).
+  size_t station_count = 0;
+  /// Community labels to draw flow queries from (0..community_count-1).
+  /// Use the served partition's count; 0 falls back to label 0.
+  size_t community_count = 0;
+  /// Queries per generated batch.
+  size_t batch_size = 16;
+};
+
+/// \brief One batch of the mixed workload, drawn from `rng` (caller seeds
+/// it — reproducible workloads are seeded workloads).
+std::vector<Query> MakeWorkloadBatch(const WorkloadSpec& spec,
+                                     std::mt19937_64& rng);
+
+}  // namespace bikegraph::query

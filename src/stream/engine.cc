@@ -227,7 +227,8 @@ StreamEngine::SnapshotInternal() {
     }
     return frozen.status();
   }
-  ++(used_delta ? delta_freeze_count_ : full_freeze_count_);
+  (used_delta ? delta_freeze_count_ : full_freeze_count_)
+      .fetch_add(1, std::memory_order_relaxed);
   desyncs_at_last_freeze_ = desyncs;
   dirty_ = false;
   return publisher_.Publish(std::move(*frozen));
@@ -285,8 +286,8 @@ EngineCheckpoint StreamEngine::CaptureState() const {
     c.published_window_end_seconds =
         current->window_end.seconds_since_epoch();
   }
-  c.delta_freeze_count = delta_freeze_count_;
-  c.full_freeze_count = full_freeze_count_;
+  c.delta_freeze_count = delta_freeze_count_.load(std::memory_order_relaxed);
+  c.full_freeze_count = full_freeze_count_.load(std::memory_order_relaxed);
   c.desyncs_published = desyncs_at_last_freeze_;
   c.reorder = reorder_.ExportState();
   c.window = window_.ExportState();
@@ -319,8 +320,10 @@ Status StreamEngine::RestoreFromCheckpoint(
   BIKEGRAPH_RETURN_NOT_OK(window_.RestoreState(checkpoint.window));
   tracker_.RestoreState(checkpoint.tracker);
   flushed_ = checkpoint.flushed != 0;
-  delta_freeze_count_ = checkpoint.delta_freeze_count;
-  full_freeze_count_ = checkpoint.full_freeze_count;
+  delta_freeze_count_.store(checkpoint.delta_freeze_count,
+                            std::memory_order_relaxed);
+  full_freeze_count_.store(checkpoint.full_freeze_count,
+                           std::memory_order_relaxed);
   desyncs_at_last_freeze_ = checkpoint.desyncs_published;
   if (checkpoint.snapshot_clean != 0 && checkpoint.publisher_epoch > 0) {
     // The published snapshot was current at checkpoint time. Rebuild it

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -78,6 +79,17 @@ struct StreamEngineConfig {
 /// \brief The live-monitoring entry point: ingest a trip stream, maintain
 /// the sliding window, publish immutable snapshots, and keep community
 /// structure fresh with warm-started refreshes.
+///
+/// Thread model (see docs/SERVING.md): all *mutating* calls — Ingest,
+/// Advance, Flush, Snapshot, DetectCurrent, Checkpoint — belong to one
+/// ingestion thread. Concurrently with that thread, any number of reader
+/// threads may call `LatestSnapshot()` / `publisher()` (the atomic
+/// RCU-style hand-off) and the freeze-stat getters
+/// `delta_freeze_count()` / `full_freeze_count()`; the supported
+/// concurrent read path is a `query::QueryService` over `publisher()`.
+/// The live accessors `window()`, `reorder()`, `tracker()` and the
+/// counters derived from them read mutable ingest state and are
+/// ingestion-thread-only.
 ///
 /// Typical loop:
 ///
@@ -165,10 +177,16 @@ class StreamEngine {
   [[nodiscard]] Result<std::shared_ptr<const WindowSnapshot>> Snapshot();
 
   /// The most recently published snapshot (nullptr before the first
-  /// Snapshot()/DetectCurrent() call). Never blocks ingestion.
+  /// Snapshot()/DetectCurrent() call). Never blocks ingestion; safe from
+  /// any thread (atomic load — see SnapshotPublisher).
   std::shared_ptr<const WindowSnapshot> LatestSnapshot() const {
     return publisher_.Current();
   }
+
+  /// The engine's snapshot hand-off point, for concurrent read-side
+  /// consumers (query::QueryService pins epochs through it). Safe from
+  /// any thread.
+  const SnapshotPublisher& publisher() const { return publisher_; }
 
   /// Refreshes community structure on the current window with the
   /// configured default spec.
@@ -230,9 +248,16 @@ class StreamEngine {
 
   /// Snapshot-freeze stats: epochs frozen by copy-on-write delta
   /// patching vs by a full window rebuild (the first epoch, large dirty
-  /// fractions, and dirty-set overflows all take the full path).
-  uint64_t delta_freeze_count() const { return delta_freeze_count_; }
-  uint64_t full_freeze_count() const { return full_freeze_count_; }
+  /// fractions, and dirty-set overflows all take the full path). The
+  /// counters are atomics so a dashboard thread can poll them while the
+  /// ingestion thread freezes; relaxed order — they are monotonic tallies
+  /// with no cross-variable invariant for readers to rely on.
+  uint64_t delta_freeze_count() const {
+    return delta_freeze_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t full_freeze_count() const {
+    return full_freeze_count_.load(std::memory_order_relaxed);
+  }
   /// Delta applications the window graph refused because the stored pair
   /// count disagreed (a would-have-been corruption, recovered by
   /// skipping; see SlidingWindowGraph::delta_desync_count). Non-zero is
@@ -286,8 +311,9 @@ class StreamEngine {
   /// True when the live window changed after the last publish.
   bool dirty_ = true;
   bool flushed_ = false;
-  uint64_t delta_freeze_count_ = 0;
-  uint64_t full_freeze_count_ = 0;
+  /// Written by the ingestion thread, polled by dashboard threads.
+  std::atomic<uint64_t> delta_freeze_count_{0};
+  std::atomic<uint64_t> full_freeze_count_{0};
   /// window_.delta_desync_count() as of the last successful freeze; a
   /// newer desync forces the next freeze down the full path.
   uint64_t desyncs_at_last_freeze_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+// lint: thread-ok: this_thread::sleep_for only — realtime replay pacing;
+// no spawned threads and no shared state.
 #include <thread>
 #include <utility>
 

@@ -200,26 +200,23 @@ Result<WindowSnapshot> FreezeSnapshotDelta(
 
 std::shared_ptr<const WindowSnapshot> SnapshotPublisher::Publish(
     WindowSnapshot snapshot) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  snapshot.epoch = ++epoch_;
-  current_ = std::make_shared<const WindowSnapshot>(std::move(snapshot));
-  return current_;
-}
-
-std::shared_ptr<const WindowSnapshot> SnapshotPublisher::Current() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return current_;
-}
-
-uint64_t SnapshotPublisher::epoch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return epoch_;
+  // Single-writer: the unsynchronized read-modify-write of epoch_ is safe
+  // because only the publishing thread calls Publish/RestoreEpoch.
+  const uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
+  snapshot.epoch = next;
+  auto published =
+      std::make_shared<const WindowSnapshot>(std::move(snapshot));
+  // Snapshot first, counter second: a reader that observes epoch() == N
+  // is guaranteed Current() already returns epoch N (or newer) — the
+  // release stores pair with the acquire loads in the readers.
+  current_.store(published, std::memory_order_release);
+  epoch_.store(next, std::memory_order_release);
+  return published;
 }
 
 void SnapshotPublisher::RestoreEpoch(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  epoch_ = epoch;
-  current_.reset();
+  current_.store(nullptr, std::memory_order_release);
+  epoch_.store(epoch, std::memory_order_release);
 }
 
 }  // namespace bikegraph::stream

@@ -1,8 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/civil_time.h"
@@ -105,27 +105,49 @@ Result<WindowSnapshot> FreezeSnapshotDelta(
 /// first publish). Readers keep their shared_ptr for as long as they need
 /// a consistent view — old epochs stay alive until the last reader drops
 /// them.
+///
+/// Thread safety: the RCU-style hand-off point between the single
+/// ingestion thread and any number of reader threads. `Current()` and
+/// `epoch()` are safe to call concurrently with `Publish()` from any
+/// thread — the snapshot pointer is an atomic shared_ptr, so a reader
+/// either sees the previous epoch or the new one, never a torn state,
+/// and the returned handle pins its epoch alive regardless of later
+/// publishes (locked under TSan by tests/stream_publisher_test.cc).
+/// `Publish()` and `RestoreEpoch()` themselves are writer-side: exactly
+/// one publishing thread at a time (the StreamEngine's contract — its
+/// mutating API is single-threaded).
 class SnapshotPublisher {
  public:
   /// Stamps `snapshot` with the next epoch, publishes it, and returns it.
+  /// Writer-side (one publisher thread); readers may Current()
+  /// concurrently.
   std::shared_ptr<const WindowSnapshot> Publish(WindowSnapshot snapshot);
 
   /// The most recently published snapshot; nullptr before any publish.
-  std::shared_ptr<const WindowSnapshot> Current() const;
+  /// Safe from any thread, never blocks the publisher.
+  /// (libstdc++ 12 implements the atomic shared_ptr with an embedded
+  /// spinlock whose load path unlocks relaxed; the exclusion is real but
+  /// TSan flags the library internals — see tools/tsan_suppressions.txt.)
+  std::shared_ptr<const WindowSnapshot> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
 
-  /// Epoch of the latest published snapshot (0 before any publish).
-  uint64_t epoch() const;
+  /// Epoch of the latest published snapshot (0 before any publish). The
+  /// counter is advanced *after* the snapshot store, so an epoch observed
+  /// here is always already retrievable via Current(). Safe from any
+  /// thread.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
-  /// Recovery only: rewinds the epoch counter so the next Publish stamps
-  /// `epoch + 1`, and drops the current snapshot (a recovered engine
-  /// rebuilds and republishes it, or lets the next freeze do so). Epoch
-  /// numbering then continues exactly where the crashed run left off.
+  /// Recovery only (writer-side, no concurrent readers yet): rewinds the
+  /// epoch counter so the next Publish stamps `epoch + 1`, and drops the
+  /// current snapshot (a recovered engine rebuilds and republishes it, or
+  /// lets the next freeze do so). Epoch numbering then continues exactly
+  /// where the crashed run left off.
   void RestoreEpoch(uint64_t epoch);
 
  private:
-  mutable std::mutex mutex_;
-  std::shared_ptr<const WindowSnapshot> current_;
-  uint64_t epoch_ = 0;
+  std::atomic<std::shared_ptr<const WindowSnapshot>> current_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace bikegraph::stream

@@ -1,0 +1,19 @@
+// Golden-bad: naked concurrency outside the designated threaded surface.
+// A background thread mutating shared state from a random helper file is
+// exactly what the naked-concurrency check keeps out of the tree — the
+// TSan gate only races the surfaces the concurrent suites exercise, so a
+// thread hidden here would never meet the sanitizer. The same content is
+// also planted under src/query/ by the selftest, where it must be
+// accepted (the serving layer owns threading).
+
+#include <thread>
+#include <vector>
+
+namespace bikegraph {
+
+void TouchAllInBackground(std::vector<int>* out) {
+  std::thread worker([out] { out->push_back(1); });
+  worker.join();
+}
+
+}  // namespace bikegraph

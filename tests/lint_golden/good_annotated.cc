@@ -6,10 +6,20 @@
 
 #include <algorithm>
 #include <cstdint>
+// lint: thread-ok: golden-good exemplar of the file-level escape — a
+// threaded test racing readers against a writer is the intended user.
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 namespace bikegraph {
+
+int RunOnWorkerThread() {
+  int result = 0;
+  std::thread worker([&result] { result = 1; });
+  worker.join();
+  return result;
+}
 
 std::vector<int32_t> SortedKeys(
     const std::unordered_map<int32_t, double>& score_by_comm) {

@@ -14,10 +14,11 @@
 # default; set BIKEGRAPH_WERROR=OFF in the environment to triage new
 # warnings without the gate).
 #
-# TSan note: until the sharded engine (ROADMAP) adds real threads, the
-# whole tree is single-threaded, so BIKEGRAPH_SANITIZE=thread gates only
-# the (single-threaded) stream suites for early wiring validation — it is
-# expected to be quiet. It exists so PR 8 lands onto working plumbing.
+# TSan note: the query serving layer (src/query) runs real reader
+# threads against the live publisher, so BIKEGRAPH_SANITIZE=thread gates
+# the stream and query suites by default — stream_publisher_test and
+# query_concurrent_test are the races under test (readers pinning epochs
+# while the ingestion thread publishes).
 #
 # Opt-in sanitizer matrix (the flag must come first): after the regular
 # FULL run, build the tree into build-asan/ and build-ubsan/ and re-run
@@ -31,7 +32,8 @@
 #   tools/ci.sh --sanitize-matrix -R stream         # explicit subset
 #
 # Bench smoke (the flag must come first): after the test pass, run every
-# bench_stream_* binary once with a minimal measuring budget — a cheap
+# bench_stream_* / bench_query_* binary once with a minimal measuring
+# budget — a cheap
 # crash/assert canary for the benchmark code itself (it measures nothing
 # meaningful; use tools/run_benches.sh + tools/bench_diff.py to track
 # performance).
@@ -121,11 +123,16 @@ esac
 python3 "$ROOT/tools/lint.py" --root "$ROOT"
 python3 "$ROOT/tools/lint.py" --root "$ROOT" --selftest
 
-# Until the sharded engine adds real threads, a TSan run of the full tree
-# buys nothing over ASan; default the thread gate to the stream suites it
-# exists to pre-validate (explicit ctest args still override).
-if [ "$SANITIZE" = thread ] && [ "$#" -eq 0 ] && [ "$MATRIX" = 0 ]; then
-  set -- -R 'stream'
+# The threaded surface is the publisher hand-off and the query serving
+# layer; default the thread gate to exactly those suites (explicit ctest
+# args still override). The suppression file silences one documented
+# libstdc++-internal report (see tools/tsan_suppressions.txt) — races in
+# repo code still fail the gate.
+if [ "$SANITIZE" = thread ]; then
+  export TSAN_OPTIONS="suppressions=$ROOT/tools/tsan_suppressions.txt${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
+  if [ "$#" -eq 0 ] && [ "$MATRIX" = 0 ]; then
+    set -- -R 'stream|query'
+  fi
 fi
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DBIKEGRAPH_SANITIZE="$SANITIZE" \
@@ -140,16 +147,17 @@ else
 fi
 
 if [ "$BENCH_SMOKE" = 1 ]; then
-  echo ">>> bench smoke: one minimal pass over the stream benches"
+  echo ">>> bench smoke: one minimal pass over the stream/query benches"
   found=0
-  for bin in "$BUILD_DIR"/bench_stream_*; do
+  for bin in "$BUILD_DIR"/bench_stream_* "$BUILD_DIR"/bench_query_*; do
     [ -x "$bin" ] || continue
     found=1
     echo ">>> $(basename "$bin")"
     "$bin" --benchmark_min_time=0.01 >/dev/null
   done
   if [ "$found" = 0 ]; then
-    echo "no bench_stream_* binaries in $BUILD_DIR (benches disabled?)" >&2
+    echo "no bench_stream_*/bench_query_* binaries in $BUILD_DIR" \
+         "(benches disabled?)" >&2
     exit 1
   fi
 fi
@@ -171,7 +179,7 @@ if [ "$MATRIX" = 1 ]; then
   else
     # 'reorder' is matched by 'stream' (stream_reorder_test) but is named
     # anyway so the intent survives a test-file rename.
-    MATRIX_ARGS=(-R 'stream|reorder|warm_start|grid_index')
+    MATRIX_ARGS=(-R 'stream|query|reorder|warm_start|grid_index')
   fi
   for san in address undefined; do
     echo ">>> sanitizer matrix: $san"

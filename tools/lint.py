@@ -32,6 +32,16 @@ Checks
                         EXPECT_EQ/NE on them) outside the locked bit-identity
                         suites; annotate intentional exact compares with
                         `// lint: float-eq-ok: <why>`.
+  naked-concurrency     concurrency primitives (<thread>/<mutex>/<atomic>
+                        includes, std::thread, std::call_once, ...) only
+                        inside the designated threaded surface: src/query/
+                        (the serving layer), the snapshot publisher, the
+                        stream engine and the logging sink. Threading is a
+                        file-level design decision, so the escape is
+                        file-level too: any other file must carry a
+                        `// lint: thread-ok: <why this file must thread>`
+                        justification somewhere in the file (threaded
+                        tests and benches are the expected users).
 
 Modes
 -----
@@ -83,6 +93,20 @@ BIT_IDENTITY_TESTS = {
     "tests/stream_engine_test.cc",
     "tests/community_warm_start_test.cc",
     "tests/community_detector_test.cc",
+    "tests/query_service_test.cc",
+}
+
+# The designated threaded surface: the only places allowed to hold
+# concurrency primitives without a file-level justification. Everything
+# here is covered by the TSan gate (tools/ci.sh, BIKEGRAPH_SANITIZE=thread)
+# and the concurrent serving suites.
+CONCURRENCY_DIRS = ("src/query/",)
+CONCURRENCY_FILES = {
+    "src/stream/snapshot.h",   # the atomic epoch publisher itself
+    "src/stream/snapshot.cc",
+    "src/stream/engine.h",     # reader-visible freeze counters
+    "src/stream/engine.cc",
+    "src/core/logging.cc",     # process-wide sink registration
 }
 
 
@@ -326,6 +350,52 @@ def check_float_equality(root, files):
     return violations
 
 
+CONCURRENCY_INCLUDE = re.compile(
+    r"#\s*include\s*<(?:thread|mutex|shared_mutex|condition_variable|"
+    r"atomic|future|stop_token|semaphore|latch|barrier)>")
+CONCURRENCY_USE = re.compile(
+    r"\bstd::(?:jthread\b|thread\b|this_thread\b|mutex\b|shared_mutex\b|"
+    r"recursive_mutex\b|timed_mutex\b|condition_variable\w*|atomic\w*|"
+    r"async\b|future\b|promise\b|packaged_task\b|call_once\b|once_flag\b|"
+    r"lock_guard\b|unique_lock\b|scoped_lock\b|shared_lock\b|"
+    r"counting_semaphore\b|binary_semaphore\b|latch\b|barrier\b|"
+    r"stop_token\b|memory_order\w*)")
+
+
+def check_naked_concurrency(root, files):
+    """Threading must live in the designated surface or be justified per
+    file — a naked std::thread mutating shared state from a random helper
+    is exactly the bug class the TSan gate cannot see (it only races what
+    the suites exercise). One violation per file, pointing at the first
+    concurrency site."""
+    violations = []
+    for rel in files:
+        if rel in CONCURRENCY_FILES:
+            continue
+        if any(rel.startswith(d) for d in CONCURRENCY_DIRS):
+            continue
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        if any("lint: thread-ok:" in l for l in lines):
+            continue
+        hits = []
+        for i, line in enumerate(lines):
+            code = strip_comments(line)
+            if CONCURRENCY_INCLUDE.search(code) or \
+                    CONCURRENCY_USE.search(code):
+                hits.append(i)
+        if hits:
+            violations.append(Violation(
+                "naked-concurrency", rel, hits[0] + 1,
+                f"concurrency primitive outside the designated threaded "
+                f"surface ({len(hits)} site(s) in this file) — shared-state "
+                "threading lives in src/query/ plus the publisher/engine/"
+                "logging files, where the TSan gate races it; move the "
+                "code there, or justify the whole file with "
+                "`// lint: thread-ok: <why this file must thread>`"))
+    return violations
+
+
 CHECKS = [
     ("umbrella-export", check_umbrella_export),
     ("pragma-once", check_pragma_once),
@@ -333,6 +403,7 @@ CHECKS = [
     ("naked-fsync-rename", check_naked_fsync_rename),
     ("unseeded-rng", check_unseeded_rng),
     ("float-equality", check_float_equality),
+    ("naked-concurrency", check_naked_concurrency),
 ]
 
 
@@ -457,6 +528,16 @@ def run_selftest(root):
            {"src/bad.cc": _golden(root, "bad_float_equality.cc")},
            True, "bad_float_equality.cc")
     expect("float-equality", check_float_equality,
+           {"src/good.cc": _golden(root, "good_annotated.cc")},
+           False, "good_annotated.cc")
+
+    expect("naked-concurrency", check_naked_concurrency,
+           {"src/bad.cc": _golden(root, "bad_naked_concurrency.cc")},
+           True, "bad_naked_concurrency.cc")
+    expect("naked-concurrency", check_naked_concurrency,
+           {"src/query/bad.cc": _golden(root, "bad_naked_concurrency.cc")},
+           False, "threads inside src/query are the serving layer")
+    expect("naked-concurrency", check_naked_concurrency,
            {"src/good.cc": _golden(root, "good_annotated.cc")},
            False, "good_annotated.cc")
 

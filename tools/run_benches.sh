@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the bench_perf_* and bench_stream_* google-benchmark binaries with
-# JSON output and aggregates the results into BENCH_perf.json at the repo
-# root, so the perf trajectory is tracked across PRs.
+# Runs the bench_perf_*, bench_stream_* and bench_query_* google-benchmark
+# binaries with JSON output and aggregates the results into BENCH_perf.json
+# at the repo root, so the perf trajectory is tracked across PRs. User
+# counters (the serving bench's p50/p99/qps) are kept in the merge.
 #
 # Usage: tools/run_benches.sh [build_dir] [benchmark_filter]
 #   build_dir         defaults to "build"
@@ -20,7 +21,8 @@ OUT_DIR="$BUILD_DIR/bench_json"
 mkdir -p "$OUT_DIR"
 
 declare -a JSON_FILES=()
-for bin in "$BUILD_DIR"/bench_perf_* "$BUILD_DIR"/bench_stream_*; do
+for bin in "$BUILD_DIR"/bench_perf_* "$BUILD_DIR"/bench_stream_* \
+           "$BUILD_DIR"/bench_query_*; do
   [ -x "$bin" ] || continue
   name="$(basename "$bin")"
   out="$OUT_DIR/$name.json"
@@ -35,8 +37,8 @@ for bin in "$BUILD_DIR"/bench_perf_* "$BUILD_DIR"/bench_stream_*; do
 done
 
 if [ "${#JSON_FILES[@]}" -eq 0 ]; then
-  echo "no bench_perf_*/bench_stream_* binaries found in $BUILD_DIR" \
-       "(build them first)" >&2
+  echo "no bench_perf_*/bench_stream_*/bench_query_* binaries found in" \
+       "$BUILD_DIR (build them first)" >&2
   exit 1
 fi
 
@@ -67,6 +69,15 @@ for path in inputs:
         }
         if "items_per_second" in b:
             bench[b["name"]]["items_per_second"] = b["items_per_second"]
+        # google-benchmark user counters (state.counters[...]): the
+        # serving bench reports p50/p99/qps/interference through these.
+        known = {"real_time", "cpu_time", "iterations", "items_per_second",
+                 "name", "run_name", "run_type", "family_index",
+                 "per_family_instance_index", "repetitions",
+                 "repetition_index", "threads", "time_unit"}
+        for key, value in b.items():
+            if key not in known and isinstance(value, (int, float)):
+                bench[b["name"]][key] = value
     merged["benches"][name] = bench
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2, sort_keys=True)
