@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_algorithms.dir/bench/bench_ablation_algorithms.cc.o"
+  "CMakeFiles/bench_ablation_algorithms.dir/bench/bench_ablation_algorithms.cc.o.d"
+  "bench_ablation_algorithms"
+  "bench_ablation_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

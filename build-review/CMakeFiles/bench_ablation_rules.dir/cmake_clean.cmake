@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rules.dir/bench/bench_ablation_rules.cc.o"
+  "CMakeFiles/bench_ablation_rules.dir/bench/bench_ablation_rules.cc.o.d"
+  "bench_ablation_rules"
+  "bench_ablation_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

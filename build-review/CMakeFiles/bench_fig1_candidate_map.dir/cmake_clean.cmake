@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_candidate_map.dir/bench/bench_fig1_candidate_map.cc.o"
+  "CMakeFiles/bench_fig1_candidate_map.dir/bench/bench_fig1_candidate_map.cc.o.d"
+  "bench_fig1_candidate_map"
+  "bench_fig1_candidate_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_candidate_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig346_community_maps.
+# This may be replaced when dependencies are built.

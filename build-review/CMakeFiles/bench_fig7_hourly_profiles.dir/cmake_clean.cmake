@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hourly_profiles.dir/bench/bench_fig7_hourly_profiles.cc.o"
+  "CMakeFiles/bench_fig7_hourly_profiles.dir/bench/bench_fig7_hourly_profiles.cc.o.d"
+  "bench_fig7_hourly_profiles"
+  "bench_fig7_hourly_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hourly_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

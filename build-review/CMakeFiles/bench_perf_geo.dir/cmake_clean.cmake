@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_geo.dir/bench/bench_perf_geo.cc.o"
+  "CMakeFiles/bench_perf_geo.dir/bench/bench_perf_geo.cc.o.d"
+  "bench_perf_geo"
+  "bench_perf_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_hac.dir/bench/bench_perf_hac.cc.o"
+  "CMakeFiles/bench_perf_hac.dir/bench/bench_perf_hac.cc.o.d"
+  "bench_perf_hac"
+  "bench_perf_hac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_hac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

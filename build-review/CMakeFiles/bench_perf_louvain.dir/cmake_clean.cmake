@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_louvain.dir/bench/bench_perf_louvain.cc.o"
+  "CMakeFiles/bench_perf_louvain.dir/bench/bench_perf_louvain.cc.o.d"
+  "bench_perf_louvain"
+  "bench_perf_louvain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_louvain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_serving.dir/bench/bench_query_serving.cc.o"
+  "CMakeFiles/bench_query_serving.dir/bench/bench_query_serving.cc.o.d"
+  "bench_query_serving"
+  "bench_query_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_throughput.dir/bench/bench_stream_throughput.cc.o"
+  "CMakeFiles/bench_stream_throughput.dir/bench/bench_stream_throughput.cc.o.d"
+  "bench_stream_throughput"
+  "bench_stream_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_selected_graph.dir/bench/bench_table3_selected_graph.cc.o"
+  "CMakeFiles/bench_table3_selected_graph.dir/bench/bench_table3_selected_graph.cc.o.d"
+  "bench_table3_selected_graph"
+  "bench_table3_selected_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_selected_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_gbasic.dir/bench/bench_table4_gbasic.cc.o"
+  "CMakeFiles/bench_table4_gbasic.dir/bench/bench_table4_gbasic.cc.o.d"
+  "bench_table4_gbasic"
+  "bench_table4_gbasic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_gbasic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_gday.dir/bench/bench_table5_gday.cc.o"
+  "CMakeFiles/bench_table5_gday.dir/bench/bench_table5_gday.cc.o.d"
+  "bench_table5_gday"
+  "bench_table5_gday.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_gday.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

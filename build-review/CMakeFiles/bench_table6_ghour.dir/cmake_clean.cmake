@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_ghour.dir/bench/bench_table6_ghour.cc.o"
+  "CMakeFiles/bench_table6_ghour.dir/bench/bench_table6_ghour.cc.o.d"
+  "bench_table6_ghour"
+  "bench_table6_ghour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ghour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

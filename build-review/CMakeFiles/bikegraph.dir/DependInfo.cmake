@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/community_stats.cc" "CMakeFiles/bikegraph.dir/src/analysis/community_stats.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/analysis/community_stats.cc.o.d"
+  "/root/repo/src/analysis/experiment.cc" "CMakeFiles/bikegraph.dir/src/analysis/experiment.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/analysis/experiment.cc.o.d"
+  "/root/repo/src/analysis/temporal_graph.cc" "CMakeFiles/bikegraph.dir/src/analysis/temporal_graph.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/analysis/temporal_graph.cc.o.d"
+  "/root/repo/src/cluster/geo_cluster.cc" "CMakeFiles/bikegraph.dir/src/cluster/geo_cluster.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/cluster/geo_cluster.cc.o.d"
+  "/root/repo/src/cluster/hac.cc" "CMakeFiles/bikegraph.dir/src/cluster/hac.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/cluster/hac.cc.o.d"
+  "/root/repo/src/community/aggregate.cc" "CMakeFiles/bikegraph.dir/src/community/aggregate.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/community/aggregate.cc.o.d"
+  "/root/repo/src/community/detector.cc" "CMakeFiles/bikegraph.dir/src/community/detector.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/community/detector.cc.o.d"
+  "/root/repo/src/community/fast_greedy.cc" "CMakeFiles/bikegraph.dir/src/community/fast_greedy.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/community/fast_greedy.cc.o.d"
+  "/root/repo/src/community/infomap.cc" "CMakeFiles/bikegraph.dir/src/community/infomap.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/community/infomap.cc.o.d"
+  "/root/repo/src/community/label_propagation.cc" "CMakeFiles/bikegraph.dir/src/community/label_propagation.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/community/label_propagation.cc.o.d"
+  "/root/repo/src/community/louvain.cc" "CMakeFiles/bikegraph.dir/src/community/louvain.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/community/louvain.cc.o.d"
+  "/root/repo/src/community/modularity.cc" "CMakeFiles/bikegraph.dir/src/community/modularity.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/community/modularity.cc.o.d"
+  "/root/repo/src/community/partition.cc" "CMakeFiles/bikegraph.dir/src/community/partition.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/community/partition.cc.o.d"
+  "/root/repo/src/core/civil_time.cc" "CMakeFiles/bikegraph.dir/src/core/civil_time.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/core/civil_time.cc.o.d"
+  "/root/repo/src/core/logging.cc" "CMakeFiles/bikegraph.dir/src/core/logging.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/core/logging.cc.o.d"
+  "/root/repo/src/core/rng.cc" "CMakeFiles/bikegraph.dir/src/core/rng.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/core/rng.cc.o.d"
+  "/root/repo/src/core/status.cc" "CMakeFiles/bikegraph.dir/src/core/status.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/core/status.cc.o.d"
+  "/root/repo/src/core/string_util.cc" "CMakeFiles/bikegraph.dir/src/core/string_util.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/core/string_util.cc.o.d"
+  "/root/repo/src/data/cleaning.cc" "CMakeFiles/bikegraph.dir/src/data/cleaning.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/data/cleaning.cc.o.d"
+  "/root/repo/src/data/csv.cc" "CMakeFiles/bikegraph.dir/src/data/csv.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "CMakeFiles/bikegraph.dir/src/data/dataset.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/data/dataset.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "CMakeFiles/bikegraph.dir/src/data/synthetic.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/data/synthetic.cc.o.d"
+  "/root/repo/src/expansion/candidate.cc" "CMakeFiles/bikegraph.dir/src/expansion/candidate.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/expansion/candidate.cc.o.d"
+  "/root/repo/src/expansion/final_network.cc" "CMakeFiles/bikegraph.dir/src/expansion/final_network.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/expansion/final_network.cc.o.d"
+  "/root/repo/src/expansion/pipeline.cc" "CMakeFiles/bikegraph.dir/src/expansion/pipeline.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/expansion/pipeline.cc.o.d"
+  "/root/repo/src/expansion/selection.cc" "CMakeFiles/bikegraph.dir/src/expansion/selection.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/expansion/selection.cc.o.d"
+  "/root/repo/src/geo/bbox.cc" "CMakeFiles/bikegraph.dir/src/geo/bbox.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/geo/bbox.cc.o.d"
+  "/root/repo/src/geo/dublin.cc" "CMakeFiles/bikegraph.dir/src/geo/dublin.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/geo/dublin.cc.o.d"
+  "/root/repo/src/geo/geojson.cc" "CMakeFiles/bikegraph.dir/src/geo/geojson.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/geo/geojson.cc.o.d"
+  "/root/repo/src/geo/grid_index.cc" "CMakeFiles/bikegraph.dir/src/geo/grid_index.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/geo/grid_index.cc.o.d"
+  "/root/repo/src/geo/haversine.cc" "CMakeFiles/bikegraph.dir/src/geo/haversine.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/geo/haversine.cc.o.d"
+  "/root/repo/src/geo/latlon.cc" "CMakeFiles/bikegraph.dir/src/geo/latlon.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/geo/latlon.cc.o.d"
+  "/root/repo/src/geo/polygon.cc" "CMakeFiles/bikegraph.dir/src/geo/polygon.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/geo/polygon.cc.o.d"
+  "/root/repo/src/graphdb/property_graph.cc" "CMakeFiles/bikegraph.dir/src/graphdb/property_graph.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/graphdb/property_graph.cc.o.d"
+  "/root/repo/src/graphdb/property_value.cc" "CMakeFiles/bikegraph.dir/src/graphdb/property_value.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/graphdb/property_value.cc.o.d"
+  "/root/repo/src/graphdb/weighted_graph.cc" "CMakeFiles/bikegraph.dir/src/graphdb/weighted_graph.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/graphdb/weighted_graph.cc.o.d"
+  "/root/repo/src/metrics/centrality.cc" "CMakeFiles/bikegraph.dir/src/metrics/centrality.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/metrics/centrality.cc.o.d"
+  "/root/repo/src/metrics/graph_stats.cc" "CMakeFiles/bikegraph.dir/src/metrics/graph_stats.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/metrics/graph_stats.cc.o.d"
+  "/root/repo/src/query/epoch_memo.cc" "CMakeFiles/bikegraph.dir/src/query/epoch_memo.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/query/epoch_memo.cc.o.d"
+  "/root/repo/src/query/service.cc" "CMakeFiles/bikegraph.dir/src/query/service.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/query/service.cc.o.d"
+  "/root/repo/src/query/workload.cc" "CMakeFiles/bikegraph.dir/src/query/workload.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/query/workload.cc.o.d"
+  "/root/repo/src/stream/chaos.cc" "CMakeFiles/bikegraph.dir/src/stream/chaos.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/stream/chaos.cc.o.d"
+  "/root/repo/src/stream/checkpoint.cc" "CMakeFiles/bikegraph.dir/src/stream/checkpoint.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/stream/checkpoint.cc.o.d"
+  "/root/repo/src/stream/engine.cc" "CMakeFiles/bikegraph.dir/src/stream/engine.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/stream/engine.cc.o.d"
+  "/root/repo/src/stream/incremental_community.cc" "CMakeFiles/bikegraph.dir/src/stream/incremental_community.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/stream/incremental_community.cc.o.d"
+  "/root/repo/src/stream/reorder_buffer.cc" "CMakeFiles/bikegraph.dir/src/stream/reorder_buffer.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/stream/reorder_buffer.cc.o.d"
+  "/root/repo/src/stream/replay.cc" "CMakeFiles/bikegraph.dir/src/stream/replay.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/stream/replay.cc.o.d"
+  "/root/repo/src/stream/snapshot.cc" "CMakeFiles/bikegraph.dir/src/stream/snapshot.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/stream/snapshot.cc.o.d"
+  "/root/repo/src/stream/wal.cc" "CMakeFiles/bikegraph.dir/src/stream/wal.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/stream/wal.cc.o.d"
+  "/root/repo/src/stream/window_graph.cc" "CMakeFiles/bikegraph.dir/src/stream/window_graph.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/stream/window_graph.cc.o.d"
+  "/root/repo/src/viz/ascii_table.cc" "CMakeFiles/bikegraph.dir/src/viz/ascii_table.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/viz/ascii_table.cc.o.d"
+  "/root/repo/src/viz/map_export.cc" "CMakeFiles/bikegraph.dir/src/viz/map_export.cc.o" "gcc" "CMakeFiles/bikegraph.dir/src/viz/map_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

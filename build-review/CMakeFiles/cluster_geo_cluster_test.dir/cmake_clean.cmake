@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_geo_cluster_test.dir/tests/cluster_geo_cluster_test.cc.o"
+  "CMakeFiles/cluster_geo_cluster_test.dir/tests/cluster_geo_cluster_test.cc.o.d"
+  "cluster_geo_cluster_test"
+  "cluster_geo_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_geo_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

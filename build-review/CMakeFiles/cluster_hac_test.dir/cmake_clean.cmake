@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_hac_test.dir/tests/cluster_hac_test.cc.o"
+  "CMakeFiles/cluster_hac_test.dir/tests/cluster_hac_test.cc.o.d"
+  "cluster_hac_test"
+  "cluster_hac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_hac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

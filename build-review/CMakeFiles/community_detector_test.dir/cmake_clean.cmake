@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_detector_test.dir/tests/community_detector_test.cc.o"
+  "CMakeFiles/community_detector_test.dir/tests/community_detector_test.cc.o.d"
+  "community_detector_test"
+  "community_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_warm_start_test.dir/tests/community_warm_start_test.cc.o"
+  "CMakeFiles/community_warm_start_test.dir/tests/community_warm_start_test.cc.o.d"
+  "community_warm_start_test"
+  "community_warm_start_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_warm_start_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_civil_time_test.dir/tests/core_civil_time_test.cc.o"
+  "CMakeFiles/core_civil_time_test.dir/tests/core_civil_time_test.cc.o.d"
+  "core_civil_time_test"
+  "core_civil_time_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_civil_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rng_test.dir/tests/core_rng_test.cc.o"
+  "CMakeFiles/core_rng_test.dir/tests/core_rng_test.cc.o.d"
+  "core_rng_test"
+  "core_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_string_util_test.dir/tests/core_string_util_test.cc.o"
+  "CMakeFiles/core_string_util_test.dir/tests/core_string_util_test.cc.o.d"
+  "core_string_util_test"
+  "core_string_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_string_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_cleaning_test.dir/tests/data_cleaning_test.cc.o"
+  "CMakeFiles/data_cleaning_test.dir/tests/data_cleaning_test.cc.o.d"
+  "data_cleaning_test"
+  "data_cleaning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_cleaning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_community_analysis.dir/examples/community_analysis.cpp.o"
+  "CMakeFiles/example_community_analysis.dir/examples/community_analysis.cpp.o.d"
+  "example_community_analysis"
+  "example_community_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_community_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fleet_rebalancing.dir/examples/fleet_rebalancing.cpp.o"
+  "CMakeFiles/example_fleet_rebalancing.dir/examples/fleet_rebalancing.cpp.o.d"
+  "example_fleet_rebalancing"
+  "example_fleet_rebalancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fleet_rebalancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

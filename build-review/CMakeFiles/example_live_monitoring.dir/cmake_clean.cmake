@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_live_monitoring.dir/examples/live_monitoring.cpp.o"
+  "CMakeFiles/example_live_monitoring.dir/examples/live_monitoring.cpp.o.d"
+  "example_live_monitoring"
+  "example_live_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_live_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_network_expansion.dir/examples/network_expansion.cpp.o"
+  "CMakeFiles/example_network_expansion.dir/examples/network_expansion.cpp.o.d"
+  "example_network_expansion"
+  "example_network_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_network_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_whatif_thresholds.dir/examples/whatif_thresholds.cpp.o"
+  "CMakeFiles/example_whatif_thresholds.dir/examples/whatif_thresholds.cpp.o.d"
+  "example_whatif_thresholds"
+  "example_whatif_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_whatif_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

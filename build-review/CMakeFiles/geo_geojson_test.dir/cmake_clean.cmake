@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_geojson_test.dir/tests/geo_geojson_test.cc.o"
+  "CMakeFiles/geo_geojson_test.dir/tests/geo_geojson_test.cc.o.d"
+  "geo_geojson_test"
+  "geo_geojson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_geojson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphdb_test.dir/tests/graphdb_test.cc.o"
+  "CMakeFiles/graphdb_test.dir/tests/graphdb_test.cc.o.d"
+  "graphdb_test"
+  "graphdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_concurrent_test.dir/tests/query_concurrent_test.cc.o"
+  "CMakeFiles/query_concurrent_test.dir/tests/query_concurrent_test.cc.o.d"
+  "query_concurrent_test"
+  "query_concurrent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

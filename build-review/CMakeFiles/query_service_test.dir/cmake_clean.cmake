@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_service_test.dir/tests/query_service_test.cc.o"
+  "CMakeFiles/query_service_test.dir/tests/query_service_test.cc.o.d"
+  "query_service_test"
+  "query_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_durability_test.dir/tests/stream_durability_test.cc.o"
+  "CMakeFiles/stream_durability_test.dir/tests/stream_durability_test.cc.o.d"
+  "stream_durability_test"
+  "stream_durability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_durability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_publisher_test.dir/tests/stream_publisher_test.cc.o"
+  "CMakeFiles/stream_publisher_test.dir/tests/stream_publisher_test.cc.o.d"
+  "stream_publisher_test"
+  "stream_publisher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_publisher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

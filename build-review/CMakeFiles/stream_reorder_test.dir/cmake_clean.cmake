@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_reorder_test.dir/tests/stream_reorder_test.cc.o"
+  "CMakeFiles/stream_reorder_test.dir/tests/stream_reorder_test.cc.o.d"
+  "stream_reorder_test"
+  "stream_reorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_reorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_snapshot_delta_test.dir/tests/stream_snapshot_delta_test.cc.o"
+  "CMakeFiles/stream_snapshot_delta_test.dir/tests/stream_snapshot_delta_test.cc.o.d"
+  "stream_snapshot_delta_test"
+  "stream_snapshot_delta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_snapshot_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umbrella_header_test.dir/tests/umbrella_header_test.cc.o"
+  "CMakeFiles/umbrella_header_test.dir/tests/umbrella_header_test.cc.o.d"
+  "umbrella_header_test"
+  "umbrella_header_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umbrella_header_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
