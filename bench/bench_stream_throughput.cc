@@ -135,6 +135,41 @@ void BM_StreamIngestWithWal(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamIngestWithWal)->Arg(64)->Arg(256);
 
+// The shard-scaling curve: full-engine ingestion (ingest thread routing
+// events into per-shard SPSC rings, one worker per shard, merge barrier
+// + freeze at the end) at 1, 2, and 4 shards over the identical planted
+// stream. Arg(1) runs the inline single-writer path — the same code
+// BM_StreamEngineIngest exercises — so the 2- and 4-shard rows read
+// directly as the parallel speedup (or, on a single-CPU host, the
+// queue-hand-off tax; see docs/STREAMING.md for the measured curve and
+// the merge-cost model).
+void BM_ShardedIngest(benchmark::State& state) {
+  const size_t stations = 256;
+  const auto shard_count = static_cast<size_t>(state.range(0));
+  const auto events = PlantedStream(stations, 4, 28, 4000, 17);
+  for (auto _ : state) {
+    StreamEngineConfig config;
+    config.station_count = stations;
+    config.window_seconds = 7 * 86400;
+    config.shard_count = shard_count;
+    StreamEngine engine(config);
+    for (const TripEvent& e : events) {
+      benchmark::DoNotOptimize(engine.Ingest(e).ok());
+    }
+    // The merge barrier + freeze is part of the serving cadence, so it
+    // is part of the measured cost.
+    benchmark::DoNotOptimize(engine.Snapshot().ok());
+    benchmark::DoNotOptimize(engine.trip_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+}
+// Wall-clock time, not the default CPU-time base: with N > 1 the shard
+// workers burn their cycles off the timed thread, so a CPU-time rate
+// would credit the ingest thread's cheap ring pushes as end-to-end
+// throughput (a flattering ~3x on a host where wall clock got *slower*).
+BENCHMARK(BM_ShardedIngest)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 // Freezing the live window into an immutable CSR snapshot (GBasic
 // projection), the read-side publication step.
 void BM_SnapshotFreeze(benchmark::State& state) {

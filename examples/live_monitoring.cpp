@@ -9,6 +9,15 @@
 //                                                # WAL + checkpoint/restore
 //   $ ./build/example_live_monitoring 0 900 --serve 4
 //                                                # 4 concurrent query readers
+//   $ ./build/example_live_monitoring 0 900 --shards 4
+//                                                # 4-shard ingestion engine
+//
+// With --shards N the engine ingests through N shard workers behind
+// SPSC rings (docs/STREAMING.md, "Sharded ingestion") — the dashboard,
+// snapshots, and final stats are bit-identical to the single-writer
+// run for any N; what changes is who does the windowing work. Composes
+// with --durable (the shard count is part of the durable fingerprint,
+// so recovery rebuilds the same N-shard engine) and with --serve.
 //
 // With --serve N the example becomes a two-sided serving demo: N reader
 // threads run mixed query batches (query/workload.h) against a
@@ -194,6 +203,7 @@ class ServingPool {
 int main(int argc, char** argv) {
   std::string durable_dir;
   size_t serve_readers = 0;
+  size_t shard_count = 1;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--durable") == 0) {
@@ -208,6 +218,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       serve_readers = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--shards needs a shard count\n";
+        return 2;
+      }
+      shard_count = static_cast<size_t>(std::atoll(argv[++i]));
     } else {
       positional.push_back(argv[i]);
     }
@@ -253,6 +269,7 @@ int main(int argc, char** argv) {
   config.max_lateness_seconds = shuffle_seconds;
   config.late_policy = stream::LateEventPolicy::kDrop;
   config.suppress_duplicate_rentals = true;
+  config.shard_count = shard_count;
   config.station_positions.reserve(net.stations.size());
   for (const auto& st : net.stations) {
     config.station_positions.push_back(st.position);
@@ -275,10 +292,12 @@ int main(int argc, char** argv) {
 
   std::printf("replaying %zu trips of %s across %zu stations "
               "(6h window, hourly refresh, speed %.0fx, report jitter "
-              "<= %llds)\n\n",
+              "<= %llds, %zu ingest shard%s)\n\n",
               replay.events().size(), day_start.ToString().c_str(),
               net.stations.size(), speed,
-              static_cast<long long>(shuffle_seconds));
+              static_cast<long long>(shuffle_seconds),
+              engine->shard_count(),
+              engine->shard_count() == 1 ? "" : "s");
   std::printf("%-8s %6s %6s %11s %10s %9s %s\n", "window", "trips", "comms",
               "modularity", "NMI-drift", "refresh", "ms");
 
@@ -392,9 +411,12 @@ int main(int argc, char** argv) {
     pool.reset();
   }
 
+  // Engine-level counters, not engine->window().*: with --shards N the
+  // per-shard windows each hold a slice and only the sums are the
+  // dashboard numbers.
   std::printf("\n%zu trips ingested, %zu expired from the window, "
               "%llu refreshes (%llu escalated to full re-detect)\n",
-              engine->ingested_count(), engine->window().expired_count(),
+              engine->ingested_count(), engine->expired_count(),
               static_cast<unsigned long long>(engine->tracker().refresh_count()),
               static_cast<unsigned long long>(
                   engine->tracker().escalation_count()));

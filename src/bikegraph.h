@@ -74,7 +74,9 @@
 #include "stream/incremental_community.h"
 #include "stream/reorder_buffer.h"
 #include "stream/replay.h"
+#include "stream/shard.h"
 #include "stream/snapshot.h"
+#include "stream/spsc_ring.h"
 #include "stream/wal.h"
 #include "stream/window_graph.h"
 

@@ -76,6 +76,134 @@ TripEvent GetEvent(wire::Cursor* in) {
   return event;
 }
 
+// The reorder/window codecs are shared between shard 0 (the legacy
+// field positions in the payload) and the appended extra-shard blocks,
+// so the two can never drift apart.
+
+void PutReorderState(std::string* out, const ReorderBufferState& r) {
+  wire::PutI64(out, r.watermark_seconds);
+  wire::PutU8(out, r.flushed ? 1 : 0);
+  wire::PutU64(out, r.reordered_count);
+  wire::PutU64(out, r.late_dropped_count);
+  wire::PutU64(out, r.duplicate_count);
+  wire::PutU64(out, r.released_count);
+  wire::PutU64(out, r.duplicate_ids_high_water);
+  wire::PutU64(out, r.duplicate_ids_evicted);
+  wire::PutU64(out, r.buffered.size());
+  for (const TripEvent& event : r.buffered) PutEvent(out, event);
+  wire::PutU64(out, r.seen.size());
+  for (const auto& [start, id] : r.seen) {
+    wire::PutI64(out, start);
+    wire::PutI64(out, id);
+  }
+}
+
+/// False on a corrupt payload (a count field claiming more entries than
+/// bytes remain — the anti-terabyte fuse).
+bool GetReorderState(wire::Cursor* in, ReorderBufferState* r) {
+  const auto bounded = [in](uint64_t count) {
+    return in->ok && count <= in->remaining;
+  };
+  r->watermark_seconds = in->I64();
+  r->flushed = in->U8() != 0;
+  r->reordered_count = in->U64();
+  r->late_dropped_count = in->U64();
+  r->duplicate_count = in->U64();
+  r->released_count = in->U64();
+  r->duplicate_ids_high_water = in->U64();
+  r->duplicate_ids_evicted = in->U64();
+  uint64_t count = in->U64();
+  if (!bounded(count)) return false;
+  r->buffered.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    r->buffered.push_back(GetEvent(in));
+  }
+  count = in->U64();
+  if (!bounded(count)) return false;
+  r->seen.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const int64_t start = in->I64();
+    const int64_t id = in->I64();
+    r->seen.emplace_back(start, id);
+  }
+  return in->ok;
+}
+
+void PutWindowState(std::string* out, const WindowGraphState& w) {
+  wire::PutI64(out, w.watermark_seconds);
+  wire::PutI64(out, w.last_event_seconds);
+  wire::PutU64(out, w.ingested_count);
+  wire::PutU64(out, w.delta_desync_count);
+  wire::PutU64(out, w.live_count);
+  wire::PutU64(out, w.ring.size());
+  for (const auto& e : w.ring) {
+    wire::PutI64(out, e.start_seconds);
+    wire::PutI32(out, e.from);
+    wire::PutI32(out, e.to);
+  }
+  wire::PutU64(out, w.pairs.size());
+  for (const auto& [key, trips] : w.pairs) {
+    wire::PutU64(out, key);
+    wire::PutI64(out, trips);
+  }
+  wire::PutU64(out, w.day.size());
+  for (const auto& day : w.day) {
+    for (int64_t v : day) wire::PutI64(out, v);
+  }
+  wire::PutU64(out, w.hour.size());
+  for (const auto& hour : w.hour) {
+    for (int64_t v : hour) wire::PutI64(out, v);
+  }
+  wire::PutU64(out, w.endpoint_count.size());
+  for (int64_t v : w.endpoint_count) wire::PutI64(out, v);
+}
+
+bool GetWindowState(wire::Cursor* in, WindowGraphState* w) {
+  const auto bounded = [in](uint64_t count) {
+    return in->ok && count <= in->remaining;
+  };
+  w->watermark_seconds = in->I64();
+  w->last_event_seconds = in->I64();
+  w->ingested_count = in->U64();
+  w->delta_desync_count = in->U64();
+  w->live_count = in->U64();
+  uint64_t count = in->U64();
+  if (!bounded(count)) return false;
+  w->ring.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    WindowGraphState::RingEvent e;
+    e.start_seconds = in->I64();
+    e.from = in->I32();
+    e.to = in->I32();
+    w->ring.push_back(e);
+  }
+  count = in->U64();
+  if (!bounded(count)) return false;
+  w->pairs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t key = in->U64();
+    const int64_t trips = in->I64();
+    w->pairs.emplace_back(key, trips);
+  }
+  count = in->U64();
+  if (!bounded(count)) return false;
+  w->day.resize(count);
+  for (auto& day : w->day) {
+    for (int64_t& v : day) v = in->I64();
+  }
+  count = in->U64();
+  if (!bounded(count)) return false;
+  w->hour.resize(count);
+  for (auto& hour : w->hour) {
+    for (int64_t& v : hour) v = in->I64();
+  }
+  count = in->U64();
+  if (!bounded(count)) return false;
+  w->endpoint_count.resize(count);
+  for (int64_t& v : w->endpoint_count) v = in->I64();
+  return in->ok;
+}
+
 }  // namespace
 
 std::string SerializeCheckpoint(const EngineCheckpoint& c) {
@@ -95,50 +223,9 @@ std::string SerializeCheckpoint(const EngineCheckpoint& c) {
   wire::PutU64(&out, c.full_freeze_count);
   wire::PutU64(&out, c.desyncs_published);
 
-  // Reorder buffer.
-  wire::PutI64(&out, c.reorder.watermark_seconds);
-  wire::PutU8(&out, c.reorder.flushed ? 1 : 0);
-  wire::PutU64(&out, c.reorder.reordered_count);
-  wire::PutU64(&out, c.reorder.late_dropped_count);
-  wire::PutU64(&out, c.reorder.duplicate_count);
-  wire::PutU64(&out, c.reorder.released_count);
-  wire::PutU64(&out, c.reorder.duplicate_ids_high_water);
-  wire::PutU64(&out, c.reorder.duplicate_ids_evicted);
-  wire::PutU64(&out, c.reorder.buffered.size());
-  for (const TripEvent& event : c.reorder.buffered) PutEvent(&out, event);
-  wire::PutU64(&out, c.reorder.seen.size());
-  for (const auto& [start, id] : c.reorder.seen) {
-    wire::PutI64(&out, start);
-    wire::PutI64(&out, id);
-  }
-
-  // Window graph.
-  wire::PutI64(&out, c.window.watermark_seconds);
-  wire::PutI64(&out, c.window.last_event_seconds);
-  wire::PutU64(&out, c.window.ingested_count);
-  wire::PutU64(&out, c.window.delta_desync_count);
-  wire::PutU64(&out, c.window.live_count);
-  wire::PutU64(&out, c.window.ring.size());
-  for (const auto& e : c.window.ring) {
-    wire::PutI64(&out, e.start_seconds);
-    wire::PutI32(&out, e.from);
-    wire::PutI32(&out, e.to);
-  }
-  wire::PutU64(&out, c.window.pairs.size());
-  for (const auto& [key, trips] : c.window.pairs) {
-    wire::PutU64(&out, key);
-    wire::PutI64(&out, trips);
-  }
-  wire::PutU64(&out, c.window.day.size());
-  for (const auto& day : c.window.day) {
-    for (int64_t v : day) wire::PutI64(&out, v);
-  }
-  wire::PutU64(&out, c.window.hour.size());
-  for (const auto& hour : c.window.hour) {
-    for (int64_t v : hour) wire::PutI64(&out, v);
-  }
-  wire::PutU64(&out, c.window.endpoint_count.size());
-  for (int64_t v : c.window.endpoint_count) wire::PutI64(&out, v);
+  // Shard 0's reorder buffer and window graph (legacy field positions).
+  PutReorderState(&out, c.reorder);
+  PutWindowState(&out, c.window);
 
   // Tracker.
   wire::PutU64(&out, c.tracker.refresh_count);
@@ -149,6 +236,21 @@ std::string SerializeCheckpoint(const EngineCheckpoint& c) {
     const auto& assignment = c.tracker.previous_partition->assignment;
     wire::PutU64(&out, assignment.size());
     for (int32_t label : assignment) wire::PutI32(&out, label);
+  }
+
+  // Sharding extension: appended after every legacy block, so the
+  // single-shard payload is a strict prefix extension (shard_count=1,
+  // one seq, no extra component blocks).
+  wire::PutU64(&out, c.shard_count);
+  for (uint64_t i = 0; i < c.shard_count; ++i) {
+    wire::PutU64(&out, i < c.shard_seqs.size() ? c.shard_seqs[i] : 0);
+  }
+  for (uint64_t i = 1; i < c.shard_count; ++i) {
+    static const EngineCheckpoint::ShardComponents kEmpty;
+    const auto& shard =
+        i - 1 < c.extra_shards.size() ? c.extra_shards[i - 1] : kEmpty;
+    PutReorderState(&out, shard.reorder);
+    PutWindowState(&out, shard.window);
   }
   return out;
 }
@@ -176,79 +278,35 @@ Result<EngineCheckpoint> ParseCheckpoint(const std::string& bytes) {
   c.full_freeze_count = in.U64();
   c.desyncs_published = in.U64();
 
-  c.reorder.watermark_seconds = in.I64();
-  c.reorder.flushed = in.U8() != 0;
-  c.reorder.reordered_count = in.U64();
-  c.reorder.late_dropped_count = in.U64();
-  c.reorder.duplicate_count = in.U64();
-  c.reorder.released_count = in.U64();
-  c.reorder.duplicate_ids_high_water = in.U64();
-  c.reorder.duplicate_ids_evicted = in.U64();
-  uint64_t count = in.U64();
-  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
-  c.reorder.buffered.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    c.reorder.buffered.push_back(GetEvent(&in));
+  if (!GetReorderState(&in, &c.reorder) || !GetWindowState(&in, &c.window)) {
+    return Status::DataLoss("corrupt checkpoint payload");
   }
-  count = in.U64();
-  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
-  c.reorder.seen.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    const int64_t start = in.I64();
-    const int64_t id = in.I64();
-    c.reorder.seen.emplace_back(start, id);
-  }
-
-  c.window.watermark_seconds = in.I64();
-  c.window.last_event_seconds = in.I64();
-  c.window.ingested_count = in.U64();
-  c.window.delta_desync_count = in.U64();
-  c.window.live_count = in.U64();
-  count = in.U64();
-  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
-  c.window.ring.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    WindowGraphState::RingEvent e;
-    e.start_seconds = in.I64();
-    e.from = in.I32();
-    e.to = in.I32();
-    c.window.ring.push_back(e);
-  }
-  count = in.U64();
-  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
-  c.window.pairs.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    const uint64_t key = in.U64();
-    const int64_t trips = in.I64();
-    c.window.pairs.emplace_back(key, trips);
-  }
-  count = in.U64();
-  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
-  c.window.day.resize(count);
-  for (auto& day : c.window.day) {
-    for (int64_t& v : day) v = in.I64();
-  }
-  count = in.U64();
-  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
-  c.window.hour.resize(count);
-  for (auto& hour : c.window.hour) {
-    for (int64_t& v : hour) v = in.I64();
-  }
-  count = in.U64();
-  if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
-  c.window.endpoint_count.resize(count);
-  for (int64_t& v : c.window.endpoint_count) v = in.I64();
 
   c.tracker.refresh_count = in.U64();
   c.tracker.escalation_count = in.U64();
   c.tracker.previous_modularity = in.Double();
   if (in.U8() != 0) {
-    count = in.U64();
+    uint64_t count = in.U64();
     if (!bounded(count)) return Status::DataLoss("corrupt checkpoint payload");
     community::Partition partition;
     partition.assignment.resize(count);
     for (int32_t& label : partition.assignment) label = in.I32();
     c.tracker.previous_partition = std::move(partition);
+  }
+
+  // Sharding extension.
+  c.shard_count = in.U64();
+  if (c.shard_count == 0 || !bounded(c.shard_count)) {
+    return Status::DataLoss("corrupt checkpoint payload");
+  }
+  c.shard_seqs.resize(c.shard_count);
+  for (uint64_t& seq : c.shard_seqs) seq = in.U64();
+  c.extra_shards.resize(c.shard_count - 1);
+  for (auto& shard : c.extra_shards) {
+    if (!GetReorderState(&in, &shard.reorder) ||
+        !GetWindowState(&in, &shard.window)) {
+      return Status::DataLoss("corrupt checkpoint payload");
+    }
   }
   if (!in.ok || in.remaining != 0) {
     return Status::DataLoss("corrupt checkpoint payload");

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/result.h"
 #include "stream/incremental_community.h"
@@ -55,6 +56,24 @@ struct EngineCheckpoint {
   ReorderBufferState reorder;
   WindowGraphState window;
   TrackerState tracker;
+
+  /// Sharding extension (appended to the payload, after the blocks
+  /// above, so a single-shard checkpoint's prefix is unchanged).
+  /// `shard_count` joins the config fingerprint: Recover() refuses a
+  /// checkpoint whose shard layout disagrees with the engine's, because
+  /// per-shard state cannot be re-partitioned on load.
+  uint64_t shard_count = 1;
+  /// Per-shard applied-command counters (the shards' private sequence
+  /// spaces; size == shard_count). Shard 0's reorder/window state lives
+  /// in the legacy `reorder`/`window` fields above.
+  std::vector<uint64_t> shard_seqs;
+  /// Reorder + window state for shards 1..shard_count-1, in shard
+  /// order (size == shard_count - 1; empty for a single-shard engine).
+  struct ShardComponents {
+    ReorderBufferState reorder;
+    WindowGraphState window;
+  };
+  std::vector<ShardComponents> extra_shards;
 };
 
 /// \brief Serializes a checkpoint to its on-disk payload (no framing).

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <filesystem>
 #include <system_error>
+#include <thread>
 #include <utility>
+
+#include "stream/spsc_ring.h"
 
 namespace bikegraph::stream {
 
@@ -18,16 +21,170 @@ bool IsWalSegmentName(const std::string& name) {
 
 }  // namespace
 
+namespace detail {
+
+/// One entry on a shard's command ring. Every command carries the
+/// caller's global reorder watermark (INT64_MIN = nothing to forward),
+/// applied before the kind-specific handling: a shard that last saw an
+/// event an hour of stream time ago must still judge lateness and
+/// release readiness against stream-wide time, not its own stale clock.
+struct ShardCommand {
+  enum class Kind : uint8_t { kEvent, kAdvance, kFlush };
+  Kind kind = Kind::kEvent;
+  TripEvent event;
+  int64_t reorder_wm = INT64_MIN;
+  /// Window advance target (INT64_MIN = none): set by explicit Advance
+  /// calls and by the barrier's phase 2, which aligns every shard
+  /// window to the merged watermark before a freeze.
+  int64_t window_wm = INT64_MIN;
+};
+
+/// One slice of the stream vertical: a reorder buffer and window graph
+/// owning a disjoint set of station pairs, plus the SPSC ring and worker
+/// thread that feed it in sharded mode.
+///
+/// Ownership of fields by thread: `ring` is the SPSC hand-off;
+/// `acked`/`stop` are the only cross-thread atomics. Everything else
+/// (reorder, window, dirty, first_error, applied) is written by whichever
+/// thread runs Apply — the worker once started, the ingest thread before
+/// that and in single-shard mode — and read by the ingest thread only at
+/// quiescent points: `acked == pushed` (acquire) proves every command's
+/// effects happened-before the read, and caller-side writes made while
+/// quiescent become visible to the worker through the next ring push
+/// (release tail store / acquire tail load). No locks, no races — the
+/// shard suites run under TSan in CI (tools/ci.sh).
+class EngineShard {
+ public:
+  explicit EngineShard(const StreamEngineConfig& config)
+      : reorder(ReorderBufferOptions{config.max_lateness_seconds,
+                                     config.late_policy,
+                                     config.suppress_duplicate_rentals,
+                                     config.reorder_backend,
+                                     config.max_duplicate_rental_ids}),
+        window(WindowGraphOptions{config.station_count,
+                                  config.window_seconds}),
+        ring(kRingCapacity) {}
+
+  /// Applies one command. The sequence per kind mirrors the pre-sharding
+  /// engine internals exactly (kEvent = IngestInternal, kAdvance =
+  /// AdvanceInternal, kFlush = FlushInternal), which is what makes a
+  /// one-shard engine bit-identical to the legacy single writer.
+  Status Apply(const ShardCommand& cmd) {
+    ++applied;
+    if (cmd.reorder_wm != INT64_MIN) {
+      reorder.AdvanceWatermark(CivilTime(cmd.reorder_wm));
+    }
+    switch (cmd.kind) {
+      case ShardCommand::Kind::kEvent: {
+        const Status status = reorder.Push(cmd.event);
+        if (!status.ok()) return status;
+        return DrainReady();
+      }
+      case ShardCommand::Kind::kAdvance: {
+        // Releases before expiry: events the new watermark makes
+        // releasable carry start times at or before it, so they enter
+        // the window before it expires anything at the new mark.
+        BIKEGRAPH_RETURN_NOT_OK(DrainReady());
+        if (cmd.window_wm != INT64_MIN) {
+          const size_t before = window.trip_count();
+          const CivilTime old_mark = window.watermark();
+          window.Advance(CivilTime(cmd.window_wm));
+          if (window.trip_count() != before ||
+              window.watermark() != old_mark) {
+            dirty = true;
+          }
+        }
+        return Status::OK();
+      }
+      case ShardCommand::Kind::kFlush:
+        reorder.Flush();
+        return DrainReady();
+    }
+    return Status::DataLoss("unknown shard command");
+  }
+
+  /// Applies `cmd` and acknowledges it: a failure parks in first_error
+  /// (the engine surfaces it at the next barrier), and the release
+  /// increment of `acked` publishes every effect to the waiting ingest
+  /// thread. Shared by the worker loop and the inline replay path.
+  void Execute(const ShardCommand& cmd) {
+    const Status status = Apply(cmd);
+    if (!status.ok() && first_error.ok()) first_error = status;
+    acked.fetch_add(1, std::memory_order_release);
+  }
+
+  void Start() {
+    worker = std::thread([this] {
+      ShardCommand cmd;
+      for (;;) {
+        if (ring.TryPop(cmd)) {
+          Execute(cmd);
+          continue;
+        }
+        if (stop.load(std::memory_order_acquire)) {
+          // Drain anything that raced in ahead of the stop flag so a
+          // shutdown never drops accepted commands.
+          if (ring.TryPop(cmd)) {
+            Execute(cmd);
+            continue;
+          }
+          break;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  void Stop() {
+    if (!worker.joinable()) return;
+    stop.store(true, std::memory_order_release);
+    worker.join();
+  }
+
+  ReorderBuffer reorder;
+  SlidingWindowGraph window;
+  /// True when this shard's window changed since the flag was last
+  /// collected (folded into the engine's dirty_ at barriers).
+  bool dirty = false;
+  /// First deferred command failure; surfaced once, in shard order.
+  Status first_error = Status::OK();
+  /// Commands applied over this shard's lifetime — the shard's private
+  /// sequence space, persisted per shard in EngineCheckpoint.
+  uint64_t applied = 0;
+  SpscRing<ShardCommand> ring;
+  /// Ingest-thread-side count of commands dispatched; quiescence is
+  /// acked == pushed.
+  uint64_t pushed = 0;
+  alignas(64) std::atomic<uint64_t> acked{0};
+  std::atomic<bool> stop{false};
+  std::thread worker;
+
+ private:
+  /// Ring slots per shard: deep enough that a freeze-length consumer
+  /// stall does not immediately backpressure ingest, small enough that
+  /// a stuck worker bounds queued memory.
+  static constexpr size_t kRingCapacity = 1024;
+
+  Status DrainReady() {
+    return reorder.ForEachReady([this](const TripEvent& event) {
+      dirty = true;
+      return window.Ingest(event);
+    });
+  }
+};
+
+}  // namespace detail
+
 StreamEngine::StreamEngine(RecoverTag, StreamEngineConfig config)
     : config_(std::move(config)),
-      reorder_(ReorderBufferOptions{config_.max_lateness_seconds,
-                                    config_.late_policy,
-                                    config_.suppress_duplicate_rentals,
-                                    config_.reorder_backend,
-                                    config_.max_duplicate_rental_ids}),
-      window_(WindowGraphOptions{config_.station_count,
-                                 config_.window_seconds}),
+      router_(config_.shard_count),
       tracker_(config_.refresh) {
+  // 0 means "no sharding", i.e. one shard (mirrors ShardRouter's clamp).
+  if (config_.shard_count == 0) config_.shard_count = 1;
+  shards_.reserve(config_.shard_count);
+  for (size_t i = 0; i < config_.shard_count; ++i) {
+    shards_.push_back(std::make_unique<detail::EngineShard>(config_));
+  }
   if (config_.station_positions.size() >= config_.station_count) {
     // Index exactly the station universe; extra entries are not station
     // ids and must not leak into snapshot spatial queries.
@@ -41,6 +198,21 @@ StreamEngine::StreamEngine(RecoverTag, StreamEngineConfig config)
 StreamEngine::StreamEngine(StreamEngineConfig config)
     : StreamEngine(RecoverTag{}, std::move(config)) {
   InitDurability();
+  StartShardWorkers();
+}
+
+StreamEngine::~StreamEngine() { StopShardWorkers(); }
+
+void StreamEngine::StartShardWorkers() {
+  if (shards_.size() <= 1) return;
+  for (auto& shard : shards_) shard->Start();
+  started_ = true;
+}
+
+void StreamEngine::StopShardWorkers() {
+  if (!started_) return;
+  for (auto& shard : shards_) shard->Stop();
+  started_ = false;
 }
 
 void StreamEngine::InitDurability() {
@@ -87,6 +259,92 @@ Status StreamEngine::LogRecord(const WalRecord& record) {
   return Status::OK();
 }
 
+Status StreamEngine::ApplySingle(const detail::ShardCommand& cmd) {
+  detail::EngineShard& shard = *shards_[0];
+  const Status status = shard.Apply(cmd);
+  // Eager dirty collection — the legacy per-call dirty_ semantics that
+  // CaptureState's snapshot_clean flag depends on.
+  if (shard.dirty) {
+    dirty_ = true;
+    shard.dirty = false;
+  }
+  // With one shard the buffer is authoritative: mirror its watermark
+  // (which also folds in drops and suppressions the caller-side raise
+  // rule cannot see) so capture/restore round-trips exactly.
+  global_reorder_wm_ = shard.reorder.watermark().seconds_since_epoch();
+  return status;
+}
+
+void StreamEngine::Deliver(size_t shard_index,
+                           const detail::ShardCommand& cmd) {
+  detail::EngineShard& shard = *shards_[shard_index];
+  ++shard.pushed;
+  if (started_) {
+    // A full ring is backpressure: the slow consumer throttles ingest.
+    while (!shard.ring.TryPush(cmd)) std::this_thread::yield();
+    return;
+  }
+  // WAL replay / pre-start: apply on this thread with the identical
+  // deferred-error bookkeeping, so recovery is deterministic without
+  // worker scheduling in the loop.
+  shard.Execute(cmd);
+}
+
+void StreamEngine::WaitQuiescent() {
+  for (const auto& shard : shards_) {
+    while (shard->acked.load(std::memory_order_acquire) < shard->pushed) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+Status StreamEngine::CollectShardState() {
+  Status first = Status::OK();
+  for (const auto& shard : shards_) {
+    if (shard->dirty) {
+      dirty_ = true;
+      shard->dirty = false;
+    }
+    if (!shard->first_error.ok()) {
+      if (first.ok()) first = shard->first_error;
+      shard->first_error = Status::OK();
+    }
+  }
+  return first;
+}
+
+Status StreamEngine::BarrierQuiesce() {
+  // Phase 1: align every shard's reorder clock to stream-wide time and
+  // drain what that releases — a shard that last saw an event long ago
+  // may hold events the global watermark has since made releasable.
+  detail::ShardCommand align;
+  align.kind = detail::ShardCommand::Kind::kAdvance;
+  align.reorder_wm = global_reorder_wm_;
+  for (size_t i = 0; i < shards_.size(); ++i) Deliver(i, align);
+  WaitQuiescent();
+
+  // Phase 2: the single-writer window watermark is the max over released
+  // event starts and explicit advances; each shard saw only a subset, so
+  // the merged value is the max across shards. Advance every window to
+  // it so expiry and window_start are uniform before a freeze reads
+  // them. (Reading shard state here is safe: quiescence established the
+  // happens-before edge, and workers are idle until we push again.)
+  int64_t window_wm = INT64_MIN;
+  for (const auto& shard : shards_) {
+    window_wm = std::max(window_wm,
+                         shard->window.watermark().seconds_since_epoch());
+  }
+  if (window_wm != INT64_MIN) {
+    detail::ShardCommand advance;
+    advance.kind = detail::ShardCommand::Kind::kAdvance;
+    advance.reorder_wm = global_reorder_wm_;
+    advance.window_wm = window_wm;
+    for (size_t i = 0; i < shards_.size(); ++i) Deliver(i, advance);
+    WaitQuiescent();
+  }
+  return CollectShardState();
+}
+
 Status StreamEngine::Ingest(const TripEvent& event) {
   if (flushed_) {
     return Status::FailedPrecondition(
@@ -117,8 +375,26 @@ Status StreamEngine::Ingest(const TripEvent& event) {
 }
 
 Status StreamEngine::IngestInternal(const TripEvent& event) {
-  BIKEGRAPH_RETURN_NOT_OK(reorder_.Push(event));
-  return DrainReady();
+  detail::ShardCommand cmd;
+  cmd.kind = detail::ShardCommand::Kind::kEvent;
+  cmd.event = event;
+  if (shards_.size() == 1) return ApplySingle(cmd);
+  // Stream-wide watermark bookkeeping, mirroring ReorderBuffer::Push's
+  // raise rule exactly: an arrival raises the watermark iff it is not
+  // late and moves time forward. The command carries the *pre-event*
+  // value — the owning shard's Push then performs the identical raise
+  // the single buffer would have, counters and all. (One caveat, see
+  // docs/STREAMING.md: with duplicate suppression on, a redelivered id
+  // with a novel newer start raises this watermark but would not have
+  // raised the single buffer's.)
+  cmd.reorder_wm = global_reorder_wm_;
+  const int64_t start = event.start_time.seconds_since_epoch();
+  const bool late =
+      global_reorder_wm_ != INT64_MIN &&
+      start < global_reorder_wm_ - config_.max_lateness_seconds;
+  if (!late && start > global_reorder_wm_) global_reorder_wm_ = start;
+  Deliver(router_.OwnerOfPair(event.from_station, event.to_station), cmd);
+  return Status::OK();
 }
 
 Status StreamEngine::Advance(CivilTime watermark) {
@@ -130,17 +406,17 @@ Status StreamEngine::Advance(CivilTime watermark) {
 }
 
 Status StreamEngine::AdvanceInternal(CivilTime watermark) {
-  // Raise the reorder watermark first: events it makes releasable carry
-  // start times <= watermark - max_lateness, so they enter the window
-  // before it expires anything at the new watermark.
-  reorder_.AdvanceWatermark(watermark);
-  BIKEGRAPH_RETURN_NOT_OK(DrainReady());
-  const size_t before = window_.trip_count();
-  const CivilTime old_mark = window_.watermark();
-  window_.Advance(watermark);
-  if (window_.trip_count() != before || window_.watermark() != old_mark) {
-    dirty_ = true;
-  }
+  const int64_t target = watermark.seconds_since_epoch();
+  if (target > global_reorder_wm_) global_reorder_wm_ = target;
+  detail::ShardCommand cmd;
+  cmd.kind = detail::ShardCommand::Kind::kAdvance;
+  cmd.reorder_wm = global_reorder_wm_;
+  cmd.window_wm = target;
+  if (shards_.size() == 1) return ApplySingle(cmd);
+  // Broadcast without waiting: an advance is pipelined like any event,
+  // and its errors (none in practice — DrainReady failures) surface at
+  // the next barrier with everything else.
+  for (size_t i = 0; i < shards_.size(); ++i) Deliver(i, cmd);
   return Status::OK();
 }
 
@@ -154,15 +430,34 @@ Status StreamEngine::Flush() {
 
 Status StreamEngine::FlushInternal() {
   flushed_ = true;
-  reorder_.Flush();
-  return DrainReady();
-}
-
-Status StreamEngine::DrainReady() {
-  return reorder_.ForEachReady([this](const TripEvent& event) {
-    dirty_ = true;
-    return window_.Ingest(event);
-  });
+  detail::ShardCommand cmd;
+  cmd.kind = detail::ShardCommand::Kind::kFlush;
+  if (shards_.size() == 1) return ApplySingle(cmd);
+  // A barrier point: align clocks, drain every shard completely, and
+  // surface any deferred error — end-of-stream must leave nothing
+  // parked and nothing unsaid.
+  cmd.reorder_wm = global_reorder_wm_;
+  for (size_t i = 0; i < shards_.size(); ++i) Deliver(i, cmd);
+  WaitQuiescent();
+  // The flush released each shard's held events, but a shard whose
+  // newest event lags the stream still has trips the single-writer
+  // window would already have expired. Advance every window to the
+  // merged watermark (phase 2 of the freeze barrier; the sealed reorder
+  // buffers are left alone) so post-flush live counts match the
+  // single-writer engine exactly.
+  int64_t window_wm = INT64_MIN;
+  for (const auto& shard : shards_) {
+    window_wm = std::max(window_wm,
+                         shard->window.watermark().seconds_since_epoch());
+  }
+  if (window_wm != INT64_MIN) {
+    detail::ShardCommand align;
+    align.kind = detail::ShardCommand::Kind::kAdvance;
+    align.window_wm = window_wm;
+    for (size_t i = 0; i < shards_.size(); ++i) Deliver(i, align);
+    WaitQuiescent();
+  }
+  return CollectShardState();
 }
 
 Result<std::shared_ptr<const WindowSnapshot>> StreamEngine::Snapshot() {
@@ -171,11 +466,16 @@ Result<std::shared_ptr<const WindowSnapshot>> StreamEngine::Snapshot() {
     return Status::InvalidArgument(
         "station_positions must cover every station id");
   }
-  // The reuse path changes nothing, so it is not logged; replay reaches
-  // the same (dirty, published) state and skips it identically.
-  if (!dirty_) {
-    auto current = publisher_.Current();
-    if (current) return current;
+  if (shards_.size() == 1) {
+    // The reuse path changes nothing, so it is not logged; replay
+    // reaches the same (dirty, published) state and skips it
+    // identically. Sharded engines must not take this shortcut: even a
+    // no-change Snapshot runs the barrier, which moves checkpointed
+    // per-shard watermarks, so every sharded Snapshot is logged.
+    if (!dirty_) {
+      auto current = publisher_.Current();
+      if (current) return current;
+    }
   }
   WalRecord record;
   record.type = WalRecordType::kSnapshot;
@@ -190,6 +490,9 @@ StreamEngine::SnapshotInternal() {
     return Status::InvalidArgument(
         "station_positions must cover every station id");
   }
+  if (shards_.size() > 1) {
+    BIKEGRAPH_RETURN_NOT_OK(BarrierQuiesce());
+  }
   if (!dirty_) {
     auto current = publisher_.Current();
     if (current) return current;
@@ -198,8 +501,7 @@ StreamEngine::SnapshotInternal() {
   // the published graph may disagree; one full rebuild resynchronizes
   // them. The dirty set is still drained so tracking re-arms against
   // the new baseline.
-  const uint64_t desyncs =
-      static_cast<uint64_t>(window_.delta_desync_count());
+  const uint64_t desyncs = static_cast<uint64_t>(delta_desync_count());
   const bool desynced = desyncs != desyncs_at_last_freeze_;
   // The dirty set is drained (and tracking re-armed) on every freeze, so
   // it describes exactly the changes since the previous published epoch —
@@ -207,23 +509,53 @@ StreamEngine::SnapshotInternal() {
   // a large dirty fraction all fall back to a full rebuild inside
   // FreezeSnapshotDelta. With deltas disabled the window is never
   // drained at all, so tracking stays unarmed and ingest keeps its
-  // zero-bookkeeping hot path.
+  // zero-bookkeeping hot path. Sharded: per-shard drains merge in shard
+  // order into the one set the delta freeze patches.
   WindowDirtySet changes;
-  if (config_.snapshot_delta.enabled) changes = window_.DrainDirty();
+  if (config_.snapshot_delta.enabled) {
+    if (shards_.size() == 1) {
+      changes = shards_[0]->window.DrainDirty();
+    } else {
+      std::vector<WindowDirtySet> parts;
+      parts.reserve(shards_.size());
+      for (const auto& shard : shards_) {
+        parts.push_back(shard->window.DrainDirty());
+      }
+      changes = MergeDirtySets(parts);
+    }
+  }
   bool used_delta = false;
   auto previous = publisher_.Current();
-  Result<WindowSnapshot> frozen =
-      config_.snapshot_delta.enabled && previous != nullptr && !desynced
-          ? FreezeSnapshotDelta(window_, *previous, changes,
-                                config_.projection, station_index_,
-                                config_.snapshot_delta, &used_delta)
-          : FreezeSnapshot(window_, config_.projection, station_index_);
+  const bool try_delta =
+      config_.snapshot_delta.enabled && previous != nullptr && !desynced;
+  Result<WindowSnapshot> frozen = [&]() -> Result<WindowSnapshot> {
+    if (shards_.size() == 1) {
+      const SlidingWindowGraph& window = shards_[0]->window;
+      return try_delta
+                 ? FreezeSnapshotDelta(window, *previous, changes,
+                                       config_.projection, station_index_,
+                                       config_.snapshot_delta, &used_delta)
+                 : FreezeSnapshot(window, config_.projection,
+                                  station_index_);
+    }
+    std::vector<const SlidingWindowGraph*> parts;
+    parts.reserve(shards_.size());
+    for (const auto& shard : shards_) parts.push_back(&shard->window);
+    const ShardedWindowView view(std::move(parts));
+    return try_delta
+               ? FreezeSnapshotDelta(view, *previous, changes,
+                                     config_.projection, station_index_,
+                                     config_.snapshot_delta, &used_delta)
+               : FreezeSnapshot(view, config_.projection, station_index_);
+  }();
   if (!frozen.ok()) {
     if (config_.snapshot_delta.enabled) {
       // The drained changes are lost to tracking; a later delta against
       // the still-older published epoch would silently miss them, so
       // the next freeze must take the full path.
-      window_.MarkDirtyTrackingIncomplete();
+      for (const auto& shard : shards_) {
+        shard->window.MarkDirtyTrackingIncomplete();
+      }
     }
     return frozen.status();
   }
@@ -268,6 +600,112 @@ Status StreamEngine::SyncWal() {
   return wal_->Sync();
 }
 
+const SlidingWindowGraph& StreamEngine::window() const {
+  return shards_[0]->window;
+}
+
+const ReorderBuffer& StreamEngine::reorder() const {
+  return shards_[0]->reorder;
+}
+
+CivilTime StreamEngine::watermark() const {
+  CivilTime newest(INT64_MIN);
+  for (const auto& shard : shards_) {
+    if (shard->window.watermark() > newest) {
+      newest = shard->window.watermark();
+    }
+  }
+  return newest;
+}
+
+size_t StreamEngine::ingested_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->window.ingested_count();
+  }
+  return total;
+}
+
+size_t StreamEngine::trip_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->window.trip_count();
+  return total;
+}
+
+size_t StreamEngine::expired_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->window.expired_count();
+  return total;
+}
+
+uint64_t StreamEngine::reordered_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->reorder.reordered_count();
+  }
+  return total;
+}
+
+uint64_t StreamEngine::late_dropped_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->reorder.late_dropped_count();
+  }
+  return total;
+}
+
+uint64_t StreamEngine::duplicate_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->reorder.duplicate_count();
+  }
+  return total;
+}
+
+size_t StreamEngine::buffered_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->reorder.buffered_count();
+  }
+  return total;
+}
+
+uint64_t StreamEngine::duplicate_ids_high_water() const {
+  uint64_t highest = 0;
+  for (const auto& shard : shards_) {
+    highest = std::max(highest, shard->reorder.duplicate_ids_high_water());
+  }
+  return highest;
+}
+
+uint64_t StreamEngine::duplicate_ids_evicted() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->reorder.duplicate_ids_evicted();
+  }
+  return total;
+}
+
+size_t StreamEngine::delta_desync_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->window.delta_desync_count();
+  }
+  return total;
+}
+
+Result<WindowSnapshot> StreamEngine::FreezeFull() const {
+  if (shards_.size() == 1) {
+    return FreezeSnapshot(shards_[0]->window, config_.projection,
+                          station_index_);
+  }
+  std::vector<const SlidingWindowGraph*> parts;
+  parts.reserve(shards_.size());
+  for (const auto& shard : shards_) parts.push_back(&shard->window);
+  return FreezeSnapshot(ShardedWindowView(std::move(parts)),
+                        config_.projection, station_index_);
+}
+
 EngineCheckpoint StreamEngine::CaptureState() const {
   EngineCheckpoint c;
   c.wal_seq = wal_seq_;
@@ -289,9 +727,18 @@ EngineCheckpoint StreamEngine::CaptureState() const {
   c.delta_freeze_count = delta_freeze_count_.load(std::memory_order_relaxed);
   c.full_freeze_count = full_freeze_count_.load(std::memory_order_relaxed);
   c.desyncs_published = desyncs_at_last_freeze_;
-  c.reorder = reorder_.ExportState();
-  c.window = window_.ExportState();
+  c.reorder = shards_[0]->reorder.ExportState();
+  c.window = shards_[0]->window.ExportState();
   c.tracker = tracker_.ExportState();
+  c.shard_count = shards_.size();
+  c.shard_seqs.reserve(shards_.size());
+  for (const auto& shard : shards_) c.shard_seqs.push_back(shard->applied);
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    EngineCheckpoint::ShardComponents components;
+    components.reorder = shards_[i]->reorder.ExportState();
+    components.window = shards_[i]->window.ExportState();
+    c.extra_shards.push_back(std::move(components));
+  }
   return c;
 }
 
@@ -301,6 +748,13 @@ Status StreamEngine::Checkpoint() {
         "Checkpoint() requires durability.enabled");
   }
   if (!durability_status_.ok()) return durability_status_;
+  // Quiesce the shards so the capture is a coherent cut of every
+  // vertical. The barrier's own clock alignments are not logged, but
+  // they are idempotent maxima the next barrier re-derives, so a replay
+  // from an older checkpoint converges at its next barrier point.
+  if (shards_.size() > 1) {
+    BIKEGRAPH_RETURN_NOT_OK(BarrierQuiesce());
+  }
   // Sync first: a checkpoint claiming wal_seq N with record N still in
   // the write buffer would, after a crash, restore to a state the log
   // cannot re-derive.
@@ -316,8 +770,28 @@ Status StreamEngine::Checkpoint() {
 
 Status StreamEngine::RestoreFromCheckpoint(
     const EngineCheckpoint& checkpoint) {
-  BIKEGRAPH_RETURN_NOT_OK(reorder_.RestoreState(checkpoint.reorder));
-  BIKEGRAPH_RETURN_NOT_OK(window_.RestoreState(checkpoint.window));
+  BIKEGRAPH_RETURN_NOT_OK(
+      shards_[0]->reorder.RestoreState(checkpoint.reorder));
+  BIKEGRAPH_RETURN_NOT_OK(shards_[0]->window.RestoreState(checkpoint.window));
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    if (i - 1 >= checkpoint.extra_shards.size()) break;
+    const EngineCheckpoint::ShardComponents& extra =
+        checkpoint.extra_shards[i - 1];
+    BIKEGRAPH_RETURN_NOT_OK(shards_[i]->reorder.RestoreState(extra.reorder));
+    BIKEGRAPH_RETURN_NOT_OK(shards_[i]->window.RestoreState(extra.window));
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->applied =
+        i < checkpoint.shard_seqs.size() ? checkpoint.shard_seqs[i] : 0;
+  }
+  // The stream-wide watermark is held by whichever shard owned the last
+  // raising event (every other shard is at or below it), so the max
+  // recovers it exactly.
+  global_reorder_wm_ = INT64_MIN;
+  for (const auto& shard : shards_) {
+    global_reorder_wm_ = std::max(
+        global_reorder_wm_, shard->reorder.watermark().seconds_since_epoch());
+  }
   tracker_.RestoreState(checkpoint.tracker);
   flushed_ = checkpoint.flushed != 0;
   delta_freeze_count_.store(checkpoint.delta_freeze_count,
@@ -327,20 +801,20 @@ Status StreamEngine::RestoreFromCheckpoint(
   desyncs_at_last_freeze_ = checkpoint.desyncs_published;
   if (checkpoint.snapshot_clean != 0 && checkpoint.publisher_epoch > 0) {
     // The published snapshot was current at checkpoint time. Rebuild it
-    // from the restored window (a full freeze is bit-identical to
+    // from the restored window(s) (a full freeze is bit-identical to
     // whatever path originally produced it), restamp its original epoch
     // and window bounds, and republish — readers and the delta-freeze
     // baseline resume exactly where the crashed run left them.
     publisher_.RestoreEpoch(checkpoint.publisher_epoch - 1);
-    BIKEGRAPH_ASSIGN_OR_RETURN(
-        WindowSnapshot snap,
-        FreezeSnapshot(window_, config_.projection, station_index_));
+    BIKEGRAPH_ASSIGN_OR_RETURN(WindowSnapshot snap, FreezeFull());
     snap.window_start = CivilTime(checkpoint.published_window_start_seconds);
     snap.window_end = CivilTime(checkpoint.published_window_end_seconds);
     publisher_.Publish(std::move(snap));
     // Arm dirty tracking so replayed and resumed freezes can delta
     // against the republished baseline (RestoreState leaves it unarmed).
-    if (config_.snapshot_delta.enabled) window_.DrainDirty();
+    if (config_.snapshot_delta.enabled) {
+      for (const auto& shard : shards_) shard->window.DrainDirty();
+    }
     dirty_ = false;
   } else {
     // Nothing published, or the window had moved past the publish: the
@@ -410,11 +884,12 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Recover(
         c.late_policy !=
             static_cast<uint8_t>(engine->config_.late_policy) ||
         c.suppress_duplicates !=
-            (engine->config_.suppress_duplicate_rentals ? 1 : 0)) {
+            (engine->config_.suppress_duplicate_rentals ? 1 : 0) ||
+        c.shard_count != static_cast<uint64_t>(engine->shards_.size())) {
       return Status::FailedPrecondition(
           "checkpoint '" + loaded.path +
           "' was written under a different engine config (station count, "
-          "window, lateness, or policies differ)");
+          "window, lateness, policies, or shard count differ)");
     }
     BIKEGRAPH_RETURN_NOT_OK(engine->RestoreFromCheckpoint(c));
     base_seq = c.wal_seq;
@@ -461,6 +936,9 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Recover(
         engine->wal_,
         WalWriter::Open(engine->config_.durability, resume_seq + 1));
   }
+  // Replay is complete and deterministic; only now may the shard workers
+  // take over command application.
+  engine->StartShardWorkers();
   if (stats != nullptr) {
     stats->used_checkpoint = loaded.found;
     stats->checkpoint_seq = base_seq;

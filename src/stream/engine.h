@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -13,11 +14,17 @@
 #include "stream/event.h"
 #include "stream/incremental_community.h"
 #include "stream/reorder_buffer.h"
+#include "stream/shard.h"
 #include "stream/snapshot.h"
 #include "stream/wal.h"
 #include "stream/window_graph.h"
 
 namespace bikegraph::stream {
+
+namespace detail {
+class EngineShard;
+struct ShardCommand;
+}  // namespace detail
 
 /// \brief Configuration of a StreamEngine.
 struct StreamEngineConfig {
@@ -74,6 +81,22 @@ struct StreamEngineConfig {
   /// (the default) the engine touches no files and the ingest hot path
   /// is unchanged.
   DurabilityConfig durability;
+  /// Ingest parallelism: the stream vertical is partitioned into this
+  /// many shards, each owning its own reorder buffer and window graph
+  /// and fed by a bounded SPSC ring from the ingest thread (stations are
+  /// hash-partitioned; a pair belongs to the shard of its smaller
+  /// endpoint — see ShardRouter). 1 (the default, and the meaning of 0)
+  /// keeps today's single-writer engine: no threads, no queues, every
+  /// call applied inline. With N > 1 the mutating API is unchanged but
+  /// Ingest/Advance errors from inside a shard are deferred to the next
+  /// barrier point (Snapshot/Flush/Checkpoint) instead of returned by
+  /// the enqueuing call, and the live accessors are only meaningful at
+  /// those same quiescent points. Snapshots are bit-identical to the
+  /// single-writer engine's for any N (merge-at-freeze; locked by
+  /// tests/stream_shard_test.cc). `shard_count` is part of the durable
+  /// fingerprint: a WAL directory written under N shards must be
+  /// recovered with N shards.
+  size_t shard_count = 1;
 };
 
 /// \brief The live-monitoring entry point: ingest a trip stream, maintain
@@ -89,7 +112,21 @@ struct StreamEngineConfig {
 /// concurrent read path is a `query::QueryService` over `publisher()`.
 /// The live accessors `window()`, `reorder()`, `tracker()` and the
 /// counters derived from them read mutable ingest state and are
-/// ingestion-thread-only.
+/// ingestion-thread-only — and with `shard_count > 1` they are
+/// additionally only meaningful immediately after a barrier point
+/// (Snapshot, Flush, Checkpoint, or construction), when every shard
+/// worker is quiescent.
+///
+/// Sharded mode (`config.shard_count > 1`): the engine owns one worker
+/// thread per shard. Ingest routes each event to its owning shard's SPSC
+/// ring and returns without waiting; Snapshot runs a two-phase barrier —
+/// first draining every shard to the common reorder watermark, then
+/// advancing every shard window to the merged window watermark — and
+/// freezes the disjoint per-shard windows through one merged view
+/// (stream/shard.h), so the published snapshot is bit-identical to the
+/// single-writer engine's over the same logical stream. See
+/// docs/STREAMING.md for the partition function, barrier, and merge-cost
+/// model.
 ///
 /// Typical loop:
 ///
@@ -111,6 +148,13 @@ class StreamEngine {
   /// resuming an existing directory is `Recover()`'s job, and silently
   /// logging a fresh run over an old one would orphan its records.
   explicit StreamEngine(StreamEngineConfig config);
+
+  /// Joins the shard workers (no-op for shard_count == 1). Commands
+  /// still queued are applied before the workers exit.
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
 
   /// \brief What `Recover` found and did.
   struct RecoveryStats {
@@ -141,9 +185,11 @@ class StreamEngine {
   /// tests/stream_durability_test.cc at randomized kill points). An
   /// empty or missing directory recovers to a fresh engine. Fails with
   /// FailedPrecondition when the checkpoint's config fingerprint
-  /// (station count, window, lateness, policies) disagrees with
-  /// `config`, and DataLoss when WAL records are missing or corrupt
-  /// anywhere but the tail.
+  /// (station count, window, lateness, policies, shard count) disagrees
+  /// with `config`, and DataLoss when WAL records are missing or corrupt
+  /// anywhere but the tail. Replay is single-threaded regardless of
+  /// shard count (the router re-partitions the merged log
+  /// deterministically); shard workers start once replay completes.
   [[nodiscard]] static Result<std::unique_ptr<StreamEngine>> Recover(
       StreamEngineConfig config, RecoveryStats* stats = nullptr);
 
@@ -153,7 +199,9 @@ class StreamEngine {
   /// the watermark has moved `max_lateness_seconds` past its start time.
   /// Events older than that horizon hit `config.late_policy`. Endpoints
   /// out of `[0, station_count)` are InvalidArgument at arrival, and
-  /// ingesting after Flush() is FailedPrecondition.
+  /// ingesting after Flush() is FailedPrecondition. With shard_count > 1
+  /// a per-shard failure (a late event under LateEventPolicy::kError)
+  /// surfaces at the next barrier point rather than here.
   [[nodiscard]] Status Ingest(const TripEvent& event);
 
   /// Advances stream time without an event: releases buffered events the
@@ -166,7 +214,8 @@ class StreamEngine {
   /// Marks end-of-stream: drains every buffered event into the window in
   /// start-time order. Call before the final Snapshot()/DetectCurrent()
   /// of a replay; afterwards further Ingest calls fail. Idempotent — a
-  /// second Flush is a no-op, not an error.
+  /// second Flush is a no-op, not an error. Sharded: a barrier point
+  /// (waits for every shard to drain; surfaces deferred shard errors).
   [[nodiscard]] Status Flush();
 
   /// Freezes the live window into an immutable snapshot, publishes it,
@@ -174,6 +223,9 @@ class StreamEngine {
   /// since it was published. After any ApplyDelta desync (see
   /// `delta_desync_count()`) the freeze takes the full-rebuild path once,
   /// which resynchronizes the published graph with the live counters.
+  /// Sharded: a barrier point — drains every shard to the common
+  /// watermark, merges the per-shard dirty sets in shard order, and
+  /// freezes through the merged view; surfaces deferred shard errors.
   [[nodiscard]] Result<std::shared_ptr<const WindowSnapshot>> Snapshot();
 
   /// The most recently published snapshot (nullptr before the first
@@ -185,7 +237,8 @@ class StreamEngine {
 
   /// The engine's snapshot hand-off point, for concurrent read-side
   /// consumers (query::QueryService pins epochs through it). Safe from
-  /// any thread.
+  /// any thread, for any shard count — sharded ingestion publishes
+  /// through this same single publisher after its merge barrier.
   const SnapshotPublisher& publisher() const { return publisher_; }
 
   /// Refreshes community structure on the current window with the
@@ -207,20 +260,39 @@ class StreamEngine {
   /// Durability only: syncs the WAL, writes a crash-consistent checkpoint
   /// of the complete engine state, prunes old checkpoints down to
   /// `checkpoints_kept`, and prunes WAL segments no kept checkpoint
-  /// needs. FailedPrecondition when durability is disabled.
+  /// needs. FailedPrecondition when durability is disabled. Sharded: a
+  /// barrier point (the checkpoint must capture quiescent shards).
   [[nodiscard]] Status Checkpoint();
 
-  /// Copies out the complete logical state (what `Checkpoint()` writes).
+  /// Copies out the complete logical state (what `Checkpoint()` writes),
+  /// including every shard's components and applied-command counter.
   /// Exposed so tests can compare a recovered engine against an
-  /// uninterrupted one bit for bit via SerializeCheckpoint.
+  /// uninterrupted one bit for bit via SerializeCheckpoint. Sharded:
+  /// call only at a quiescent point (after Snapshot/Flush/Checkpoint).
   EngineCheckpoint CaptureState() const;
 
   const StreamEngineConfig& config() const { return config_; }
-  const SlidingWindowGraph& window() const { return window_; }
+  /// Shards this engine ingests through (>= 1; 1 = the single-writer
+  /// engine, no worker threads).
+  size_t shard_count() const { return shards_.size(); }
+  /// Shard 0's live window. With one shard this is *the* window (the
+  /// legacy accessor); with several it is one disjoint slice — use
+  /// Snapshot() / trip_count() / watermark() for whole-stream views.
+  /// Ingestion-thread-only, quiescent-only when sharded.
+  const SlidingWindowGraph& window() const;
   const IncrementalCommunityTracker& tracker() const { return tracker_; }
-  const ReorderBuffer& reorder() const { return reorder_; }
-  CivilTime watermark() const { return window_.watermark(); }
-  size_t ingested_count() const { return window_.ingested_count(); }
+  /// Shard 0's reorder buffer (see window() for the sharded caveat).
+  const ReorderBuffer& reorder() const;
+  /// The merged stream time: the newest window watermark across shards
+  /// (equal to the single-writer watermark for any shard count).
+  CivilTime watermark() const;
+  /// Events ingested into windows across all shards.
+  size_t ingested_count() const;
+  /// Trips currently inside the merged window (sum over shards; pairs
+  /// are disjoint so nothing is counted twice).
+  size_t trip_count() const;
+  /// Trips expired out of the sliding window across all shards.
+  size_t expired_count() const;
   /// True once Flush() has run (further Ingest calls fail).
   bool flushed() const { return flushed_; }
   /// Sequence number of the last WAL record appended (0 when durability
@@ -230,21 +302,17 @@ class StreamEngine {
   /// Reorder-buffer stats, surfaced for dashboards: events re-sorted by
   /// the buffer, events dropped as too late (LateEventPolicy::kDrop),
   /// redeliveries suppressed, and events admitted but not yet released
-  /// to the window.
-  uint64_t reordered_count() const { return reorder_.reordered_count(); }
-  uint64_t late_dropped_count() const {
-    return reorder_.late_dropped_count();
-  }
-  uint64_t duplicate_count() const { return reorder_.duplicate_count(); }
-  size_t buffered_count() const { return reorder_.buffered_count(); }
-  /// Duplicate-suppression memory bound: peak id-set size, and ids
-  /// evicted by the `max_duplicate_rental_ids` cap.
-  uint64_t duplicate_ids_high_water() const {
-    return reorder_.duplicate_ids_high_water();
-  }
-  uint64_t duplicate_ids_evicted() const {
-    return reorder_.duplicate_ids_evicted();
-  }
+  /// to the window. Sums over shards; ingestion-thread-only,
+  /// quiescent-only when sharded.
+  uint64_t reordered_count() const;
+  uint64_t late_dropped_count() const;
+  uint64_t duplicate_count() const;
+  size_t buffered_count() const;
+  /// Duplicate-suppression memory bound: peak id-set size (max over
+  /// shards — each shard holds its own id set), and ids evicted by the
+  /// `max_duplicate_rental_ids` cap (sum over shards).
+  uint64_t duplicate_ids_high_water() const;
+  uint64_t duplicate_ids_evicted() const;
 
   /// Snapshot-freeze stats: epochs frozen by copy-on-write delta
   /// patching vs by a full window rebuild (the first epoch, large dirty
@@ -262,13 +330,14 @@ class StreamEngine {
   /// count disagreed (a would-have-been corruption, recovered by
   /// skipping; see SlidingWindowGraph::delta_desync_count). Non-zero is
   /// a bug worth reporting, but the engine stays correct: the next
-  /// Snapshot() forces a full freeze.
-  size_t delta_desync_count() const { return window_.delta_desync_count(); }
+  /// Snapshot() forces a full freeze. Summed over shards.
+  size_t delta_desync_count() const;
 
  private:
   struct RecoverTag {};
   /// Constructs components only; durability is attached afterwards by
-  /// InitDurability (fresh engine) or Recover (restore).
+  /// InitDurability (fresh engine) or Recover (restore), and shard
+  /// workers start last (public constructor / end of Recover).
   StreamEngine(RecoverTag, StreamEngineConfig config);
 
   /// Fresh-engine durability setup: create the directory, refuse one
@@ -276,6 +345,13 @@ class StreamEngine {
   /// failure parks in durability_status_ (constructors cannot fail) and
   /// surfaces on the first durable call.
   void InitDurability();
+
+  /// Spawns one worker per shard (no-op for shard_count == 1). Called
+  /// after construction/recovery is complete so workers never observe a
+  /// half-built engine.
+  void StartShardWorkers();
+  /// Signals and joins every worker; queued commands finish first.
+  void StopShardWorkers();
 
   /// Appends `record` (the intent of the current public call) to the WAL
   /// before the call's state change is applied. No-op (OK) when
@@ -297,26 +373,68 @@ class StreamEngine {
   Result<std::shared_ptr<const WindowSnapshot>> SnapshotInternal();
   Result<RefreshOutcome> DetectInternal(const community::DetectSpec& spec);
 
-  /// Moves every releasable buffered event into the window.
-  Status DrainReady();
+  /// Single-shard fast path: applies `cmd` to shard 0 on the calling
+  /// thread, collects its dirty flag eagerly (the legacy `dirty_`
+  /// semantics), resyncs the global reorder watermark from the
+  /// authoritative buffer, and returns the command's status directly —
+  /// bit-for-bit the pre-sharding engine.
+  Status ApplySingle(const detail::ShardCommand& cmd);
+  /// Multi-shard dispatch: enqueue on the shard's ring (spinning on a
+  /// full ring) when workers run, or apply inline with the same
+  /// deferred-error bookkeeping during WAL replay. Never fails;
+  /// per-command failures park in the shard's first_error.
+  void Deliver(size_t shard, const detail::ShardCommand& cmd);
+  /// Blocks until every shard has applied every command dispatched so
+  /// far (acked == pushed, acquire).
+  void WaitQuiescent();
+  /// After quiescence: folds shard dirty flags into dirty_ (clearing
+  /// them) and returns the first deferred shard error in shard order
+  /// (clearing all) — each error is surfaced exactly once.
+  Status CollectShardState();
+  /// The sharded freeze barrier: phase 1 aligns every shard's reorder
+  /// clock to the global watermark and drains what that releases; phase
+  /// 2 advances every shard window to the merged window watermark so
+  /// expiry is uniform. Quiescent on return; surfaces deferred errors.
+  Status BarrierQuiesce();
+  /// Full (non-delta) freeze of the live window — shard 0 directly, or
+  /// the merged view over all shards. Shards must be quiescent.
+  Result<WindowSnapshot> FreezeFull() const;
 
   StreamEngineConfig config_;
-  ReorderBuffer reorder_;
-  SlidingWindowGraph window_;
+  /// pair -> owning shard (stable splitmix64 hash; see stream/shard.h).
+  ShardRouter router_;
+  /// The shard vertical(s): reorder buffer + window graph + dirty flag
+  /// (+ ring and worker when shard_count > 1). Never empty; shard 0
+  /// doubles as the single-writer engine.
+  std::vector<std::unique_ptr<detail::EngineShard>> shards_;
   SnapshotPublisher publisher_;
   IncrementalCommunityTracker tracker_;
   /// Built once from config_.station_positions and shared by every
   /// snapshot (stations never move between windows).
   std::shared_ptr<const geo::GridIndex> station_index_;
-  /// True when the live window changed after the last publish.
+  /// True when the live window changed after the last publish. With one
+  /// shard it is updated eagerly per call; with several it absorbs the
+  /// shard dirty flags at each barrier.
   bool dirty_ = true;
   bool flushed_ = false;
   /// Written by the ingestion thread, polled by dashboard threads.
   std::atomic<uint64_t> delta_freeze_count_{0};
   std::atomic<uint64_t> full_freeze_count_{0};
-  /// window_.delta_desync_count() as of the last successful freeze; a
-  /// newer desync forces the next freeze down the full path.
+  /// delta_desync_count() as of the last successful freeze; a newer
+  /// desync forces the next freeze down the full path.
   uint64_t desyncs_at_last_freeze_ = 0;
+  /// The watermark the *single* reorder buffer would hold: raised by the
+  /// same rule ReorderBuffer::Push applies (an arrival raises it iff it
+  /// is not late and moves time forward) plus explicit advances. Every
+  /// dispatched command carries it so a shard that last saw an event an
+  /// hour ago still makes late/release decisions against stream-wide
+  /// time, not its own stale clock. With one shard it simply mirrors the
+  /// buffer's own watermark.
+  int64_t global_reorder_wm_ = INT64_MIN;
+  /// True once shard workers run (shard_count > 1, after construction /
+  /// recovery). False means every Deliver applies inline — which is how
+  /// WAL replay stays deterministic.
+  bool started_ = false;
 
   /// nullptr when durability is disabled.
   std::unique_ptr<WalWriter> wal_;

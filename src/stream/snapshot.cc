@@ -48,21 +48,16 @@ Status ValidateFreezeInputs(const analysis::TemporalGraphOptions& projection,
   return Status::OK();
 }
 
-}  // namespace
-
-std::shared_ptr<const geo::GridIndex> BuildFrozenStationIndex(
-    const std::vector<geo::LatLon>& station_positions) {
-  if (station_positions.empty()) return nullptr;
-  auto index = std::make_shared<geo::GridIndex>();
-  for (size_t s = 0; s < station_positions.size(); ++s) {
-    index->Add(static_cast<int64_t>(s), station_positions[s]);
-  }
-  index->Freeze();
-  return index;
-}
-
-Result<WindowSnapshot> FreezeSnapshot(
-    const SlidingWindowGraph& window,
+/// The freeze paths are templates over the window type: a single
+/// `SlidingWindowGraph` or the `ShardedWindowView` merge over N of them
+/// (stream/shard.h). Both expose the same read surface, and the float
+/// arithmetic runs over the same merged-integer inputs in the same
+/// sorted-pair order, so the sharded freeze is bit-identical to the
+/// single-writer freeze by construction — not by a second copy of the
+/// formulas kept in sync.
+template <typename Window>
+Result<WindowSnapshot> FreezeSnapshotImpl(
+    const Window& window,
     const analysis::TemporalGraphOptions& projection,
     std::shared_ptr<const geo::GridIndex> station_index) {
   BIKEGRAPH_RETURN_NOT_OK(
@@ -89,8 +84,9 @@ Result<WindowSnapshot> FreezeSnapshot(
   return snap;
 }
 
-Result<WindowSnapshot> FreezeSnapshotDelta(
-    const SlidingWindowGraph& window, const WindowSnapshot& previous,
+template <typename Window>
+Result<WindowSnapshot> FreezeSnapshotDeltaImpl(
+    const Window& window, const WindowSnapshot& previous,
     const WindowDirtySet& changes,
     const analysis::TemporalGraphOptions& projection,
     std::shared_ptr<const geo::GridIndex> station_index,
@@ -126,7 +122,7 @@ Result<WindowSnapshot> FreezeSnapshotDelta(
     }
   }
   if (!delta_applicable) {
-    return FreezeSnapshot(window, projection, std::move(station_index));
+    return FreezeSnapshotImpl(window, projection, std::move(station_index));
   }
   BIKEGRAPH_RETURN_NOT_OK(
       ValidateFreezeInputs(projection, station_index.get()));
@@ -196,6 +192,55 @@ Result<WindowSnapshot> FreezeSnapshotDelta(
   snap.station_index = std::move(station_index);
   if (used_delta != nullptr) *used_delta = true;
   return snap;
+}
+
+}  // namespace
+
+std::shared_ptr<const geo::GridIndex> BuildFrozenStationIndex(
+    const std::vector<geo::LatLon>& station_positions) {
+  if (station_positions.empty()) return nullptr;
+  auto index = std::make_shared<geo::GridIndex>();
+  for (size_t s = 0; s < station_positions.size(); ++s) {
+    index->Add(static_cast<int64_t>(s), station_positions[s]);
+  }
+  index->Freeze();
+  return index;
+}
+
+Result<WindowSnapshot> FreezeSnapshot(
+    const SlidingWindowGraph& window,
+    const analysis::TemporalGraphOptions& projection,
+    std::shared_ptr<const geo::GridIndex> station_index) {
+  return FreezeSnapshotImpl(window, projection, std::move(station_index));
+}
+
+Result<WindowSnapshot> FreezeSnapshot(
+    const ShardedWindowView& window,
+    const analysis::TemporalGraphOptions& projection,
+    std::shared_ptr<const geo::GridIndex> station_index) {
+  return FreezeSnapshotImpl(window, projection, std::move(station_index));
+}
+
+Result<WindowSnapshot> FreezeSnapshotDelta(
+    const SlidingWindowGraph& window, const WindowSnapshot& previous,
+    const WindowDirtySet& changes,
+    const analysis::TemporalGraphOptions& projection,
+    std::shared_ptr<const geo::GridIndex> station_index,
+    const SnapshotDeltaPolicy& policy, bool* used_delta) {
+  return FreezeSnapshotDeltaImpl(window, previous, changes, projection,
+                                 std::move(station_index), policy,
+                                 used_delta);
+}
+
+Result<WindowSnapshot> FreezeSnapshotDelta(
+    const ShardedWindowView& window, const WindowSnapshot& previous,
+    const WindowDirtySet& changes,
+    const analysis::TemporalGraphOptions& projection,
+    std::shared_ptr<const geo::GridIndex> station_index,
+    const SnapshotDeltaPolicy& policy, bool* used_delta) {
+  return FreezeSnapshotDeltaImpl(window, previous, changes, projection,
+                                 std::move(station_index), policy,
+                                 used_delta);
 }
 
 std::shared_ptr<const WindowSnapshot> SnapshotPublisher::Publish(

@@ -11,6 +11,7 @@
 #include "geo/grid_index.h"
 #include "geo/latlon.h"
 #include "graphdb/weighted_graph.h"
+#include "stream/shard.h"
 #include "stream/window_graph.h"
 
 namespace bikegraph::stream {
@@ -66,6 +67,17 @@ Result<WindowSnapshot> FreezeSnapshot(
     const analysis::TemporalGraphOptions& projection = {},
     std::shared_ptr<const geo::GridIndex> station_index = nullptr);
 
+/// \brief Sharded-engine overload: freezes the merged view over N shard
+/// windows (see ShardedWindowView). Bit-identical to freezing a single
+/// window that ingested the union stream — both paths share one freeze
+/// implementation templated over the window type, and the merge sums
+/// integral counters before any float math. The view's shards must be
+/// quiescent and watermark-aligned (the engine's freeze barrier).
+Result<WindowSnapshot> FreezeSnapshot(
+    const ShardedWindowView& window,
+    const analysis::TemporalGraphOptions& projection = {},
+    std::shared_ptr<const geo::GridIndex> station_index = nullptr);
+
 /// \brief When FreezeSnapshotDelta patches instead of rebuilding.
 struct SnapshotDeltaPolicy {
   /// False forces every freeze down the full-rebuild path.
@@ -93,6 +105,17 @@ struct SnapshotDeltaPolicy {
 /// or the dirty fraction exceeds `policy.max_dirty_fraction`.
 Result<WindowSnapshot> FreezeSnapshotDelta(
     const SlidingWindowGraph& window, const WindowSnapshot& previous,
+    const WindowDirtySet& changes,
+    const analysis::TemporalGraphOptions& projection = {},
+    std::shared_ptr<const geo::GridIndex> station_index = nullptr,
+    const SnapshotDeltaPolicy& policy = {}, bool* used_delta = nullptr);
+
+/// \brief Sharded-engine overload: copy-on-write delta freeze over the
+/// merged shard view, with `changes` the merge of the shards' drained
+/// dirty sets (see MergeDirtySets in stream/shard.h). Same fallback and
+/// bit-identity contract as the single-window overload.
+Result<WindowSnapshot> FreezeSnapshotDelta(
+    const ShardedWindowView& window, const WindowSnapshot& previous,
     const WindowDirtySet& changes,
     const analysis::TemporalGraphOptions& projection = {},
     std::shared_ptr<const geo::GridIndex> station_index = nullptr,

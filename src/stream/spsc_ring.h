@@ -1,0 +1,84 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bikegraph::stream {
+
+/// \brief A bounded single-producer / single-consumer ring queue: the
+/// command channel between the engine's ingest thread and one shard
+/// worker (see stream/engine.h).
+///
+/// Exactly one thread may call TryPush and exactly one thread may call
+/// TryPop; under that contract the queue is lock-free and wait-free per
+/// operation. The producer publishes a slot with a release store of the
+/// tail index and the consumer acquires it, so the element copy itself
+/// is ordinary (unsynchronized) memory — the classic Lamport ring. The
+/// indices are monotonically increasing 64-bit counters masked into the
+/// power-of-two slot array, so full/empty never alias (a 10M events/s
+/// feed would need ~55,000 years to wrap).
+///
+/// Capacity is rounded up to a power of two and fixed at construction:
+/// a full ring is the producer's backpressure signal (the engine spins
+/// with `std::this_thread::yield` rather than growing the queue, which
+/// bounds memory and keeps the slow consumer the only thing that
+/// throttles ingest).
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(size_t capacity) {
+    size_t size = 2;
+    while (size < capacity) size <<= 1;
+    slots_.resize(size);
+    mask_ = size - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False when the ring is full (retry after yielding;
+  /// the consumer frees a slot per pop).
+  bool TryPush(const T& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= slots_.size()) return false;
+    slots_[static_cast<size_t>(tail) & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty. On success the popped
+  /// element is moved into `out`.
+  bool TryPop(T& out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(slots_[static_cast<size_t>(head) & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Elements currently queued. Racy by nature (either side may move
+  /// concurrently); use for monitoring, not control flow.
+  size_t size() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+  /// The rounded-up slot count.
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  /// Producer-written / consumer-read cursor and vice versa, on separate
+  /// cache lines so the two sides never false-share.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+};
+
+}  // namespace bikegraph::stream

@@ -62,7 +62,10 @@ enum class WalRecordType : uint8_t {
                   ///< replay reproduces the drop/suppress counters too.
   kAdvance = 2,   ///< Advance(watermark)
   kFlush = 3,     ///< Flush()
-  kSnapshot = 4,  ///< Snapshot() that was not a published-epoch no-op
+  kSnapshot = 4,  ///< Snapshot() that was not a published-epoch no-op.
+                  ///< Sharded engines (shard_count > 1) log every
+                  ///< Snapshot(): even a would-be reuse runs the freeze
+                  ///< barrier, which moves checkpointed shard clocks.
   kDetect = 5,    ///< DetectCurrent(); `default_spec` distinguishes the
                   ///< engine-default spec from an explicit one
 };

@@ -166,6 +166,15 @@ class SlidingWindowGraph {
     }
   }
 
+  /// The live pair keys sorted ascending — the sequence ForEachPair
+  /// iterates. Exposed so a sharded merge view can k-way merge several
+  /// windows' pair sets without materializing a combined copy (see
+  /// stream/shard.h). The reference is invalidated by the next mutation.
+  const std::vector<uint64_t>& SortedPairKeys() const {
+    if (sorted_pairs_dirty_) RebuildSortedPairs();
+    return sorted_pairs_;
+  }
+
   /// The packed pair key used by WindowDirtySet::pairs:
   /// (min(u,v) << 32) | max(u,v).
   static uint64_t PairKey(int32_t u, int32_t v) {

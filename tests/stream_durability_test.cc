@@ -283,6 +283,19 @@ EngineCheckpoint SampleCheckpoint() {
   community::Partition partition;
   partition.assignment = {0, 0, 1, 1};
   c.tracker.previous_partition = std::move(partition);
+  // Sharded payload: shard 0 lives in the legacy fields above; one extra
+  // shard with its own sequence space and components.
+  c.shard_count = 2;
+  c.shard_seqs = {7, 5};
+  EngineCheckpoint::ShardComponents extra;
+  extra.reorder.watermark_seconds = 4100;
+  extra.reorder.released_count = 4;
+  extra.window.watermark_seconds = 4100;
+  extra.window.last_event_seconds = 4090;
+  extra.window.ingested_count = 4;
+  extra.window.live_count = 1;
+  extra.window.ring.push_back({4090, 0, 3});
+  c.extra_shards.push_back(std::move(extra));
   return c;
 }
 
@@ -297,6 +310,17 @@ TEST(CheckpointTest, SerializeParseRoundTrip) {
   EXPECT_FALSE(ParseCheckpoint(bytes.substr(0, bytes.size() - 1)).ok());
   EXPECT_FALSE(ParseCheckpoint(bytes + 'x').ok());
   EXPECT_FALSE(ParseCheckpoint("").ok());
+
+  // A default (single-shard) checkpoint round-trips too: the sharded
+  // extension appends shard_count 1, one sequence, and no extra blocks.
+  const EngineCheckpoint single;
+  const std::string single_bytes = SerializeCheckpoint(single);
+  auto single_parsed = ParseCheckpoint(single_bytes);
+  ASSERT_TRUE(single_parsed.ok()) << single_parsed.status().ToString();
+  EXPECT_EQ(single_parsed->shard_count, 1u);
+  EXPECT_EQ(single_parsed->shard_seqs, (std::vector<uint64_t>{0}));
+  EXPECT_TRUE(single_parsed->extra_shards.empty());
+  EXPECT_EQ(SerializeCheckpoint(*single_parsed), single_bytes);
 }
 
 TEST(CheckpointTest, NewestCorruptFallsBackToOlderAndTmpIsSwept) {
@@ -451,6 +475,32 @@ TEST(StreamEngineDurabilityTest, RecoverRejectsConfigFingerprintMismatch) {
   auto recovered = StreamEngine::Recover(other);
   ASSERT_FALSE(recovered.ok());
   EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+  fs::remove_all(dir);
+}
+
+TEST(StreamEngineDurabilityTest, RecoverRejectsShardCountMismatch) {
+  // shard_count is part of the durable fingerprint: per-shard sequence
+  // spaces and components only make sense under the partition that
+  // wrote them.
+  const fs::path dir = FreshDir("shard_fingerprint");
+  StreamEngineConfig config;
+  config.station_count = 8;
+  config.shard_count = 2;
+  config.durability.enabled = true;
+  config.durability.directory = dir.string();
+  {
+    StreamEngine engine(config);
+    ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+  StreamEngineConfig other = config;
+  other.shard_count = 3;
+  auto recovered = StreamEngine::Recover(other);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+  // The matching shard count recovers cleanly.
+  auto matching = StreamEngine::Recover(config);
+  ASSERT_TRUE(matching.ok()) << matching.status().ToString();
+  EXPECT_EQ((*matching)->shard_count(), 2u);
   fs::remove_all(dir);
 }
 
@@ -660,6 +710,136 @@ TEST(StreamDurabilityLockTest, KillPointRecoveryIsBitIdenticalSliding) {
 
 TEST(StreamDurabilityLockTest, KillPointRecoveryIsBitIdenticalLandmark) {
   RunKillPointLock(/*window_seconds=*/0, /*seed=*/12, "kill_landmark");
+}
+
+// ---------------------------------------------------------------------
+// Sharded kill-point recovery. The raw-checkpoint comparator above does
+// not transfer to shard_count > 1: Checkpoint()'s barrier mutates shard
+// clocks without logging anything (the mutations are idempotent maxima
+// the next barrier re-derives), so a run recovered from an *older*
+// checkpoint can lag the uninterrupted run's per-shard watermarks and
+// applied counters until the next barrier — while every published
+// snapshot stays bit-identical. The sharded lock therefore compares
+// what the engine actually serves after the script's final barrier:
+// the published snapshot, the Louvain partition, and the aggregate
+// stream counters.
+
+void RunShardedKillPointLock(int64_t window_seconds, size_t shard_count,
+                             uint64_t seed, const std::string& tag) {
+  const int64_t lateness = 900;
+  const std::vector<Op> ops = BuildOpScript(lateness, seed);
+
+  StreamEngineConfig base;
+  base.station_count = 24;
+  base.window_seconds = window_seconds;
+  base.max_lateness_seconds = lateness;
+  base.suppress_duplicate_rentals = true;
+  base.detection.options.seed = 7;
+  base.shard_count = shard_count;
+
+  // The uninterrupted sharded reference, no durability.
+  StreamEngine reference(base);
+  for (const Op& op : ops) {
+    ApplyOp(reference, op);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  }
+
+  Rng rng(seed * 1000003 + 29);
+  for (int trial = 0; trial < 3; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const fs::path dir = FreshDir(tag + "_" + std::to_string(trial));
+    StreamEngineConfig durable = base;
+    durable.durability.enabled = true;
+    durable.durability.directory = dir.string();
+    durable.durability.segment_bytes = 1 << 14;
+    durable.durability.sync_interval_records = 64;
+
+    const auto kill = static_cast<size_t>(rng.NextBounded(ops.size() + 1));
+    // Fixed cadence: which checkpoints exist must not depend on the
+    // trial, only where the kill lands relative to them.
+    const size_t checkpoint_every = 180;
+    {
+      StreamEngine engine(durable);
+      ASSERT_EQ(engine.shard_count(), shard_count);
+      for (size_t i = 0; i < kill; ++i) {
+        ApplyOp(engine, ops[i]);
+        ASSERT_FALSE(::testing::Test::HasFatalFailure());
+        ASSERT_EQ(engine.wal_seq(), i + 1) << "op/seq mapping drifted";
+        if ((i + 1) % checkpoint_every == 0) {
+          ASSERT_TRUE(engine.Checkpoint().ok());
+        }
+      }
+    }  // "crash": workers joined, writer flushed, nothing else ran
+
+    if (rng.NextDouble() < 0.5) {
+      auto segments = SortedFiles(dir, ".log");
+      if (!segments.empty()) {
+        const fs::path& tail = segments.back();
+        const auto size = static_cast<int64_t>(fs::file_size(tail));
+        const int64_t tear = std::min<int64_t>(size, 1 + rng.NextInt(0, 39));
+        fs::resize_file(tail, static_cast<uint64_t>(size - tear));
+      }
+    }
+
+    StreamEngine::RecoveryStats stats;
+    auto recovered = StreamEngine::Recover(durable, &stats);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    ASSERT_LE(stats.recovered_seq, kill);
+    EXPECT_EQ(stats.replay_errors, 0u);
+    EXPECT_EQ((*recovered)->wal_seq(), stats.recovered_seq);
+    EXPECT_EQ((*recovered)->shard_count(), shard_count);
+
+    for (size_t i = stats.recovered_seq; i < ops.size(); ++i) {
+      ApplyOp(**recovered, ops[i]);
+      ASSERT_FALSE(::testing::Test::HasFatalFailure());
+      ASSERT_EQ((*recovered)->wal_seq(), i + 1);
+    }
+
+    // The script ends with Flush (a full barrier) + Detect: both engines
+    // are quiescent and aligned, so the aggregate counters and the
+    // served snapshot must agree exactly.
+    EXPECT_EQ((*recovered)->ingested_count(), reference.ingested_count());
+    EXPECT_EQ((*recovered)->trip_count(), reference.trip_count());
+    EXPECT_EQ((*recovered)->expired_count(), reference.expired_count());
+    EXPECT_EQ((*recovered)->watermark(), reference.watermark());
+    EXPECT_EQ((*recovered)->reordered_count(), reference.reordered_count());
+    EXPECT_EQ((*recovered)->late_dropped_count(),
+              reference.late_dropped_count());
+    EXPECT_EQ((*recovered)->duplicate_count(), reference.duplicate_count());
+    EXPECT_EQ((*recovered)->buffered_count(), 0u);
+
+    auto snap_a = (*recovered)->LatestSnapshot();
+    auto snap_b = reference.LatestSnapshot();
+    ASSERT_NE(snap_a, nullptr);
+    ASSERT_NE(snap_b, nullptr);
+    EXPECT_EQ(snap_a->epoch, snap_b->epoch);
+    EXPECT_EQ(snap_a->window_start, snap_b->window_start);
+    EXPECT_EQ(snap_a->window_end, snap_b->window_end);
+    EXPECT_EQ(snap_a->trip_count, snap_b->trip_count);
+    ExpectGraphsIdentical(snap_a->graph, snap_b->graph);
+    EXPECT_EQ(snap_a->profiles.day, snap_b->profiles.day);
+    EXPECT_EQ(snap_a->profiles.hour, snap_b->profiles.hour);
+
+    auto detect_a = (*recovered)->DetectCurrent();
+    auto detect_b = reference.DetectCurrent();
+    ASSERT_TRUE(detect_a.ok());
+    ASSERT_TRUE(detect_b.ok());
+    EXPECT_EQ(detect_a->result.partition.assignment,
+              detect_b->result.partition.assignment);
+    EXPECT_EQ(detect_a->result.modularity,
+              detect_b->result.modularity);  // bitwise
+    fs::remove_all(dir);
+  }
+}
+
+TEST(StreamDurabilityLockTest, ShardedKillPointRecoveryConvergesSliding) {
+  RunShardedKillPointLock(/*window_seconds=*/86400, /*shard_count=*/2,
+                          /*seed=*/13, "kill_sharded_sliding");
+}
+
+TEST(StreamDurabilityLockTest, ShardedKillPointRecoveryConvergesLandmark) {
+  RunShardedKillPointLock(/*window_seconds=*/0, /*shard_count=*/3,
+                          /*seed=*/14, "kill_sharded_landmark");
 }
 
 }  // namespace

@@ -582,9 +582,13 @@ expansion::PipelineResult* JitteredReplayEquivalenceTest::pipeline_ = nullptr;
 
 /// Runs ordered and jittered replays of the whole cleaned dataset through
 /// two engines with the given window, then requires the final window
-/// graphs, snapshots, and Louvain partitions to match bit for bit.
+/// graphs, snapshots, and Louvain partitions to match bit for bit. The
+/// jittered engine additionally ingests through `shard_count` shards
+/// (1 = the single-writer engine), so the sharded variants lock the
+/// merge-at-freeze path against the same ordered single-writer oracle.
 void ExpectJitteredReplayEquivalent(const expansion::PipelineResult& pipeline,
-                                    int64_t window_seconds) {
+                                    int64_t window_seconds,
+                                    size_t shard_count = 1) {
   const expansion::FinalNetwork& net = pipeline.final_network;
   const int64_t lag = 3600;  // an hour of report jitter, paper-trip scale
 
@@ -593,7 +597,9 @@ void ExpectJitteredReplayEquivalent(const expansion::PipelineResult& pipeline,
   config.window_seconds = window_seconds;
   StreamEngine ordered_engine(config);
   config.max_lateness_seconds = lag;
+  config.shard_count = shard_count;
   StreamEngine jittered_engine(config);
+  ASSERT_EQ(jittered_engine.shard_count(), shard_count);
 
   ReplaySource ordered = ReplaySource::FromFinalNetwork(pipeline.cleaned, net);
   ReplayOptions jitter;
@@ -643,6 +649,29 @@ TEST_F(JitteredReplayEquivalenceTest, SlidingWindowBitForBit) {
 
 TEST_F(JitteredReplayEquivalenceTest, LandmarkWindowBitForBit) {
   ExpectJitteredReplayEquivalent(*pipeline_, /*window_seconds=*/0);
+}
+
+// Sharded acceptance: the same full-dataset jittered replay through 2-
+// and 4-shard engines must still reproduce the ordered single-writer
+// result bit for bit — window graph, snapshot, and Louvain partition.
+TEST_F(JitteredReplayEquivalenceTest, SlidingWindowBitForBitTwoShards) {
+  ExpectJitteredReplayEquivalent(*pipeline_, /*window_seconds=*/7 * 86400,
+                                 /*shard_count=*/2);
+}
+
+TEST_F(JitteredReplayEquivalenceTest, SlidingWindowBitForBitFourShards) {
+  ExpectJitteredReplayEquivalent(*pipeline_, /*window_seconds=*/7 * 86400,
+                                 /*shard_count=*/4);
+}
+
+TEST_F(JitteredReplayEquivalenceTest, LandmarkWindowBitForBitTwoShards) {
+  ExpectJitteredReplayEquivalent(*pipeline_, /*window_seconds=*/0,
+                                 /*shard_count=*/2);
+}
+
+TEST_F(JitteredReplayEquivalenceTest, LandmarkWindowBitForBitFourShards) {
+  ExpectJitteredReplayEquivalent(*pipeline_, /*window_seconds=*/0,
+                                 /*shard_count=*/4);
 }
 
 // ---------------------------------------------------------------------------

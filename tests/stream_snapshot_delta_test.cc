@@ -400,5 +400,40 @@ TEST(SnapshotDeltaTest, EngineDeltaEpochsMatchFullFreezeEngine) {
             deltas + fulls + 1);
 }
 
+TEST(SnapshotDeltaTest, ShardedEngineDeltaEpochsMatchSingleWriterFull) {
+  // The sharded composition of both machineries: a 3-shard engine
+  // freezing through merged dirty sets and the copy-on-write patcher
+  // must stay bit-identical to a single-writer engine that full-rebuilds
+  // every epoch, across a chain of mid-stream epochs.
+  const size_t stations = 24;
+  const auto events = testing::PlantedStream(stations, 3, 6, 500, 11);
+
+  StreamEngineConfig config;
+  config.station_count = stations;
+  config.window_seconds = 2 * 86400;
+  config.shard_count = 3;
+  StreamEngine sharded_delta(config);
+  config.shard_count = 1;
+  config.snapshot_delta.enabled = false;
+  StreamEngine single_full(config);
+
+  size_t count = 0;
+  for (const TripEvent& e : events) {
+    ASSERT_TRUE(sharded_delta.Ingest(e).ok());
+    ASSERT_TRUE(single_full.Ingest(e).ok());
+    if (++count % 31 == 0) {
+      auto ss = sharded_delta.Snapshot();
+      auto fs = single_full.Snapshot();
+      ASSERT_TRUE(ss.ok());
+      ASSERT_TRUE(fs.ok());
+      ExpectSnapshotsIdentical(**ss, **fs);
+    }
+  }
+  // The merged dirty sets really drove the patch path (first freeze and
+  // any large epochs aside).
+  EXPECT_GT(sharded_delta.delta_freeze_count(), 0u);
+  EXPECT_EQ(single_full.delta_freeze_count(), 0u);
+}
+
 }  // namespace
 }  // namespace bikegraph::stream

@@ -15,10 +15,14 @@
 # warnings without the gate).
 #
 # TSan note: the query serving layer (src/query) runs real reader
-# threads against the live publisher, so BIKEGRAPH_SANITIZE=thread gates
-# the stream and query suites by default — stream_publisher_test and
-# query_concurrent_test are the races under test (readers pinning epochs
-# while the ingestion thread publishes).
+# threads against the live publisher, and the sharded stream engine runs
+# one worker thread per shard behind SPSC rings, so
+# BIKEGRAPH_SANITIZE=thread gates the stream and query suites by default
+# — stream_publisher_test and query_concurrent_test race readers pinning
+# epochs against the publishing thread, and stream_shard_test /
+# stream_reorder_test / stream_snapshot_delta_test /
+# stream_durability_test race the shard workers against the ingest
+# thread's rings and barriers.
 #
 # Opt-in sanitizer matrix (the flag must come first): after the regular
 # FULL run, build the tree into build-asan/ and build-ubsan/ and re-run
@@ -123,15 +127,18 @@ esac
 python3 "$ROOT/tools/lint.py" --root "$ROOT"
 python3 "$ROOT/tools/lint.py" --root "$ROOT" --selftest
 
-# The threaded surface is the publisher hand-off and the query serving
-# layer; default the thread gate to exactly those suites (explicit ctest
-# args still override). The suppression file silences one documented
-# libstdc++-internal report (see tools/tsan_suppressions.txt) — races in
-# repo code still fail the gate.
+# The threaded surface is the publisher hand-off, the query serving
+# layer, and the shard workers behind the sharded engine; default the
+# thread gate to exactly those suites (explicit ctest args still
+# override). 'shard' is matched by 'stream' (stream_shard_test) but is
+# named anyway so the intent survives a test-file rename. The
+# suppression file silences one documented libstdc++-internal report
+# (see tools/tsan_suppressions.txt) — races in repo code still fail the
+# gate.
 if [ "$SANITIZE" = thread ]; then
   export TSAN_OPTIONS="suppressions=$ROOT/tools/tsan_suppressions.txt${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
   if [ "$#" -eq 0 ] && [ "$MATRIX" = 0 ]; then
-    set -- -R 'stream|query'
+    set -- -R 'stream|query|shard'
   fi
 fi
 

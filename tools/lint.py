@@ -42,6 +42,12 @@ Checks
                         `// lint: thread-ok: <why this file must thread>`
                         justification somewhere in the file (threaded
                         tests and benches are the expected users).
+  tracked-build-artifacts
+                        no git-tracked path under a top-level build*/
+                        directory — build trees are generated output and
+                        once committed they bloat every clone and go stale
+                        silently (a 744-file build-review/ tree slipped in
+                        this way). Outside a git checkout the check skips.
 
 Modes
 -----
@@ -57,6 +63,7 @@ Modes
 import argparse
 import os
 import re
+import subprocess
 import sys
 import tempfile
 
@@ -91,6 +98,7 @@ BIT_IDENTITY_TESTS = {
     "tests/stream_durability_test.cc",
     "tests/stream_reorder_test.cc",
     "tests/stream_engine_test.cc",
+    "tests/stream_shard_test.cc",
     "tests/community_warm_start_test.cc",
     "tests/community_detector_test.cc",
     "tests/query_service_test.cc",
@@ -104,8 +112,9 @@ CONCURRENCY_DIRS = ("src/query/",)
 CONCURRENCY_FILES = {
     "src/stream/snapshot.h",   # the atomic epoch publisher itself
     "src/stream/snapshot.cc",
-    "src/stream/engine.h",     # reader-visible freeze counters
-    "src/stream/engine.cc",
+    "src/stream/engine.h",     # freeze counters + sharded ingest engine
+    "src/stream/engine.cc",    # shard workers, barrier quiescence
+    "src/stream/spsc_ring.h",  # the shard command channel (Lamport ring)
     "src/core/logging.cc",     # process-wide sink registration
 }
 
@@ -396,6 +405,41 @@ def check_naked_concurrency(root, files):
     return violations
 
 
+def check_tracked_build_artifacts(root, files):
+    """No build tree may be committed. Build output is reproducible from
+    the sources, so tracking it bloats every clone and rots silently; the
+    .gitignore entries only stop *new* adds — this check catches paths
+    that were force-added or tracked before the ignore existed. One
+    violation per offending top-level build*/ directory. Gracefully skips
+    when `root` is not a git checkout (release tarballs, selftest trees)."""
+    del files  # consults the git index, not the C++ source list
+    try:
+        proc = subprocess.run(
+            ["git", "-C", root, "ls-files", "-z"],
+            capture_output=True, check=False)
+    except OSError:
+        return []  # no git binary — nothing to enforce against
+    if proc.returncode != 0:
+        return []  # not a git checkout
+    by_dir = {}
+    for path in proc.stdout.decode("utf-8", "replace").split("\0"):
+        if "/" not in path:
+            continue
+        top = path.split("/", 1)[0]
+        if top == "build" or top.startswith("build-") or \
+                top.startswith("build_"):
+            by_dir.setdefault(top, []).append(path)
+    violations = []
+    for top in sorted(by_dir):
+        paths = sorted(by_dir[top])
+        violations.append(Violation(
+            "tracked-build-artifacts", paths[0], 1,
+            f"{len(paths)} git-tracked file(s) under '{top}/' — build "
+            "trees are generated output; `git rm -r --cached` the "
+            f"directory and keep '{top}/' in .gitignore"))
+    return violations
+
+
 CHECKS = [
     ("umbrella-export", check_umbrella_export),
     ("pragma-once", check_pragma_once),
@@ -404,6 +448,7 @@ CHECKS = [
     ("unseeded-rng", check_unseeded_rng),
     ("float-equality", check_float_equality),
     ("naked-concurrency", check_naked_concurrency),
+    ("tracked-build-artifacts", check_tracked_build_artifacts),
 ]
 
 
@@ -540,6 +585,45 @@ def run_selftest(root):
     expect("naked-concurrency", check_naked_concurrency,
            {"src/good.cc": _golden(root, "good_annotated.cc")},
            False, "good_annotated.cc")
+
+    # tracked-build-artifacts consults the git index, so its goldens need
+    # a real scratch repo rather than the plain-tree expect() helper.
+    with tempfile.TemporaryDirectory(prefix="bikegraph_lint_") as tmp:
+        _mini_tree(tmp, {
+            "build-review/stale_artifact.txt": "generated output\n",
+            "src/good.cc": "int main() { return 0; }\n",
+        })
+        env = dict(os.environ,
+                   GIT_CONFIG_GLOBAL=os.devnull, GIT_CONFIG_SYSTEM=os.devnull)
+        git_ok = True
+        for cmd in (["git", "init", "-q"],
+                    ["git", "add", "-f",
+                     "build-review/stale_artifact.txt", "src/good.cc"]):
+            if subprocess.run(cmd, cwd=tmp, env=env,
+                              capture_output=True).returncode != 0:
+                git_ok = False
+                break
+        if not git_ok:
+            failures.append(
+                "tracked-build-artifacts: scratch `git init`/`git add` "
+                "failed — golden snippets could not be exercised")
+        else:
+            got = check_tracked_build_artifacts(tmp, list_tree_files(tmp))
+            got = [v for v in got if v.check == "tracked-build-artifacts"]
+            if not got:
+                failures.append(
+                    "tracked-build-artifacts: golden BAD tree (tracked "
+                    "build-review/ file) was not flagged — the check has "
+                    "gone blind")
+            subprocess.run(
+                ["git", "rm", "-r", "-q", "--cached", "build-review"],
+                cwd=tmp, env=env, capture_output=True)
+            got = check_tracked_build_artifacts(tmp, list_tree_files(tmp))
+            got = [v for v in got if v.check == "tracked-build-artifacts"]
+            if got:
+                failures.append(
+                    "tracked-build-artifacts: golden GOOD tree (index "
+                    f"purged) was flagged: {got[0]}")
 
     if failures:
         for f in failures:

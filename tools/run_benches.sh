@@ -2,7 +2,10 @@
 # Runs the bench_perf_*, bench_stream_* and bench_query_* google-benchmark
 # binaries with JSON output and aggregates the results into BENCH_perf.json
 # at the repo root, so the perf trajectory is tracked across PRs. User
-# counters (the serving bench's p50/p99/qps) are kept in the merge.
+# counters (the serving bench's p50/p99/qps) are kept in the merge, and
+# the BM_ShardedIngest rows are distilled into a top-level
+# "shard_scaling" block (events/s and speedup-vs-single-writer per
+# shard count — the ROADMAP item 1 curve).
 #
 # Usage: tools/run_benches.sh [build_dir] [benchmark_filter]
 #   build_dir         defaults to "build"
@@ -79,6 +82,31 @@ for path in inputs:
             if key not in known and isinstance(value, (int, float)):
                 bench[b["name"]][key] = value
     merged["benches"][name] = bench
+
+# Shard-scaling curve (docs/STREAMING.md, "Sharded ingestion"): distill
+# the BM_ShardedIngest/N rows into one comparable record — events/s per
+# shard count plus the speedup over the single-writer (N=1) baseline.
+# On this single-CPU CI host the curve measures ring/barrier overhead,
+# not parallel speedup; the raw rows stay in "benches" either way.
+curve = {}
+for bench in merged["benches"].values():
+    for name, row in bench.items():
+        # Row names look like "BM_ShardedIngest/4/real_time" (the bench
+        # uses a wall-clock base; see bench_stream_throughput.cc).
+        parts = name.split("/")
+        if parts[0] == "BM_ShardedIngest" and len(parts) > 1 \
+                and parts[1].isdigit():
+            curve[parts[1]] = row.get("items_per_second")
+if curve and curve.get("1"):
+    merged["shard_scaling"] = {
+        "bench": "BM_ShardedIngest",
+        "events_per_second": curve,
+        "speedup_vs_single_writer": {
+            shards: round(rate / curve["1"], 4)
+            for shards, rate in curve.items() if rate is not None
+        },
+    }
+
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2, sort_keys=True)
     f.write("\n")
