@@ -10,6 +10,7 @@
 // Core substrate: error handling, RNG, time.
 #include "core/checked_cast.h"
 #include "core/civil_time.h"
+#include "core/io_env.h"
 #include "core/logging.h"
 #include "core/result.h"
 #include "core/rng.h"

@@ -211,4 +211,102 @@ ChaosStream GenerateChaosStream(const ChaosConfig& config) {
   return out;
 }
 
+FaultPlan MakeRandomFaultPlan(const FaultChaosConfig& config) {
+  // Decorrelate from the stream generator so pairing the same seed for
+  // both dimensions does not couple their draws.
+  Rng rng(config.seed * 0x9E3779B97F4A7C15ull + 0xFA01ull);
+  FaultPlan plan;
+  const uint32_t burst = config.max_burst > 0 ? config.max_burst : 1;
+  for (size_t i = 0; i < config.rules; ++i) {
+    FaultPlan::Rule rule;
+    // Stride 60 per rule index with burst <= min(burst, 59): windows on
+    // the same op can never touch, so one failing call retries through
+    // at most one rule's window (see the header's transient-only
+    // guarantee).
+    rule.after = i * 60 + rng.NextBounded(40);
+    rule.count = 1 + rng.NextBounded(std::min<uint32_t>(burst, 59));
+    if (config.transient_only) {
+      switch (rng.NextBounded(4)) {
+        case 0:
+          rule.op = IoOp::kWrite;
+          rule.kind = FaultPlan::Kind::kEintrStorm;
+          break;
+        case 1:
+          rule.op = IoOp::kFsync;
+          rule.kind = FaultPlan::Kind::kEintrStorm;
+          break;
+        case 2:
+          rule.op = IoOp::kWrite;
+          rule.kind = FaultPlan::Kind::kShortWrite;
+          break;
+        default:
+          // The one budget-consuming transient: a bounded EAGAIN burst
+          // on write. Only the first drawn (rule windows never overlap,
+          // but keeping a single burst per plan also caps total budget
+          // use per plan at `burst`, not per call).
+          rule.op = IoOp::kWrite;
+          if (std::any_of(plan.rules.begin(), plan.rules.end(),
+                          [](const FaultPlan::Rule& r) {
+                            return r.kind == FaultPlan::Kind::kError;
+                          })) {
+            rule.kind = FaultPlan::Kind::kEintrStorm;
+          } else {
+            rule.kind = FaultPlan::Kind::kError;
+            rule.error = EAGAIN;
+          }
+          break;
+      }
+    } else {
+      switch (rng.NextBounded(8)) {
+        case 0:
+          rule.op = IoOp::kWrite;
+          rule.kind = FaultPlan::Kind::kError;
+          rule.error = EIO;
+          break;
+        case 1:
+          rule.op = IoOp::kWrite;
+          rule.kind = FaultPlan::Kind::kError;
+          rule.error = ENOSPC;
+          break;
+        case 2:
+          rule.op = IoOp::kFsync;
+          rule.kind = FaultPlan::Kind::kError;
+          rule.error = EIO;
+          break;
+        case 3:
+          rule.op = IoOp::kFsync;
+          rule.kind = FaultPlan::Kind::kSyncLie;
+          break;
+        case 4:
+          rule.op = IoOp::kFsyncDir;
+          rule.kind = rng.NextBounded(2) == 0 ? FaultPlan::Kind::kSyncLie
+                                              : FaultPlan::Kind::kError;
+          break;
+        case 5:
+          rule.op = IoOp::kRename;
+          rule.kind = FaultPlan::Kind::kError;
+          rule.error = EACCES;
+          break;
+        case 6:
+          rule.op = IoOp::kOpen;
+          rule.kind = FaultPlan::Kind::kError;
+          rule.error = rng.NextBounded(2) == 0 ? EIO : ENOSPC;
+          break;
+        default:
+          rule.op = IoOp::kWrite;
+          rule.kind = rng.NextBounded(2) == 0 ? FaultPlan::Kind::kShortWrite
+                                              : FaultPlan::Kind::kEintrStorm;
+          break;
+      }
+    }
+    plan.rules.push_back(rule);
+  }
+  if (!config.transient_only && rng.NextBounded(4) == 0) {
+    // Occasionally run on a small simulated disk so steady-state ENOSPC
+    // (and the writer's prune self-heal) joins the schedule.
+    plan.disk_capacity_bytes = 16384 + rng.NextBounded(1u << 17);
+  }
+  return plan;
+}
+
 }  // namespace bikegraph::stream

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/civil_time.h"
+#include "core/io_env.h"
 #include "stream/event.h"
 
 namespace bikegraph::stream {
@@ -99,5 +100,33 @@ struct ChaosStream {
 /// same actions, byte for byte. See ChaosConfig for the scenario
 /// catalogue and docs/STREAMING.md for how the chaos suite consumes it.
 ChaosStream GenerateChaosStream(const ChaosConfig& config);
+
+/// \brief Knobs for the randomized I/O fault dimension of the chaos
+/// suite: seeded FaultPlans crossed with the kill-point recovery
+/// machinery (tools/ci.sh --faults).
+struct FaultChaosConfig {
+  uint64_t seed = 1;
+  /// Fault rules to draw (each targets one op with one fault kind over
+  /// one call-index window; see FaultPlan).
+  size_t rules = 4;
+  /// Upper bound on consecutive injected failures per rule window.
+  /// In transient-only mode a FaultPolicy with `max_retries >=
+  /// max_burst` is guaranteed to ride out every drawn schedule.
+  uint32_t max_burst = 3;
+  /// Transient-only plans draw exclusively EINTR storms, short writes,
+  /// and at most one bounded EAGAIN burst — faults a retrying writer
+  /// must absorb without poisoning or degrading. Hostile plans (the
+  /// default) add hard errors (EIO, EACCES, persistent ENOSPC), lying
+  /// fsyncs, torn renames, and an optional small disk capacity; those
+  /// may sink the run, and the invariant becomes "recovery is
+  /// bit-identical or loudly failed".
+  bool transient_only = false;
+};
+
+/// \brief Draws a deterministic FaultPlan from a seeded Rng: same config
+/// → same plan. Rule windows are spaced (stride 60 on each op's call
+/// index) so failure runs never chain across rules — which is what makes
+/// the transient-only guarantee above provable rather than probabilistic.
+FaultPlan MakeRandomFaultPlan(const FaultChaosConfig& config);
 
 }  // namespace bikegraph::stream

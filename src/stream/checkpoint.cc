@@ -49,12 +49,14 @@ Status IOError(const std::string& what, const std::string& path) {
   return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
 }
 
-Status FsyncDirectory(const std::string& directory) {
-  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return IOError("open directory", directory);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return IOError("fsync directory", directory);
+IoEnv* ResolveEnv(IoEnv* env) {
+  return env != nullptr ? env : IoEnv::Default();
+}
+
+Status FsyncDirectory(IoEnv* env, const std::string& directory) {
+  if (env->FsyncDir(directory.c_str()) != 0) {
+    return IOError("fsync directory", directory);
+  }
   return Status::OK();
 }
 
@@ -315,7 +317,8 @@ Result<EngineCheckpoint> ParseCheckpoint(const std::string& bytes) {
 }
 
 Status WriteCheckpoint(const std::string& directory,
-                       const EngineCheckpoint& checkpoint) {
+                       const EngineCheckpoint& checkpoint, IoEnv* env) {
+  env = ResolveEnv(env);
   const std::string payload = SerializeCheckpoint(checkpoint);
   std::string file(kCheckpointMagic, sizeof(kCheckpointMagic));
   wire::PutU64(&file, payload.size());
@@ -325,33 +328,51 @@ Status WriteCheckpoint(const std::string& directory,
   const std::string final_path =
       (fs::path(directory) / CheckpointName(checkpoint.wal_seq)).string();
   const std::string tmp_path = final_path + ".tmp";
-  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  // A failed commit must leave the directory as it found it: every error
+  // path below removes the temp (best-effort) so the previous checkpoint
+  // set — still intact, never touched until the atomic rename — remains
+  // the newest loadable state and the engine can simply retry later.
+  int fd = -1;
+  for (;;) {
+    fd = env->Open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0 || errno != EINTR) break;
+  }
   if (fd < 0) return IOError("create checkpoint", tmp_path);
   const char* p = file.data();
   size_t left = file.size();
   while (left > 0) {
-    const ssize_t n = ::write(fd, p, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return IOError("write checkpoint", tmp_path);
+    const int64_t n = env->Write(fd, p, left);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      const Status failed = IOError("write checkpoint", tmp_path);
+      env->Close(fd);
+      (void)env->Unlink(tmp_path.c_str());
+      return failed;
     }
     p += n;
     left -= static_cast<size_t>(n);
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return IOError("fsync checkpoint", tmp_path);
+  if (env->Fsync(fd) != 0) {
+    const Status failed = IOError("fsync checkpoint", tmp_path);
+    env->Close(fd);
+    (void)env->Unlink(tmp_path.c_str());
+    return failed;
   }
-  ::close(fd);
-  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    return IOError("rename checkpoint into place", final_path);
+  env->Close(fd);
+  if (env->Rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    const Status failed = IOError("rename checkpoint into place", final_path);
+    (void)env->Unlink(tmp_path.c_str());
+    return failed;
   }
-  return FsyncDirectory(directory);
+  // Past the rename the new name may or may not survive a crash until
+  // the directory is fsynced; if this fails, LoadNewestCheckpoint falls
+  // back to the previous checkpoint (or sweeps a reverted .tmp).
+  return FsyncDirectory(env, directory);
 }
 
 Result<CheckpointLoadResult> LoadNewestCheckpoint(
-    const std::string& directory) {
+    const std::string& directory, IoEnv* env) {
+  env = ResolveEnv(env);
   CheckpointLoadResult result;
   std::error_code ec;
   if (!fs::exists(directory, ec)) return result;
@@ -365,15 +386,20 @@ Result<CheckpointLoadResult> LoadNewestCheckpoint(
                name.compare(name.size() - 4, 4, ".tmp") == 0 &&
                name.rfind("ckpt-", 0) == 0) {
       // A crash mid-checkpoint: the half-written temp never became a
-      // .ckpt, so it carries no state anyone committed to. Clean it up.
-      fs::remove(entry.path(), ec);
+      // .ckpt, so it carries no state anyone committed to. Clean it up
+      // (best-effort — a stray temp is harmless, just litter).
+      (void)env->Unlink(entry.path().string().c_str());
     }
   }
   std::sort(candidates.rbegin(), candidates.rend());
   for (const auto& [seq, path] : candidates) {
     std::string bytes;
     {
-      const int fd = ::open(path.c_str(), O_RDONLY);
+      int fd = -1;
+      for (;;) {
+        fd = env->Open(path.c_str(), O_RDONLY, 0);
+        if (fd >= 0 || errno != EINTR) break;
+      }
       if (fd < 0) return IOError("open checkpoint", path);
       char buf[1u << 16];
       bool read_error = false;
@@ -387,7 +413,7 @@ Result<CheckpointLoadResult> LoadNewestCheckpoint(
         if (n == 0) break;
         bytes.append(buf, static_cast<size_t>(n));
       }
-      ::close(fd);
+      env->Close(fd);
       if (read_error) return IOError("read checkpoint", path);
     }
     bool valid = bytes.size() >= kFileHeaderBytes &&
@@ -416,7 +442,8 @@ Result<CheckpointLoadResult> LoadNewestCheckpoint(
 }
 
 Status PruneCheckpoints(const std::string& directory, size_t keep,
-                        uint64_t* oldest_kept_seq) {
+                        uint64_t* oldest_kept_seq, IoEnv* env) {
+  env = ResolveEnv(env);
   if (oldest_kept_seq != nullptr) *oldest_kept_seq = 0;
   if (keep == 0) keep = 1;  // never delete the checkpoint just written
   std::vector<std::pair<uint64_t, std::string>> candidates;
@@ -431,9 +458,8 @@ Status PruneCheckpoints(const std::string& directory, size_t keep,
   const size_t drop =
       candidates.size() > keep ? candidates.size() - keep : 0;
   for (size_t i = 0; i < drop; ++i) {
-    if (!fs::remove(candidates[i].second, ec) || ec) {
-      return Status::IOError("remove checkpoint '" + candidates[i].second +
-                             "': " + ec.message());
+    if (env->Unlink(candidates[i].second.c_str()) != 0) {
+      return IOError("remove checkpoint", candidates[i].second);
     }
   }
   if (oldest_kept_seq != nullptr && drop < candidates.size()) {

@@ -90,8 +90,12 @@ std::string SerializeCheckpoint(const EngineCheckpoint& checkpoint);
 /// name, fsync the directory. A crash at any instant leaves either the
 /// previous checkpoint set intact or the new file complete — never a
 /// half-written `.ckpt`.
+/// All I/O goes through `env` (nullptr = IoEnv::Default()); a failed
+/// commit cleans up its `.tmp` and never disturbs the previous
+/// checkpoint, so the caller may keep running and retry later.
 [[nodiscard]] Status WriteCheckpoint(const std::string& directory,
-                                     const EngineCheckpoint& checkpoint);
+                                     const EngineCheckpoint& checkpoint,
+                                     IoEnv* env = nullptr);
 
 /// \brief What LoadNewestCheckpoint found.
 struct CheckpointLoadResult {
@@ -109,7 +113,7 @@ struct CheckpointLoadResult {
 /// checkpoint are deleted. `found == false` (not an error) when the
 /// directory holds no usable checkpoint.
 [[nodiscard]] Result<CheckpointLoadResult> LoadNewestCheckpoint(
-    const std::string& directory);
+    const std::string& directory, IoEnv* env = nullptr);
 
 /// \brief Deletes all but the newest `keep` checkpoint files.
 /// `oldest_kept_seq` (optional) receives the `wal_seq` of the oldest
@@ -118,6 +122,7 @@ struct CheckpointLoadResult {
 /// checkpoint might need.
 [[nodiscard]] Status PruneCheckpoints(const std::string& directory,
                                       size_t keep,
-                                      uint64_t* oldest_kept_seq = nullptr);
+                                      uint64_t* oldest_kept_seq = nullptr,
+                                      IoEnv* env = nullptr);
 
 }  // namespace bikegraph::stream

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/logging.h"
 #include "stream/spsc_ring.h"
 
 namespace bikegraph::stream {
@@ -245,13 +246,39 @@ void StreamEngine::InitDurability() {
   wal_ = std::move(*writer);
 }
 
+void StreamEngine::EnterDegradedMode(const Status& reason) {
+  degraded_ = true;
+  degrade_reason_ = reason;
+  if (wal_) {
+    wal_retry_base_ += wal_->retry_count();
+    wal_transient_base_ += wal_->transient_recovered_count();
+    wal_enospc_base_ += wal_->enospc_prune_count();
+  }
+  BIKEGRAPH_LOG(Error)
+      << "durable engine DEGRADED to non-durable mode: "
+      << reason.ToString() << " — ingestion continues, the log under '"
+      << config_.durability.directory
+      << "' is abandoned and marked (Recover() will refuse it)";
+  // Marker before dropping the writer: the directory must be loud before
+  // the first un-logged op can possibly be applied.
+  WriteDegradedMarker(config_.durability, reason);
+  wal_.reset();
+}
+
 Status StreamEngine::LogRecord(const WalRecord& record) {
-  if (!config_.durability.enabled) return Status::OK();
+  if (!config_.durability.enabled || degraded_) return Status::OK();
   if (!durability_status_.ok()) return durability_status_;
   const Status status = wal_->Append(record);
   if (!status.ok()) {
-    // A failed append poisons the writer; every later durable call
-    // surfaces the same error instead of silently diverging from disk.
+    if (config_.durability.faults.degrade_on_exhausted) {
+      // Degrade policy: availability over durability. The op proceeds
+      // un-logged; the marker keeps the loss loud at recovery time.
+      EnterDegradedMode(status);
+      return Status::OK();
+    }
+    // Poison policy (default): a failed append poisons the writer; every
+    // later durable call surfaces the same error instead of silently
+    // diverging from disk.
     durability_status_ = status;
     return status;
   }
@@ -595,9 +622,15 @@ Result<RefreshOutcome> StreamEngine::DetectInternal(
 }
 
 Status StreamEngine::SyncWal() {
-  if (!config_.durability.enabled) return Status::OK();
+  if (!config_.durability.enabled || degraded_) return Status::OK();
   if (!durability_status_.ok()) return durability_status_;
-  return wal_->Sync();
+  const Status status = wal_->Sync();
+  if (!status.ok() && config_.durability.faults.degrade_on_exhausted) {
+    // Surface this failure loudly (the caller asked for durability and
+    // did not get it), but degrade so ingestion can continue.
+    EnterDegradedMode(status);
+  }
+  return status;
 }
 
 const SlidingWindowGraph& StreamEngine::window() const {
@@ -747,6 +780,11 @@ Status StreamEngine::Checkpoint() {
     return Status::FailedPrecondition(
         "Checkpoint() requires durability.enabled");
   }
+  if (degraded_) {
+    return Status::FailedPrecondition(
+        "Checkpoint() on a degraded (non-durable) engine: " +
+        degrade_reason_.ToString());
+  }
   if (!durability_status_.ok()) return durability_status_;
   // Quiesce the shards so the capture is a coherent cut of every
   // vertical. The barrier's own clock alignments are not logged, but
@@ -758,14 +796,26 @@ Status StreamEngine::Checkpoint() {
   // Sync first: a checkpoint claiming wal_seq N with record N still in
   // the write buffer would, after a crash, restore to a state the log
   // cannot re-derive.
-  BIKEGRAPH_RETURN_NOT_OK(wal_->Sync());
+  const Status synced = wal_->Sync();
+  if (!synced.ok()) {
+    if (config_.durability.faults.degrade_on_exhausted) {
+      EnterDegradedMode(synced);
+    }
+    return synced;
+  }
+  IoEnv* const env = config_.durability.io_env;
+  // A commit failure is NOT a poison: WriteCheckpoint cleaned up its
+  // temp, the previous checkpoint set is untouched, and the WAL is
+  // synced through this point — the engine keeps running durable and a
+  // later Checkpoint() simply tries again.
   BIKEGRAPH_RETURN_NOT_OK(
-      WriteCheckpoint(config_.durability.directory, CaptureState()));
+      WriteCheckpoint(config_.durability.directory, CaptureState(), env));
   uint64_t oldest_kept = 0;
   BIKEGRAPH_RETURN_NOT_OK(PruneCheckpoints(config_.durability.directory,
                                            config_.durability.checkpoints_kept,
-                                           &oldest_kept));
-  return PruneWalSegments(config_.durability.directory, oldest_kept);
+                                           &oldest_kept, env));
+  return PruneWalSegments(config_.durability.directory, oldest_kept,
+                          /*pruned=*/nullptr, env);
 }
 
 Status StreamEngine::RestoreFromCheckpoint(
@@ -862,16 +912,31 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Recover(
         "Recover() requires durability.enabled and a directory");
   }
   const std::string directory = config.durability.directory;
+  IoEnv* const env = config.durability.io_env;
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) {
     return Status::IOError("create durability directory '" + directory +
                            "': " + ec.message());
   }
+  if (HasDegradedMarker(directory)) {
+    // A previous run dropped to non-durable mode and kept applying ops
+    // the log never saw; replaying the logged prefix and calling it the
+    // run would be exactly the silent divergence durability promises
+    // never to produce. Deleting the marker file is the operator's
+    // explicit acceptance of the loss (recovery then restores the
+    // logged prefix).
+    return Status::DataLoss(
+        "durability directory '" + directory + "' carries '" +
+        std::string(kDegradedMarkerName) +
+        "': the previous run degraded to non-durable mode, so the log "
+        "cannot reproduce its final state. Delete the marker to accept "
+        "the loss and recover the logged prefix.");
+  }
   BIKEGRAPH_ASSIGN_OR_RETURN(CheckpointLoadResult loaded,
-                             LoadNewestCheckpoint(directory));
-  BIKEGRAPH_ASSIGN_OR_RETURN(WalReadResult wal,
-                             ReadWal(directory, /*repair_torn_tail=*/true));
+                             LoadNewestCheckpoint(directory, env));
+  BIKEGRAPH_ASSIGN_OR_RETURN(
+      WalReadResult wal, ReadWal(directory, /*repair_torn_tail=*/true, env));
 
   auto engine = std::unique_ptr<StreamEngine>(
       new StreamEngine(RecoverTag{}, std::move(config)));

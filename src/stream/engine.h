@@ -299,6 +299,34 @@ class StreamEngine {
   /// is disabled or nothing was logged yet).
   uint64_t wal_seq() const { return wal_seq_; }
 
+  /// Durability fault accounting (DurabilityConfig::faults). The retry
+  /// counters survive a degrade (the pre-degrade tallies are stashed
+  /// before the writer is dropped), so conservation checks hold at any
+  /// point. Ingestion-thread-only; when sharded, stable at barriers like
+  /// the other serving counters — the WAL is written by the ingestion
+  /// thread before dispatch, so shard count never changes the values.
+  ///
+  /// Backed-off retries performed against FaultPolicy::max_retries.
+  uint64_t wal_retry_count() const {
+    return wal_retry_base_ + (wal_ ? wal_->retry_count() : 0);
+  }
+  /// Durable calls that failed transiently and then succeeded.
+  uint64_t wal_transient_recovered_count() const {
+    return wal_transient_base_ + (wal_ ? wal_->transient_recovered_count() : 0);
+  }
+  /// ENOSPC self-heal prune attempts (see FaultPolicy).
+  uint64_t wal_enospc_prune_count() const {
+    return wal_enospc_base_ + (wal_ ? wal_->enospc_prune_count() : 0);
+  }
+  /// True once the engine dropped to loudly-non-durable mode
+  /// (FaultPolicy::degrade_on_exhausted): ingestion continues, logging
+  /// has stopped, and the directory carries the degraded marker so
+  /// Recover() will refuse it with DataLoss rather than silently serve
+  /// the logged prefix as the whole run.
+  bool degraded() const { return degraded_; }
+  /// The failure that triggered the degrade (OK while not degraded).
+  const Status& degrade_reason() const { return degrade_reason_; }
+
   /// Reorder-buffer stats, surfaced for dashboards: events re-sorted by
   /// the buffer, events dropped as too late (LateEventPolicy::kDrop),
   /// redeliveries suppressed, and events admitted but not yet released
@@ -355,8 +383,15 @@ class StreamEngine {
 
   /// Appends `record` (the intent of the current public call) to the WAL
   /// before the call's state change is applied. No-op (OK) when
-  /// durability is disabled.
+  /// durability is disabled or the engine has degraded. Under the
+  /// degrade policy an exhausted append degrades the engine and returns
+  /// OK so the caller's state change still happens (un-logged, loudly).
   Status LogRecord(const WalRecord& record);
+
+  /// The degrade transition: stash the writer's fault counters, abandon
+  /// the WAL, drop the loud on-disk marker (best-effort), and log the
+  /// reason at Error level. Idempotent in effect (only called once).
+  void EnterDegradedMode(const Status& reason);
 
   /// Replays one WAL record through the non-logging internals. Errors
   /// mirror the original run's and leave state unchanged.
@@ -442,6 +477,15 @@ class StreamEngine {
   /// writer), surfaced on every durable call until resolved.
   Status durability_status_ = Status::OK();
   uint64_t wal_seq_ = 0;
+  /// Degrade state (FaultPolicy::degrade_on_exhausted): once true, the
+  /// engine serves non-durably and wal_ is gone.
+  bool degraded_ = false;
+  Status degrade_reason_ = Status::OK();
+  /// Fault-counter tallies carried over from a dropped writer so the
+  /// wal_*_count() accessors stay conserved across a degrade.
+  uint64_t wal_retry_base_ = 0;
+  uint64_t wal_transient_base_ = 0;
+  uint64_t wal_enospc_base_ = 0;
 };
 
 }  // namespace bikegraph::stream

@@ -56,13 +56,42 @@ Status IOError(const std::string& what, const std::string& path) {
   return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
 }
 
-Status FsyncDirectory(const std::string& directory) {
-  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return IOError("open directory", directory);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return IOError("fsync directory", directory);
+IoEnv* ResolveEnv(IoEnv* env) {
+  return env != nullptr ? env : IoEnv::Default();
+}
+
+Status FsyncDirectory(IoEnv* env, const std::string& directory) {
+  if (env->FsyncDir(directory.c_str()) != 0) {
+    return IOError("fsync directory", directory);
+  }
   return Status::OK();
+}
+
+/// EAGAIN/EWOULDBLOCK and ENOSPC earn backed-off retries (FaultPolicy);
+/// EINTR is handled separately (free), everything else is permanent.
+bool IsTransientErrno(int err) {
+  if (err == EAGAIN || err == ENOSPC) return true;
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+  if (err == EWOULDBLOCK) return true;
+#endif
+  return false;
+}
+
+/// Parses "ckpt-<seq20>.ckpt" (the checkpoint codec's naming, duplicated
+/// here so the WAL's ENOSPC self-heal needs no checkpoint dependency).
+bool ParseCheckpointFileName(const std::string& name, uint64_t* seq_out) {
+  if (name.size() != 30 || name.rfind("ckpt-", 0) != 0 ||
+      name.compare(25, 5, ".ckpt") != 0) {
+    return false;
+  }
+  uint64_t seq = 0;
+  for (size_t i = 5; i < 25; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq_out = seq;
+  return true;
 }
 
 void EncodeSpec(const community::DetectSpec& spec, std::string* out) {
@@ -182,8 +211,12 @@ bool DecodeSegmentHeader(const std::string& bytes, uint64_t* first_seq) {
   return true;
 }
 
-Result<std::string> ReadWholeFile(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+Result<std::string> ReadWholeFile(IoEnv* env, const std::string& path) {
+  int fd = -1;
+  for (;;) {
+    fd = env->Open(path.c_str(), O_RDONLY, 0);
+    if (fd >= 0 || errno != EINTR) break;
+  }
   if (fd < 0) return IOError("open", path);
   std::string out;
   char buf[1u << 16];
@@ -191,13 +224,13 @@ Result<std::string> ReadWholeFile(const std::string& path) {
     const ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
+      env->Close(fd);
       return IOError("read", path);
     }
     if (n == 0) break;
     out.append(buf, static_cast<size_t>(n));
   }
-  ::close(fd);
+  env->Close(fd);
   return out;
 }
 
@@ -249,11 +282,16 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(
     return Status::InvalidArgument("WAL sequence numbers are 1-based");
   }
   auto writer = std::unique_ptr<WalWriter>(new WalWriter(config));
+  writer->env_ = ResolveEnv(config.io_env);
   writer->next_seq_ = next_seq;
   if (tail_segment_path.empty()) {
     BIKEGRAPH_RETURN_NOT_OK(writer->OpenSegment(next_seq));
   } else {
-    writer->fd_ = ::open(tail_segment_path.c_str(), O_WRONLY | O_APPEND);
+    for (;;) {
+      writer->fd_ =
+          writer->env_->Open(tail_segment_path.c_str(), O_WRONLY | O_APPEND, 0);
+      if (writer->fd_ >= 0 || errno != EINTR) break;
+    }
     if (writer->fd_ < 0) return IOError("open", tail_segment_path);
     writer->segment_bytes_ = tail_segment_bytes;
     writer->segment_empty_ = tail_segment_bytes <= kSegmentHeaderBytes;
@@ -265,17 +303,65 @@ WalWriter::~WalWriter() {
   if (fd_ >= 0) {
     // Best-effort flush of buffered records; a process exiting cleanly
     // should not lose its own unsynced tail. Errors are unreportable
-    // here — recovery's torn-tail handling covers the loss.
+    // here — recovery's torn-tail handling covers the loss. (WriteBuffer
+    // is a no-op on a poisoned writer: its buffered tail is suspect.)
     (void)WriteBuffer();
-    ::close(fd_);
+    env_->Close(fd_);
   }
+}
+
+bool WalWriter::GrantDelayedRetry(uint32_t* delayed_left,
+                                  int64_t* backoff_ms) {
+  if (*delayed_left == 0) return false;
+  --*delayed_left;
+  ++retry_count_;
+  env_->SleepMs(*backoff_ms);
+  const int64_t cap = std::max<int64_t>(config_.faults.backoff_max_ms, 1);
+  *backoff_ms = std::min<int64_t>(*backoff_ms * 2, cap);
+  return true;
+}
+
+void WalWriter::TryEnospcSelfHeal() {
+  ++enospc_prune_count_;
+  // Prune what the oldest retained checkpoint already covers. Errors are
+  // deliberately swallowed: the retried write reports the truth either
+  // way, and a prune that freed nothing just means the retry fails too.
+  const uint64_t through = OldestCheckpointSeq(config_.directory);
+  uint64_t pruned = 0;
+  (void)PruneWalSegments(config_.directory, through, &pruned, env_);
 }
 
 Status WalWriter::OpenSegment(uint64_t first_seq) {
   const std::string path =
       (fs::path(config_.directory) / SegmentName(first_seq)).string();
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
-  if (fd_ < 0) return IOError("create segment", path);
+  uint32_t delayed_left = config_.faults.max_retries;
+  int64_t backoff_ms =
+      std::max<int64_t>(config_.faults.backoff_initial_ms, 1);
+  bool had_transient = false;
+  bool self_healed = false;
+  for (;;) {
+    fd_ = env_->Open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd_ >= 0) break;
+    const int err = errno;
+    if (err == EINTR) {
+      had_transient = true;
+      continue;
+    }
+    if (err == ENOSPC && !self_healed) {
+      self_healed = true;
+      had_transient = true;
+      TryEnospcSelfHeal();
+      continue;  // one free retry right after the prune
+    }
+    if (IsTransientErrno(err) &&
+        GrantDelayedRetry(&delayed_left, &backoff_ms)) {
+      had_transient = true;
+      continue;
+    }
+    errno = err;
+    return IOError("create segment", path);
+  }
+  if (had_transient) ++transient_recovered_count_;
   buffer_ = EncodeSegmentHeader(first_seq);
   segment_bytes_ = buffer_.size();
   segment_empty_ = true;
@@ -283,29 +369,55 @@ Status WalWriter::OpenSegment(uint64_t first_seq) {
   BIKEGRAPH_RETURN_NOT_OK(WriteBuffer());
   // The new name must itself survive a crash before any record in it is
   // considered durable.
-  return FsyncDirectory(config_.directory);
+  return FsyncDirectory(env_, config_.directory);
 }
 
 Status WalWriter::WriteBuffer() {
+  if (!poisoned_.ok()) return poisoned_;  // no Status copy on the hot path
   if (buffer_.empty()) return Status::OK();
   const char* p = buffer_.data();
   size_t left = buffer_.size();
+  uint32_t delayed_left = config_.faults.max_retries;
+  int64_t backoff_ms =
+      std::max<int64_t>(config_.faults.backoff_initial_ms, 1);
+  bool had_transient = false;
+  bool self_healed = false;
   while (left > 0) {
-    const ssize_t n = ::write(fd_, p, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      poisoned_ = IOError("write WAL segment", config_.directory);
-      return poisoned_;
+    const int64_t n = env_->Write(fd_, p, left);
+    if (n > 0) {
+      p += n;  // short writes are legal; keep going
+      left -= static_cast<size_t>(n);
+      continue;
     }
-    p += n;
-    left -= static_cast<size_t>(n);
+    // write() returning 0 for a nonzero count is a zero-progress oddity;
+    // treat it like EAGAIN so it gets the bounded-retry path, not a spin.
+    const int err = n < 0 ? errno : EAGAIN;
+    if (err == EINTR) {
+      had_transient = true;
+      continue;
+    }
+    if (err == ENOSPC && !self_healed) {
+      self_healed = true;
+      had_transient = true;
+      TryEnospcSelfHeal();
+      continue;  // one free retry right after the prune
+    }
+    if (IsTransientErrno(err) &&
+        GrantDelayedRetry(&delayed_left, &backoff_ms)) {
+      had_transient = true;
+      continue;
+    }
+    errno = err;
+    poisoned_ = IOError("write WAL segment", config_.directory);
+    return poisoned_;
   }
+  if (had_transient) ++transient_recovered_count_;
   buffer_.clear();
   return Status::OK();
 }
 
 Status WalWriter::Append(const WalRecord& record) {
-  BIKEGRAPH_RETURN_NOT_OK(poisoned_);
+  if (!poisoned_.ok()) return poisoned_;  // no Status copy on the hot path
   if (fd_ < 0) return Status::FailedPrecondition("WAL writer is closed");
   // Rotate *before* the record so a segment's name (its first record's
   // sequence number) stays truthful. An empty segment never rotates —
@@ -313,7 +425,7 @@ Status WalWriter::Append(const WalRecord& record) {
   // segment under the size limit holding one oversized record is fine.
   if (!segment_empty_ && segment_bytes_ >= config_.segment_bytes) {
     BIKEGRAPH_RETURN_NOT_OK(Sync());
-    ::close(fd_);
+    env_->Close(fd_);
     fd_ = -1;
     BIKEGRAPH_RETURN_NOT_OK(OpenSegment(next_seq_));
   }
@@ -337,21 +449,32 @@ Status WalWriter::Append(const WalRecord& record) {
 }
 
 Status WalWriter::Sync() {
-  BIKEGRAPH_RETURN_NOT_OK(poisoned_);
+  if (!poisoned_.ok()) return poisoned_;  // no Status copy on the hot path
   if (fd_ < 0) return Status::FailedPrecondition("WAL writer is closed");
   BIKEGRAPH_RETURN_NOT_OK(WriteBuffer());
   if (records_since_sync_ == 0) return Status::OK();
-  if (::fsync(fd_) != 0) {
+  bool had_transient = false;
+  while (env_->Fsync(fd_) != 0) {
+    if (errno == EINTR) {
+      had_transient = true;
+      continue;
+    }
+    // Any other failed fsync is permanent, whatever the FaultPolicy: the
+    // kernel may already have dropped the dirty pages, so retrying until
+    // an fsync "succeeds" would certify bytes that never reached the
+    // disk (the fsyncgate lesson).
     poisoned_ = IOError("fsync WAL segment", config_.directory);
     return poisoned_;
   }
+  if (had_transient) ++transient_recovered_count_;
   records_since_sync_ = 0;
   ++sync_count_;
   return Status::OK();
 }
 
 Result<WalReadResult> ReadWal(const std::string& directory,
-                              bool repair_torn_tail) {
+                              bool repair_torn_tail, IoEnv* env) {
+  env = ResolveEnv(env);
   WalReadResult result;
   std::error_code ec;
   if (!fs::exists(directory, ec)) return result;  // empty log
@@ -362,14 +485,13 @@ Result<WalReadResult> ReadWal(const std::string& directory,
   // previous segment.
   while (!segments.empty()) {
     const std::string& path = segments.back().second;
-    BIKEGRAPH_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+    BIKEGRAPH_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(env, path));
     uint64_t header_seq = 0;
     if (DecodeSegmentHeader(bytes, &header_seq)) break;
     result.truncated_bytes += bytes.size();
     if (repair_torn_tail) {
-      if (!fs::remove(path, ec) || ec) {
-        return Status::IOError("remove header-torn WAL segment '" + path +
-                               "': " + ec.message());
+      if (env->Unlink(path.c_str()) != 0) {
+        return IOError("remove header-torn WAL segment", path);
       }
     }
     segments.pop_back();
@@ -379,7 +501,7 @@ Result<WalReadResult> ReadWal(const std::string& directory,
   for (size_t i = 0; i < segments.size(); ++i) {
     const bool is_tail = i + 1 == segments.size();
     const std::string& path = segments[i].second;
-    BIKEGRAPH_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+    BIKEGRAPH_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(env, path));
     uint64_t header_seq = 0;
     if (!DecodeSegmentHeader(bytes, &header_seq)) {
       // Only the tail may be header-torn, and those were peeled off
@@ -432,11 +554,15 @@ Result<WalReadResult> ReadWal(const std::string& directory,
         // Torn tail: keep the valid prefix, discard the rest.
         result.truncated_bytes += bytes.size() - offset;
         if (repair_torn_tail) {
-          const int fd = ::open(path.c_str(), O_WRONLY);
+          int fd = -1;
+          for (;;) {
+            fd = env->Open(path.c_str(), O_WRONLY, 0);
+            if (fd >= 0 || errno != EINTR) break;
+          }
           if (fd < 0) return IOError("open for repair", path);
-          const int rc = ::ftruncate(fd, static_cast<off_t>(offset));
-          const int sc = rc == 0 ? ::fsync(fd) : 0;
-          ::close(fd);
+          const int rc = env->Truncate(fd, static_cast<int64_t>(offset));
+          const int sc = rc == 0 ? env->Fsync(fd) : 0;
+          env->Close(fd);
           if (rc != 0 || sc != 0) return IOError("truncate torn tail", path);
         }
         break;
@@ -458,22 +584,33 @@ Result<WalReadResult> ReadWal(const std::string& directory,
 }
 
 Status PruneWalSegments(const std::string& directory, uint64_t through_seq,
-                        uint64_t* pruned) {
+                        uint64_t* pruned, IoEnv* env) {
+  env = ResolveEnv(env);
   if (pruned != nullptr) *pruned = 0;
   auto segments = ListSegments(directory);
-  std::error_code ec;
   for (size_t i = 0; i + 1 < segments.size(); ++i) {
     // Segment i holds seqs [first_i, first_{i+1}); removable when they
     // are all covered.
     if (segments[i + 1].first <= through_seq + 1) {
-      if (!fs::remove(segments[i].second, ec) || ec) {
-        return Status::IOError("remove WAL segment '" + segments[i].second +
-                               "': " + ec.message());
+      if (env->Unlink(segments[i].second.c_str()) != 0) {
+        return IOError("remove WAL segment", segments[i].second);
       }
       if (pruned != nullptr) ++(*pruned);
     }
   }
   return Status::OK();
+}
+
+uint64_t OldestCheckpointSeq(const std::string& directory) {
+  uint64_t oldest = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    uint64_t seq = 0;
+    if (ParseCheckpointFileName(entry.path().filename().string(), &seq)) {
+      if (oldest == 0 || seq < oldest) oldest = seq;
+    }
+  }
+  return oldest;
 }
 
 bool DirectoryHasDurableState(const std::string& directory) {
@@ -482,12 +619,43 @@ bool DirectoryHasDurableState(const std::string& directory) {
     const std::string name = entry.path().filename().string();
     uint64_t seq = 0;
     if (ParseSegmentName(name, &seq)) return true;
-    if (name.size() > 5 && name.rfind("ckpt-", 0) == 0 &&
-        name.compare(name.size() - 5, 5, ".ckpt") == 0) {
-      return true;
-    }
+    if (ParseCheckpointFileName(name, &seq)) return true;
+    if (name == kDegradedMarkerName) return true;
   }
   return false;
+}
+
+void WriteDegradedMarker(const DurabilityConfig& config,
+                         const Status& reason) {
+  IoEnv* env = ResolveEnv(config.io_env);
+  const std::string path =
+      (fs::path(config.directory) / kDegradedMarkerName).string();
+  int fd = -1;
+  for (;;) {
+    fd = env->Open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0 || errno != EINTR) break;
+  }
+  if (fd < 0) return;
+  const std::string body = reason.ToString() + "\n";
+  const char* p = body.data();
+  size_t left = body.size();
+  while (left > 0) {
+    const int64_t n = env->Write(fd, p, left);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // best-effort: a partial (even empty) marker is still loud
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  (void)env->Fsync(fd);
+  env->Close(fd);
+  (void)env->FsyncDir(config.directory.c_str());
+}
+
+bool HasDegradedMarker(const std::string& directory) {
+  std::error_code ec;
+  return fs::exists(fs::path(directory) / kDegradedMarkerName, ec);
 }
 
 }  // namespace bikegraph::stream

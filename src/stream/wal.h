@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/io_env.h"
 #include "core/result.h"
 #include "community/detector.h"
 #include "stream/event.h"
@@ -18,6 +19,33 @@ namespace bikegraph::stream {
 /// are tens of bytes, so table lookup is already memory-bound; no
 /// hardware intrinsics are assumed.
 uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+/// \brief What the durable engine does when an I/O call fails. The
+/// taxonomy (docs/DURABILITY.md, "Fault model"): EINTR is always retried
+/// immediately and for free; EAGAIN/EWOULDBLOCK and ENOSPC are
+/// *transient* — retried with capped exponential backoff after, for
+/// ENOSPC, one automatic PruneWalSegments self-heal attempt; everything
+/// else (and any failed data fsync — after fsyncgate a later success
+/// proves nothing about pages the kernel already dropped) is *permanent*.
+/// When the budget is exhausted or the error is permanent the engine
+/// either poisons (default, the pre-policy behavior) or degrades to
+/// loudly-non-durable mode and keeps ingesting.
+struct FaultPolicy {
+  /// Backed-off retries allowed per failing call. EINTR retries are
+  /// unbounded and uncounted. 0 (default) keeps the legacy behavior:
+  /// the first transient failure is final.
+  uint32_t max_retries = 0;
+  /// First backoff sleep; doubles per retry up to `backoff_max_ms`. The
+  /// sleep goes through IoEnv::SleepMs, so tests inject a virtual clock
+  /// and never block.
+  int64_t backoff_initial_ms = 1;
+  int64_t backoff_max_ms = 64;
+  /// After the retry budget: false = poison the writer and engine
+  /// (default); true = degrade — the engine abandons the WAL, writes a
+  /// loud on-disk marker (kDegradedMarkerName) so Recover() refuses the
+  /// directory with DataLoss, and keeps serving non-durably.
+  bool degrade_on_exhausted = false;
+};
 
 /// \brief Durability knobs for a StreamEngine: write-ahead logging of
 /// every state-changing call plus periodic checkpoints, both under
@@ -49,6 +77,12 @@ struct DurabilityConfig {
   /// ones — and the WAL segments only they needed — are pruned. At
   /// least 2 keeps a fallback when the newest file is torn by a crash.
   size_t checkpoints_kept = 2;
+  /// Failure handling for the durable I/O (see FaultPolicy).
+  FaultPolicy faults;
+  /// Syscall seam for all durable I/O. Non-owning; must outlive the
+  /// engine (and, for FaultInjectingIoEnv::SimulateCrash, outlive it by
+  /// design). nullptr = IoEnv::Default(), the production passthrough.
+  IoEnv* io_env = nullptr;
 };
 
 /// \brief What one WAL record reproduces. Every state-changing
@@ -117,13 +151,32 @@ class WalWriter {
   uint64_t sync_count() const { return sync_count_; }
   /// Segments created by this writer (rotation observability).
   uint64_t segments_opened() const { return segments_opened_; }
+  /// Backed-off retries performed (FaultPolicy::max_retries budget;
+  /// free EINTR retries are not counted).
+  uint64_t retry_count() const { return retry_count_; }
+  /// Calls that failed transiently and then succeeded (each such call
+  /// counts once, however many retries it took).
+  uint64_t transient_recovered_count() const {
+    return transient_recovered_count_;
+  }
+  /// ENOSPC self-heal attempts: PruneWalSegments runs this writer
+  /// triggered before retrying a full-disk failure.
+  uint64_t enospc_prune_count() const { return enospc_prune_count_; }
 
  private:
   explicit WalWriter(const DurabilityConfig& config) : config_(config) {}
   Status OpenSegment(uint64_t first_seq);
   Status WriteBuffer();
+  /// One-per-call retry budget: decides whether a transient failure gets
+  /// another attempt, sleeping the capped-exponential backoff through
+  /// the environment clock when it does.
+  bool GrantDelayedRetry(uint32_t* delayed_left, int64_t* backoff_ms);
+  /// First-ENOSPC self-heal: prune WAL segments already covered by the
+  /// oldest on-disk checkpoint, hoping to free enough space to retry.
+  void TryEnospcSelfHeal();
 
   DurabilityConfig config_;
+  IoEnv* env_ = nullptr;
   int fd_ = -1;
   std::string buffer_;
   Status poisoned_ = Status::OK();
@@ -133,6 +186,9 @@ class WalWriter {
   uint64_t records_since_sync_ = 0;
   uint64_t sync_count_ = 0;
   uint64_t segments_opened_ = 0;
+  uint64_t retry_count_ = 0;
+  uint64_t transient_recovered_count_ = 0;
+  uint64_t enospc_prune_count_ = 0;
 };
 
 /// \brief Everything ReadWal recovered from a log directory.
@@ -163,20 +219,50 @@ struct WalReadResult {
 /// the tail, or a sequence gap between segments, is unrecoverable and
 /// returns DataLoss naming the segment.
 [[nodiscard]] Result<WalReadResult> ReadWal(const std::string& directory,
-                                            bool repair_torn_tail);
+                                            bool repair_torn_tail,
+                                            IoEnv* env = nullptr);
 
 /// \brief Deletes WAL segments every record of which has sequence number
 /// <= `through_seq` (their state is covered by a checkpoint). The last
 /// segment is always kept — it is the append target. `pruned` (optional)
-/// receives the number of files removed.
+/// receives the number of files removed. Removal goes through `env`
+/// (nullptr = IoEnv::Default()) so a simulated full disk gets its bytes
+/// credited back.
 [[nodiscard]] Status PruneWalSegments(const std::string& directory,
                                       uint64_t through_seq,
-                                      uint64_t* pruned = nullptr);
+                                      uint64_t* pruned = nullptr,
+                                      IoEnv* env = nullptr);
+
+/// \brief The smallest `wal_seq` among the `ckpt-*.ckpt` files under
+/// `directory`, or 0 when there are none. This is the safe
+/// PruneWalSegments bound the ENOSPC self-heal uses without consulting
+/// the engine: segments at or below the oldest retained checkpoint are
+/// re-derivable from it (0 prunes nothing).
+[[nodiscard]] uint64_t OldestCheckpointSeq(const std::string& directory);
 
 /// \brief True when `directory` holds WAL segments or checkpoints — the
 /// fresh-engine constructor refuses such a directory so a misconfigured
-/// restart cannot silently shadow recoverable state.
+/// restart cannot silently shadow recoverable state. A degraded marker
+/// (kDegradedMarkerName) counts as durable state too.
 [[nodiscard]] bool DirectoryHasDurableState(const std::string& directory);
+
+/// \brief Marker file a degrading engine leaves behind
+/// (FaultPolicy::degrade_on_exhausted): its presence means ops were
+/// applied after logging stopped, so the directory can no longer
+/// reproduce the run — Recover() refuses it with a loud DataLoss.
+/// Deleting the marker is the operator's explicit "accept the loss,
+/// recover the logged prefix".
+inline constexpr char kDegradedMarkerName[] = "wal.degraded";
+
+/// \brief Best-effort durable write of the degraded marker (content:
+/// `reason`). All errors ignored — this runs while the disk is already
+/// failing; losing the marker can only make recovery *succeed* on the
+/// logged prefix, never silently diverge from it.
+void WriteDegradedMarker(const DurabilityConfig& config,
+                         const Status& reason);
+
+/// \brief True when `directory` holds the degraded marker.
+[[nodiscard]] bool HasDegradedMarker(const std::string& directory);
 
 /// Little-endian wire helpers shared by the WAL and checkpoint codecs.
 /// Writers append to a std::string; the reader is a bounds-checked cursor

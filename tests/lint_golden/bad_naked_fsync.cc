@@ -1,9 +1,11 @@
-// Golden-bad: raw fsync + rename outside src/stream/{wal,checkpoint}.cc.
+// Golden-bad: raw fsync + rename outside src/core/io_env.cc.
 // Crash consistency is a protocol, not a sprinkle: a lone fsync with no
 // directory sync, or a rename with no tmp-file discipline, gives none of
-// the guarantees docs/DURABILITY.md promises. The naked-fsync-rename
-// check must flag both calls here (and accept this same file when it is
-// placed at src/stream/wal.cc in the selftest's scratch tree).
+// the guarantees docs/DURABILITY.md promises — and a syscall issued
+// outside the IoEnv seam is invisible to fault injection and unprotected
+// by the retry policy. The naked-io-syscall check must flag both calls
+// here, even when the selftest plants this file at src/stream/wal.cc
+// (the durability protocol itself goes through IoEnv now).
 
 #include <cstdio>
 #include <unistd.h>

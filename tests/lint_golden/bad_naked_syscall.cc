@@ -1,0 +1,23 @@
+// Golden-bad: raw ::open / ::write / ::unlink outside src/core/io_env.cc.
+// Direct syscalls bypass the IoEnv seam: the fault injector never sees
+// them (so no fault schedule can exercise the failure path), the retry
+// policy never protects them, and the crash model cannot account for
+// what they wrote. The naked-io-syscall check must flag all three calls.
+// Qualified wrappers (IoEnv::Open, std::fstream::open) must NOT match —
+// only the global-namespace-qualified syscalls do.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace bikegraph {
+
+void CasualIo(const char* path, const void* buf, unsigned long len) {
+  const int fd = ::open(path, O_WRONLY | O_CREAT, 0644);
+  if (fd >= 0) {
+    ::write(fd, buf, len);
+    close(fd);
+  }
+  ::unlink(path);
+}
+
+}  // namespace bikegraph

@@ -1,0 +1,929 @@
+// Deterministic I/O fault injection: the IoEnv seam and its crash model,
+// the WAL writer's transient-retry/backoff policy (injected clock — no
+// real sleeps anywhere in this file), ENOSPC self-healing, torn
+// checkpoint renames, loud degraded mode, and the gate the archetype
+// demands: randomized FaultPlans crossed with kill points must recover
+// bit-identical or fail loudly — never silently diverge.
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/civil_time.h"
+#include "core/io_env.h"
+#include "core/rng.h"
+#include "stream/chaos.h"
+#include "stream/checkpoint.h"
+#include "stream/engine.h"
+#include "stream/replay.h"
+#include "stream/testing.h"
+#include "stream/wal.h"
+
+#include <fcntl.h>
+
+#include <gtest/gtest.h>
+
+namespace bikegraph::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path FreshDir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("bg_fault_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFileContents(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TripEvent MakeEvent(int64_t rental_id, int32_t from, int32_t to,
+                    int64_t start_seconds) {
+  TripEvent event;
+  event.rental_id = rental_id;
+  event.from_station = from;
+  event.to_station = to;
+  event.start_time = CivilTime(start_seconds);
+  event.end_time = CivilTime(start_seconds + 600);
+  return event;
+}
+
+// ---------------------------------------------------------------------
+// IoEnv: production passthrough.
+
+TEST(IoEnvTest, DefaultPassthroughRoundTrips) {
+  IoEnv* env = IoEnv::Default();
+  const fs::path dir = FreshDir("passthrough");
+  const std::string a = (dir / "a.bin").string();
+  const std::string b = (dir / "b.bin").string();
+
+  const int fd = env->Open(a.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  const std::string payload = "hello, durable world";
+  size_t off = 0;
+  while (off < payload.size()) {
+    const int64_t n =
+        env->Write(fd, payload.data() + off, payload.size() - off);
+    ASSERT_GT(n, 0);
+    off += static_cast<size_t>(n);
+  }
+  EXPECT_EQ(env->Fsync(fd), 0);
+  EXPECT_EQ(env->Truncate(fd, 5), 0);
+  EXPECT_EQ(env->Close(fd), 0);
+
+  ASSERT_EQ(env->Rename(a.c_str(), b.c_str()), 0);
+  EXPECT_EQ(env->FsyncDir(dir.string().c_str()), 0);
+  EXPECT_FALSE(fs::exists(a));
+  EXPECT_EQ(ReadFileContents(b), "hello");
+
+  ASSERT_EQ(env->Unlink(b.c_str()), 0);
+  EXPECT_FALSE(fs::exists(b));
+  // Error convention: -1 with errno set.
+  errno = 0;
+  EXPECT_EQ(env->Unlink(b.c_str()), -1);
+  EXPECT_EQ(errno, ENOENT);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// FaultInjectingIoEnv: deterministic schedules and the crash model.
+
+TEST(FaultEnvTest, InjectsTheSameScheduleEveryRun) {
+  const fs::path dir = FreshDir("deterministic");
+  FaultPlan plan;
+  {
+    FaultPlan::Rule rule;
+    rule.op = IoOp::kWrite;
+    rule.kind = FaultPlan::Kind::kError;
+    rule.after = 1;
+    rule.count = 2;
+    rule.error = EIO;
+    plan.rules.push_back(rule);
+  }
+  const auto run = [&](const std::string& name) {
+    FaultInjectingIoEnv env(plan);
+    const std::string path = (dir / name).string();
+    const int fd = env.Open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    EXPECT_GE(fd, 0);
+    std::vector<int64_t> results;
+    for (int i = 0; i < 5; ++i) {
+      errno = 0;
+      results.push_back(env.Write(fd, "x", 1));
+      results.push_back(errno);
+    }
+    env.Close(fd);
+    EXPECT_EQ(env.op_count(IoOp::kWrite), 5u);
+    EXPECT_EQ(env.faults_injected(), 2u);
+    return results;
+  };
+  const auto first = run("one.bin");
+  const auto second = run("two.bin");
+  EXPECT_EQ(first, second) << "same plan + same workload must inject "
+                              "identical faults";
+  // Write call indices 1 and 2 failed with EIO; 0, 3, 4 succeeded.
+  ASSERT_EQ(first.size(), 10u);
+  EXPECT_EQ(first[0], 1);
+  EXPECT_EQ(first[2], -1);
+  EXPECT_EQ(first[3], EIO);
+  EXPECT_EQ(first[4], -1);
+  EXPECT_EQ(first[6], 1);
+  EXPECT_EQ(first[8], 1);
+  fs::remove_all(dir);
+}
+
+TEST(FaultEnvTest, ShortWritesHalveAndEintrStormsSetErrno) {
+  const fs::path dir = FreshDir("short_eintr");
+  FaultPlan plan;
+  {
+    FaultPlan::Rule rule;
+    rule.op = IoOp::kWrite;
+    rule.kind = FaultPlan::Kind::kShortWrite;
+    rule.after = 0;
+    rule.count = 1;
+    plan.rules.push_back(rule);
+  }
+  {
+    FaultPlan::Rule rule;
+    rule.op = IoOp::kFsync;
+    rule.kind = FaultPlan::Kind::kEintrStorm;
+    rule.after = 0;
+    rule.count = 2;
+    plan.rules.push_back(rule);
+  }
+  FaultInjectingIoEnv env(plan);
+  const std::string path = (dir / "f.bin").string();
+  const int fd = env.Open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(env.Write(fd, "12345678", 8), 4) << "short write: half";
+  errno = 0;
+  EXPECT_EQ(env.Fsync(fd), -1);
+  EXPECT_EQ(errno, EINTR);
+  errno = 0;
+  EXPECT_EQ(env.Fsync(fd), -1);
+  EXPECT_EQ(errno, EINTR);
+  EXPECT_EQ(env.Fsync(fd), 0) << "storm window over";
+  env.Close(fd);
+  EXPECT_EQ(env.faults_injected(), 3u);
+  fs::remove_all(dir);
+}
+
+TEST(FaultEnvTest, DiskBudgetRunsOutAndUnlinkCreditsItBack) {
+  const fs::path dir = FreshDir("disk_budget");
+  FaultPlan plan;
+  plan.disk_capacity_bytes = 10;
+  FaultInjectingIoEnv env(plan);
+  const std::string a = (dir / "a.bin").string();
+  const std::string b = (dir / "b.bin").string();
+  const int fda = env.Open(a.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fda, 0);
+  // A nearly-full disk takes what fits, then fails.
+  EXPECT_EQ(env.Write(fda, "123456", 6), 6);
+  EXPECT_EQ(env.Write(fda, "123456", 6), 4);
+  errno = 0;
+  EXPECT_EQ(env.Write(fda, "12", 2), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  EXPECT_EQ(env.disk_used_bytes(), 10u);
+  env.Close(fda);
+
+  // Deleting the file frees its bytes — the self-heal contract.
+  ASSERT_EQ(env.Unlink(a.c_str()), 0);
+  EXPECT_EQ(env.disk_used_bytes(), 0u);
+  const int fdb = env.Open(b.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fdb, 0);
+  EXPECT_EQ(env.Write(fdb, "12345", 5), 5);
+  env.Close(fdb);
+  fs::remove_all(dir);
+}
+
+TEST(FaultEnvTest, SimulateCrashDropsWhatOnlyALyingFsyncCovered) {
+  const fs::path dir = FreshDir("sync_lie");
+  FaultPlan plan;
+  {
+    // The second fsync in this environment lies.
+    FaultPlan::Rule rule;
+    rule.op = IoOp::kFsync;
+    rule.kind = FaultPlan::Kind::kSyncLie;
+    rule.after = 1;
+    rule.count = 1;
+    plan.rules.push_back(rule);
+  }
+  FaultInjectingIoEnv env(plan);
+  const std::string honest = (dir / "honest.bin").string();
+  const std::string liar = (dir / "liar.bin").string();
+
+  const int fd1 = env.Open(honest.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd1, 0);
+  ASSERT_EQ(env.Write(fd1, "safe", 4), 4);
+  ASSERT_EQ(env.Fsync(fd1), 0);  // truthful (index 0)
+  env.Close(fd1);
+
+  const int fd2 = env.Open(liar.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd2, 0);
+  ASSERT_EQ(env.Write(fd2, "gone", 4), 4);
+  ASSERT_EQ(env.Fsync(fd2), 0);  // the lie (index 1): reports success
+  env.Close(fd2);
+
+  // Commit both directory entries so the files themselves survive.
+  ASSERT_EQ(env.FsyncDir(dir.string().c_str()), 0);
+  env.SimulateCrash();
+  EXPECT_EQ(env.crash_count(), 1u);
+  EXPECT_EQ(ReadFileContents(honest), "safe");
+  EXPECT_EQ(ReadFileContents(liar), "") << "the lying fsync's bytes must "
+                                           "not survive the crash";
+  fs::remove_all(dir);
+}
+
+TEST(FaultEnvTest, SimulateCrashUndoesUncommittedCreatesAndRenames) {
+  const fs::path dir = FreshDir("crash_metadata");
+  FaultInjectingIoEnv env(FaultPlan{});
+  const std::string committed = (dir / "committed.bin").string();
+  const std::string doomed = (dir / "doomed.bin").string();
+  const std::string renamed = (dir / "renamed.bin").string();
+
+  const auto create = [&](const std::string& path) {
+    const int fd = env.Open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(env.Write(fd, "x", 1), 1);
+    ASSERT_EQ(env.Fsync(fd), 0);
+    env.Close(fd);
+  };
+  create(committed);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  ASSERT_EQ(env.FsyncDir(dir.string().c_str()), 0);  // commits `committed`
+  create(doomed);  // never committed by a directory fsync
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  // Rename the committed file without re-syncing the directory: the
+  // crash must roll the name back.
+  ASSERT_EQ(env.Rename(committed.c_str(), renamed.c_str()), 0);
+  ASSERT_TRUE(fs::exists(renamed));
+
+  env.SimulateCrash();
+  EXPECT_TRUE(fs::exists(committed)) << "uncommitted rename rolled back";
+  EXPECT_FALSE(fs::exists(renamed));
+  EXPECT_FALSE(fs::exists(doomed)) << "uncommitted create disappears";
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Randomized plans (the chaos dimension's generator).
+
+TEST(FaultPlanTest, RandomPlansAreDeterministicAndShaped) {
+  FaultChaosConfig config;
+  config.seed = 42;
+  config.rules = 6;
+  config.max_burst = 3;
+  const FaultPlan a = MakeRandomFaultPlan(config);
+  const FaultPlan b = MakeRandomFaultPlan(config);
+  ASSERT_EQ(a.rules.size(), 6u);
+  ASSERT_EQ(b.rules.size(), 6u);
+  for (size_t i = 0; i < a.rules.size(); ++i) {
+    EXPECT_EQ(a.rules[i].op, b.rules[i].op) << "rule " << i;
+    EXPECT_EQ(a.rules[i].kind, b.rules[i].kind) << "rule " << i;
+    EXPECT_EQ(a.rules[i].after, b.rules[i].after) << "rule " << i;
+    EXPECT_EQ(a.rules[i].count, b.rules[i].count) << "rule " << i;
+    EXPECT_EQ(a.rules[i].error, b.rules[i].error) << "rule " << i;
+    // Stride-60 windows: rule i fires in [60i, 60i+40+count), and
+    // count <= 59, so windows on the same op can never chain.
+    EXPECT_GE(a.rules[i].after, i * 60) << "rule " << i;
+    EXPECT_LT(a.rules[i].after, i * 60 + 40) << "rule " << i;
+    EXPECT_LE(a.rules[i].count, 59u) << "rule " << i;
+  }
+  EXPECT_EQ(a.disk_capacity_bytes, b.disk_capacity_bytes);
+}
+
+TEST(FaultPlanTest, TransientOnlyPlansDrawOnlyAbsorbableFaults) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultChaosConfig config;
+    config.seed = seed;
+    config.rules = 5;
+    config.max_burst = 3;
+    config.transient_only = true;
+    const FaultPlan plan = MakeRandomFaultPlan(config);
+    EXPECT_EQ(plan.disk_capacity_bytes, 0u) << "seed " << seed;
+    size_t budget_rules = 0;
+    for (const FaultPlan::Rule& rule : plan.rules) {
+      EXPECT_LE(rule.count, 3u) << "seed " << seed;
+      if (rule.kind == FaultPlan::Kind::kError) {
+        ++budget_rules;
+        EXPECT_EQ(rule.error, EAGAIN) << "seed " << seed
+                                      << ": only EAGAIN consumes budget";
+      } else {
+        EXPECT_TRUE(rule.kind == FaultPlan::Kind::kEintrStorm ||
+                    rule.kind == FaultPlan::Kind::kShortWrite)
+            << "seed " << seed;
+      }
+    }
+    EXPECT_LE(budget_rules, 1u)
+        << "seed " << seed << ": at most one budget-consuming burst, so "
+        << "max_retries >= max_burst rides out every plan";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Satellite 1: ENOSPC self-healing via WAL pruning.
+
+WalRecord AdvanceRecord(int64_t watermark) {
+  WalRecord record;
+  record.type = WalRecordType::kAdvance;
+  record.watermark_seconds = watermark;
+  return record;
+}
+
+TEST(WalFaultTest, EnospcSelfHealsByPruningCoveredSegments) {
+  const fs::path dir = FreshDir("enospc_heal");
+  // A checkpoint covering sequence 500 makes every full segment below it
+  // prunable. Only the *name* matters to OldestCheckpointSeq.
+  {
+    std::ofstream marker(dir /
+                         ("ckpt-" + std::string(17, '0') + "500.ckpt"));
+  }
+  FaultPlan plan;
+  plan.disk_capacity_bytes = 600;  // ~2 full segments
+  FaultInjectingIoEnv env(plan);
+
+  DurabilityConfig config;
+  config.enabled = true;
+  config.directory = dir.string();
+  config.segment_bytes = 256;  // rotate every ~14 records
+  config.sync_interval_records = 1;
+  config.faults.max_retries = 2;
+  config.faults.backoff_initial_ms = 1;
+  config.io_env = &env;
+
+  auto writer = WalWriter::Open(config, /*next_seq=*/1);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (int i = 0; i < 120; ++i) {
+    const Status status = (*writer)->Append(AdvanceRecord(1000 + i));
+    ASSERT_TRUE(status.ok())
+        << "append " << i << " should have self-healed: "
+        << status.ToString();
+  }
+  EXPECT_GE((*writer)->enospc_prune_count(), 1u)
+      << "the 600-byte disk cannot hold 120 records without pruning";
+  EXPECT_GE((*writer)->transient_recovered_count(), 1u);
+  EXPECT_LE(env.disk_used_bytes(), 600u);
+  writer->reset();
+
+  // The surviving tail still reads back cleanly.
+  auto read = ReadWal(dir.string(), /*repair_torn_tail=*/false);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->last_seq, 120u);
+  EXPECT_GT(read->first_seq, 1u) << "self-heal must have pruned";
+  fs::remove_all(dir);
+}
+
+TEST(WalFaultTest, EnospcWithNothingToPrunePoisonsLoudly) {
+  const fs::path dir = FreshDir("enospc_poison");
+  FaultPlan plan;
+  plan.disk_capacity_bytes = 64;  // header + ~2 records, no checkpoint
+  FaultInjectingIoEnv env(plan);
+
+  DurabilityConfig config;
+  config.enabled = true;
+  config.directory = dir.string();
+  config.sync_interval_records = 1;
+  config.faults.max_retries = 1;
+  config.faults.backoff_initial_ms = 1;
+  config.io_env = &env;
+
+  auto writer = WalWriter::Open(config, /*next_seq=*/1);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  Status failed = Status::OK();
+  for (int i = 0; i < 10 && failed.ok(); ++i) {
+    failed = (*writer)->Append(AdvanceRecord(1000 + i));
+  }
+  ASSERT_FALSE(failed.ok()) << "64 bytes cannot absorb 10 records";
+  EXPECT_EQ(failed.code(), StatusCode::kIOError);
+  // The self-heal ran (and freed nothing), the budgeted retry ran (and
+  // slept on the virtual clock), and then the writer poisoned.
+  EXPECT_GE((*writer)->enospc_prune_count(), 1u);
+  EXPECT_EQ((*writer)->retry_count(), 1u);
+  EXPECT_EQ(env.sleep_log().size(), 1u);
+  const Status again = (*writer)->Append(AdvanceRecord(0));
+  EXPECT_EQ(again.code(), StatusCode::kIOError) << "poisoned for good";
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Satellite 2: torn checkpoint renames.
+
+StreamEngineConfig SmallEngineConfig(const fs::path& dir, IoEnv* env) {
+  StreamEngineConfig config;
+  config.station_count = 8;
+  config.window_seconds = 86400;
+  config.max_lateness_seconds = 1800;
+  config.suppress_duplicate_rentals = true;
+  config.detection.options.seed = 7;
+  config.durability.enabled = true;
+  config.durability.directory = dir.string();
+  config.durability.sync_interval_records = 1;
+  config.durability.io_env = env;
+  return config;
+}
+
+size_t CountByExtension(const fs::path& dir, const std::string& extension) {
+  size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == extension) ++count;
+  }
+  return count;
+}
+
+TEST(CheckpointFaultTest, FailedRenameLeavesPreviousCheckpointIntact) {
+  const fs::path dir = FreshDir("torn_rename_soft");
+  FaultInjectingIoEnv env(FaultPlan{});
+  {
+    StreamEngine engine(SmallEngineConfig(dir, &env));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          engine.Ingest(MakeEvent(i + 1, i % 8, (i + 3) % 8,
+                                  1'600'000'000 + i * 60))
+              .ok());
+    }
+    ASSERT_TRUE(engine.Checkpoint().ok());  // checkpoint A
+    EXPECT_EQ(CountByExtension(dir, ".ckpt"), 1u);
+
+    // The very next rename fails: checkpoint B's commit is torn before
+    // the atomic step, so its temp is cleaned up and A stays newest.
+    FaultPlan::Rule rule;
+    rule.op = IoOp::kRename;
+    rule.kind = FaultPlan::Kind::kError;
+    rule.after = env.op_count(IoOp::kRename);
+    rule.count = 1;
+    rule.error = EACCES;
+    env.AddRule(rule);
+
+    ASSERT_TRUE(
+        engine.Ingest(MakeEvent(11, 0, 1, 1'600'001'000)).ok());
+    const Status failed = engine.Checkpoint();
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kIOError);
+    EXPECT_EQ(CountByExtension(dir, ".ckpt"), 1u) << "A still newest";
+    EXPECT_EQ(CountByExtension(dir, ".tmp"), 0u) << "temp cleaned up";
+
+    // A failed checkpoint commit is not a poison: the engine keeps
+    // ingesting and the next attempt succeeds.
+    ASSERT_TRUE(
+        engine.Ingest(MakeEvent(12, 1, 2, 1'600'001'060)).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    EXPECT_EQ(CountByExtension(dir, ".ckpt"), 2u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointFaultTest, CrashBetweenRenameAndDirSyncFallsBackToPrevious) {
+  const fs::path dir = FreshDir("torn_rename_crash");
+  FaultInjectingIoEnv env(FaultPlan{});
+  StreamEngineConfig config = SmallEngineConfig(dir, &env);
+  std::vector<TripEvent> events;
+  for (int i = 0; i < 20; ++i) {
+    events.push_back(
+        MakeEvent(i + 1, i % 8, (i + 3) % 8, 1'600'000'000 + i * 60));
+  }
+  uint64_t ckpt_a_seq = 0;
+  {
+    StreamEngine engine(config);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(engine.Ingest(events[static_cast<size_t>(i)]).ok());
+    }
+    ASSERT_TRUE(engine.Checkpoint().ok());  // checkpoint A, seq 10
+    ckpt_a_seq = engine.wal_seq();
+
+    // The directory fsync after checkpoint B's rename fails: B is
+    // renamed into place but the directory entry is never committed.
+    FaultPlan::Rule rule;
+    rule.op = IoOp::kFsyncDir;
+    rule.kind = FaultPlan::Kind::kError;
+    rule.after = env.op_count(IoOp::kFsyncDir);
+    rule.count = 1;
+    rule.error = EIO;
+    env.AddRule(rule);
+
+    for (int i = 10; i < 20; ++i) {
+      ASSERT_TRUE(engine.Ingest(events[static_cast<size_t>(i)]).ok());
+    }
+    const Status failed = engine.Checkpoint();
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kIOError);
+  }
+  // The crash undoes the uncommitted rename (and with it the temp file
+  // that never survived either): only checkpoint A remains.
+  env.SimulateCrash();
+  EXPECT_EQ(CountByExtension(dir, ".ckpt"), 1u);
+  EXPECT_EQ(CountByExtension(dir, ".tmp"), 0u);
+
+  auto loaded = LoadNewestCheckpoint(dir.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->found);
+  EXPECT_EQ(loaded->checkpoint.wal_seq, ckpt_a_seq);
+
+  // Recovery replays the synced WAL past A and reaches the full run.
+  StreamEngineConfig recover_config = config;
+  recover_config.durability.io_env = nullptr;
+  StreamEngine::RecoveryStats stats;
+  auto recovered = StreamEngine::Recover(recover_config, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(stats.used_checkpoint);
+  EXPECT_EQ(stats.checkpoint_seq, ckpt_a_seq);
+  EXPECT_EQ(stats.recovered_seq, 20u)
+      << "every record was truthfully synced before the crash";
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointFaultTest, StrayTempFilesAreSweptOnLoad) {
+  const fs::path dir = FreshDir("tmp_sweep");
+  const fs::path stray =
+      dir / ("ckpt-" + std::string(17, '0') + "042.ckpt.tmp");
+  {
+    std::ofstream out(stray, std::ios::binary);
+    out << "half-written checkpoint";
+  }
+  ASSERT_TRUE(fs::exists(stray));
+  auto loaded = LoadNewestCheckpoint(dir.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->found);
+  EXPECT_FALSE(fs::exists(stray)) << "LoadNewestCheckpoint sweeps temps";
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Satellite 3: retry/backoff determinism on the injected clock, at one
+// and at two shards (the WAL is written on the ingestion thread before
+// dispatch, so shard count must not change a single counter).
+
+struct RetryRunResult {
+  std::vector<int64_t> sleeps;
+  uint64_t retries = 0;
+  uint64_t recovered = 0;
+  uint64_t wal_seq = 0;
+};
+
+RetryRunResult RunBackoffSchedule(size_t shard_count,
+                                  const std::string& tag) {
+  const fs::path dir = FreshDir(tag);
+  FaultPlan plan;
+  {
+    // Write call indices 2 and 3 (the second record's frame, twice) fail
+    // with EAGAIN; index 4 succeeds.
+    FaultPlan::Rule rule;
+    rule.op = IoOp::kWrite;
+    rule.kind = FaultPlan::Kind::kError;
+    rule.after = 2;
+    rule.count = 2;
+    rule.error = EAGAIN;
+    plan.rules.push_back(rule);
+  }
+  FaultInjectingIoEnv env(plan);
+  StreamEngineConfig config = SmallEngineConfig(dir, &env);
+  config.shard_count = shard_count;
+  config.durability.faults.max_retries = 4;
+  config.durability.faults.backoff_initial_ms = 1;
+  config.durability.faults.backoff_max_ms = 64;
+
+  RetryRunResult result;
+  {
+    StreamEngine engine(config);
+    for (int i = 0; i < 4; ++i) {
+      const Status status = engine.Ingest(
+          MakeEvent(i + 1, i % 8, (i + 3) % 8, 1'600'000'000 + i * 60));
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    }
+    result.retries = engine.wal_retry_count();
+    result.recovered = engine.wal_transient_recovered_count();
+    result.wal_seq = engine.wal_seq();
+  }
+  result.sleeps = env.sleep_log();
+  fs::remove_all(dir);
+  return result;
+}
+
+TEST(RetryBackoffTest, ExactScheduleAndCountersAtAnyShardCount) {
+  const RetryRunResult one = RunBackoffSchedule(1, "backoff_n1");
+  const RetryRunResult two = RunBackoffSchedule(2, "backoff_n2");
+
+  // The exact deterministic schedule: two budgeted retries, backoff
+  // doubling from 1 ms, one call that failed transiently then succeeded.
+  const std::vector<int64_t> want_sleeps = {1, 2};
+  EXPECT_EQ(one.sleeps, want_sleeps);
+  EXPECT_EQ(one.retries, 2u);
+  EXPECT_EQ(one.recovered, 1u);
+  EXPECT_EQ(one.wal_seq, 4u);
+
+  // Sharding must not move a single number.
+  EXPECT_EQ(two.sleeps, one.sleeps);
+  EXPECT_EQ(two.retries, one.retries);
+  EXPECT_EQ(two.recovered, one.recovered);
+  EXPECT_EQ(two.wal_seq, one.wal_seq);
+}
+
+TEST(RetryBackoffTest, EintrStormsAreFreeEvenWithZeroBudget) {
+  const fs::path dir = FreshDir("eintr_free");
+  FaultPlan plan;
+  {
+    FaultPlan::Rule rule;
+    rule.op = IoOp::kFsync;
+    rule.kind = FaultPlan::Kind::kEintrStorm;
+    rule.after = 1;
+    rule.count = 3;
+    plan.rules.push_back(rule);
+  }
+  FaultInjectingIoEnv env(plan);
+  // Default FaultPolicy: max_retries = 0. EINTR must still be absorbed.
+  StreamEngineConfig config = SmallEngineConfig(dir, &env);
+  {
+    StreamEngine engine(config);
+    for (int i = 0; i < 3; ++i) {
+      const Status status = engine.Ingest(
+          MakeEvent(i + 1, i % 8, (i + 3) % 8, 1'600'000'000 + i * 60));
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    }
+    EXPECT_EQ(engine.wal_retry_count(), 0u) << "EINTR is never budgeted";
+    EXPECT_EQ(engine.wal_transient_recovered_count(), 1u);
+  }
+  EXPECT_TRUE(env.sleep_log().empty()) << "EINTR retries never back off";
+  EXPECT_EQ(env.faults_injected(), 3u);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Degraded mode: loudly non-durable, never silently recovered.
+
+TEST(DegradeTest, ExhaustedBudgetDegradesLoudlyAndKeepsIngesting) {
+  const fs::path dir = FreshDir("degrade");
+  FaultPlan plan;
+  {
+    // Write indices 2..4 fail with EAGAIN: with max_retries = 2 the
+    // second record exhausts its budget and the engine degrades. The
+    // marker write (index 5) is past the window and succeeds.
+    FaultPlan::Rule rule;
+    rule.op = IoOp::kWrite;
+    rule.kind = FaultPlan::Kind::kError;
+    rule.after = 2;
+    rule.count = 3;
+    rule.error = EAGAIN;
+    plan.rules.push_back(rule);
+  }
+  FaultInjectingIoEnv env(plan);
+  StreamEngineConfig config = SmallEngineConfig(dir, &env);
+  config.durability.faults.max_retries = 2;
+  config.durability.faults.backoff_initial_ms = 1;
+  config.durability.faults.degrade_on_exhausted = true;
+
+  {
+    StreamEngine engine(config);
+    for (int i = 0; i < 6; ++i) {
+      const Status status = engine.Ingest(
+          MakeEvent(i + 1, i % 8, (i + 3) % 8, 1'600'000'000 + i * 60));
+      EXPECT_TRUE(status.ok())
+          << "a degrading engine keeps serving: " << status.ToString();
+    }
+    EXPECT_TRUE(engine.degraded());
+    EXPECT_FALSE(engine.degrade_reason().ok());
+    EXPECT_EQ(engine.wal_seq(), 1u) << "only the first record was logged";
+    // A degraded engine still processes: advance the watermark past every
+    // event and all six land in the window graph.
+    ASSERT_TRUE(engine.Advance(CivilTime(1'600'100'000)).ok());
+    EXPECT_EQ(engine.ingested_count(), 6u);
+    // Counters are conserved across the degrade (the writer is gone but
+    // its tallies were stashed).
+    EXPECT_EQ(engine.wal_retry_count(), 2u);
+    EXPECT_EQ(engine.wal_transient_recovered_count(), 0u);
+    const std::vector<int64_t> want_sleeps = {1, 2};
+    EXPECT_EQ(env.sleep_log(), want_sleeps);
+    EXPECT_TRUE(HasDegradedMarker(dir.string()));
+    // Checkpointing a non-durable engine would freeze a lie.
+    EXPECT_EQ(engine.Checkpoint().code(), StatusCode::kFailedPrecondition);
+  }
+
+  // Recovery refuses the directory: the log is not the whole run.
+  StreamEngineConfig recover_config = config;
+  recover_config.durability.io_env = nullptr;
+  auto refused = StreamEngine::Recover(recover_config);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(refused.status().message().find(kDegradedMarkerName),
+            std::string::npos)
+      << "the refusal must name the marker: "
+      << refused.status().ToString();
+
+  // Deleting the marker is the operator's explicit acceptance of the
+  // loss; recovery then serves the logged prefix.
+  fs::remove(dir / kDegradedMarkerName);
+  StreamEngine::RecoveryStats stats;
+  auto recovered = StreamEngine::Recover(recover_config, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(stats.recovered_seq, 1u);
+  EXPECT_FALSE((*recovered)->degraded())
+      << "removing the marker restores a fully durable engine";
+  ASSERT_TRUE((*recovered)->Advance(CivilTime(1'600'100'000)).ok());
+  EXPECT_EQ((*recovered)->ingested_count(), 1u);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// The gate: randomized FaultPlans × kill points. Invariant: recovery is
+// bit-identical to the uninterrupted run, or loudly failed — a silent
+// divergence is the one forbidden outcome.
+
+struct Op {
+  enum Kind : uint8_t { kIngest, kAdvance, kSnapshot, kDetect, kFlush };
+  Kind kind = kIngest;
+  TripEvent event{};
+  int64_t watermark = 0;
+};
+
+/// Mirrors stream_durability_test.cc's script: every op appends exactly
+/// one WAL record, so `ops[i]` ↔ WAL sequence `i + 1` and recovery's
+/// `recovered_seq` is a resume index.
+std::vector<Op> BuildOpScript(int64_t lateness, uint64_t seed) {
+  auto jittered = JitterArrivalOrder(
+      testing::PlantedStream(16, 3, /*days=*/2, /*trips_per_day=*/200, seed),
+      /*shuffle_seconds=*/lateness, seed);
+  std::vector<Op> ops;
+  ops.reserve(jittered.events.size() + jittered.events.size() / 40 + 8);
+  int64_t last_advance = INT64_MIN;
+  for (size_t i = 0; i < jittered.events.size(); ++i) {
+    Op op;
+    op.kind = Op::kIngest;
+    op.event = jittered.events[i];
+    ops.push_back(op);
+    if ((i + 1) % 60 == 0) {
+      last_advance = std::max(last_advance + 1, jittered.report_seconds[i]);
+      ops.push_back({Op::kAdvance, {}, last_advance});
+      if ((i + 1) % 120 == 0) ops.push_back({Op::kSnapshot, {}, 0});
+      if ((i + 1) % 240 == 0) ops.push_back({Op::kDetect, {}, 0});
+    }
+  }
+  last_advance = std::max(last_advance + 1,
+                          jittered.report_seconds.back() + lateness + 1);
+  ops.push_back({Op::kAdvance, {}, last_advance});
+  ops.push_back({Op::kFlush, {}, 0});
+  ops.push_back({Op::kDetect, {}, 0});
+  return ops;
+}
+
+/// Non-asserting ApplyOp: under fault injection any op may fail, and the
+/// gate's job is to stop there and prove recovery, not to abort.
+Status TryApplyOp(StreamEngine& engine, const Op& op) {
+  switch (op.kind) {
+    case Op::kIngest:
+      return engine.Ingest(op.event);
+    case Op::kAdvance:
+      return engine.Advance(CivilTime(op.watermark));
+    case Op::kSnapshot:
+      return engine.Snapshot().status();
+    case Op::kDetect:
+      return engine.DetectCurrent().status();
+    case Op::kFlush:
+      return engine.Flush();
+  }
+  return Status::OK();
+}
+
+/// The bit-lock comparator from the durability suite: everything in the
+/// checkpoint except the WAL position and freeze-path counters.
+std::string ComparableState(const StreamEngine& engine) {
+  EngineCheckpoint c = engine.CaptureState();
+  c.wal_seq = 0;
+  c.delta_freeze_count = 0;
+  c.full_freeze_count = 0;
+  return SerializeCheckpoint(c);
+}
+
+void RunFaultScheduleGate(bool transient_only, uint64_t seed_base,
+                          const std::string& tag) {
+  const int64_t lateness = 900;
+  const std::vector<Op> ops = BuildOpScript(lateness, 5);
+
+  StreamEngineConfig base;
+  base.station_count = 16;
+  base.window_seconds = 86400;
+  base.max_lateness_seconds = lateness;
+  base.suppress_duplicate_rentals = true;
+  base.detection.options.seed = 7;
+
+  // The uninterrupted reference run, no durability.
+  StreamEngine reference(base);
+  for (const Op& op : ops) {
+    const Status status = TryApplyOp(reference, op);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+
+  Rng rng(seed_base * 1000003 + 29);
+  size_t loud_failures = 0;
+  const uint64_t trials = 5;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    SCOPED_TRACE(tag + " trial " + std::to_string(trial));
+    const fs::path dir = FreshDir(tag + "_" + std::to_string(trial));
+
+    FaultChaosConfig fault_config;
+    fault_config.seed = seed_base + trial;
+    fault_config.rules = 4;
+    fault_config.max_burst = 3;
+    fault_config.transient_only = transient_only;
+    FaultInjectingIoEnv env(MakeRandomFaultPlan(fault_config));
+
+    StreamEngineConfig durable = base;
+    durable.durability.enabled = true;
+    durable.durability.directory = dir.string();
+    durable.durability.segment_bytes = 1 << 12;  // force rotations
+    durable.durability.sync_interval_records = 16;
+    durable.durability.io_env = &env;
+    durable.durability.faults.max_retries = 4;  // >= max_burst
+    durable.durability.faults.backoff_initial_ms = 1;
+
+    const auto kill = static_cast<size_t>(rng.NextBounded(ops.size() + 1));
+    const size_t checkpoint_every =
+        120 + static_cast<size_t>(rng.NextBounded(120));
+    size_t applied = 0;
+    bool op_failed = false;
+    {
+      StreamEngine engine(durable);
+      for (size_t i = 0; i < kill; ++i) {
+        const Status status = TryApplyOp(engine, ops[i]);
+        if (!status.ok()) {
+          op_failed = true;
+          ASSERT_FALSE(transient_only)
+              << "a transient-only schedule with max_retries >= max_burst "
+              << "must never surface a failure, got: " << status.ToString();
+          break;
+        }
+        applied = i + 1;
+        ASSERT_EQ(engine.wal_seq(), applied) << "op/seq mapping drifted";
+        if (applied % checkpoint_every == 0) {
+          // A failed checkpoint commit is loud to its caller but leaves
+          // the previous checkpoint intact; the run continues.
+          const Status ckpt = engine.Checkpoint();
+          if (!ckpt.ok() && transient_only) {
+            // Transient faults can still fail one commit attempt (the
+            // checkpoint path retries only EINTR); the engine itself
+            // must stay healthy, which the remaining ops prove.
+            continue;
+          }
+        }
+      }
+      if (transient_only) {
+        EXPECT_FALSE(engine.degraded());
+        EXPECT_EQ(engine.wal_retry_count(),
+                  static_cast<uint64_t>(env.sleep_log().size()))
+            << "every budgeted retry slept exactly once on the virtual "
+            << "clock — counters must be conserved";
+      }
+    }  // engine destroyed: best-effort flush, then the power cut
+
+    env.SimulateCrash();
+
+    StreamEngineConfig recover_config = durable;
+    recover_config.durability.io_env = nullptr;  // clean environment
+    StreamEngine::RecoveryStats stats;
+    auto recovered = StreamEngine::Recover(recover_config, &stats);
+    if (!recovered.ok()) {
+      // Loud failure is an accepted outcome — but only for hostile
+      // schedules, and it must be an error status, never a wrong engine.
+      ASSERT_FALSE(transient_only)
+          << "transient faults must never sink recovery: "
+          << recovered.status().ToString();
+      ++loud_failures;
+      continue;
+    }
+    ASSERT_LE(stats.recovered_seq, applied);
+    EXPECT_EQ((*recovered)->wal_seq(), stats.recovered_seq);
+
+    // Resume exactly where the surviving log ends and finish the script
+    // fault-free: the result must be bit-identical to the reference.
+    for (size_t i = stats.recovered_seq; i < ops.size(); ++i) {
+      const Status status = TryApplyOp(**recovered, ops[i]);
+      ASSERT_TRUE(status.ok()) << "resume op " << i << ": "
+                               << status.ToString();
+    }
+    EXPECT_EQ(ComparableState(**recovered), ComparableState(reference))
+        << "silent divergence: recovery succeeded but the state is wrong";
+    (void)op_failed;
+    fs::remove_all(dir);
+  }
+  if (transient_only) {
+    EXPECT_EQ(loud_failures, 0u);
+  }
+}
+
+TEST(FaultScheduleGateTest, HostileSchedulesRecoverBitIdenticalOrLoud) {
+  RunFaultScheduleGate(/*transient_only=*/false, /*seed_base=*/100,
+                       "gate_hostile");
+}
+
+TEST(FaultScheduleGateTest, TransientSchedulesCompleteWithoutPoisoning) {
+  RunFaultScheduleGate(/*transient_only=*/true, /*seed_base=*/200,
+                       "gate_transient");
+}
+
+}  // namespace
+}  // namespace bikegraph::stream

@@ -53,6 +53,16 @@
 #
 #   tools/ci.sh --chaos
 #
+# Fault-schedule gate (the flag must come first): after the regular run,
+# re-run the deterministic I/O fault-injection suite (stream_fault_test:
+# randomized FaultPlans × kill-point recovery, ENOSPC self-heal, torn
+# checkpoint renames, retry/backoff determinism, degraded mode) plus the
+# crash-recovery suite under ASan and UBSan — the fault paths allocate
+# and tear down file state aggressively, exactly where lifetime bugs
+# would hide.
+#
+#   tools/ci.sh --faults
+#
 # Deep-analysis gate (the flag must come first; takes no ctest args):
 # rebuild the whole tree — src, tests, benches, tools, examples — into
 # build-analyze/ under GCC's interprocedural -fanalyzer, capture the
@@ -76,19 +86,22 @@ WERROR="${BIKEGRAPH_WERROR:-ON}"
 MATRIX=0
 BENCH_SMOKE=0
 CHAOS=0
+FAULTS=0
 ANALYZE=0
 while :; do
   case "${1:-}" in
     --sanitize-matrix) MATRIX=1; shift ;;
     --bench-smoke)     BENCH_SMOKE=1; shift ;;
     --chaos)           CHAOS=1; shift ;;
+    --faults)          FAULTS=1; shift ;;
     --analyze)         ANALYZE=1; shift ;;
     *) break ;;
   esac
 done
 for arg in "$@"; do
   if [ "$arg" = "--sanitize-matrix" ] || [ "$arg" = "--bench-smoke" ] ||
-     [ "$arg" = "--chaos" ] || [ "$arg" = "--analyze" ]; then
+     [ "$arg" = "--chaos" ] || [ "$arg" = "--faults" ] ||
+     [ "$arg" = "--analyze" ]; then
     echo "$arg must come before any ctest arguments" >&2
     exit 2
   fi
@@ -176,6 +189,16 @@ if [ "$CHAOS" = 1 ]; then
     echo ">>> chaos gate: $san"
     env -u BUILD_DIR BIKEGRAPH_SANITIZE="$san" \
         "${BASH_SOURCE[0]}" -R 'stream_durability|stream_chaos'
+  done
+fi
+
+if [ "$FAULTS" = 1 ]; then
+  # Plain-build pass already covered the suites; the gate's value is the
+  # sanitized re-runs over the fault-injection and recovery paths.
+  for san in address undefined; do
+    echo ">>> fault gate: $san"
+    env -u BUILD_DIR BIKEGRAPH_SANITIZE="$san" \
+        "${BASH_SOURCE[0]}" -R 'stream_fault|stream_durability'
   done
 fi
 

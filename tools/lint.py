@@ -21,10 +21,13 @@ Checks
                         `// lint: unordered-iter-ok: <why>` justification
                         (same line or the line above) arguing order
                         independence (pure counting, sort-after, ...).
-  naked-fsync-rename    fsync/fdatasync/rename/renameat calls only inside
-                        src/stream/wal.cc and src/stream/checkpoint.cc — the
-                        two files implementing the crash-consistency
-                        protocol. Durability outside the protocol is a bug.
+  naked-io-syscall      raw durability syscalls (fsync/fdatasync/rename/
+                        renameat and the ::open/::write/::unlink globals)
+                        only inside src/core/io_env.cc — the single syscall
+                        seam. Everything else routes I/O through IoEnv so
+                        the fault injector sees every operation; a direct
+                        syscall is invisible to fault schedules and
+                        unprotected by the retry policy.
   unseeded-rng          no rand()/srand()/std::random_device outside
                         src/core/rng — all randomness must flow through the
                         seeded deterministic RNG so every run is replayable.
@@ -81,9 +84,10 @@ INTERNAL_HEADERS = {
     "stream/testing.h": "test-support seams (kill-point hooks), not API",
 }
 
-# Files allowed to call fsync/rename: the crash-consistency protocol lives
-# here and nowhere else.
-DURABILITY_FILES = {"src/stream/wal.cc", "src/stream/checkpoint.cc"}
+# The single file allowed to issue raw durability syscalls: the IoEnv
+# passthrough. wal.cc/checkpoint.cc call through IoEnv so every open,
+# write, fsync, rename and unlink is visible to the fault injector.
+IO_ENV_FILES = {"src/core/io_env.cc"}
 
 # The seeded deterministic RNG wrapper — the only place allowed to touch
 # platform randomness primitives.
@@ -96,6 +100,7 @@ BIT_IDENTITY_TESTS = {
     "tests/perf_equivalence_test.cc",
     "tests/stream_snapshot_delta_test.cc",
     "tests/stream_durability_test.cc",
+    "tests/stream_fault_test.cc",
     "tests/stream_reorder_test.cc",
     "tests/stream_engine_test.cc",
     "tests/stream_shard_test.cc",
@@ -264,24 +269,26 @@ def check_unordered_iteration(root, files):
     return violations
 
 
-FSYNC_CALL = re.compile(r"\b(?:fsync|fdatasync|rename|renameat)\s*\(")
+IO_SYSCALL = re.compile(
+    r"\b(?:fsync|fdatasync|rename|renameat)\s*\("
+    r"|(?<![\w])::\s*(?:open|write|unlink)\s*\(")
 
 
-def check_naked_fsync_rename(root, files):
+def check_naked_io_syscall(root, files):
     violations = []
     for rel in files:
-        if rel in DURABILITY_FILES:
+        if rel in IO_ENV_FILES:
             continue
         with open(os.path.join(root, rel), encoding="utf-8") as f:
             lines = f.read().splitlines()
         for i, line in enumerate(lines):
             code = strip_comments(line)
-            if FSYNC_CALL.search(code):
+            if IO_SYSCALL.search(code):
                 violations.append(Violation(
-                    "naked-fsync-rename", rel, i + 1,
-                    "fsync/rename outside src/stream/{wal,checkpoint}.cc — "
-                    "crash-consistency lives only in the durability "
-                    "protocol; route file commits through it"))
+                    "naked-io-syscall", rel, i + 1,
+                    "raw I/O syscall outside src/core/io_env.cc — route it "
+                    "through IoEnv so fault injection sees it and the "
+                    "retry/degrade policy protects it"))
     return violations
 
 
@@ -444,7 +451,7 @@ CHECKS = [
     ("umbrella-export", check_umbrella_export),
     ("pragma-once", check_pragma_once),
     ("unordered-iteration", check_unordered_iteration),
-    ("naked-fsync-rename", check_naked_fsync_rename),
+    ("naked-io-syscall", check_naked_io_syscall),
     ("unseeded-rng", check_unseeded_rng),
     ("float-equality", check_float_equality),
     ("naked-concurrency", check_naked_concurrency),
@@ -555,12 +562,18 @@ def run_selftest(root):
            {"src/good.cc": _golden(root, "good_annotated.cc")},
            False, "good_annotated.cc")
 
-    expect("naked-fsync-rename", check_naked_fsync_rename,
+    expect("naked-io-syscall", check_naked_io_syscall,
            {"src/bad.cc": _golden(root, "bad_naked_fsync.cc")},
            True, "bad_naked_fsync.cc")
-    expect("naked-fsync-rename", check_naked_fsync_rename,
+    expect("naked-io-syscall", check_naked_io_syscall,
+           {"src/bad.cc": _golden(root, "bad_naked_syscall.cc")},
+           True, "bad_naked_syscall.cc")
+    expect("naked-io-syscall", check_naked_io_syscall,
            {"src/stream/wal.cc": _golden(root, "bad_naked_fsync.cc")},
-           False, "fsync inside wal.cc is the protocol")
+           True, "wal.cc must go through IoEnv too")
+    expect("naked-io-syscall", check_naked_io_syscall,
+           {"src/core/io_env.cc": _golden(root, "bad_naked_syscall.cc")},
+           False, "raw syscalls inside io_env.cc are the seam")
 
     expect("unseeded-rng", check_unseeded_rng,
            {"src/bad.cc": _golden(root, "bad_unseeded_rng.cc")},
